@@ -1,0 +1,359 @@
+// Package pmemspec's root benchmarks regenerate the paper's evaluation
+// under `go test -bench`. One benchmark family per table/figure:
+//
+//	BenchmarkTable3Config   — prints the simulated configuration (Table 3)
+//	BenchmarkFig9/...       — 8-core design comparison (Figure 9)
+//	BenchmarkFig10/...      — 16/32/64-core sensitivity (Figure 10)
+//	BenchmarkFig11/...      — speculation-buffer sizes (Figure 11)
+//	BenchmarkFig12/...      — persist-path latencies (Figure 12)
+//	BenchmarkMisspec/...    — §8.4 misspeculation rates
+//	BenchmarkAblation/...   — §5.1.3 vs §5.1.4 detection schemes
+//	BenchmarkRecovery/...   — lazy vs eager misspeculation recovery (§6.2)
+//
+// Each iteration runs a complete simulation; the interesting output is
+// the reported custom metrics (normalized throughput, detections, …),
+// not the wall-clock ns/op. Absolute simulated throughputs are not
+// expected to match the paper's gem5 numbers — the *shape* (who wins,
+// by roughly what factor) is the reproduction target; see EXPERIMENTS.md.
+package pmemspec_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pmemspec/internal/fatomic"
+	"pmemspec/internal/harness"
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/osint"
+	"pmemspec/internal/persist"
+	"pmemspec/internal/sim"
+	"pmemspec/internal/workload"
+)
+
+// benchOps keeps a full simulation per iteration affordable.
+const benchOps = 150
+
+func benchParams(name string, threads int) workload.Params {
+	p := workload.Params{Threads: threads, Ops: benchOps, DataSize: 64, Seed: 1}
+	if name == "memcached" {
+		p.DataSize = 1024
+	}
+	return p
+}
+
+// BenchmarkTable3Config reports the simulated machine configuration.
+func BenchmarkTable3Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := machine.DefaultConfig(machine.PMEMSpec, 8)
+		if err := cfg.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log(cfg.String())
+		}
+	}
+}
+
+// BenchmarkFig9 runs each benchmark × design pair at 8 cores and reports
+// throughput normalized to the IntelX86 baseline.
+func BenchmarkFig9(b *testing.B) {
+	for _, name := range workload.Names() {
+		name := name
+		base := 0.0
+		for _, d := range machine.Designs {
+			d := d
+			b.Run(fmt.Sprintf("%s/%s", name, d), func(b *testing.B) {
+				var last harness.Result
+				for i := 0; i < b.N; i++ {
+					w, err := workload.ByName(name)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := harness.Run(d, w, benchParams(name, 8))
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				if d == machine.IntelX86 {
+					base = last.Throughput
+				}
+				b.ReportMetric(last.Throughput, "fases/sim-s")
+				if base > 0 {
+					b.ReportMetric(last.Throughput/base, "norm-vs-x86")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig10 runs the design comparison at 16/32/64 cores on a
+// representative subset (full panels via cmd/pmemspec-bench).
+func BenchmarkFig10(b *testing.B) {
+	for _, cores := range []int{16, 32, 64} {
+		for _, name := range []string{"queue", "tpcc", "vacation"} {
+			base := 0.0
+			for _, d := range machine.Designs {
+				cores, name, d := cores, name, d
+				b.Run(fmt.Sprintf("%dcores/%s/%s", cores, name, d), func(b *testing.B) {
+					var last harness.Result
+					for i := 0; i < b.N; i++ {
+						w, err := workload.ByName(name)
+						if err != nil {
+							b.Fatal(err)
+						}
+						p := benchParams(name, cores)
+						p.Ops = 60 // scale with core count
+						res, err := harness.Run(d, w, p)
+						if err != nil {
+							b.Fatal(err)
+						}
+						last = res
+					}
+					if d == machine.IntelX86 {
+						base = last.Throughput
+					}
+					b.ReportMetric(last.Throughput, "fases/sim-s")
+					if base > 0 {
+						b.ReportMetric(last.Throughput/base, "norm-vs-x86")
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig11 sweeps the speculation-buffer size on memcached in its
+// eviction-streaming configuration (buffer entries come from dirty LLC
+// evictions, §8.3.2, so the value store must exceed the LLC).
+func BenchmarkFig11(b *testing.B) {
+	for _, entries := range []int{1, 2, 4, 8, 16} {
+		entries := entries
+		b.Run(fmt.Sprintf("entries-%d", entries), func(b *testing.B) {
+			var last harness.Result
+			for i := 0; i < b.N; i++ {
+				w, err := workload.ByName("memcached")
+				if err != nil {
+					b.Fatal(err)
+				}
+				p := benchParams("memcached", 8)
+				p.Scale = 32768
+				res, err := harness.Run(machine.PMEMSpec, w, p,
+					harness.WithSpecBufEntries(entries))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Throughput, "fases/sim-s")
+			b.ReportMetric(float64(last.MStats.SpecOverflowPauses), "overflow-pauses")
+		})
+	}
+}
+
+// BenchmarkFig12 sweeps the persist-path latency for PMEM-Spec (HOPS's
+// drain sweep via cmd/pmemspec-bench).
+func BenchmarkFig12(b *testing.B) {
+	for _, latNS := range []int64{20, 40, 60, 80, 100} {
+		latNS := latNS
+		b.Run(fmt.Sprintf("path-%dns", latNS), func(b *testing.B) {
+			var last harness.Result
+			for i := 0; i < b.N; i++ {
+				w, err := workload.ByName("queue")
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := harness.Run(machine.PMEMSpec, w, benchParams("queue", 8),
+					harness.WithPathLatencyNS(latNS))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Throughput, "fases/sim-s")
+		})
+	}
+}
+
+// BenchmarkMisspec reports §8.4: misspeculation counts per benchmark at
+// the default configuration (expected: zero everywhere).
+func BenchmarkMisspec(b *testing.B) {
+	for _, name := range workload.Names() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var detections int
+			for i := 0; i < b.N; i++ {
+				w, err := workload.ByName(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := harness.Run(machine.PMEMSpec, w, benchParams(name, 8))
+				if err != nil {
+					b.Fatal(err)
+				}
+				detections = len(res.MStats.Misspeculations)
+			}
+			b.ReportMetric(float64(detections), "misspeculations")
+		})
+	}
+}
+
+// BenchmarkAblation compares the detection schemes (§5.1.3 vs §5.1.4).
+func BenchmarkAblation(b *testing.B) {
+	for _, fetchBased := range []bool{false, true} {
+		fetchBased := fetchBased
+		name := "eviction-based"
+		if fetchBased {
+			name = "fetch-based"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last harness.Result
+			for i := 0; i < b.N; i++ {
+				w, err := workload.ByName("memcached")
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := []harness.Option{func(c *machine.Config) { c.SpecWindow = 2000 }}
+				if fetchBased {
+					opts = append(opts, harness.WithFetchBasedDetection())
+				}
+				res, err := harness.RunDetectOnly(machine.PMEMSpec, w, benchParams("memcached", 4), opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(len(last.MStats.Misspeculations)), "detections")
+			b.ReportMetric(float64(last.MStats.StaleFetches), "actual-stale")
+		})
+	}
+}
+
+// BenchmarkRecovery compares lazy vs eager misspeculation recovery on
+// the synthetic generator under an inflated path latency (§6.2).
+func BenchmarkRecovery(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		m    fatomic.Mode
+	}{{"lazy", fatomic.Lazy}, {"eager", fatomic.Eager}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var aborts uint64
+			var kernel float64
+			for i := 0; i < b.N; i++ {
+				syn := workload.NewSynthetic()
+				p := workload.Params{Threads: 1, Ops: 60, DataSize: 64, Seed: 1}
+				res, err := harness.RunWithMode(machine.PMEMSpec, syn, p, mode.m,
+					harness.WithSmallLLC(32*1024, 2),
+					harness.WithPathLatencyNS(500),
+					func(c *machine.Config) { c.SpecWindow = 8000 })
+				if err != nil {
+					b.Fatal(err)
+				}
+				aborts = res.RStats.Aborts
+				kernel = res.KernelTime.Seconds()
+			}
+			b.ReportMetric(float64(aborts), "aborts")
+			b.ReportMetric(kernel*1e6, "sim-us")
+		})
+	}
+}
+
+// BenchmarkLoggingStyles compares the undo-logging FASE runtime against
+// the redo-logging transactional runtime on each design: redo trades
+// per-store order barriers for extra commit barriers, so the relaxed
+// designs favour it while PMEM-Spec's free per-store ordering makes undo
+// logging equally cheap.
+func BenchmarkLoggingStyles(b *testing.B) {
+	for _, d := range machine.Designs {
+		for _, style := range []string{"undo", "redo"} {
+			d, style := d, style
+			b.Run(fmt.Sprintf("%s/%s", d, style), func(b *testing.B) {
+				var kernel float64
+				for i := 0; i < b.N; i++ {
+					t := measureLoggingStyle(b, d, style)
+					kernel = t
+				}
+				b.ReportMetric(kernel, "sim-us")
+			})
+		}
+	}
+}
+
+func measureLoggingStyle(b *testing.B, d machine.Design, style string) float64 {
+	cfg := machine.DefaultConfig(d, 1)
+	cfg.MemBytes = 16 << 20
+	m, err := machine.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	osl := osint.New(m)
+	model := persist.ForDesign(d)
+	heap := mem.NewHeap(m.Space(), fatomic.HeapReserve(1))
+	base := heap.AllocBlock(64 * 64)
+	var start, end sim.Time
+	switch style {
+	case "undo":
+		rt := fatomic.New(m, model, osl, fatomic.Lazy)
+		m.Spawn("w", func(th *machine.Thread) {
+			rt.WarmLog(th)
+			start = th.Clock()
+			for op := 0; op < 300; op++ {
+				rt.Run(th, func(f *fatomic.FASE) {
+					for s := 0; s < 6; s++ {
+						a := base + mem.Addr(((op*7+s)%64)*64)
+						f.StoreU64(a, f.LoadU64(a)+1)
+					}
+				})
+			}
+			end = th.Clock()
+		})
+	case "redo":
+		rt := fatomic.NewRedo(m, model, osl, fatomic.Lazy)
+		m.Spawn("w", func(th *machine.Thread) {
+			rt.WarmLog(th)
+			start = th.Clock()
+			for op := 0; op < 300; op++ {
+				rt.Run(th, func(tx *fatomic.Tx) {
+					for s := 0; s < 6; s++ {
+						a := base + mem.Addr(((op*7+s)%64)*64)
+						tx.StoreU64(a, tx.LoadU64(a)+1)
+					}
+				})
+			}
+			end = th.Clock()
+		})
+	}
+	if err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return (end - start).Seconds() * 1e6
+}
+
+// BenchmarkStrandExtension compares the StrandWeaver extension against
+// HOPS and PMEM-Spec on the long-transaction workloads where strand
+// concurrency matters; the expected ordering (HOPS < StrandWeaver <
+// PMEM-Spec) mirrors the papers' results.
+func BenchmarkStrandExtension(b *testing.B) {
+	for _, name := range []string{"tpcc", "vacation"} {
+		for _, d := range []machine.Design{machine.HOPS, machine.Strand, machine.PMEMSpec} {
+			name, d := name, d
+			b.Run(fmt.Sprintf("%s/%s", name, d), func(b *testing.B) {
+				var last harness.Result
+				for i := 0; i < b.N; i++ {
+					w, err := workload.ByName(name)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := harness.Run(d, w, benchParams(name, 8))
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(last.Throughput, "fases/sim-s")
+			})
+		}
+	}
+}

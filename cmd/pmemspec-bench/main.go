@@ -1,0 +1,113 @@
+// Command pmemspec-bench regenerates the PMEM-Spec paper's evaluation:
+// Figure 9 (8-core design comparison), Figure 10 (16/32/64 cores),
+// Figure 11 (speculation-buffer sizes), Figure 12 (persist-path
+// latencies), the §8.4 misspeculation study and the §5.1.3 detection
+// ablation.
+//
+// Usage:
+//
+//	pmemspec-bench -experiment fig9 [-ops 500] [-threads 8] [-seed 1] [-v]
+//	pmemspec-bench -experiment all
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pmemspec/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "fig9", "fig9|fig10|fig11|fig12|misspec|ablation|all")
+		ops        = flag.Int("ops", 400, "failure-atomic operations per thread (paper: 100K; shapes stabilize far earlier)")
+		threads    = flag.Int("threads", 8, "worker threads for single-panel experiments")
+		seed       = flag.Int64("seed", 1, "workload RNG seed")
+		verbose    = flag.Bool("v", false, "print per-run progress")
+		asJSON     = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	)
+	flag.Parse()
+
+	progress := func(string) {}
+	if *verbose {
+		progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	emit := func(v any, table func()) error {
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(v)
+		}
+		table()
+		return nil
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig9":
+			rows, err := harness.Fig9(*threads, *ops, *seed, progress)
+			if err != nil {
+				return err
+			}
+			return emit(map[string]any{"experiment": "fig9", "threads": *threads, "rows": rows, "geomeans": harness.Geomeans(rows)}, func() {
+				harness.PrintFig9(os.Stdout, fmt.Sprintf("Figure 9 — %d cores (normalized to IntelX86)", *threads), rows)
+			})
+		case "fig10":
+			panels, err := harness.Fig10([]int{16, 32, 64}, *ops, *seed, progress)
+			if err != nil {
+				return err
+			}
+			return emit(map[string]any{"experiment": "fig10", "panels": panels}, func() {
+				harness.PrintFig10(os.Stdout, panels)
+			})
+		case "fig11":
+			pts, err := harness.Fig11(*threads, *ops, *seed, progress)
+			if err != nil {
+				return err
+			}
+			return emit(map[string]any{"experiment": "fig11", "points": pts}, func() {
+				harness.PrintFig11(os.Stdout, pts)
+			})
+		case "fig12":
+			pts, err := harness.Fig12(*threads, *ops, *seed, progress)
+			if err != nil {
+				return err
+			}
+			return emit(map[string]any{"experiment": "fig12", "points": pts}, func() {
+				harness.PrintFig12(os.Stdout, pts)
+			})
+		case "misspec":
+			res, err := harness.MisspecStudy(*threads, *ops, *seed, progress)
+			if err != nil {
+				return err
+			}
+			return emit(map[string]any{"experiment": "misspec", "result": res}, func() {
+				harness.PrintMisspec(os.Stdout, res)
+			})
+		case "ablation":
+			res, err := harness.DetectionAblation(*threads, *ops, *seed, progress)
+			if err != nil {
+				return err
+			}
+			return emit(map[string]any{"experiment": "ablation", "result": res}, func() {
+				harness.PrintAblation(os.Stdout, res)
+			})
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = []string{"fig9", "fig10", "fig11", "fig12", "misspec", "ablation"}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintln(os.Stderr, "pmemspec-bench:", err)
+			os.Exit(1)
+		}
+	}
+}

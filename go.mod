@@ -1,0 +1,3 @@
+module pmemspec
+
+go 1.22

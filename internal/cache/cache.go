@@ -1,0 +1,205 @@
+// Package cache models the simulated cache hierarchy: per-core private
+// L1 data caches and a shared, inclusive last-level cache (LLC), with
+// LRU replacement, write-allocate stores, and an invalidation-based
+// single-writer coherence protocol.
+//
+// The hierarchy is purely structural: it decides hits, misses, fills,
+// invalidations and evictions, and reports which blocks leave the LLC
+// (and whether they are dirty). The machine layer attaches latencies and
+// decides what a dirty LLC eviction means — written back to PM
+// (IntelX86), silently dropped (HOPS/DPO), or dropped with a WriteBack
+// notification to the PM controller (PMEM-Spec, which needs the
+// notification to arm load-misspeculation monitoring).
+//
+// Lines can carry a "divergent" data override: when a PMEM-Spec load
+// misses all caches and fetches a stale block from PM, the stale bytes
+// are cached and must be returned by subsequent hits until the line is
+// overwritten or evicted. That is what makes simulated stale reads
+// propagate into program state the way they would on real hardware.
+package cache
+
+import (
+	"fmt"
+
+	"pmemspec/internal/mem"
+)
+
+// Line is one cache line's metadata.
+type Line struct {
+	addr    mem.Addr // block-aligned tag; meaningful only if valid
+	valid   bool
+	dirty   bool
+	lastUse uint64
+	// divergent, when non-nil, holds the line's actual contents where
+	// they differ from the architectural image (stale fetch).
+	divergent *[mem.BlockSize]byte
+}
+
+// Addr returns the block address held by the line.
+func (l *Line) Addr() mem.Addr { return l.addr }
+
+// Dirty reports whether the line holds unwritten modifications.
+func (l *Line) Dirty() bool { return l.dirty }
+
+// Divergent returns the line's stale-content override, or nil.
+func (l *Line) Divergent() *[mem.BlockSize]byte { return l.divergent }
+
+// SetDivergent installs (or clears) a stale-content override.
+func (l *Line) SetDivergent(d *[mem.BlockSize]byte) { l.divergent = d }
+
+// MarkDirty marks the line modified.
+func (l *Line) MarkDirty() { l.dirty = true }
+
+// MarkClean clears the dirty bit (e.g. after a CLWB writeback).
+func (l *Line) MarkClean() { l.dirty = false }
+
+// Evicted describes a line that left a cache.
+type Evicted struct {
+	Addr      mem.Addr
+	Dirty     bool
+	Divergent *[mem.BlockSize]byte
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits, Misses, Evictions, DirtyEvictions uint64
+}
+
+// Cache is one set-associative cache with LRU replacement.
+type Cache struct {
+	name     string
+	sets     [][]Line
+	setMask  uint64
+	setShift uint
+	counter  uint64
+
+	// Stats is the cache's activity counters.
+	Stats Stats
+}
+
+// New creates a cache of sizeBytes capacity and the given associativity.
+// sizeBytes must be a multiple of ways×BlockSize with a power-of-two set
+// count.
+func New(name string, sizeBytes, ways int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 || sizeBytes%(ways*mem.BlockSize) != 0 {
+		panic(fmt.Sprintf("cache: bad geometry %d bytes / %d ways", sizeBytes, ways))
+	}
+	nsets := sizeBytes / (ways * mem.BlockSize)
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", nsets))
+	}
+	sets := make([][]Line, nsets)
+	backing := make([]Line, nsets*ways)
+	for i := range sets {
+		sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
+	}
+	shift := uint(6) // log2(BlockSize)
+	return &Cache{
+		name:     name,
+		sets:     sets,
+		setMask:  uint64(nsets - 1),
+		setShift: shift,
+	}
+}
+
+// Sets returns the number of sets (used by the synthetic conflict-evict
+// workload to build same-set address sequences).
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return len(c.sets[0]) }
+
+func (c *Cache) set(a mem.Addr) []Line {
+	return c.sets[(uint64(a)>>c.setShift)&c.setMask]
+}
+
+// Lookup returns the line holding a's block and refreshes its LRU
+// position, or nil on miss. It updates hit/miss statistics.
+func (c *Cache) Lookup(a mem.Addr) *Line {
+	blk := mem.BlockAlign(a)
+	set := c.set(blk)
+	for i := range set {
+		if set[i].valid && set[i].addr == blk {
+			c.counter++
+			set[i].lastUse = c.counter
+			c.Stats.Hits++
+			return &set[i]
+		}
+	}
+	c.Stats.Misses++
+	return nil
+}
+
+// Peek returns the line holding a's block without touching LRU or stats.
+func (c *Cache) Peek(a mem.Addr) *Line {
+	blk := mem.BlockAlign(a)
+	set := c.set(blk)
+	for i := range set {
+		if set[i].valid && set[i].addr == blk {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Insert fills a's block into the cache, returning the filled line and,
+// if a valid line had to be displaced, its description. Inserting an
+// already-present block refreshes it in place (no eviction).
+func (c *Cache) Insert(a mem.Addr) (*Line, *Evicted) {
+	blk := mem.BlockAlign(a)
+	set := c.set(blk)
+	var invalid, lru *Line
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.addr == blk {
+			c.counter++
+			l.lastUse = c.counter
+			return l, nil
+		}
+		if !l.valid {
+			if invalid == nil {
+				invalid = l
+			}
+			continue
+		}
+		if lru == nil || l.lastUse < lru.lastUse {
+			lru = l
+		}
+	}
+	victim := invalid
+	if victim == nil {
+		victim = lru
+	}
+	var ev *Evicted
+	if victim.valid {
+		ev = &Evicted{Addr: victim.addr, Dirty: victim.dirty, Divergent: victim.divergent}
+		c.Stats.Evictions++
+		if victim.dirty {
+			c.Stats.DirtyEvictions++
+		}
+	}
+	c.counter++
+	*victim = Line{addr: blk, valid: true, lastUse: c.counter}
+	return victim, ev
+}
+
+// Invalidate removes a's block if present, returning its description.
+func (c *Cache) Invalidate(a mem.Addr) *Evicted {
+	l := c.Peek(a)
+	if l == nil {
+		return nil
+	}
+	ev := &Evicted{Addr: l.addr, Dirty: l.dirty, Divergent: l.divergent}
+	*l = Line{}
+	return ev
+}
+
+// Flush clears the entire cache without reporting evictions (used to
+// model the volatile state loss at a crash).
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = Line{}
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmemspec/internal/mem"
+)
+
+func TestCacheGeometry(t *testing.T) {
+	c := New("t", 64*1024, 4) // 64KB 4-way: 256 sets
+	if c.Sets() != 256 || c.Ways() != 4 {
+		t.Errorf("sets=%d ways=%d, want 256, 4", c.Sets(), c.Ways())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad geometry did not panic")
+		}
+	}()
+	New("bad", 100, 3)
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := New("t", 1024, 2)
+	if c.Lookup(0x100) != nil {
+		t.Error("hit in empty cache")
+	}
+	c.Insert(0x100)
+	l := c.Lookup(0x100)
+	if l == nil {
+		t.Fatal("miss after insert")
+	}
+	if l.Addr() != 0x100 {
+		t.Errorf("line addr = %#x", uint64(l.Addr()))
+	}
+	if c.Lookup(0x140) != nil { // different block
+		t.Error("false hit on neighbouring block")
+	}
+	if c.Stats.Hits != 1 || c.Stats.Misses != 2 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestCacheSameBlockAliases(t *testing.T) {
+	c := New("t", 1024, 2)
+	c.Insert(0x103)
+	if c.Lookup(0x13F) == nil {
+		t.Error("addresses in one block must alias")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache: fill a set with A and B, touch A, insert C — B (LRU)
+	// must be evicted.
+	c := New("t", 2*mem.BlockSize, 2) // 1 set, 2 ways
+	c.Insert(0x000)                   // A
+	c.Insert(0x040)                   // B
+	c.Lookup(0x000)                   // touch A
+	_, ev := c.Insert(0x080)          // C evicts B
+	if ev == nil || ev.Addr != 0x040 {
+		t.Fatalf("evicted %+v, want block 0x40", ev)
+	}
+	if c.Peek(0x000) == nil || c.Peek(0x080) == nil {
+		t.Error("A or C missing after eviction")
+	}
+}
+
+func TestCacheDirtyEvictionReported(t *testing.T) {
+	c := New("t", 2*mem.BlockSize, 2)
+	l, _ := c.Insert(0x000)
+	l.MarkDirty()
+	c.Insert(0x040)
+	c.Lookup(0x040) // make 0x000 LRU
+	_, ev := c.Insert(0x080)
+	if ev == nil || !ev.Dirty || ev.Addr != 0x000 {
+		t.Fatalf("evicted %+v, want dirty block 0x0", ev)
+	}
+	if c.Stats.DirtyEvictions != 1 {
+		t.Errorf("dirty evictions = %d", c.Stats.DirtyEvictions)
+	}
+}
+
+func TestCacheReinsertRefreshes(t *testing.T) {
+	c := New("t", 2*mem.BlockSize, 2)
+	c.Insert(0x000)
+	c.Insert(0x040)
+	if _, ev := c.Insert(0x000); ev != nil {
+		t.Error("reinserting a present block must not evict")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := New("t", 1024, 2)
+	l, _ := c.Insert(0x200)
+	l.MarkDirty()
+	ev := c.Invalidate(0x200)
+	if ev == nil || !ev.Dirty {
+		t.Fatal("invalidate lost dirty state")
+	}
+	if c.Peek(0x200) != nil {
+		t.Error("block still present after invalidate")
+	}
+	if c.Invalidate(0x200) != nil {
+		t.Error("second invalidate should be nil")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := New("t", 1024, 2)
+	c.Insert(0x100)
+	c.Insert(0x200)
+	c.Flush()
+	if c.Peek(0x100) != nil || c.Peek(0x200) != nil {
+		t.Error("blocks survive Flush")
+	}
+}
+
+func TestCacheCapacityProperty(t *testing.T) {
+	// Inserting any sequence never exceeds capacity, and a freshly
+	// inserted block is always present immediately afterwards.
+	f := func(addrs []uint16) bool {
+		c := New("t", 8*mem.BlockSize, 2)
+		for _, raw := range addrs {
+			a := mem.Addr(raw)
+			c.Insert(a)
+			if c.Peek(a) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyLoadLevels(t *testing.T) {
+	h := NewHierarchy(2, 1024, 2, 4096, 4)
+	a := mem.Addr(0x1000)
+	// Cold: memory.
+	if res := h.Load(0, a); res.Level != LevelMemory {
+		t.Fatalf("cold load level = %v", res.Level)
+	}
+	h.FillFromMemory(0, a, nil)
+	// Now L1 hit.
+	if res := h.Load(0, a); res.Level != LevelL1 {
+		t.Errorf("second load level = %v", res.Level)
+	}
+	// Other core: LLC hit (block is in LLC, not in its L1).
+	if res := h.Load(1, a); res.Level != LevelLLC {
+		t.Errorf("cross-core load level = %v", res.Level)
+	}
+	// And now core 1 has it in L1 too.
+	if res := h.Load(1, a); res.Level != LevelL1 {
+		t.Errorf("core1 repeat load level = %v", res.Level)
+	}
+}
+
+func TestHierarchyStoreInvalidatesSharers(t *testing.T) {
+	h := NewHierarchy(2, 1024, 2, 4096, 4)
+	a := mem.Addr(0x2000)
+	h.FillFromMemory(0, a, nil)
+	h.Load(1, a) // both L1s share the block
+	res := h.Store(0, a)
+	if res.Level != LevelL1 {
+		t.Fatalf("store level = %v", res.Level)
+	}
+	if h.L1(1).Peek(a) != nil {
+		t.Error("core 1 L1 copy not invalidated by core 0 store")
+	}
+	if h.InvalidationsSent == 0 {
+		t.Error("no invalidation recorded")
+	}
+	if !h.L1(0).Peek(a).Dirty() {
+		t.Error("stored line not dirty")
+	}
+}
+
+func TestHierarchyStoreMissWriteAllocate(t *testing.T) {
+	h := NewHierarchy(1, 1024, 2, 4096, 4)
+	a := mem.Addr(0x3000)
+	res := h.Store(0, a)
+	if res.Level != LevelMemory {
+		t.Fatalf("store-miss level = %v", res.Level)
+	}
+	h.FillFromMemory(0, a, nil)
+	h.CompleteStore(0, a)
+	l := h.L1(0).Peek(a)
+	if l == nil || !l.Dirty() {
+		t.Error("write-allocate did not leave a dirty L1 line")
+	}
+}
+
+func TestHierarchyDirtyL1EvictionFoldsIntoLLC(t *testing.T) {
+	// L1: 2 blocks, 1 way → same-set conflicts are easy.
+	h := NewHierarchy(1, 2*mem.BlockSize, 1, 64*mem.BlockSize, 4)
+	a := mem.Addr(0x0000) // set 0
+	b := mem.Addr(0x0080) // set 0 (L1 has 2 sets: bit 6 selects)
+	h.FillFromMemory(0, a, nil)
+	h.Store(0, a) // dirty in L1
+	h.FillFromMemory(0, b, nil)
+	// b displaced a from L1 (same set); LLC copy must now be dirty.
+	if h.L1(0).Peek(a) != nil {
+		t.Fatal("a still in L1; geometry assumption broken")
+	}
+	ll := h.LLC().Peek(a)
+	if ll == nil || !ll.Dirty() {
+		t.Error("dirtiness did not fold into inclusive LLC")
+	}
+}
+
+func TestHierarchyLLCEvictionReportedAndL1Invalidated(t *testing.T) {
+	// LLC: 4 blocks, 1 way, so 4 sets; same-set blocks are 4*64=256 apart.
+	h := NewHierarchy(1, 16*mem.BlockSize, 2, 4*mem.BlockSize, 1)
+	a := mem.Addr(0x0000)
+	b := mem.Addr(0x0100) // same LLC set as a
+	h.FillFromMemory(0, a, nil)
+	h.Store(0, a)
+	res := h.FillFromMemory(0, b, nil)
+	if len(res.LLCEvicted) != 1 {
+		t.Fatalf("LLCEvicted = %v, want 1 entry", res.LLCEvicted)
+	}
+	ev := res.LLCEvicted[0]
+	if ev.Addr != a || !ev.Dirty {
+		t.Errorf("evicted %+v, want dirty block a", ev)
+	}
+	if h.L1(0).Peek(a) != nil {
+		t.Error("inclusive eviction left a stale L1 copy")
+	}
+	if h.Cached(a) {
+		t.Error("block still reported cached after LLC eviction")
+	}
+}
+
+func TestHierarchyDivergentPropagation(t *testing.T) {
+	h := NewHierarchy(2, 1024, 2, 4096, 4)
+	a := mem.Addr(0x4000)
+	stale := &[mem.BlockSize]byte{1, 2, 3}
+	h.FillFromMemory(0, a, stale)
+	if got := h.L1(0).Peek(a).Divergent(); got != stale {
+		t.Error("L1 line lost divergent data")
+	}
+	// Another core loads it from LLC: divergence must follow.
+	res := h.Load(1, a)
+	if res.Level != LevelLLC || res.Line.Divergent() != stale {
+		t.Error("divergent data did not propagate on LLC fill")
+	}
+}
+
+func TestHierarchyCleanBlock(t *testing.T) {
+	h := NewHierarchy(1, 1024, 2, 4096, 4)
+	a := mem.Addr(0x5000)
+	h.FillFromMemory(0, a, nil)
+	h.Store(0, a)
+	h.CleanBlock(a)
+	l1, llc := h.FindBlock(0, a)
+	if l1 == nil || llc == nil {
+		t.Fatal("CLWB-style clean must not invalidate")
+	}
+	if l1.Dirty() || llc.Dirty() {
+		t.Error("CleanBlock left dirty bits")
+	}
+}
+
+func TestHierarchyFlushAll(t *testing.T) {
+	h := NewHierarchy(2, 1024, 2, 4096, 4)
+	h.FillFromMemory(0, 0x1000, nil)
+	h.FillFromMemory(1, 0x2000, nil)
+	h.FlushAll()
+	if h.Cached(0x1000) || h.Cached(0x2000) {
+		t.Error("blocks survive FlushAll")
+	}
+	if h.L1(0).Peek(0x1000) != nil {
+		t.Error("L1 copy survives FlushAll")
+	}
+}
+
+func TestHierarchyInclusionProperty(t *testing.T) {
+	// Property: any block present in an L1 is present in the LLC.
+	f := func(ops []uint16) bool {
+		h := NewHierarchy(2, 4*mem.BlockSize, 2, 16*mem.BlockSize, 2)
+		for _, raw := range ops {
+			core := int(raw>>15) & 1
+			a := mem.Addr(raw&0x0FFF) &^ 63
+			if raw&0x4000 != 0 {
+				if h.Store(core, a).Level == LevelMemory {
+					h.FillFromMemory(core, a, nil)
+					h.CompleteStore(core, a)
+				}
+			} else {
+				if h.Load(core, a).Level == LevelMemory {
+					h.FillFromMemory(core, a, nil)
+				}
+			}
+			// Check inclusion for the touched block only (cheap but
+			// catches violations as they happen).
+			if h.L1(core).Peek(a) != nil && h.LLC().Peek(a) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,395 @@
+// Package core implements the PMEM-Spec speculation machinery — the
+// paper's primary contribution (§5): the speculation buffer that lives in
+// the PM controller, the per-block load-misspeculation automaton
+// (Initial → Evict → Speculated → Misspeculation, Figure 5), the
+// speculation window, and the speculation-ID check that detects
+// inter-thread store-misspeculation.
+//
+// The buffer observes three request streams at the PM controller
+// (Table 2): WriteBack (dirty LLC evictions arriving on the regular
+// path; PMEM-Spec drops their data but uses the notification to arm
+// monitoring), Read (PM loads from the regular path), and Persist
+// (stores arriving on the decoupled persist-path, optionally tagged with
+// a speculation ID inside critical sections). The fourth input, Evict,
+// is the speculation-window expiry, implemented lazily: expired entries
+// are swept whenever the buffer is consulted.
+package core
+
+import (
+	"fmt"
+
+	"pmemspec/internal/mem"
+	"pmemspec/internal/sim"
+)
+
+// LoadState is the load-misspeculation automaton state of a monitored
+// block (Table 1). Initial is represented by the absence of an entry;
+// Misspeculation fires the interrupt and releases the entry immediately.
+type LoadState uint8
+
+const (
+	// LoadIdle means the entry does not participate in load-
+	// misspeculation monitoring (it exists only for spec-ID tracking).
+	LoadIdle LoadState = iota
+	// LoadEvict: the PM controller saw a dirty LLC writeback for the
+	// block; a following PM read would be a stale-read candidate.
+	LoadEvict
+	// LoadSpeculated: a PM read fetched the monitored block; if a
+	// persist for it arrives within the window, the read was stale.
+	LoadSpeculated
+)
+
+func (s LoadState) String() string {
+	switch s {
+	case LoadIdle:
+		return "Idle"
+	case LoadEvict:
+		return "Evict"
+	case LoadSpeculated:
+		return "Speculated"
+	default:
+		return fmt.Sprintf("LoadState(%d)", uint8(s))
+	}
+}
+
+// Kind distinguishes the two misspeculation classes of §5.
+type Kind uint8
+
+const (
+	// LoadMisspec is the stale-read violation (§5.1).
+	LoadMisspec Kind = iota
+	// StoreMisspec is the inter-thread persist-order violation (§5.2).
+	StoreMisspec
+)
+
+func (k Kind) String() string {
+	if k == LoadMisspec {
+		return "load"
+	}
+	return "store"
+}
+
+// Misspeculation describes one detected ordering violation. It is what
+// the PM controller hands to the OS interrupt layer along with the
+// faulting physical address.
+type Misspeculation struct {
+	Kind Kind
+	Addr mem.Addr // block-aligned
+	At   sim.Time
+	// SeenID/NewID are the conflicting speculation IDs for StoreMisspec.
+	SeenID, NewID uint64
+}
+
+func (m Misspeculation) String() string {
+	if m.Kind == StoreMisspec {
+		return fmt.Sprintf("store-misspeculation @%#x t=%v (seen spec-ID %d, got %d)", uint64(m.Addr), m.At, m.SeenID, m.NewID)
+	}
+	return fmt.Sprintf("load-misspeculation @%#x t=%v", uint64(m.Addr), m.At)
+}
+
+// Entry is one speculation-buffer slot (Figure 8): Address, State,
+// Spec-ID and Inserted fields. Entries are short-living: they expire one
+// speculation window after their last refresh.
+type Entry struct {
+	Addr     mem.Addr
+	State    LoadState
+	SpecID   uint64 // 0 = untagged
+	Inserted sim.Time
+}
+
+// Stats counts speculation-buffer activity.
+type Stats struct {
+	// LoadMisspecs and StoreMisspecs count detected violations.
+	LoadMisspecs, StoreMisspecs uint64
+	// Expirations counts entries released by window expiry.
+	Expirations uint64
+	// Overflows counts insertions that found the buffer full of live
+	// entries (each one pauses all cores, §5.3).
+	Overflows uint64
+	// WriteBacks, Reads, Persists count observed inputs.
+	WriteBacks, Reads, Persists uint64
+	// TrackedReads counts reads that transitioned an entry to Speculated.
+	TrackedReads uint64
+	// PeakLive is the maximum number of simultaneously live entries
+	// observed (may exceed capacity conceptually only via overflow
+	// accounting; live entries are always ≤ capacity).
+	PeakLive int
+}
+
+// Config parameterizes the speculation buffer.
+type Config struct {
+	// Entries is the buffer capacity (4 in the paper's main config).
+	Entries int
+	// Window is the speculation window: cores × idle persist-path
+	// latency (160 ns in the main config, §8.1).
+	Window sim.Time
+	// FetchBased selects the rejected §5.1.3 detection scheme that
+	// monitors recently *fetched* blocks instead of recently evicted
+	// ones. It is implemented only for the ablation experiment showing
+	// the write-on-allocate false-misspeculation storm.
+	FetchBased bool
+}
+
+// pendingID is the spec-ID record attached to a pending (coalescing)
+// write in the PM controller.
+type pendingID struct {
+	specID   uint64
+	expireAt sim.Time
+}
+
+// Buffer is the speculation buffer in the PM controller, together with
+// the spec-ID fields the controller attaches to its pending writes.
+//
+// Buffer entries proper are created only by dirty-LLC-writeback
+// notifications (§8.3.2: "it creates the speculation buffer entry on the
+// dirty block eviction from the last-level cache"), which keeps the
+// 4-entry buffer sufficient. Store-misspeculation detection instead
+// rides on the controller's write-pending entries: while a tagged write
+// to a block is pending (buffered/coalescing, §4.2), its speculation ID
+// is remembered, and a later-arriving tagged write with a lower ID is
+// the §5.2 inter-thread persist-order violation.
+type Buffer struct {
+	cfg     Config
+	entries []Entry // live entries, at most cfg.Entries
+	// pending tracks spec-IDs of writes still pending in the controller
+	// (bounded by the WPQ occupancy; pruned lazily).
+	pending map[mem.Addr]pendingID
+	// Stats is the buffer's activity record.
+	Stats Stats
+
+	// OnMisspec, when set, is invoked for every detected violation (the
+	// interrupt line into the OS layer).
+	OnMisspec func(Misspeculation)
+	// OnOverflow, when set, is invoked when an insertion finds the
+	// buffer full; until is the time the stall ends (oldest entry's
+	// expiry). The machine layer pauses all cores until then.
+	OnOverflow func(until sim.Time)
+}
+
+// NewBuffer returns a speculation buffer with the given configuration.
+func NewBuffer(cfg Config) *Buffer {
+	if cfg.Entries < 1 {
+		panic("core: speculation buffer needs at least one entry")
+	}
+	if cfg.Window <= 0 {
+		panic("core: speculation window must be positive")
+	}
+	return &Buffer{
+		cfg:     cfg,
+		entries: make([]Entry, 0, cfg.Entries),
+		pending: make(map[mem.Addr]pendingID),
+	}
+}
+
+// Config returns the buffer's configuration.
+func (b *Buffer) Config() Config { return b.cfg }
+
+// Live returns the number of unexpired entries as of now.
+func (b *Buffer) Live(now sim.Time) int {
+	b.sweep(now)
+	return len(b.entries)
+}
+
+// Lookup returns a copy of the live entry for a's block, if any.
+func (b *Buffer) Lookup(now sim.Time, a mem.Addr) (Entry, bool) {
+	b.sweep(now)
+	if e := b.find(mem.BlockAlign(a)); e != nil {
+		return *e, true
+	}
+	return Entry{}, false
+}
+
+// sweep drops entries whose speculation window has expired.
+func (b *Buffer) sweep(now sim.Time) {
+	kept := b.entries[:0]
+	for _, e := range b.entries {
+		if now-e.Inserted >= b.cfg.Window {
+			b.Stats.Expirations++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	b.entries = kept
+}
+
+func (b *Buffer) find(blk mem.Addr) *Entry {
+	for i := range b.entries {
+		if b.entries[i].Addr == blk {
+			return &b.entries[i]
+		}
+	}
+	return nil
+}
+
+// allocate makes room for and returns a fresh entry for blk. When the
+// buffer is full of live entries it models the paper's overflow
+// behaviour: all cores pause until the oldest entry expires; that entry
+// is then replaced.
+func (b *Buffer) allocate(now sim.Time, blk mem.Addr) *Entry {
+	if len(b.entries) < b.cfg.Entries {
+		b.entries = append(b.entries, Entry{Addr: blk, Inserted: now})
+		if len(b.entries) > b.Stats.PeakLive {
+			b.Stats.PeakLive = len(b.entries)
+		}
+		return &b.entries[len(b.entries)-1]
+	}
+	// Overflow: stall everyone until the oldest window expires, which
+	// frees that slot.
+	oldest := 0
+	for i := range b.entries {
+		if b.entries[i].Inserted < b.entries[oldest].Inserted {
+			oldest = i
+		}
+	}
+	until := b.entries[oldest].Inserted + b.cfg.Window
+	b.Stats.Overflows++
+	b.Stats.Expirations++
+	if b.OnOverflow != nil {
+		b.OnOverflow(until)
+	}
+	b.entries[oldest] = Entry{Addr: blk, Inserted: now}
+	return &b.entries[oldest]
+}
+
+// OnWriteBack records a dirty-LLC-writeback notification from the
+// regular path: monitoring of the block begins (Initial → Evict), or an
+// existing entry is re-armed with a fresh window.
+func (b *Buffer) OnWriteBack(now sim.Time, a mem.Addr) {
+	b.Stats.WriteBacks++
+	b.sweep(now)
+	blk := mem.BlockAlign(a)
+	if e := b.find(blk); e != nil {
+		e.State = LoadEvict
+		e.Inserted = now
+		return
+	}
+	e := b.allocate(now, blk)
+	e.State = LoadEvict
+}
+
+// OnRead records a PM load from the regular path and reports whether the
+// load hit a monitored block (Evict/Speculated) — i.e. whether the read
+// is a stale-read candidate. In the default eviction-based scheme a read
+// of an unmonitored block is ignored (Figure 6b: no false misspeculation
+// from write-on-allocate fetches). In the fetch-based ablation scheme
+// every PM read arms monitoring.
+func (b *Buffer) OnRead(now sim.Time, a mem.Addr) bool {
+	b.Stats.Reads++
+	b.sweep(now)
+	blk := mem.BlockAlign(a)
+	if e := b.find(blk); e != nil {
+		if e.State == LoadEvict || e.State == LoadSpeculated {
+			e.State = LoadSpeculated
+			e.Inserted = now // the window (re)starts at the load (§5.1.2)
+			b.Stats.TrackedReads++
+			return true
+		}
+		if b.cfg.FetchBased {
+			e.State = LoadSpeculated
+			e.Inserted = now
+			b.Stats.TrackedReads++
+			return true
+		}
+		return false
+	}
+	if b.cfg.FetchBased {
+		e := b.allocate(now, blk)
+		e.State = LoadSpeculated
+		b.Stats.TrackedReads++
+		return true
+	}
+	return false
+}
+
+// OnPersist records a store arriving on the persist-path. specID is the
+// speculation ID the store was tagged with (0 outside critical
+// sections); pendingUntil is how long the write stays pending
+// (buffered/coalescing) in the controller, which is how long its spec-ID
+// remains visible to later arrivals. It performs both detections:
+//
+//   - load misspeculation: a persist to a block in Speculated state means
+//     the earlier PM read fetched stale data (WriteBack→Read→Persist);
+//   - store misspeculation: a tagged persist carrying a lower ID than a
+//     pending tagged write to the same block arrived out of
+//     happens-before order (missing update).
+//
+// It returns the detected violations (at most one of each kind).
+func (b *Buffer) OnPersist(now sim.Time, a mem.Addr, specID uint64, pendingUntil sim.Time) []Misspeculation {
+	b.Stats.Persists++
+	b.sweep(now)
+	blk := mem.BlockAlign(a)
+	var out []Misspeculation
+
+	// Store-misspeculation check against the pending-write spec-IDs.
+	if specID != 0 {
+		p, ok := b.pending[blk]
+		if ok && p.expireAt <= now {
+			ok = false
+		}
+		if ok && specID < p.specID {
+			m := Misspeculation{Kind: StoreMisspec, Addr: blk, At: now, SeenID: p.specID, NewID: specID}
+			b.Stats.StoreMisspecs++
+			out = append(out, m)
+		} else if !ok || specID > p.specID || pendingUntil > p.expireAt {
+			id := specID
+			if ok && p.specID > id {
+				id = p.specID
+			}
+			exp := pendingUntil
+			if ok && p.expireAt > exp {
+				exp = p.expireAt
+			}
+			b.pending[blk] = pendingID{specID: id, expireAt: exp}
+		}
+		if len(b.pending) > 1024 {
+			b.prunePending(now)
+		}
+	}
+
+	// Load-misspeculation check against the eviction-driven entries.
+	if e := b.find(blk); e != nil {
+		switch e.State {
+		case LoadSpeculated:
+			m := Misspeculation{Kind: LoadMisspec, Addr: blk, At: now}
+			b.Stats.LoadMisspecs++
+			out = append(out, m)
+			// The violation is handled by software; monitoring of this
+			// block restarts from scratch.
+			b.remove(blk)
+		case LoadEvict:
+			// The persist caught up with the evicted data: a subsequent
+			// PM read returns fresh data, so monitoring ends. (Without
+			// this deallocation, every write-allocate fetch that follows
+			// a dirty eviction of the same block would be falsely
+			// flagged by its own store's persist — contradicting the
+			// paper's no-false-misspeculation property of the
+			// eviction-based scheme. The cost is a narrow detection
+			// hole with two racing in-flight persists; see DESIGN.md.)
+			b.remove(blk)
+		}
+	}
+
+	for _, m := range out {
+		if b.OnMisspec != nil {
+			b.OnMisspec(m)
+		}
+	}
+	return out
+}
+
+func (b *Buffer) prunePending(now sim.Time) {
+	for blk, p := range b.pending {
+		if p.expireAt <= now {
+			delete(b.pending, blk)
+		}
+	}
+}
+
+func (b *Buffer) remove(blk mem.Addr) {
+	for i := range b.entries {
+		if b.entries[i].Addr == blk {
+			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			return
+		}
+	}
+}

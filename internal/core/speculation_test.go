@@ -1,0 +1,342 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmemspec/internal/mem"
+	"pmemspec/internal/sim"
+)
+
+func newBuf(entries int, window sim.Time) *Buffer {
+	return NewBuffer(Config{Entries: entries, Window: window})
+}
+
+func TestLoadMisspecPattern(t *testing.T) {
+	// The canonical stale-read pattern (Figure 6a):
+	// WriteBack → Read → Persist within the window ⇒ load misspeculation.
+	b := newBuf(4, 320)
+	var got []Misspeculation
+	b.OnMisspec = func(m Misspeculation) { got = append(got, m) }
+
+	b.OnWriteBack(100, 0x1000)
+	if !b.OnRead(150, 0x1010) { // same block, different offset
+		t.Fatal("read of monitored block not tracked")
+	}
+	ms := b.OnPersist(200, 0x1000, 0, 200+188)
+	if len(ms) != 1 || ms[0].Kind != LoadMisspec {
+		t.Fatalf("OnPersist = %v, want one load misspeculation", ms)
+	}
+	if len(got) != 1 || got[0].Addr != 0x1000 || got[0].At != 200 {
+		t.Errorf("interrupt payload = %v", got)
+	}
+	if b.Stats.LoadMisspecs != 1 {
+		t.Errorf("LoadMisspecs = %d", b.Stats.LoadMisspecs)
+	}
+	// Entry released after detection.
+	if _, ok := b.Lookup(201, 0x1000); ok {
+		t.Error("entry survived misspeculation")
+	}
+}
+
+func TestNoFalseMisspecOnWriteAllocate(t *testing.T) {
+	// Figure 6b: a write-on-allocate fetch (Read with no prior
+	// WriteBack) must not arm monitoring in the eviction-based scheme,
+	// so the store's own persist triggers nothing.
+	b := newBuf(4, 320)
+	fired := false
+	b.OnMisspec = func(Misspeculation) { fired = true }
+	if b.OnRead(100, 0x2000) {
+		t.Error("unmonitored read tracked in eviction-based mode")
+	}
+	b.OnPersist(150, 0x2000, 0, 150+188)
+	if fired {
+		t.Error("false misspeculation on write-allocate pattern")
+	}
+	if b.Stats.LoadMisspecs != 0 {
+		t.Error("nonzero LoadMisspecs")
+	}
+}
+
+func TestFetchBasedSchemeFlagsWriteAllocate(t *testing.T) {
+	// The rejected §5.1.3 scheme flags exactly that pattern — this is
+	// the ablation's false-misspeculation source.
+	b := NewBuffer(Config{Entries: 4, Window: 320, FetchBased: true})
+	if !b.OnRead(100, 0x2000) {
+		t.Fatal("fetch-based scheme must track every PM read")
+	}
+	ms := b.OnPersist(150, 0x2000, 0, 150+188)
+	if len(ms) != 1 || ms[0].Kind != LoadMisspec {
+		t.Fatalf("fetch-based scheme missed the pattern: %v", ms)
+	}
+}
+
+func TestWindowExpiryClearsMonitoring(t *testing.T) {
+	b := newBuf(4, 320)
+	b.OnWriteBack(100, 0x1000)
+	b.OnRead(150, 0x1000)
+	// Persist arrives after the window (150+320=470) expired.
+	ms := b.OnPersist(500, 0x1000, 0, 500+188)
+	if len(ms) != 0 {
+		t.Errorf("misspeculation after window expiry: %v", ms)
+	}
+	if b.Stats.Expirations == 0 {
+		t.Error("no expiration recorded")
+	}
+}
+
+func TestWindowRestartsAtRead(t *testing.T) {
+	// §5.1.2: the window begins when the load arrives. A WriteBack long
+	// before the read must not cause premature expiry.
+	b := newBuf(4, 320)
+	b.OnWriteBack(0, 0x1000)
+	b.OnRead(300, 0x1000)                      // within writeback window; restarts window
+	ms := b.OnPersist(600, 0x1000, 0, 600+188) // 300 cycles after read: in window
+	if len(ms) != 1 {
+		t.Errorf("persist at 600 after read at 300 not detected: %v", ms)
+	}
+}
+
+func TestPersistInEvictEndsMonitoring(t *testing.T) {
+	// A persist reaching a monitored (Evict) block ends monitoring: a
+	// subsequent fetch returns fresh data, and the fetch of a later
+	// store miss must not be falsely flagged by that store's own
+	// persist (the paper's no-false-misspeculation property).
+	b := newBuf(4, 320)
+	b.OnWriteBack(100, 0x1000)
+	b.OnPersist(120, 0x1000, 0, 120+188)
+	if b.OnRead(140, 0x1000) {
+		t.Fatal("read tracked after the persist caught up")
+	}
+	if ms := b.OnPersist(160, 0x1000, 0, 160+188); len(ms) != 0 {
+		t.Fatalf("false misspeculation: %v", ms)
+	}
+}
+
+func TestKnownDetectionHoleTwoInflightPersists(t *testing.T) {
+	// Documented limitation of the paper's eviction-based automaton
+	// (see DESIGN.md): with two persists in flight to one block, the
+	// first persist deallocates the entry, so a stale read taken before
+	// the second persist goes undetected.
+	b := newBuf(4, 320)
+	b.OnWriteBack(100, 0x1000)
+	b.OnPersist(120, 0x1000, 0, 308) // store 1 lands, monitoring ends
+	b.OnRead(140, 0x1000)            // stale w.r.t. store 2 — unmonitored
+	if ms := b.OnPersist(160, 0x1000, 0, 348); len(ms) != 0 {
+		t.Fatalf("unexpectedly detected (update this test and DESIGN.md): %v", ms)
+	}
+}
+
+func TestStoreMisspecLowerIDDetected(t *testing.T) {
+	b := newBuf(4, 320)
+	// Thread with spec-ID 7 persists first (out of order), then the
+	// happens-before-earlier thread with ID 5 arrives.
+	b.OnPersist(100, 0x3000, 7, 100+300)
+	ms := b.OnPersist(150, 0x3000, 5, 150+300)
+	if len(ms) != 1 || ms[0].Kind != StoreMisspec {
+		t.Fatalf("OnPersist = %v, want store misspeculation", ms)
+	}
+	if ms[0].SeenID != 7 || ms[0].NewID != 5 {
+		t.Errorf("IDs = %d/%d, want 7/5", ms[0].SeenID, ms[0].NewID)
+	}
+	if b.Stats.StoreMisspecs != 1 {
+		t.Errorf("StoreMisspecs = %d", b.Stats.StoreMisspecs)
+	}
+}
+
+func TestStoreMisspecInOrderOK(t *testing.T) {
+	b := newBuf(4, 320)
+	b.OnPersist(100, 0x3000, 5, 400)
+	if ms := b.OnPersist(150, 0x3000, 7, 450); len(ms) != 0 {
+		t.Errorf("in-order tagged persists flagged: %v", ms)
+	}
+	// Same ID again (same critical section) is fine too.
+	if ms := b.OnPersist(160, 0x3000, 7, 460); len(ms) != 0 {
+		t.Errorf("same-ID persist flagged: %v", ms)
+	}
+}
+
+func TestUntaggedPersistsNeverStoreMisspec(t *testing.T) {
+	b := newBuf(4, 320)
+	b.OnPersist(100, 0x3000, 5, 400)
+	if ms := b.OnPersist(150, 0x3000, 0, 150+188); len(ms) != 0 {
+		t.Errorf("untagged persist flagged: %v", ms)
+	}
+}
+
+func TestStoreMisspecAfterPendingRetiredMissed(t *testing.T) {
+	// Once the earlier write has fully retired from the controller its
+	// spec-ID is gone; the paper argues conflicting accesses race within
+	// a short interval, so this is safe.
+	b := newBuf(4, 320)
+	b.OnPersist(100, 0x3000, 7, 288) // retired by t=288
+	if ms := b.OnPersist(1000, 0x3000, 5, 1188); len(ms) != 0 {
+		t.Errorf("detection after retirement: %v", ms)
+	}
+}
+
+func TestOverflowPausesAndReplacesOldest(t *testing.T) {
+	b := newBuf(2, 320)
+	var stallUntil sim.Time
+	b.OnOverflow = func(until sim.Time) { stallUntil = until }
+	b.OnWriteBack(100, 0x1000)
+	b.OnWriteBack(110, 0x2000)
+	b.OnWriteBack(120, 0x3000) // full: oldest (0x1000, ins 100) replaced
+	if b.Stats.Overflows != 1 {
+		t.Fatalf("Overflows = %d", b.Stats.Overflows)
+	}
+	if stallUntil != 100+320 {
+		t.Errorf("stall until %d, want %d", stallUntil, 420)
+	}
+	if _, ok := b.Lookup(121, 0x1000); ok {
+		t.Error("oldest entry still present after overflow replacement")
+	}
+	if _, ok := b.Lookup(121, 0x3000); !ok {
+		t.Error("new entry missing after overflow")
+	}
+}
+
+func TestNoOverflowWhenExpiredEntriesExist(t *testing.T) {
+	b := newBuf(2, 320)
+	b.OnOverflow = func(sim.Time) { t.Error("unexpected overflow") }
+	b.OnWriteBack(0, 0x1000)
+	b.OnWriteBack(10, 0x2000)
+	b.OnWriteBack(500, 0x3000) // both earlier entries expired
+	if b.Stats.Overflows != 0 {
+		t.Errorf("Overflows = %d", b.Stats.Overflows)
+	}
+}
+
+func TestPeakLiveTracksOccupancy(t *testing.T) {
+	b := newBuf(8, 1000)
+	for i := 0; i < 5; i++ {
+		b.OnWriteBack(sim.Time(i), mem.Addr(0x1000+i*64))
+	}
+	if b.Stats.PeakLive != 5 {
+		t.Errorf("PeakLive = %d, want 5", b.Stats.PeakLive)
+	}
+	if b.Live(2000) != 0 {
+		t.Error("entries survived expiry sweep")
+	}
+}
+
+func TestWriteBackRefreshesExistingEntry(t *testing.T) {
+	b := newBuf(4, 320)
+	b.OnWriteBack(100, 0x1000)
+	b.OnRead(150, 0x1000) // Speculated
+	b.OnWriteBack(200, 0x1000)
+	e, ok := b.Lookup(201, 0x1000)
+	if !ok || e.State != LoadEvict || e.Inserted != 200 {
+		t.Errorf("entry after re-writeback = %+v", e)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{{Entries: 0, Window: 10}, {Entries: 4, Window: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBuffer(%+v) did not panic", cfg)
+				}
+			}()
+			NewBuffer(cfg)
+		}()
+	}
+}
+
+func TestKindAndStateStrings(t *testing.T) {
+	if LoadMisspec.String() != "load" || StoreMisspec.String() != "store" {
+		t.Error("Kind strings")
+	}
+	if LoadEvict.String() != "Evict" || LoadSpeculated.String() != "Speculated" || LoadIdle.String() != "Idle" {
+		t.Error("LoadState strings")
+	}
+}
+
+// TestDetectionCompleteness is the paper's key safety property: any
+// WriteBack→Read→Persist sequence on one block where the persist lands
+// within one window of the read is detected, regardless of interleaved
+// traffic on other blocks (as long as the buffer does not overflow).
+func TestDetectionCompleteness(t *testing.T) {
+	f := func(noise []uint8, gapWB, gapRD uint8) bool {
+		window := sim.Time(320)
+		b := newBuf(16, window)
+		detected := false
+		b.OnMisspec = func(m Misspeculation) {
+			if m.Kind == LoadMisspec && m.Addr == 0x8000 {
+				detected = true
+			}
+		}
+		now := sim.Time(0)
+		wb := now
+		b.OnWriteBack(wb, 0x8000)
+		// Interleave noise traffic on other blocks. The noise must fit
+		// inside the monitored block's window: the paper's guarantee is
+		// exactly that racing accesses occur within one speculation
+		// window (§5.1.2), so the read below stays within wb+window.
+		for i, n := range noise {
+			if now+8 >= wb+window/2 {
+				break
+			}
+			now += sim.Time(n % 8)
+			a := mem.Addr(0x1000 + uint64(n)*64)
+			switch i % 3 {
+			case 0:
+				b.OnWriteBack(now, a)
+			case 1:
+				b.OnRead(now, a)
+			case 2:
+				b.OnPersist(now, a, 0, now+188)
+			}
+		}
+		rd := now + sim.Time(gapWB)%(wb+window-now) // < wb+window
+		b.OnRead(rd, 0x8000)
+		ps := rd + sim.Time(gapRD)%window // within the window of the read
+		b.OnPersist(ps, 0x8000, 0, ps+188)
+		// An overflow would have replaced the monitored entry; in the
+		// real machine an overflow stalls every core (no competing
+		// traffic can flow), so overflow-free is this unit-level
+		// property's precondition.
+		return detected || b.Stats.Overflows > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpecIDMonotonicityProperty: replaying tagged persists in
+// happens-before order (non-decreasing IDs per block) never raises a
+// store misspeculation.
+func TestSpecIDMonotonicityProperty(t *testing.T) {
+	f := func(ids []uint8) bool {
+		b := newBuf(8, 10_000)
+		last := uint64(0)
+		now := sim.Time(0)
+		for _, d := range ids {
+			last += uint64(d%4) + 1 // strictly increasing
+			now += 5
+			if ms := b.OnPersist(now, 0x4000, last, now+300); len(ms) != 0 {
+				return false
+			}
+		}
+		return b.Stats.StoreMisspecs == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// One writeback gap case the automaton must handle: Read long after the
+// WriteBack's window expired is not tracked (entry gone), so a
+// subsequent persist is silent. This mirrors the paper's argument that
+// conflicts happen within a short interval.
+func TestReadAfterWriteBackExpiry(t *testing.T) {
+	b := newBuf(4, 320)
+	b.OnWriteBack(0, 0x1000)
+	if b.OnRead(1000, 0x1000) {
+		t.Error("read tracked after monitoring expired")
+	}
+	if ms := b.OnPersist(1010, 0x1000, 0, 1010+188); len(ms) != 0 {
+		t.Errorf("persist flagged after expiry: %v", ms)
+	}
+}

@@ -1,0 +1,470 @@
+package fatomic
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"pmemspec/internal/core"
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/osint"
+	"pmemspec/internal/persist"
+	"pmemspec/internal/sim"
+)
+
+type env struct {
+	m  *machine.Machine
+	os *osint.OS
+	rt *Runtime
+}
+
+func newEnv(t *testing.T, d machine.Design, cores int, mode Mode) *env {
+	t.Helper()
+	cfg := machine.DefaultConfig(d, cores)
+	cfg.MemBytes = 8 * 1024 * 1024
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os := osint.New(m)
+	rt := New(m, persist.ForDesign(d), os, mode)
+	return &env{m: m, os: os, rt: rt}
+}
+
+func (e *env) heapBase() mem.Addr {
+	return e.m.Space().Base() + mem.Addr(HeapReserve(e.m.Config().Cores))
+}
+
+func TestFASECommitPersistsAllDesigns(t *testing.T) {
+	for _, d := range machine.Designs {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			e := newEnv(t, d, 1, Lazy)
+			a := e.heapBase()
+			e.m.Spawn("w", func(th *machine.Thread) {
+				e.rt.Run(th, func(f *FASE) {
+					f.StoreU64(a, 0xabcd)
+					f.StoreU64(a+64, 0x1234)
+				})
+			})
+			if err := e.m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			pm := e.m.Space().PM
+			if pm.ReadU64(a) != 0xabcd || pm.ReadU64(a+64) != 0x1234 {
+				t.Error("committed FASE data not durable")
+			}
+			if !AllCommitted(pm, 1) {
+				t.Error("log not truncated after commit")
+			}
+			if e.rt.Stats.FASEs != 1 || e.rt.Stats.Aborts != 0 {
+				t.Errorf("stats = %+v", e.rt.Stats)
+			}
+		})
+	}
+}
+
+func TestFASEStoreLogsOldValue(t *testing.T) {
+	e := newEnv(t, machine.IntelX86, 1, Lazy)
+	a := e.heapBase()
+	logb := logBase(e.m.Space().Base(), 0)
+	e.m.Spawn("w", func(th *machine.Thread) {
+		th.StoreU64(a, 111) // pre-FASE value (not logged)
+		th.CLWB(a)
+		th.SFence()
+		e.rt.Run(th, func(f *FASE) {
+			f.StoreU64(a, 222)
+			// Mid-FASE the log must hold one valid entry with the old
+			// value and this attempt's sequence, not yet committed.
+			entry := logb + mem.BlockSize
+			if got := th.LoadU64(entry); got != uint64(a) {
+				t.Errorf("entry addr = %#x", got)
+			}
+			if got := th.LoadU64(entry + 16); got != f.Seq() {
+				t.Errorf("entry seq = %d, want %d", got, f.Seq())
+			}
+			if got := th.LoadU64(entry + 32); got != 111 {
+				t.Errorf("entry old value = %d", got)
+			}
+			if committed := th.LoadU64(logb); committed >= f.Seq() {
+				t.Errorf("sequence %d already committed mid-FASE", f.Seq())
+			}
+		})
+	})
+	if err := e.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashMidFASERollsBack(t *testing.T) {
+	for _, d := range machine.Designs {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			e := newEnv(t, d, 1, Lazy)
+			a := e.heapBase()
+			e.m.Spawn("w", func(th *machine.Thread) {
+				// Committed FASE: establishes 100/100.
+				e.rt.Run(th, func(f *FASE) {
+					f.StoreU64(a, 100)
+					f.StoreU64(a+8, 100)
+				})
+				// Second FASE crashes between its two stores.
+				e.rt.Run(th, func(f *FASE) {
+					f.StoreU64(a, 999)
+					th.Work(sim.NS(100_000)) // crash lands here
+					f.StoreU64(a+8, 999)
+				})
+			})
+			e.m.ScheduleCrash(sim.NS(60_000))
+			if err := e.m.Run(); !errors.Is(err, machine.ErrCrashed) {
+				t.Fatalf("Run = %v", err)
+			}
+			img := e.m.Space().PM
+			rep, err := Recover(img, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ThreadsRolledBack != 1 {
+				t.Fatalf("report = %+v, want one rolled-back thread", rep)
+			}
+			x, y := img.ReadU64(a), img.ReadU64(a+8)
+			if x != 100 || y != 100 {
+				t.Errorf("post-recovery state = %d/%d, want 100/100 (atomicity)", x, y)
+			}
+			if !AllCommitted(img, 1) {
+				t.Error("log not truncated by recovery")
+			}
+		})
+	}
+}
+
+// TestCrashSweepAtomicity is the crash-consistency cornerstone: crash at
+// many points through a run of FASEs that each keep the invariant
+// slots[0..3] all equal; after recovery the invariant must hold at some
+// committed generation.
+func TestCrashSweepAtomicity(t *testing.T) {
+	for _, d := range machine.Designs {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			for crashNS := int64(2_000); crashNS <= 200_000; crashNS += 13_777 {
+				e := newEnv(t, d, 1, Lazy)
+				a := e.heapBase()
+				e.m.Spawn("w", func(th *machine.Thread) {
+					for gen := uint64(1); gen <= 60; gen++ {
+						e.rt.Run(th, func(f *FASE) {
+							for s := 0; s < 4; s++ {
+								f.StoreU64(a+mem.Addr(s*8), gen)
+							}
+						})
+					}
+				})
+				e.m.ScheduleCrash(sim.NS(crashNS))
+				err := e.m.Run()
+				if err != nil && !errors.Is(err, machine.ErrCrashed) {
+					t.Fatal(err)
+				}
+				img := e.m.Space().PM
+				if _, err := Recover(img, 1); err != nil {
+					t.Fatal(err)
+				}
+				v0 := img.ReadU64(a)
+				for s := 1; s < 4; s++ {
+					if v := img.ReadU64(a + mem.Addr(s*8)); v != v0 {
+						t.Fatalf("crash@%dns: slots torn after recovery: %d vs %d (slot %d)", crashNS, v0, v, s)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMisspecLazyAbortAndRetry(t *testing.T) {
+	e := newEnv(t, machine.PMEMSpec, 1, Lazy)
+	a := e.heapBase()
+	attempts := 0
+	e.m.Spawn("w", func(th *machine.Thread) {
+		th.StoreU64(a, 7) // pre-FASE value
+		th.SpecBarrier()
+		e.rt.Run(th, func(f *FASE) {
+			attempts++
+			f.StoreU64(a, 50+uint64(attempts))
+			if attempts == 1 {
+				// Simulate the hardware interrupt mid-FASE.
+				e.rt.onMisspec(core.Misspeculation{Kind: core.LoadMisspec, Addr: a})
+			}
+		})
+	})
+	if err := e.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (abort + retry)", attempts)
+	}
+	if e.rt.Stats.Aborts != 1 || e.rt.Stats.FASEs != 1 || e.rt.Stats.UndoneEntries == 0 {
+		t.Errorf("stats = %+v", e.rt.Stats)
+	}
+	if got := e.m.Space().PM.ReadU64(a); got != 52 {
+		t.Errorf("final value = %d, want 52 (second attempt)", got)
+	}
+}
+
+func TestMisspecEagerAbortsAtNextOp(t *testing.T) {
+	e := newEnv(t, machine.PMEMSpec, 1, Eager)
+	a := e.heapBase()
+	attempts, reachedTail := 0, 0
+	e.m.Spawn("w", func(th *machine.Thread) {
+		e.rt.Run(th, func(f *FASE) {
+			attempts++
+			f.StoreU64(a, uint64(attempts))
+			if attempts == 1 {
+				e.rt.onMisspec(core.Misspeculation{Kind: core.StoreMisspec, Addr: a})
+			}
+			f.StoreU64(a+8, uint64(attempts)) // first attempt aborts here
+			reachedTail++
+		})
+	})
+	if err := e.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 || reachedTail != 1 {
+		t.Errorf("attempts=%d tail=%d, want 2 and 1", attempts, reachedTail)
+	}
+}
+
+func TestFaultSuppressionUnderMisspec(t *testing.T) {
+	e := newEnv(t, machine.PMEMSpec, 1, Lazy)
+	a := e.heapBase()
+	attempts := 0
+	e.m.Spawn("w", func(th *machine.Thread) {
+		e.rt.Run(th, func(f *FASE) {
+			attempts++
+			f.StoreU64(a, 1)
+			if attempts == 1 {
+				e.rt.onMisspec(core.Misspeculation{Kind: core.LoadMisspec, Addr: a})
+				// Stale data led the program to a wild pointer:
+				f.LoadU64(0xdead_0000_0000)
+			}
+		})
+	})
+	if err := e.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 || e.rt.Stats.FaultsSuppressed != 1 {
+		t.Errorf("attempts=%d suppressed=%d", attempts, e.rt.Stats.FaultsSuppressed)
+	}
+}
+
+func TestFaultWithoutMisspecPropagates(t *testing.T) {
+	e := newEnv(t, machine.PMEMSpec, 1, Lazy)
+	e.m.Spawn("w", func(th *machine.Thread) {
+		e.rt.Run(th, func(f *FASE) {
+			f.LoadU64(0xdead_0000_0000) // genuine bug: no misspec pending
+		})
+	})
+	err := e.m.Run()
+	if err == nil || !strings.Contains(err.Error(), "simulated fault") {
+		t.Errorf("Run = %v, want propagated fault", err)
+	}
+}
+
+func TestMisspecFlagsOnlyThreadsInFASE(t *testing.T) {
+	e := newEnv(t, machine.PMEMSpec, 2, Lazy)
+	a := e.heapBase()
+	var inFASEAborted, outsideAborted bool
+	var lk sim.Mutex
+	e.m.Spawn("inside", func(th *machine.Thread) {
+		cnt := 0
+		e.rt.Run(th, func(f *FASE) {
+			cnt++
+			f.StoreU64(a, 1)
+			if cnt == 1 {
+				th.Lock(&lk)
+				e.rt.onMisspec(core.Misspeculation{Kind: core.LoadMisspec, Addr: a})
+				th.Unlock(&lk)
+			}
+		})
+		inFASEAborted = cnt == 2
+	})
+	e.m.Spawn("outside", func(th *machine.Thread) {
+		th.Work(sim.NS(100_000)) // no FASE running when the signal fires
+		cnt := 0
+		e.rt.Run(th, func(f *FASE) {
+			cnt++
+			f.StoreU64(a+64, 2)
+		})
+		outsideAborted = cnt > 1
+	})
+	if err := e.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !inFASEAborted {
+		t.Error("thread in FASE was not aborted")
+	}
+	if outsideAborted {
+		t.Error("thread outside FASE was aborted")
+	}
+}
+
+func TestProgrammaticAbortRetries(t *testing.T) {
+	e := newEnv(t, machine.HOPS, 1, Lazy)
+	a := e.heapBase()
+	attempts := 0
+	e.m.Spawn("w", func(th *machine.Thread) {
+		e.rt.Run(th, func(f *FASE) {
+			attempts++
+			f.StoreU64(a, uint64(attempts))
+			if attempts < 3 {
+				f.Abort()
+			}
+		})
+	})
+	if err := e.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 || e.rt.Stats.Aborts != 2 {
+		t.Errorf("attempts=%d aborts=%d", attempts, e.rt.Stats.Aborts)
+	}
+	if got := e.m.Space().PM.ReadU64(a); got != 3 {
+		t.Errorf("value = %d", got)
+	}
+}
+
+func TestLargeStoreSplitsLogEntries(t *testing.T) {
+	e := newEnv(t, machine.PMEMSpec, 1, Lazy)
+	a := e.heapBase()
+	data := make([]byte, 200) // > MaxEntryData: needs 4 entries
+	for i := range data {
+		data[i] = byte(i)
+	}
+	e.m.Spawn("w", func(th *machine.Thread) {
+		e.rt.Run(th, func(f *FASE) {
+			f.Store(a, data)
+		})
+	})
+	if err := e.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 200)
+	e.m.Space().PM.Read(a, got)
+	for i := range got {
+		if got[i] != byte(i) {
+			t.Fatalf("byte %d = %d", i, got[i])
+		}
+	}
+}
+
+func TestRecoverIgnoresTornEntry(t *testing.T) {
+	img := mem.NewImage(mem.DefaultBase, 1<<20)
+	base := logBase(mem.DefaultBase, 0)
+	e := base + mem.BlockSize
+	// A torn entry: plausible header, wrong checksum. Recovery must skip
+	// it (the crash hit mid-append) and undo nothing.
+	img.WriteU64(e, uint64(mem.DefaultBase+0x8000))
+	img.WriteU64(e+8, 8)
+	img.WriteU64(e+16, 5) // seq > committed (0)
+	img.WriteU64(e+24, 0xBAD)
+	img.WriteU64(mem.DefaultBase+0x8000, 42)
+	rep, err := Recover(img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EntriesUndone != 0 || rep.ThreadsRolledBack != 0 {
+		t.Errorf("report = %+v, want nothing undone", rep)
+	}
+	if img.ReadU64(mem.DefaultBase+0x8000) != 42 {
+		t.Error("torn entry was applied")
+	}
+}
+
+func TestRecoverRejectsOutOfRangeTarget(t *testing.T) {
+	img := mem.NewImage(mem.DefaultBase, 1<<20)
+	base := logBase(mem.DefaultBase, 0)
+	e := base + mem.BlockSize
+	// A checksum-valid entry whose target lies outside the image.
+	bad := mem.Addr(0xFFFF_0000_0000)
+	old := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	img.WriteU64(e, uint64(bad))
+	img.WriteU64(e+8, 8)
+	img.WriteU64(e+16, 5)
+	img.WriteU64(e+24, entryChecksum(bad, 8, 5, old))
+	img.Write(e+32, old)
+	if _, err := Recover(img, 1); err == nil {
+		t.Error("out-of-image target accepted")
+	}
+}
+
+func TestRecoverIdempotent(t *testing.T) {
+	// Two recovery passes must agree: the second finds nothing live.
+	e := newEnv(t, machine.PMEMSpec, 1, Lazy)
+	a := e.heapBase()
+	e.m.Spawn("w", func(th *machine.Thread) {
+		e.rt.Run(th, func(f *FASE) {
+			f.StoreU64(a, 1)
+		})
+		e.rt.Run(th, func(f *FASE) {
+			f.StoreU64(a, 2)
+			th.Work(sim.NS(500_000))
+		})
+	})
+	e.m.ScheduleCrash(sim.NS(100_000))
+	if err := e.m.Run(); !errors.Is(err, machine.ErrCrashed) {
+		t.Fatal(err)
+	}
+	img := e.m.Space().PM
+	rep1, err := Recover(img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Recover(img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.EntriesUndone != 0 {
+		t.Errorf("second pass undid %d entries (first: %+v)", rep2.EntriesUndone, rep1)
+	}
+	if got := img.ReadU64(a); got != 1 {
+		t.Errorf("value = %d, want committed 1", got)
+	}
+	if !AllCommitted(img, 1) {
+		t.Error("log still live after recovery")
+	}
+}
+
+func TestMultiThreadFASEs(t *testing.T) {
+	const threads = 4
+	e := newEnv(t, machine.PMEMSpec, threads, Lazy)
+	base := e.heapBase()
+	var lk sim.Mutex
+	for i := 0; i < threads; i++ {
+		e.m.Spawn(fmt.Sprintf("t%d", i), func(th *machine.Thread) {
+			for j := 0; j < 25; j++ {
+				th.Lock(&lk)
+				e.rt.Run(th, func(f *FASE) {
+					v := f.LoadU64(base)
+					f.StoreU64(base, v+1)
+				})
+				th.Unlock(&lk)
+			}
+		})
+	}
+	if err := e.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.m.Space().PM.ReadU64(base); got != threads*25 {
+		t.Errorf("counter = %d, want %d", got, threads*25)
+	}
+	if e.rt.Stats.FASEs != threads*25 {
+		t.Errorf("FASEs = %d", e.rt.Stats.FASEs)
+	}
+}
+
+func TestHeapReserveGeometry(t *testing.T) {
+	if HeapReserve(8) != 4096+8*LogRegionBytes {
+		t.Error("HeapReserve(8) mismatch")
+	}
+	if EntryCap < 400 {
+		t.Errorf("EntryCap = %d, expected hundreds of entries per FASE", EntryCap)
+	}
+}

@@ -1,0 +1,122 @@
+package fatomic
+
+import (
+	"fmt"
+
+	"pmemspec/internal/mem"
+)
+
+// RecoveryReport summarizes a post-crash recovery pass.
+type RecoveryReport struct {
+	// ThreadsRolledBack counts logs that held an incomplete section
+	// (undo: rolled back; redo: replayed forward).
+	ThreadsRolledBack int
+	// EntriesUndone counts undo entries applied.
+	EntriesUndone int
+	// EntriesReplayed counts redo entries applied.
+	EntriesReplayed int
+}
+
+// Recover runs the failure-recovery protocol against a persisted image
+// (what survived the power failure). For each thread log it reads the
+// committed sequence from the header and collects the prefix of valid
+// entries carrying a higher sequence — they belong to attempts that
+// never reached their durability point — then applies their prior
+// values in reverse. Entries from earlier aborted attempts of the same
+// section may appear behind the final attempt's entries; undoing them
+// too is idempotent (they hold the same pre-section values).
+//
+// After Recover returns, the image reflects exactly the committed FASEs.
+// This is the same protocol the runtime invokes for the paper's
+// *virtual* power failures; here it runs host-side because the machine
+// that crashed is gone.
+func Recover(img *mem.Image, nthreads int) (RecoveryReport, error) {
+	var rep RecoveryReport
+	for tid := 0; tid < nthreads; tid++ {
+		base := logBase(img.Base(), tid)
+		if !img.Contains(base, LogRegionBytes) {
+			return rep, fmt.Errorf("fatomic: log region for thread %d outside image", tid)
+		}
+		if img.ReadU64(base+hdrMode) == modeRedo {
+			replayed, touched, err := recoverRedoThread(img, base)
+			rep.EntriesReplayed += replayed
+			if touched {
+				rep.ThreadsRolledBack++
+			}
+			if err != nil {
+				return rep, fmt.Errorf("fatomic: thread %d: %w", tid, err)
+			}
+			continue
+		}
+		committed := img.ReadU64(base)
+		live, err := liveEntries(img, base, committed)
+		if err != nil {
+			return rep, fmt.Errorf("fatomic: thread %d: %w", tid, err)
+		}
+		if len(live) == 0 {
+			continue
+		}
+		rep.ThreadsRolledBack++
+		var buf [MaxEntryData]byte
+		for i := len(live) - 1; i >= 0; i-- {
+			e := live[i]
+			addr := mem.Addr(img.ReadU64(e))
+			n := img.ReadU64(e + 8)
+			if !img.Contains(addr, int(n)) {
+				return rep, fmt.Errorf("fatomic: thread %d entry targets %#x outside image", tid, uint64(addr))
+			}
+			img.Read(e+entryHdr, buf[:n])
+			img.Write(addr, buf[:n])
+			rep.EntriesUndone++
+		}
+		// Mark the section rolled back so a second recovery pass is a
+		// no-op: the highest live sequence is now committed-as-undone.
+		img.WriteU64(base, img.ReadU64(live[0]+16))
+	}
+	return rep, nil
+}
+
+// liveEntries returns the addresses of the leading valid entries whose
+// sequence exceeds committed, in slot order.
+func liveEntries(img *mem.Image, base mem.Addr, committed uint64) ([]mem.Addr, error) {
+	var out []mem.Addr
+	for i := uint64(0); i < EntryCap; i++ {
+		e := entryAddr(base, i)
+		addr := mem.Addr(img.ReadU64(e))
+		n := img.ReadU64(e + 8)
+		seq := img.ReadU64(e + 16)
+		sum := img.ReadU64(e + 24)
+		if n == 0 || n > MaxEntryData || seq <= committed {
+			break
+		}
+		var buf [MaxEntryData]byte
+		img.Read(e+entryHdr, buf[:n])
+		if entryChecksum(addr, n, seq, buf[:n]) != sum {
+			// Torn entry: the append in progress at the crash. Appends
+			// are ordered, so nothing valid can follow.
+			break
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// AllCommitted reports whether every thread log in the image is free of
+// incomplete sections — no undo log with live entries, no redo log with
+// an unapplied commit.
+func AllCommitted(img *mem.Image, nthreads int) bool {
+	for tid := 0; tid < nthreads; tid++ {
+		base := logBase(img.Base(), tid)
+		if img.ReadU64(base+hdrMode) == modeRedo {
+			if img.ReadU64(base+hdrCommitted) != img.ReadU64(base+hdrApplied) {
+				return false
+			}
+			continue
+		}
+		live, err := liveEntries(img, base, img.ReadU64(base))
+		if err != nil || len(live) > 0 {
+			return false
+		}
+	}
+	return true
+}

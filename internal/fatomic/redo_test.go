@@ -1,0 +1,321 @@
+package fatomic
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pmemspec/internal/core"
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/osint"
+	"pmemspec/internal/persist"
+	"pmemspec/internal/sim"
+)
+
+type redoEnv struct {
+	m  *machine.Machine
+	os *osint.OS
+	rt *RedoRuntime
+}
+
+func newRedoEnv(t *testing.T, d machine.Design, cores int, mode Mode) *redoEnv {
+	t.Helper()
+	cfg := machine.DefaultConfig(d, cores)
+	cfg.MemBytes = 8 * 1024 * 1024
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os := osint.New(m)
+	rt := NewRedo(m, persist.ForDesign(d), os, mode)
+	return &redoEnv{m: m, os: os, rt: rt}
+}
+
+func (e *redoEnv) heapBase() mem.Addr {
+	return e.m.Space().Base() + mem.Addr(HeapReserve(e.m.Config().Cores))
+}
+
+func TestRedoCommitPersistsAllDesigns(t *testing.T) {
+	for _, d := range machine.Designs {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			e := newRedoEnv(t, d, 1, Lazy)
+			a := e.heapBase()
+			e.m.Spawn("w", func(th *machine.Thread) {
+				e.rt.WarmLog(th)
+				e.rt.Run(th, func(tx *Tx) {
+					tx.StoreU64(a, 0xAB)
+					tx.StoreU64(a+64, 0xCD)
+				})
+			})
+			if err := e.m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			pm := e.m.Space().PM
+			if pm.ReadU64(a) != 0xAB || pm.ReadU64(a+64) != 0xCD {
+				t.Error("committed transaction not durable")
+			}
+			if !AllCommitted(pm, 1) {
+				t.Error("redo log not retired")
+			}
+		})
+	}
+}
+
+func TestRedoReadsOwnWrites(t *testing.T) {
+	e := newRedoEnv(t, machine.PMEMSpec, 1, Lazy)
+	a := e.heapBase()
+	e.m.Spawn("w", func(th *machine.Thread) {
+		e.rt.WarmLog(th)
+		th.StoreU64(a, 1)
+		e.rt.Run(th, func(tx *Tx) {
+			if got := tx.LoadU64(a); got != 1 {
+				t.Errorf("pre-write read = %d", got)
+			}
+			tx.StoreU64(a, 2)
+			if got := tx.LoadU64(a); got != 2 {
+				t.Errorf("read-own-write = %d, want 2", got)
+			}
+			// In-place data must still be untouched pre-commit.
+			if got := th.LoadU64(a); got != 1 {
+				t.Errorf("in-place data = %d before commit", got)
+			}
+			// Partial overlay: byte write inside the word.
+			tx.Store(a+3, []byte{0xFF})
+			if got := tx.LoadU64(a); got != 2|0xFF<<24 {
+				t.Errorf("overlayed read = %#x", got)
+			}
+		})
+	})
+	if err := e.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRedoAbortIsFree(t *testing.T) {
+	e := newRedoEnv(t, machine.PMEMSpec, 1, Lazy)
+	a := e.heapBase()
+	attempts := 0
+	e.m.Spawn("w", func(th *machine.Thread) {
+		e.rt.WarmLog(th)
+		th.StoreU64(a, 7)
+		th.SpecBarrier()
+		e.rt.Run(th, func(tx *Tx) {
+			attempts++
+			tx.StoreU64(a, 50+uint64(attempts))
+			if attempts == 1 {
+				e.rt.onMisspec(core.Misspeculation{Kind: core.LoadMisspec, Addr: a})
+			}
+		})
+	})
+	if err := e.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 || e.rt.Stats.Aborts != 1 {
+		t.Errorf("attempts=%d aborts=%d", attempts, e.rt.Stats.Aborts)
+	}
+	// The abort never wrote in place, so no undo traffic occurred.
+	if e.rt.Stats.UndoneEntries != 0 {
+		t.Errorf("redo abort undid %d entries", e.rt.Stats.UndoneEntries)
+	}
+	if got := e.m.Space().PM.ReadU64(a); got != 52 {
+		t.Errorf("final value = %d, want 52", got)
+	}
+}
+
+func TestRedoCrashBeforeMarkerDiscards(t *testing.T) {
+	e := newRedoEnv(t, machine.PMEMSpec, 1, Lazy)
+	a := e.heapBase()
+	e.m.Spawn("w", func(th *machine.Thread) {
+		e.rt.WarmLog(th)
+		th.StoreU64(a, 1)
+		th.StoreU64(a+8, 1)
+		th.SpecBarrier()
+		e.rt.Run(th, func(tx *Tx) {
+			tx.StoreU64(a, 2)
+			th.Work(sim.NS(300_000)) // crash lands mid-transaction
+			tx.StoreU64(a+8, 2)
+		})
+	})
+	// WarmLog's cold pre-faulting takes ~215µs of simulated time; the
+	// crash must land inside the transaction's Work window after it.
+	e.m.ScheduleCrash(sim.NS(320_000))
+	if err := e.m.Run(); !errors.Is(err, machine.ErrCrashed) {
+		t.Fatal(err)
+	}
+	img := e.m.Space().PM
+	rep, err := Recover(img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EntriesReplayed != 0 {
+		t.Errorf("uncommitted transaction replayed %d entries", rep.EntriesReplayed)
+	}
+	if img.ReadU64(a) != 1 || img.ReadU64(a+8) != 1 {
+		t.Error("uncommitted transaction leaked into PM")
+	}
+}
+
+// TestRedoCrashSweepAtomicity mirrors the undo sweep: the x==y invariant
+// must hold at every crash point — crashes after the marker replay
+// forward, before it discard.
+func TestRedoCrashSweepAtomicity(t *testing.T) {
+	for _, d := range []machine.Design{machine.IntelX86, machine.PMEMSpec} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			for crashNS := int64(250_000); crashNS <= 500_000; crashNS += 19_777 {
+				e := newRedoEnv(t, d, 1, Lazy)
+				a := e.heapBase()
+				e.m.Spawn("w", func(th *machine.Thread) {
+					e.rt.WarmLog(th)
+					for gen := uint64(1); gen <= 80; gen++ {
+						e.rt.Run(th, func(tx *Tx) {
+							for s := 0; s < 4; s++ {
+								tx.StoreU64(a+mem.Addr(s*8), gen)
+							}
+						})
+					}
+				})
+				e.m.ScheduleCrash(sim.NS(crashNS))
+				err := e.m.Run()
+				if err != nil && !errors.Is(err, machine.ErrCrashed) {
+					t.Fatal(err)
+				}
+				img := e.m.Space().PM
+				if _, err := Recover(img, 1); err != nil {
+					t.Fatal(err)
+				}
+				v0 := img.ReadU64(a)
+				for s := 1; s < 4; s++ {
+					if v := img.ReadU64(a + mem.Addr(s*8)); v != v0 {
+						t.Fatalf("crash@%dns: torn transaction after recovery (%d vs %d)", crashNS, v0, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRedoRecoverIdempotent(t *testing.T) {
+	e := newRedoEnv(t, machine.PMEMSpec, 1, Lazy)
+	a := e.heapBase()
+	e.m.Spawn("w", func(th *machine.Thread) {
+		e.rt.WarmLog(th)
+		e.rt.Run(th, func(tx *Tx) {
+			tx.StoreU64(a, 9)
+		})
+		th.Work(sim.NS(400_000))
+	})
+	e.m.ScheduleCrash(sim.NS(300_000))
+	if err := e.m.Run(); !errors.Is(err, machine.ErrCrashed) {
+		t.Fatal(err)
+	}
+	img := e.m.Space().PM
+	if _, err := Recover(img, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Recover(img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.EntriesReplayed != 0 || rep2.ThreadsRolledBack != 0 {
+		t.Errorf("second pass not a no-op: %+v", rep2)
+	}
+	if img.ReadU64(a) != 9 {
+		t.Error("committed value lost")
+	}
+}
+
+func TestRedoEagerAborts(t *testing.T) {
+	e := newRedoEnv(t, machine.PMEMSpec, 1, Eager)
+	a := e.heapBase()
+	attempts, tails := 0, 0
+	e.m.Spawn("w", func(th *machine.Thread) {
+		e.rt.WarmLog(th)
+		e.rt.Run(th, func(tx *Tx) {
+			attempts++
+			tx.StoreU64(a, uint64(attempts))
+			if attempts == 1 {
+				e.rt.onMisspec(core.Misspeculation{Kind: core.StoreMisspec, Addr: a})
+			}
+			tx.StoreU64(a+8, uint64(attempts)) // aborts here on attempt 1
+			tails++
+		})
+	})
+	if err := e.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 || tails != 1 {
+		t.Errorf("attempts=%d tails=%d", attempts, tails)
+	}
+}
+
+func TestOverlayWindows(t *testing.T) {
+	cases := []struct {
+		a      mem.Addr
+		n      int
+		wa     mem.Addr
+		wd     []byte
+		expect []byte
+	}{
+		{100, 4, 100, []byte{1, 2, 3, 4}, []byte{1, 2, 3, 4}}, // exact
+		{100, 4, 98, []byte{9, 9, 5, 6}, []byte{5, 6, 0, 0}},  // left overlap
+		{100, 4, 102, []byte{7, 8, 9}, []byte{0, 0, 7, 8}},    // right overlap
+		{100, 4, 96, []byte{1, 2}, []byte{0, 0, 0, 0}},        // disjoint low
+		{100, 4, 104, []byte{1, 2}, []byte{0, 0, 0, 0}},       // disjoint high
+		{100, 4, 101, []byte{5, 6}, []byte{0, 5, 6, 0}},       // interior
+		{100, 2, 98, []byte{1, 2, 3, 4, 5, 6}, []byte{3, 4}},  // covering
+	}
+	for i, c := range cases {
+		p := make([]byte, c.n)
+		overlay(c.a, p, c.wa, c.wd)
+		if fmt.Sprint(p) != fmt.Sprint(c.expect) {
+			t.Errorf("case %d: got %v, want %v", i, p, c.expect)
+		}
+	}
+}
+
+// TestUndoAndRedoAgree: the same transaction history through both
+// runtimes yields identical durable state.
+func TestUndoAndRedoAgree(t *testing.T) {
+	final := func(redo bool) uint64 {
+		var got uint64
+		if redo {
+			e := newRedoEnv(t, machine.PMEMSpec, 1, Lazy)
+			a := e.heapBase()
+			e.m.Spawn("w", func(th *machine.Thread) {
+				e.rt.WarmLog(th)
+				for i := uint64(1); i <= 20; i++ {
+					e.rt.Run(th, func(tx *Tx) {
+						tx.StoreU64(a, tx.LoadU64(a)+i)
+					})
+				}
+			})
+			if err := e.m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			got = e.m.Space().PM.ReadU64(a)
+		} else {
+			e := newEnv(t, machine.PMEMSpec, 1, Lazy)
+			a := e.heapBase()
+			e.m.Spawn("w", func(th *machine.Thread) {
+				e.rt.WarmLog(th)
+				for i := uint64(1); i <= 20; i++ {
+					e.rt.Run(th, func(f *FASE) {
+						f.StoreU64(a, f.LoadU64(a)+i)
+					})
+				}
+			})
+			if err := e.m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			got = e.m.Space().PM.ReadU64(a)
+		}
+		return got
+	}
+	u, r := final(false), final(true)
+	if u != r || u != 210 {
+		t.Errorf("undo=%d redo=%d, want 210", u, r)
+	}
+}

@@ -1,0 +1,104 @@
+package fatomic
+
+import (
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+)
+
+// RunStaged executes one failure-atomic section structured as a sequence
+// of stages — §6.3's incremental recovery (after iDO): a misspeculation
+// aborts and re-executes only the stage that was running, not the whole
+// section, bounding the recovery overhead to one stage ("the
+// misspeculation overhead is further bound to the re-execution of the
+// regions that encounter misspeculation").
+//
+// With respect to power failures the section is still atomic: all stages
+// share one undo log and one commit point, so crash recovery rolls the
+// entire section back if the commit sequence did not persist.
+//
+// Each stage boundary carries a durability barrier, so by the time stage
+// k begins, every persist of stages < k has reached the controller and
+// any store-misspeculation they could raise has been delivered; as in
+// iDO, stages are assumed to outlive the speculation window, so a flag
+// raised inside stage k is attributed to stage k. Stage closures must be
+// re-executable, like Run bodies.
+func (r *Runtime) RunStaged(t *machine.Thread, stages []func(f *FASE)) {
+	tid := t.Core()
+	st := &r.state[tid]
+	st.misspec = false
+	st.inFASE = true
+	defer func() { st.inFASE = false }()
+
+	f := &FASE{r: r, t: t, tid: tid, base: logBase(r.m.Space().Base(), tid), seq: st.nextSeq}
+	st.nextSeq++
+
+	for k := 0; k < len(stages); {
+		stageStart := f.count
+		if r.attemptStage(f, stages[k]) {
+			k++
+			continue
+		}
+		// Abort: erase only this stage's effects and retry it.
+		r.Stats.Aborts++
+		r.Stats.StageRetries++
+		r.rollbackRange(f, stageStart)
+		st.misspec = false
+	}
+
+	// Commit the whole section (one durability point, as in attempt).
+	t.StorePrivateU64(f.base, f.seq)
+	r.model.Flush(t, f.base, 8)
+	r.model.OrderBarrier(t)
+	r.Stats.FASEs++
+}
+
+// attemptStage runs one stage and its boundary durability barrier,
+// reporting false if the stage must abort and re-execute.
+func (r *Runtime) attemptStage(f *FASE, stage func(f *FASE)) (committed bool) {
+	t := f.t
+	defer func() {
+		if rec := recover(); rec != nil {
+			switch rec.(type) {
+			case abortSignal:
+				committed = false
+			case *machine.Fault:
+				if r.state[f.tid].misspec {
+					r.Stats.FaultsSuppressed++
+					committed = false
+					return
+				}
+				panic(rec)
+			default:
+				panic(rec)
+			}
+		}
+	}()
+	stage(f)
+	// Stage boundary: every persist of this stage has arrived, so its
+	// detections (if any) have been delivered before the flag check.
+	r.model.DurableBarrier(t)
+	return !r.state[f.tid].misspec
+}
+
+// rollbackRange undoes the log entries appended at or after `from`, in
+// reverse, through the normal store path, and truncates the volatile
+// count back to `from`. Entries of earlier stages stay intact: a later
+// crash still rolls the whole section back through them.
+func (r *Runtime) rollbackRange(f *FASE, from uint64) {
+	t := f.t
+	var buf [MaxEntryData]byte
+	for i := int64(f.count) - 1; i >= int64(from); i-- {
+		e := entryAddr(f.base, uint64(i))
+		addr := mem.Addr(t.LoadU64(e))
+		n := t.LoadU64(e + 8)
+		if n > MaxEntryData {
+			panic("fatomic: corrupt log entry length")
+		}
+		t.Load(e+entryHdr, buf[:n])
+		t.Store(addr, buf[:n])
+		r.model.Flush(t, addr, int(n))
+		r.Stats.UndoneEntries++
+	}
+	r.model.DurableBarrier(t)
+	f.count = from
+}

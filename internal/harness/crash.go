@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"pmemspec/internal/fatomic"
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/osint"
+	"pmemspec/internal/persist"
+	"pmemspec/internal/sim"
+	"pmemspec/internal/workload"
+)
+
+// CrashOutcome is the result of one crash-recovery trial.
+type CrashOutcome struct {
+	Design    machine.Design
+	Workload  string
+	CrashAtNS int64
+	Crashed   bool // false: the run finished before the crash point
+	Recovery  fatomic.RecoveryReport
+	VerifyErr error
+}
+
+// RunWithCrash executes the workload, injects a power failure at
+// crashAtNS (simulated time), runs the §6 recovery protocol on the
+// surviving persisted image, and verifies the workload's structural
+// invariants against the recovered state. It is the end-to-end
+// crash-consistency check: under every design, a recovered image must
+// satisfy the workload invariants.
+func RunWithCrash(design machine.Design, w workload.Workload, p workload.Params, crashAtNS int64, opts ...Option) (CrashOutcome, error) {
+	out := CrashOutcome{Design: design, Workload: w.Name(), CrashAtNS: crashAtNS}
+	cfg := machine.DefaultConfig(design, p.Threads)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if syn, ok := w.(*workload.Synthetic); ok {
+		syn.SetConfigure(cfg)
+	}
+	if mb := w.MemBytes(p); mb > cfg.MemBytes {
+		cfg.MemBytes = mb
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return out, err
+	}
+	os := osint.New(m)
+	rt := fatomic.New(m, persist.ForDesign(design), os, fatomic.Lazy)
+	heap := mem.NewHeap(m.Space(), fatomic.HeapReserve(p.Threads))
+	env := &workload.Env{M: m, RT: rt, Heap: heap, P: p}
+
+	barrier := sim.NewBarrier(p.Threads)
+	setupDone := sim.Forever
+	finished := 0
+	for tid := 0; tid < p.Threads; tid++ {
+		tid := tid
+		m.Spawn(fmt.Sprintf("worker%d", tid), func(t *machine.Thread) {
+			rt.WarmLog(t)
+			if tid == 0 {
+				w.Setup(env, t)
+				// Initialization completes durably (see
+				// Machine.SyncPersistedToArch) before the measured,
+				// crash-exposed kernel begins.
+				m.SyncPersistedToArch()
+				setupDone = t.Clock()
+			}
+			barrier.Wait(t.Sim())
+			w.Run(env, t, tid)
+			finished++
+		})
+	}
+	m.ScheduleCrash(sim.NS(crashAtNS))
+	err = m.Run()
+	switch {
+	case errors.Is(err, machine.ErrCrashed):
+		// The crash event always fires (possibly after all workers
+		// completed); the run "crashed" only if it interrupted work.
+		out.Crashed = finished < p.Threads
+	case err == nil:
+	default:
+		return out, err
+	}
+	if out.Crashed && sim.NS(crashAtNS) < setupDone {
+		// Crash during single-threaded setup: the structures may not
+		// exist yet, so only the log protocol is checkable.
+		if _, err := fatomic.Recover(m.Space().PM, p.Threads); err != nil {
+			out.VerifyErr = err
+		}
+		return out, nil
+	}
+	rep, err := fatomic.Recover(m.Space().PM, p.Threads)
+	if err != nil {
+		return out, fmt.Errorf("recovery failed: %w", err)
+	}
+	out.Recovery = rep
+	out.VerifyErr = safeVerify(w, m.Space().PM)
+	return out, nil
+}
+
+// safeVerify runs Verify on a recovered image, converting a panic (e.g.
+// a wild pointer walked out of the image — itself a consistency
+// violation) into an error instead of killing the checker.
+func safeVerify(w workload.Workload, img *mem.Image) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("verification panicked (wild pointer in recovered image): %v", r)
+		}
+	}()
+	return w.Verify(img, 0)
+}
+
+// CrashSweep runs RunWithCrash at evenly spaced crash points and reports
+// the outcomes; any VerifyErr is a crash-consistency violation.
+func CrashSweep(design machine.Design, name string, p workload.Params, points int, maxNS int64, opts ...Option) ([]CrashOutcome, error) {
+	if points < 1 {
+		return nil, fmt.Errorf("harness: need at least one crash point")
+	}
+	var outs []CrashOutcome
+	for i := 1; i <= points; i++ {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		at := maxNS * int64(i) / int64(points)
+		o, err := RunWithCrash(design, w, p, at, opts...)
+		if err != nil {
+			return outs, err
+		}
+		outs = append(outs, o)
+	}
+	return outs, nil
+}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"testing"
+
+	"pmemspec/internal/machine"
+	"pmemspec/internal/workload"
+)
+
+// TestCrashSweepAllDesigns is the cross-design crash-consistency
+// integration: inject power failures at a sweep of points through real
+// workload runs, recover, and verify structural invariants on the
+// recovered persisted image. Any violation means a design's ordering
+// semantics or the recovery protocol is broken.
+func TestCrashSweepAllDesigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep")
+	}
+	cases := []string{"arrayswap", "queue", "tpcc-mix"}
+	for _, d := range machine.Designs {
+		d := d
+		for _, name := range cases {
+			name := name
+			t.Run(d.String()+"/"+name, func(t *testing.T) {
+				p := workload.Params{Threads: 2, Ops: 60, DataSize: 64, Seed: 9}
+				outs, err := CrashSweep(d, name, p, 8, 300_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				crashed := 0
+				for _, o := range outs {
+					if o.Crashed {
+						crashed++
+					}
+					if o.VerifyErr != nil {
+						t.Errorf("crash@%dns: %v", o.CrashAtNS, o.VerifyErr)
+					}
+				}
+				if crashed == 0 {
+					t.Error("no crash point landed mid-run; widen the sweep")
+				}
+			})
+		}
+	}
+}
+
+// TestCrashSweepRBTree gives the trickiest structure (rotations inside
+// FASEs) its own deeper sweep on the paper's design.
+func TestCrashSweepRBTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second sweep")
+	}
+	// Scale 256 keeps setup short; the long kernel (300 ops) gives the
+	// sweep a wide window of in-flight FASEs to hit.
+	p := workload.Params{Threads: 2, Ops: 300, DataSize: 64, Scale: 256, Seed: 4}
+	outs, err := CrashSweep(machine.PMEMSpec, "rbtree", p, 16, 900_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rolled := 0
+	for _, o := range outs {
+		if o.VerifyErr != nil {
+			t.Errorf("crash@%dns: %v", o.CrashAtNS, o.VerifyErr)
+		}
+		rolled += o.Recovery.ThreadsRolledBack
+	}
+	if rolled == 0 {
+		t.Error("no FASE was ever caught in flight; sweep too coarse to be meaningful")
+	}
+}
+
+// TestRunWithCrashAfterCompletion: a crash point past the end of the run
+// must verify cleanly with nothing to roll back.
+func TestRunWithCrashAfterCompletion(t *testing.T) {
+	w, _ := workload.ByName("arrayswap")
+	p := workload.Params{Threads: 1, Ops: 5, DataSize: 64, Seed: 1}
+	o, err := RunWithCrash(machine.PMEMSpec, w, p, 1_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Crashed {
+		t.Error("run did not finish before the distant crash point")
+	}
+	if o.VerifyErr != nil {
+		t.Errorf("verify: %v", o.VerifyErr)
+	}
+	if o.Recovery.ThreadsRolledBack != 0 {
+		t.Error("completed run had in-flight FASEs")
+	}
+}

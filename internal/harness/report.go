@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pmemspec/internal/machine"
+	"pmemspec/internal/stats"
+)
+
+// PrintFig9 writes the Figure 9 table: one row per benchmark, one column
+// per design, throughput normalized to IntelX86, plus the geomean row.
+func PrintFig9(w io.Writer, title string, rows []Fig9Row) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-12s", "benchmark")
+	for _, d := range machine.Designs {
+		fmt.Fprintf(w, "%12s", d)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s", r.Workload)
+		for _, d := range machine.Designs {
+			fmt.Fprintf(w, "%12.2f", r.Normalized[d])
+		}
+		fmt.Fprintln(w)
+	}
+	g := Geomeans(rows)
+	fmt.Fprintf(w, "%-12s", "geomean")
+	for _, d := range machine.Designs {
+		fmt.Fprintf(w, "%12.2f", g[d])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "PMEM-Spec vs IntelX86: %s | PMEM-Spec vs HOPS: %s (paper: 1.27x and 1.11x at 8 cores)\n\n",
+		stats.Speedup(g[machine.PMEMSpec]),
+		stats.Speedup(g[machine.PMEMSpec]/g[machine.HOPS]))
+}
+
+// PrintFig10 writes the Figure 10 panels for each core count.
+func PrintFig10(w io.Writer, panels map[int][]Fig9Row) {
+	var cores []int
+	for c := range panels {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+	for _, c := range cores {
+		PrintFig9(w, fmt.Sprintf("Figure 10 — %d cores (normalized to IntelX86)", c), panels[c])
+	}
+}
+
+// PrintFig11 writes the Figure 11 series: average throughput per
+// speculation-buffer size, normalized to the 16-entry configuration.
+func PrintFig11(w io.Writer, pts []Fig11Point) {
+	fmt.Fprintln(w, "Figure 11 — speculation buffer sizes (PMEM-Spec, 8 cores, normalized to 16 entries)")
+	fmt.Fprintf(w, "%-10s%14s%12s\n", "entries", "avg norm", "overflows")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-10d%14.3f%12d\n", p.Entries, p.AvgNorm, p.Overflows)
+	}
+	if len(pts) > 0 {
+		fmt.Fprintf(w, "size-1 degradation vs overflow-free: %.1f%% (paper: 12.8%%)\n\n",
+			(1-pts[0].AvgNorm)*100)
+	}
+}
+
+// PrintFig12 writes the Figure 12 series: geomean throughput vs persist-
+// path latency for HOPS and PMEM-Spec, normalized to IntelX86.
+func PrintFig12(w io.Writer, pts []Fig12Point) {
+	fmt.Fprintln(w, "Figure 12 — persist-path latency sweep (geomean, normalized to IntelX86)")
+	fmt.Fprintf(w, "%-12s%12s%12s\n", "latency", "HOPS", "PMEM-Spec")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-12s%12.2f%12.2f\n", fmt.Sprintf("%dns", p.LatencyNS),
+			p.Geomean[machine.HOPS], p.Geomean[machine.PMEMSpec])
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintMisspec writes the §8.4 misspeculation study.
+func PrintMisspec(w io.Writer, r MisspecResult) {
+	fmt.Fprintln(w, "§8.4 — misspeculation rates")
+	var names []string
+	for n := range r.PerBenchmark {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%-12s %d misspeculations\n", n, r.PerBenchmark[n])
+	}
+	print := func(label string, o SyntheticOutcome) {
+		fmt.Fprintf(w, "synthetic %-18s stale-observed=%d stale-fetches=%d detected=%d aborts=%d committed=%d\n",
+			label, o.StaleObserved, o.StaleFetches, o.Detected, o.Aborts, o.Committed)
+	}
+	print("(20ns path):", r.SyntheticDefault)
+	print("(25x path, tiny LLC):", r.SyntheticSlow)
+	fmt.Fprintln(w)
+}
+
+// PrintAblation writes the §5.1.3-vs-§5.1.4 detection comparison.
+func PrintAblation(w io.Writer, r [2]AblationResult) {
+	fmt.Fprintln(w, "Detection ablation — §5.1.4 eviction-based vs §5.1.3 fetch-based")
+	for _, a := range r {
+		fmt.Fprintf(w, "%-26s detections=%-6d actual-stale=%-4d false-positives=%-6d throughput=%.0f/s\n",
+			a.Scheme, a.Detections, a.ActualStale, a.FalsePositives, a.Throughput)
+	}
+	fmt.Fprintln(w)
+}

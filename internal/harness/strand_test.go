@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"testing"
+
+	"pmemspec/internal/machine"
+	"pmemspec/internal/workload"
+)
+
+// TestStrandDesignRunsAllWorkloads: the StrandWeaver extension runs and
+// verifies the whole suite.
+func TestStrandDesignRunsAllWorkloads(t *testing.T) {
+	for _, name := range workload.Names() {
+		w, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(machine.Strand, w, params(name, 2, 20, 1))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Committed == 0 {
+			t.Errorf("%s: nothing committed", name)
+		}
+		if res.MStats.NewStrands == 0 || res.MStats.JoinStrands == 0 {
+			t.Errorf("%s: strand instructions not exercised (%d/%d)", name, res.MStats.NewStrands, res.MStats.JoinStrands)
+		}
+	}
+}
+
+// TestStrandBeatsHOPS reproduces the StrandWeaver paper's claim the
+// PMEM-Spec paper cites: strand persistency outperforms the epoch-based
+// HOPS (its per-update strands drain concurrently where HOPS's epochs
+// chain).
+func TestStrandBeatsHOPS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison sweep")
+	}
+	var strandG, hopsG, specG float64 = 1, 1, 1
+	for _, name := range []string{"tpcc", "rbtree", "vacation"} {
+		thr := map[machine.Design]float64{}
+		for _, d := range []machine.Design{machine.HOPS, machine.Strand, machine.PMEMSpec} {
+			w, _ := workload.ByName(name)
+			res, err := Run(d, w, params(name, 8, 120, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			thr[d] = res.Throughput
+		}
+		t.Logf("%-10s hops=%.0f strand=%.0f spec=%.0f", name, thr[machine.HOPS], thr[machine.Strand], thr[machine.PMEMSpec])
+		strandG *= thr[machine.Strand]
+		hopsG *= thr[machine.HOPS]
+		specG *= thr[machine.PMEMSpec]
+	}
+	if strandG <= hopsG {
+		t.Errorf("StrandWeaver (%.0f) not faster than HOPS (%.0f) in aggregate", strandG, hopsG)
+	}
+}
+
+// TestStrandCrashConsistency: the strand design's recovered images
+// satisfy the workload invariants too.
+func TestStrandCrashConsistency(t *testing.T) {
+	p := workload.Params{Threads: 2, Ops: 60, DataSize: 64, Seed: 9}
+	outs, err := CrashSweep(machine.Strand, "tpcc-mix", p, 8, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		if o.VerifyErr != nil {
+			t.Errorf("crash@%dns: %v", o.CrashAtNS, o.VerifyErr)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"pmemspec/internal/cache"
+	"pmemspec/internal/core"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/pmc"
+	"pmemspec/internal/ppath"
+	"pmemspec/internal/sim"
+)
+
+// ErrCrashed is returned by Run when an injected power failure stopped
+// the machine. The persisted image then holds exactly the ADR-durable
+// state: every write admitted to the WPQ before the crash instant.
+var ErrCrashed = errors.New("machine: power failure injected")
+
+// Stats aggregates machine-level activity for one run.
+type Stats struct {
+	Loads, Stores              uint64
+	L1Hits, LLCHits, PMFetches uint64
+	CLWBs, SFences             uint64
+	OFences, DFences           uint64
+	SpecBarriers               uint64
+	DirtyWritebacksToPM        uint64 // IntelX86: LLC dirty evictions written to PM
+	DroppedDirtyWritebacks     uint64 // HOPS/DPO/PMEM-Spec: dropped at eviction
+	StaleFetches               uint64 // ground truth: PM fetch returned data older than arch
+	Misspeculations            []core.Misspeculation
+	NewStrands, JoinStrands    uint64
+	PersistBarriers            uint64
+	SQStallCycles              sim.Time
+	PBufStallCycles            sim.Time
+	BarrierStallCycles         sim.Time
+	SpecOverflowPauses         uint64
+}
+
+// Machine is one simulated multicore system configured as one of the
+// four evaluated designs. Cache blocks interleave across NumControllers
+// PM controllers (one in the paper's configuration; see Config.
+// Controllers for the §7 multi-controller study).
+type Machine struct {
+	cfg    Config
+	kernel *sim.Kernel
+	space  *mem.Space
+	hier   *cache.Hierarchy
+	ctrls  []*pmc.Controller
+	wpqs   []*pmc.WPQ
+
+	// PMEM-Spec state.
+	// pathSets holds the persist-path fabric: one Paths when the NoC
+	// preserves a core's store order across controllers (or with a
+	// single controller), one per controller otherwise — independent
+	// FIFOs whose interleaving is exactly the §7 hazard.
+	pathSets   []*ppath.Paths
+	specBufs   []*core.Buffer
+	coreAdmit  []sim.Time // per-core horizon of persist-path admissions
+	nextSpecID uint64
+
+	// HOPS/DPO state.
+	pbufs []*pmc.PersistBuffer
+	bloom *pmc.Bloom
+	// StrandWeaver state.
+	sbufs []*pmc.StrandBuffer
+	// hopsPending tracks, per block, the newest pending persist and its
+	// core: HOPS's coherence-based inter-thread dependency tracking
+	// (sticky-M). A conflicting access from another core inherits the
+	// pending drain time as a dependency its next dfence must respect.
+	hopsPending map[mem.Addr]hopsDep
+	// hopsDepHorizon is each core's inherited dependency drain horizon.
+	hopsDepHorizon []sim.Time
+
+	threads []*Thread
+
+	// misspecHandler is the OS interrupt line (osint registers here).
+	misspecHandler func(core.Misspeculation)
+
+	stats Stats
+}
+
+// New builds a machine for the given configuration.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:        cfg,
+		kernel:     sim.NewKernel(),
+		space:      mem.NewSpace(cfg.MemBytes),
+		hier:       cache.NewHierarchy(cfg.Cores, cfg.L1Bytes, cfg.L1Ways, cfg.LLCBytes, cfg.LLCWays),
+		nextSpecID: 1,
+	}
+	nctrl := cfg.NumControllers()
+	for i := 0; i < nctrl; i++ {
+		c := pmc.NewController(cfg.PMC)
+		m.ctrls = append(m.ctrls, c)
+		m.wpqs = append(m.wpqs, pmc.NewWPQ(c, cfg.WPQEntries))
+	}
+
+	switch cfg.Design {
+	case PMEMSpec:
+		m.coreAdmit = make([]sim.Time, cfg.Cores)
+		onMisspec := func(ms core.Misspeculation) {
+			m.stats.Misspeculations = append(m.stats.Misspeculations, ms)
+			if m.misspecHandler != nil {
+				m.misspecHandler(ms)
+			}
+		}
+		onOverflow := func(until sim.Time) {
+			m.stats.SpecOverflowPauses++
+			m.kernel.PauseAll(until)
+		}
+		for i := 0; i < nctrl; i++ {
+			b := core.NewBuffer(core.Config{
+				Entries:    cfg.SpecBufEntries,
+				Window:     cfg.Window(),
+				FetchBased: cfg.FetchBasedDetection,
+			})
+			b.OnMisspec = onMisspec
+			b.OnOverflow = onOverflow
+			m.specBufs = append(m.specBufs, b)
+		}
+		npaths := nctrl
+		if cfg.OrderedNoC {
+			// One fabric: a core's messages stay FIFO across
+			// controllers — the §7 extension.
+			npaths = 1
+		}
+		for i := 0; i < npaths; i++ {
+			m.pathSets = append(m.pathSets, ppath.New(m.kernel, cfg.Cores, cfg.Path, m.persistArrived))
+		}
+	case Strand:
+		onDrain := func(a mem.Addr, d []byte, at sim.Time) {
+			m.space.PersistBytes(a, d)
+		}
+		transfer := cfg.WritebackLatency + cfg.PBufDrainLag
+		for i := 0; i < cfg.Cores; i++ {
+			m.sbufs = append(m.sbufs, pmc.NewStrandBuffer(
+				m.kernel, m.wpqs[0], i, cfg.PersistBufEntries, transfer, onDrain))
+		}
+	case HOPS, DPO:
+		var ser *pmc.Serializer
+		if cfg.Design == DPO {
+			// DPO allows a single flush to the controller at a time,
+			// each occupying the path for one transfer.
+			ser = pmc.NewSerializer(cfg.WritebackLatency)
+		}
+		if cfg.Design == HOPS {
+			m.bloom = pmc.NewBloom(cfg.BloomBuckets, cfg.BloomLookupCost)
+			m.hopsPending = make(map[mem.Addr]hopsDep)
+			m.hopsDepHorizon = make([]sim.Time, cfg.Cores)
+		}
+		onDrain := func(a mem.Addr, d []byte, at sim.Time) {
+			m.space.PersistBytes(a, d)
+			if m.bloom != nil {
+				m.bloom.Remove(a)
+			}
+		}
+		transfer := cfg.WritebackLatency + cfg.PBufDrainLag
+		for i := 0; i < cfg.Cores; i++ {
+			m.pbufs = append(m.pbufs, pmc.NewPersistBuffer(
+				m.kernel, m.wpqs[0], i, cfg.PersistBufEntries, transfer, ser, onDrain))
+		}
+	}
+	return m, nil
+}
+
+// hopsDep records the newest pending persist to a block.
+type hopsDep struct {
+	core  int
+	admit sim.Time
+}
+
+// hopsTouch implements HOPS's inter-thread dependency tracking: core
+// touching blk (load or store) at `now` inherits any other core's
+// pending persist to the block as a dependency; a store additionally
+// publishes its own pending admission.
+func (m *Machine) hopsTouch(core int, blk mem.Addr, now sim.Time, storeAdmit sim.Time, isStore bool) {
+	if m.hopsPending == nil {
+		return
+	}
+	if d, ok := m.hopsPending[blk]; ok {
+		if d.admit <= now {
+			delete(m.hopsPending, blk)
+		} else if d.core != core && d.admit > m.hopsDepHorizon[core] {
+			m.hopsDepHorizon[core] = d.admit
+		}
+	}
+	if isStore {
+		m.hopsPending[blk] = hopsDep{core: core, admit: storeAdmit}
+		if len(m.hopsPending) > 8192 {
+			for b, d := range m.hopsPending {
+				if d.admit <= now {
+					delete(m.hopsPending, b)
+				}
+			}
+		}
+	}
+}
+
+// ctrlIndex returns which PM controller owns a's cache block (block
+// interleaving across controllers).
+func (m *Machine) ctrlIndex(a mem.Addr) int {
+	n := len(m.ctrls)
+	if n == 1 {
+		return 0
+	}
+	return int((uint64(a) >> 6) % uint64(n))
+}
+
+// pathsFor returns the persist-path fabric carrying stores to a's
+// controller: the single ordered fabric, or the controller's own.
+func (m *Machine) pathsFor(a mem.Addr) *ppath.Paths {
+	if len(m.pathSets) == 1 {
+		return m.pathSets[0]
+	}
+	return m.pathSets[m.ctrlIndex(a)]
+}
+
+// persistArrived handles a persist-path message reaching its PM
+// controller (event context, at msg.Arrive): the write is admitted to
+// that controller's WPQ (possibly delayed by back-pressure); at
+// admission it becomes durable and the speculation buffer observes it.
+func (m *Machine) persistArrived(msg ppath.Message) {
+	idx := m.ctrlIndex(msg.Addr)
+	admit, mediaDone := m.wpqs[idx].Accept(msg.Arrive, msg.Addr)
+	if admit > m.coreAdmit[msg.Core] {
+		m.coreAdmit[msg.Core] = admit
+	}
+	apply := func() {
+		m.space.PersistBytes(msg.Addr, msg.Data)
+		m.specBufs[idx].OnPersist(admit, msg.Addr, msg.SpecID, mediaDone)
+	}
+	if admit > msg.Arrive {
+		m.kernel.Schedule(admit, apply)
+	} else {
+		apply()
+	}
+}
+
+// Accessors.
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Kernel returns the simulation kernel (for scheduling crash events or
+// custom instrumentation).
+func (m *Machine) Kernel() *sim.Kernel { return m.kernel }
+
+// Space returns the simulated PM region.
+func (m *Machine) Space() *mem.Space { return m.space }
+
+// Hierarchy returns the cache hierarchy (tests, diagnostics).
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// SpecBuffer returns controller 0's speculation buffer (nil unless
+// PMEM-Spec).
+func (m *Machine) SpecBuffer() *core.Buffer {
+	if len(m.specBufs) == 0 {
+		return nil
+	}
+	return m.specBufs[0]
+}
+
+// SpecBuffers returns every controller's speculation buffer.
+func (m *Machine) SpecBuffers() []*core.Buffer { return m.specBufs }
+
+// Bloom returns the HOPS bloom filter (nil otherwise).
+func (m *Machine) Bloom() *pmc.Bloom { return m.bloom }
+
+// Controller returns PM controller 0.
+func (m *Machine) Controller() *pmc.Controller { return m.ctrls[0] }
+
+// WPQ returns controller 0's write-pending queue.
+func (m *Machine) WPQ() *pmc.WPQ { return m.wpqs[0] }
+
+// Paths returns the first persist-path fabric (nil unless PMEM-Spec).
+func (m *Machine) Paths() *ppath.Paths {
+	if len(m.pathSets) == 0 {
+		return nil
+	}
+	return m.pathSets[0]
+}
+
+// Stats returns a snapshot of the machine statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// SetMisspecHandler registers the OS interrupt handler for
+// misspeculation detection events.
+func (m *Machine) SetMisspecHandler(h func(core.Misspeculation)) { m.misspecHandler = h }
+
+// Spawn creates a simulated thread pinned to the next free core. It
+// panics if more threads than cores are spawned (the paper's runs are
+// one thread per core).
+func (m *Machine) Spawn(name string, body func(*Thread)) *Thread {
+	if len(m.threads) >= m.cfg.Cores {
+		panic(fmt.Sprintf("machine: spawning thread %d on a %d-core machine", len(m.threads)+1, m.cfg.Cores))
+	}
+	t := &Thread{m: m, coreID: len(m.threads)}
+	t.sq = newStoreQueue(m.cfg.StoreQueueEntries)
+	t.sim = m.kernel.Spawn(name, 0, func(st *sim.Thread) {
+		body(t)
+	})
+	m.threads = append(m.threads, t)
+	return t
+}
+
+// Threads returns the spawned threads in core order.
+func (m *Machine) Threads() []*Thread { return m.threads }
+
+// Run executes the simulation to completion (or crash/stop).
+func (m *Machine) Run() error { return m.kernel.Run() }
+
+// ScheduleCrash injects a power failure at the given time: the kernel
+// stops, volatile state (caches, store queues, in-flight persists) is
+// discarded, and Run returns ErrCrashed. Writes admitted to the WPQ
+// before `at` are already applied to the persisted image — ADR
+// semantics.
+func (m *Machine) ScheduleCrash(at sim.Time) {
+	m.kernel.Schedule(at, func() {
+		m.hier.FlushAll()
+		m.kernel.Stop(ErrCrashed)
+	})
+}
+
+// SyncPersistedToArch makes the persisted image identical to the
+// coherent one, modeling a durably completed initialization phase: the
+// experiment harness invokes it between a workload's (unmeasured) setup
+// and the measured kernel, so crash-recovery checks start from a durable
+// baseline regardless of how lazily the design would have persisted the
+// setup stores. It takes no simulated time.
+func (m *Machine) SyncPersistedToArch() {
+	m.space.PM = m.space.Arch.Clone()
+}
+
+// MaxThreadClock returns the largest thread clock — the makespan used
+// as the throughput denominator.
+func (m *Machine) MaxThreadClock() sim.Time {
+	var max sim.Time
+	for _, t := range m.threads {
+		if c := t.sim.Clock(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// handleLLCEvictions applies the design's dirty-eviction policy to
+// blocks displaced from the LLC at thread-time `now`.
+func (m *Machine) handleLLCEvictions(now sim.Time, evs []cache.Evicted) {
+	for _, ev := range evs {
+		if !ev.Dirty {
+			continue
+		}
+		switch m.cfg.Design {
+		case IntelX86, Strand:
+			// Dirty eviction writes back to PM (StrandWeaver explicitly
+			// writes dirty lines back before eviction, §3.1): snapshot
+			// the coherent block now; it becomes durable at WPQ
+			// admission.
+			m.stats.DirtyWritebacksToPM++
+			snap := m.space.Arch.ReadBlock(ev.Addr)
+			addr := ev.Addr
+			wpq := m.wpqs[m.ctrlIndex(addr)]
+			m.kernel.Schedule(now+m.cfg.WritebackLatency, func() {
+				admit, _ := wpq.Accept(now+m.cfg.WritebackLatency, addr)
+				if admit > now+m.cfg.WritebackLatency {
+					m.kernel.Schedule(admit, func() { m.space.PM.WriteBlock(addr, snap) })
+				} else {
+					m.space.PM.WriteBlock(addr, snap)
+				}
+			})
+		case PMEMSpec:
+			// Data dropped silently, but the owning controller receives
+			// the WriteBack notification that arms load-misspeculation
+			// monitoring (§5.1.4).
+			m.stats.DroppedDirtyWritebacks++
+			addr := ev.Addr
+			buf := m.specBufs[m.ctrlIndex(addr)]
+			at := now + m.cfg.WritebackLatency
+			m.kernel.Schedule(at, func() { buf.OnWriteBack(at, addr) })
+		default: // HOPS, DPO
+			// Dropped silently; the persist buffers carry persistence.
+			m.stats.DroppedDirtyWritebacks++
+		}
+	}
+}

@@ -1,0 +1,643 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"pmemspec/internal/core"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/ppath"
+	"pmemspec/internal/sim"
+)
+
+func mustNew(t *testing.T, cfg Config) *Machine {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func smallConfig(d Design, cores int) Config {
+	cfg := DefaultConfig(d, cores)
+	cfg.MemBytes = 4 * 1024 * 1024
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig(IntelX86, 0)
+	if _, err := New(bad); err == nil {
+		t.Error("0-core config accepted")
+	}
+	bad = DefaultConfig(PMEMSpec, 8)
+	bad.SpecBufEntries = 0
+	if _, err := New(bad); err == nil {
+		t.Error("0-entry speculation buffer accepted")
+	}
+	if DefaultConfig(PMEMSpec, 8).Window() != sim.NS(160) {
+		t.Errorf("default window = %v, want 160ns (8 cores × 20ns)", DefaultConfig(PMEMSpec, 8).Window())
+	}
+}
+
+func TestStoreLoadRoundTripAllDesigns(t *testing.T) {
+	for _, d := range Designs {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			m := mustNew(t, smallConfig(d, 2))
+			base := m.Space().Base()
+			var got uint64
+			m.Spawn("w", func(th *Thread) {
+				th.StoreU64(base+128, 0xfeedface)
+				got = th.LoadU64(base + 128)
+			})
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got != 0xfeedface {
+				t.Errorf("load = %#x", got)
+			}
+			st := m.Stats()
+			if st.Stores == 0 || st.Loads == 0 {
+				t.Errorf("stats not recorded: %+v", st)
+			}
+		})
+	}
+}
+
+func TestCrossThreadVisibility(t *testing.T) {
+	m := mustNew(t, smallConfig(PMEMSpec, 2))
+	base := m.Space().Base()
+	var lk sim.Mutex
+	var got uint64
+	m.Spawn("writer", func(th *Thread) {
+		th.Lock(&lk)
+		th.StoreU64(base, 42)
+		th.Unlock(&lk)
+	})
+	m.Spawn("reader", func(th *Thread) {
+		th.Work(10_000) // run well after the writer
+		th.Lock(&lk)
+		got = th.LoadU64(base)
+		th.Unlock(&lk)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("reader saw %d", got)
+	}
+}
+
+func TestIntelX86CLWBSFencePersists(t *testing.T) {
+	m := mustNew(t, smallConfig(IntelX86, 1))
+	base := m.Space().Base()
+	m.Spawn("w", func(th *Thread) {
+		th.StoreU64(base, 7)
+		if m.Space().PM.ReadU64(base) == 7 {
+			t.Error("store persisted without CLWB")
+		}
+		th.CLWB(base)
+		th.SFence()
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Space().PM.ReadU64(base) != 7 {
+		t.Error("CLWB+SFENCE did not persist")
+	}
+	st := m.Stats()
+	if st.CLWBs != 1 || st.SFences != 1 {
+		t.Errorf("clwb=%d sfence=%d", st.CLWBs, st.SFences)
+	}
+}
+
+func TestHOPSDFencePersists(t *testing.T) {
+	m := mustNew(t, smallConfig(HOPS, 1))
+	base := m.Space().Base()
+	m.Spawn("w", func(th *Thread) {
+		th.StoreU64(base, 9)
+		th.OFence()
+		th.StoreU64(base+8, 10)
+		th.DFence()
+		// dfence guarantees durability: the persisted image must be
+		// up to date *now*, mid-run.
+		if m.Space().PM.ReadU64(base) != 9 || m.Space().PM.ReadU64(base+8) != 10 {
+			t.Error("dfence returned before persists were durable")
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.OFences != 1 || st.DFences != 1 {
+		t.Errorf("ofence=%d dfence=%d", st.OFences, st.DFences)
+	}
+}
+
+func TestDPOSFencePersists(t *testing.T) {
+	m := mustNew(t, smallConfig(DPO, 1))
+	base := m.Space().Base()
+	m.Spawn("w", func(th *Thread) {
+		th.StoreU64(base, 11)
+		th.CLWB(base) // no-op under DPO, but the binary still executes it
+		th.SFence()
+		if m.Space().PM.ReadU64(base) != 11 {
+			t.Error("DPO sfence returned before drain")
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecBarrierDurability(t *testing.T) {
+	m := mustNew(t, smallConfig(PMEMSpec, 1))
+	base := m.Space().Base()
+	m.Spawn("w", func(th *Thread) {
+		for i := 0; i < 16; i++ {
+			th.StoreU64(base+mem.Addr(i*8), uint64(i+1))
+		}
+		th.SpecBarrier()
+		for i := 0; i < 16; i++ {
+			if got := m.Space().PM.ReadU64(base + mem.Addr(i*8)); got != uint64(i+1) {
+				t.Errorf("slot %d = %d after spec-barrier", i, got)
+			}
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().SpecBarriers != 1 {
+		t.Error("spec-barrier not counted")
+	}
+}
+
+func TestPMEMSpecStoresPersistWithoutBarrier(t *testing.T) {
+	// The persist-path pushes every store to the controller: after the
+	// transit latency the data is durable even with no barrier at all.
+	m := mustNew(t, smallConfig(PMEMSpec, 1))
+	base := m.Space().Base()
+	m.Spawn("w", func(th *Thread) {
+		th.StoreU64(base, 5)
+		th.Work(sim.NS(1000))
+		if m.Space().PM.ReadU64(base) != 5 {
+			t.Error("persist-path did not deliver the store")
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecIDAssignRevokeNesting(t *testing.T) {
+	m := mustNew(t, smallConfig(PMEMSpec, 1))
+	m.Spawn("w", func(th *Thread) {
+		if th.SpecID() != 0 {
+			t.Error("initial spec ID nonzero")
+		}
+		th.SpecAssign()
+		outer := th.SpecID()
+		if outer == 0 {
+			t.Error("spec-assign did not set ID")
+		}
+		th.SpecAssign() // nested critical section
+		if th.SpecID() <= outer {
+			t.Error("nested ID not greater")
+		}
+		th.SpecRevoke()
+		if th.SpecID() != outer {
+			t.Error("revoke did not restore outer ID")
+		}
+		th.SpecRevoke()
+		if th.SpecID() != 0 {
+			t.Error("final revoke did not clear ID")
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockAssignsMonotonicSpecIDs(t *testing.T) {
+	m := mustNew(t, smallConfig(PMEMSpec, 4))
+	var lk sim.Mutex
+	var ids []uint64
+	for i := 0; i < 4; i++ {
+		m.Spawn("t", func(th *Thread) {
+			th.Work(sim.Time(th.Core() * 100))
+			th.Lock(&lk)
+			ids = append(ids, th.SpecID())
+			th.Work(500)
+			th.Unlock(&lk)
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Errorf("spec IDs not increasing in lock order: %v", ids)
+		}
+	}
+}
+
+// tinyCacheConfig builds a PMEM-Spec machine whose caches are small
+// enough to force evictions with a handful of accesses, and whose
+// persist-path is slow enough that a refetch races the in-flight persist.
+func tinyCacheConfig(pathNS int64) Config {
+	cfg := DefaultConfig(PMEMSpec, 1)
+	cfg.MemBytes = 1 << 20
+	cfg.L1Bytes = 2 * mem.BlockSize // 2 sets × 1 way
+	cfg.L1Ways = 1
+	cfg.LLCBytes = 4 * mem.BlockSize // 4 sets × 1 way
+	cfg.LLCWays = 1
+	cfg.Path = ppath.Config{Latency: sim.NS(pathNS), SlotGap: sim.NS(2)}
+	cfg.SpecWindow = sim.NS(8 * pathNS)
+	return cfg
+}
+
+func TestStaleReadDetectedEndToEnd(t *testing.T) {
+	// §8.4's synthetic recipe: store, conflict-evict all the way to PM,
+	// reload before the persist arrives. The load must return the stale
+	// value, and the speculation buffer must detect it when the persist
+	// lands.
+	m := mustNew(t, tinyCacheConfig(1000))
+	base := m.Space().Base()
+	var detected []core.Misspeculation
+	m.SetMisspecHandler(func(ms core.Misspeculation) { detected = append(detected, ms) })
+
+	a := base        // L1 set 0, LLC set 0
+	c1 := base + 256 // LLC set 0, L1 set 0
+	c2 := base + 512 // LLC set 0, L1 set 0
+	var loaded uint64
+	m.Spawn("w", func(th *Thread) {
+		th.StoreU64(a, 1) // old value persists quickly
+		th.Work(sim.NS(3000))
+		th.StoreU64(a, 2)      // new value: persist in flight for 1000ns
+		th.LoadU64(c1)         // evicts a from L1 (dirty→LLC) and fills LLC
+		th.LoadU64(c2)         // evicts a from LLC → WriteBack notification
+		loaded = th.LoadU64(a) // misses everywhere → stale PM fetch
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 1 {
+		t.Errorf("load returned %d, want stale value 1", loaded)
+	}
+	st := m.Stats()
+	if st.StaleFetches == 0 {
+		t.Fatal("ground-truth stale fetch not recorded")
+	}
+	found := false
+	for _, ms := range detected {
+		if ms.Kind == core.LoadMisspec && ms.Addr == mem.BlockAlign(a) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("load misspeculation not detected; got %v", detected)
+	}
+}
+
+func TestNoStaleReadWithFastPath(t *testing.T) {
+	// §8.4: "when the persist-path latency is shorter than the one of
+	// the regular path, PM load misspeculation never occurs."
+	m := mustNew(t, tinyCacheConfig(5))
+	base := m.Space().Base()
+	var loaded uint64
+	m.Spawn("w", func(th *Thread) {
+		th.StoreU64(base, 2)
+		th.LoadU64(base + 256)
+		th.LoadU64(base + 512)
+		loaded = th.LoadU64(base)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 2 {
+		t.Errorf("load returned %d, want fresh 2", loaded)
+	}
+	if st := m.Stats(); st.StaleFetches != 0 || len(st.Misspeculations) != 0 {
+		t.Errorf("unexpected staleness: %+v", st)
+	}
+}
+
+func TestStoreMisspeculationDetected(t *testing.T) {
+	// Two threads write the same block inside spec-tagged sections in
+	// happens-before order, but thread 0's persist-path is backlogged so
+	// its (older) store arrives after thread 1's (newer) store: a
+	// missing update, detected by the spec-ID check.
+	cfg := smallConfig(PMEMSpec, 2)
+	cfg.Path = ppath.Config{Latency: sim.NS(20), SlotGap: sim.NS(50)} // narrow path: backlogs easily
+	cfg.SpecWindow = sim.NS(100000)
+	m := mustNew(t, cfg)
+	base := m.Space().Base()
+	x := base + 4096
+	var detected []core.Misspeculation
+	m.SetMisspecHandler(func(ms core.Misspeculation) { detected = append(detected, ms) })
+
+	var t0ArrivedX, t1StoredX sim.Time
+	m.Spawn("t0", func(th *Thread) {
+		th.SpecAssign()           // ID 1
+		th.StoreU64(base, 0)      // warm the block (cold miss)
+		for i := 0; i < 40; i++ { // L1-resident burst: builds a path backlog
+			th.StoreU64(base, uint64(i))
+		}
+		th.StoreU64(x, 100) // old value, queued behind the backlog
+		t0ArrivedX = m.Paths().DrainTime(th.Core())
+		th.SpecRevoke()
+	})
+	m.Spawn("t1", func(th *Thread) {
+		// Run after t0 stored x but so that t1's own write to x is still
+		// pending in the controller when t0's delayed persist arrives.
+		th.Work(sim.NS(2150))
+		th.SpecAssign()     // ID 2 — happens-before-after t0
+		th.StoreU64(x, 200) // newer value on an idle path: arrives first
+		t1StoredX = th.Clock()
+		th.SpecRevoke()
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if t1StoredX >= t0ArrivedX {
+		t.Fatalf("test timing broken: t1 stored at %v, t0's persist arrived at %v", t1StoredX, t0ArrivedX)
+	}
+	found := false
+	for _, ms := range detected {
+		if ms.Kind == core.StoreMisspec && ms.Addr == mem.BlockAlign(x) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("store misspeculation not detected: %v (t1 stored @%v, t0 arrival @%v)", detected, t1StoredX, t0ArrivedX)
+	}
+	// Ground truth: the missing update really happened (PM holds the
+	// older value).
+	if got := m.Space().PM.ReadU64(x); got != 100 {
+		t.Errorf("PM value = %d, want the clobbering old value 100", got)
+	}
+}
+
+func TestSimulatedFault(t *testing.T) {
+	m := mustNew(t, smallConfig(PMEMSpec, 1))
+	var fault *Fault
+	m.Spawn("w", func(th *Thread) {
+		defer func() {
+			if r := recover(); r != nil {
+				if f, ok := r.(*Fault); ok {
+					fault = f
+					return
+				}
+				panic(r)
+			}
+		}()
+		th.LoadU64(0xdead_0000_0000) // way outside PM
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fault == nil || fault.Op != "load" {
+		t.Errorf("fault = %v", fault)
+	}
+}
+
+func TestStoreQueuePressure(t *testing.T) {
+	// A dense burst of CLWBs must fill the 32-entry store queue and
+	// stall the thread (the paper's IntelX86 overhead mechanism).
+	m := mustNew(t, smallConfig(IntelX86, 1))
+	base := m.Space().Base()
+	m.Spawn("w", func(th *Thread) {
+		// Warm 256 blocks so the flush burst below runs at full speed.
+		for i := 0; i < 256; i++ {
+			th.StoreU64(base+mem.Addr(i*64), uint64(i))
+		}
+		// Dense CLWB burst: WPQ back-pressure delays flush completions,
+		// which pile up in the 32-entry store queue.
+		for i := 0; i < 256; i++ {
+			th.StoreU64(base+mem.Addr(i*64), uint64(i+1))
+			th.CLWB(base + mem.Addr(i*64))
+		}
+		th.SFence()
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().SQStallCycles == 0 {
+		t.Error("no store-queue stalls under CLWB burst")
+	}
+}
+
+func TestCrashKeepsOnlyDurableWrites(t *testing.T) {
+	m := mustNew(t, smallConfig(PMEMSpec, 1))
+	base := m.Space().Base()
+	m.Spawn("w", func(th *Thread) {
+		th.StoreU64(base, 1)
+		th.SpecBarrier() // durable
+		th.Work(sim.NS(5000))
+		th.StoreU64(base+8, 2) // in flight at crash time
+		th.Work(sim.NS(100000))
+	})
+	// Crash 10ns after the second store is issued: its persist (20ns
+	// path) has not arrived.
+	m.ScheduleCrash(sim.NS(5100))
+	err := m.Run()
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Run = %v, want ErrCrashed", err)
+	}
+	if m.Space().PM.ReadU64(base) != 1 {
+		t.Error("durable write lost at crash")
+	}
+	if m.Space().PM.ReadU64(base+8) != 0 {
+		t.Error("in-flight write survived crash")
+	}
+	if m.Hierarchy().Cached(base) {
+		t.Error("caches survived crash")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (sim.Time, Stats) {
+		m := mustNew(t, smallConfig(PMEMSpec, 4))
+		base := m.Space().Base()
+		var lk sim.Mutex
+		for i := 0; i < 4; i++ {
+			m.Spawn("t", func(th *Thread) {
+				for j := 0; j < 50; j++ {
+					th.Lock(&lk)
+					a := base + mem.Addr((th.Core()*997+j*131)%4096)*8
+					th.StoreU64(a, uint64(j))
+					th.LoadU64(a)
+					th.Unlock(&lk)
+					th.SpecBarrier()
+				}
+			})
+		}
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.MaxThreadClock(), m.Stats()
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 {
+		t.Errorf("clocks differ: %v vs %v", c1, c2)
+	}
+	if s1.Loads != s2.Loads || s1.Stores != s2.Stores || s1.PMFetches != s2.PMFetches {
+		t.Error("stats differ between identical runs")
+	}
+}
+
+func TestRelativeBarrierCosts(t *testing.T) {
+	// The machine-level mechanism behind the paper's Figure 9: one
+	// FASE-like sequence (log write, flush, data write, commit) is
+	// cheapest under PMEM-Spec and most expensive under DPO.
+	times := map[Design]sim.Time{}
+	for _, d := range Designs {
+		m := mustNew(t, smallConfig(d, 1))
+		base := m.Space().Base()
+		m.Spawn("w", func(th *Thread) {
+			for i := 0; i < 200; i++ {
+				logA := base + mem.Addr(i%8)*64
+				dataA := base + 4096 + mem.Addr(i%8)*64
+				// log write + order
+				th.StoreU64(logA, uint64(i))
+				switch d {
+				case IntelX86, DPO:
+					th.CLWB(logA)
+					th.SFence()
+				case HOPS:
+					th.OFence()
+				case PMEMSpec:
+					// nothing: the persist-path orders log before data
+				}
+				// data write + durability
+				th.StoreU64(dataA, uint64(i))
+				switch d {
+				case IntelX86, DPO:
+					th.CLWB(dataA)
+					th.SFence()
+				case HOPS:
+					th.DFence()
+				case PMEMSpec:
+					th.SpecBarrier()
+				}
+			}
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		times[d] = m.MaxThreadClock()
+	}
+	if !(times[PMEMSpec] < times[IntelX86]) {
+		t.Errorf("PMEM-Spec (%v) not faster than IntelX86 (%v)", times[PMEMSpec], times[IntelX86])
+	}
+	if !(times[HOPS] < times[IntelX86]) {
+		t.Errorf("HOPS (%v) not faster than IntelX86 (%v)", times[HOPS], times[IntelX86])
+	}
+	// DPO may match IntelX86 on a single core (no contention for the
+	// global flush token); it must never be meaningfully faster.
+	if times[DPO] < times[IntelX86]*95/100 {
+		t.Errorf("DPO (%v) faster than IntelX86 (%v)", times[DPO], times[IntelX86])
+	}
+	// §8.2.1: in barrier-dominated store-only sequences PMEM-Spec and
+	// HOPS are comparable (the 20 ns persist-path is longer than the
+	// 11 ns L1-to-PMC transfer); PMEM-Spec's win comes from the load
+	// path, asserted separately below.
+	if times[PMEMSpec] > times[HOPS]*2 {
+		t.Errorf("PMEM-Spec (%v) not comparable to HOPS (%v)", times[PMEMSpec], times[HOPS])
+	}
+}
+
+func TestPMLoadPathFavorsPMEMSpec(t *testing.T) {
+	// HOPS charges a bloom-filter lookup on every PM load and an extra
+	// bus cycle on LLC traffic; PMEM-Spec leaves the load path alone.
+	// A PM-fetch-heavy loop must therefore run faster under PMEM-Spec.
+	times := map[Design]sim.Time{}
+	for _, d := range []Design{HOPS, PMEMSpec} {
+		cfg := DefaultConfig(d, 1)
+		cfg.MemBytes = 8 * 1024 * 1024
+		cfg.LLCBytes = 64 * mem.BlockSize // tiny LLC: loads go to PM
+		cfg.LLCWays = 1
+		cfg.L1Bytes = 2 * mem.BlockSize
+		cfg.L1Ways = 1
+		m := mustNew(t, cfg)
+		base := m.Space().Base()
+		m.Spawn("w", func(th *Thread) {
+			for i := 0; i < 400; i++ {
+				th.StoreU64(base+mem.Addr((i%200)*64), uint64(i))
+				th.LoadU64(base + mem.Addr(((i*7)%200)*64))
+			}
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		times[d] = m.MaxThreadClock()
+	}
+	if !(times[PMEMSpec] < times[HOPS]) {
+		t.Errorf("PMEM-Spec (%v) not faster than HOPS (%v) on the PM load path", times[PMEMSpec], times[HOPS])
+	}
+}
+
+func TestSpecBufferOverflowPausesAllCores(t *testing.T) {
+	// Buffer entries are created by dirty LLC evictions (§8.3.2); a
+	// write working set larger than a tiny LLC streams evictions and
+	// overflows a 1-entry buffer.
+	cfg := smallConfig(PMEMSpec, 2)
+	cfg.L1Bytes = 2 * mem.BlockSize
+	cfg.L1Ways = 1
+	cfg.LLCBytes = 8 * mem.BlockSize
+	cfg.LLCWays = 1
+	cfg.SpecBufEntries = 1
+	cfg.SpecWindow = sim.NS(10000) // long windows keep entries live
+	m := mustNew(t, cfg)
+	base := m.Space().Base()
+	for i := 0; i < 2; i++ {
+		m.Spawn("t", func(th *Thread) {
+			for round := 0; round < 4; round++ {
+				for j := 0; j < 32; j++ {
+					th.StoreU64(base+mem.Addr(th.Core()*64*1024+j*64), uint64(round))
+				}
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().SpecOverflowPauses == 0 {
+		t.Error("no overflow pauses with a 1-entry speculation buffer")
+	}
+	if m.Stats().DroppedDirtyWritebacks == 0 {
+		t.Error("expected dropped dirty writebacks")
+	}
+}
+
+func TestSpecContextVirtualization(t *testing.T) {
+	// §5.2.2: the speculation-ID register is saved/restored across
+	// context switches, so a thread scheduled out inside a critical
+	// section keeps tagging its stores after it is scheduled back in.
+	m := mustNew(t, smallConfig(PMEMSpec, 1))
+	m.Spawn("w", func(th *Thread) {
+		th.SpecAssign()
+		inCS := th.SpecID()
+		th.SpecAssign() // nested section
+		nested := th.SpecID()
+
+		ctx := th.SaveSpecContext() // scheduled out
+		if th.SpecID() != 0 {
+			t.Error("register not cleared while scheduled out")
+		}
+		th.RestoreSpecContext(ctx) // scheduled back in
+		if th.SpecID() != nested {
+			t.Errorf("restored ID %d, want %d", th.SpecID(), nested)
+		}
+		th.SpecRevoke()
+		if th.SpecID() != inCS {
+			t.Errorf("nesting stack lost across switch: %d, want %d", th.SpecID(), inCS)
+		}
+		th.SpecRevoke()
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

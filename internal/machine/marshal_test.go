@@ -1,0 +1,27 @@
+package machine
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestDesignJSONKeys(t *testing.T) {
+	m := map[Design]float64{PMEMSpec: 1.29, HOPS: 1.20}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if want := `"PMEM-Spec":1.29`; !contains(s, want) {
+		t.Errorf("JSON = %s, want key %q", s, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"pmemspec/internal/mem"
+	"pmemspec/internal/ppath"
+	"pmemspec/internal/sim"
+)
+
+// multiCfg builds a 2-controller PMEM-Spec machine with a narrow persist
+// path so one controller's fabric can back up while the other stays idle.
+func multiCfg(ordered bool) Config {
+	cfg := DefaultConfig(PMEMSpec, 1)
+	cfg.MemBytes = 8 << 20
+	cfg.Controllers = 2
+	cfg.OrderedNoC = ordered
+	cfg.Path = ppath.Config{Latency: sim.NS(20), SlotGap: sim.NS(50)}
+	return cfg
+}
+
+func TestMultiControllerValidation(t *testing.T) {
+	bad := DefaultConfig(HOPS, 2)
+	bad.Controllers = 2
+	if _, err := New(bad); err == nil {
+		t.Error("multi-controller HOPS accepted")
+	}
+	bad = DefaultConfig(PMEMSpec, 2)
+	bad.Controllers = 99
+	if _, err := New(bad); err == nil {
+		t.Error("absurd controller count accepted")
+	}
+	ok := DefaultConfig(PMEMSpec, 2)
+	ok.Controllers = 4
+	if _, err := New(ok); err != nil {
+		t.Errorf("4-controller PMEM-Spec rejected: %v", err)
+	}
+}
+
+func TestControllerInterleaving(t *testing.T) {
+	m := mustNew(t, multiCfg(false))
+	base := m.Space().Base()
+	if m.ctrlIndex(base) == m.ctrlIndex(base+64) {
+		t.Error("adjacent blocks mapped to the same controller")
+	}
+	if m.ctrlIndex(base) != m.ctrlIndex(base+128) {
+		t.Error("alternate blocks not interleaved round-robin")
+	}
+	if m.ctrlIndex(base+10) != m.ctrlIndex(base) {
+		t.Error("intra-block addresses split across controllers")
+	}
+}
+
+// TestSection7HazardWithoutOrderedNoC demonstrates the limitation the
+// paper states in §7: with independent per-controller persist paths, a
+// core's stores to different controllers can persist out of program
+// order, breaking strict persistency across a crash.
+func TestSection7HazardWithoutOrderedNoC(t *testing.T) {
+	m := mustNew(t, multiCfg(false))
+	base := m.Space().Base() + 1<<20
+	x := base           // even block → controller 0
+	y := base + 64      // odd block → controller 1
+	flood := base + 128 // controller 0, distinct block
+	m.Spawn("w", func(th *Thread) {
+		th.StoreU64(flood, 1) // warm (cold miss)
+		for i := 0; i < 30; i++ {
+			th.StoreU64(flood, uint64(i)) // back up controller 0's path
+		}
+		th.StoreU64(x, 7) // program order: x before y
+		th.StoreU64(y, 9)
+		th.Work(sim.NS(10_000))
+	})
+	// Crash after y's (idle-path) arrival but before x's (queued behind
+	// ~30 backlog slots of 50 ns each).
+	m.ScheduleCrash(sim.NS(1_000))
+	if err := m.Run(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Run = %v", err)
+	}
+	pm := m.Space().PM
+	if pm.ReadU64(y) != 9 {
+		t.Fatal("test timing broken: y did not persist before the crash")
+	}
+	if pm.ReadU64(x) == 7 {
+		t.Fatal("test timing broken: x persisted despite the backlog")
+	}
+	// y persisted without x: the intra-thread persist order is violated —
+	// exactly why the paper's design "currently cannot support systems
+	// with multiple PM controllers".
+}
+
+// TestOrderedNoCPreservesStoreOrder is the extension the paper leaves as
+// future work: with the on-chip network respecting the store order, the
+// same schedule can never persist y without x.
+func TestOrderedNoCPreservesStoreOrder(t *testing.T) {
+	for _, crashNS := range []int64{500, 1000, 2000, 3000, 5000} {
+		m := mustNew(t, multiCfg(true))
+		base := m.Space().Base() + 1<<20
+		x := base
+		y := base + 64
+		flood := base + 128
+		m.Spawn("w", func(th *Thread) {
+			th.StoreU64(flood, 1)
+			for i := 0; i < 30; i++ {
+				th.StoreU64(flood, uint64(i))
+			}
+			th.StoreU64(x, 7)
+			th.StoreU64(y, 9)
+			th.Work(sim.NS(10_000))
+		})
+		m.ScheduleCrash(sim.NS(crashNS))
+		if err := m.Run(); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("Run = %v", err)
+		}
+		pm := m.Space().PM
+		if pm.ReadU64(y) == 9 && pm.ReadU64(x) != 7 {
+			t.Fatalf("crash@%dns: y persisted without x under the ordered NoC", crashNS)
+		}
+	}
+}
+
+// TestMultiControllerSpecBarrier: the durability barrier must cover
+// every fabric and controller.
+func TestMultiControllerSpecBarrier(t *testing.T) {
+	for _, ordered := range []bool{false, true} {
+		m := mustNew(t, multiCfg(ordered))
+		base := m.Space().Base() + 1<<20
+		m.Spawn("w", func(th *Thread) {
+			for i := 0; i < 8; i++ {
+				th.StoreU64(base+mem.Addr(i*64), uint64(i+1)) // both controllers
+			}
+			th.SpecBarrier()
+			for i := 0; i < 8; i++ {
+				if got := m.Space().PM.ReadU64(base + mem.Addr(i*64)); got != uint64(i+1) {
+					t.Errorf("ordered=%v: slot %d = %d after spec-barrier", ordered, i, got)
+				}
+			}
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMultiControllerDetection: each controller's speculation buffer
+// detects stale reads of the blocks it owns.
+func TestMultiControllerDetection(t *testing.T) {
+	cfg := multiCfg(true)
+	cfg.LLCBytes = 32 * 1024
+	cfg.LLCWays = 2
+	cfg.Path = ppath.Config{Latency: sim.NS(500), SlotGap: 1}
+	cfg.SpecWindow = sim.NS(4000)
+	m := mustNew(t, cfg)
+	base := m.Space().Base() + 1<<20
+	sets := cfg.LLCBytes / (cfg.LLCWays * mem.BlockSize)
+	stride := mem.Addr(sets) * mem.BlockSize
+	victim := base + 64 // controller 1's block
+	m.Spawn("w", func(th *Thread) {
+		th.StoreU64(victim, 1)
+		th.LoadU64(victim + stride)
+		th.LoadU64(victim + 2*stride)
+		th.LoadU64(victim) // stale
+		th.Work(sim.NS(4000))
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Stats().Misspeculations) == 0 {
+		t.Error("controller 1 did not detect the stale read")
+	}
+	if m.SpecBuffers()[m.ctrlIndex(victim)].Stats.LoadMisspecs == 0 {
+		t.Error("detection not attributed to the owning controller")
+	}
+}

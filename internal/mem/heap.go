@@ -1,0 +1,115 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Heap is a simple segregated free-list allocator over the simulated PM
+// region. Allocation metadata is host-side (volatile): the workloads
+// re-derive reachability from persistent roots after a crash, so the
+// allocator itself never needs to be recovered. Sizes are rounded up to
+// 8-byte granules; AllocBlock hands out cache-block-aligned chunks so a
+// workload can control block sharing (e.g. the 64 B FASE data items).
+type Heap struct {
+	space *Space
+	next  Addr // bump pointer
+	limit Addr
+	free  map[uint64][]Addr // rounded size → free addresses (LIFO)
+
+	// Allocated tracks live bytes (for statistics and leak checks).
+	Allocated uint64
+}
+
+// NewHeap creates a heap over all of s, starting at reserve bytes past
+// the base (the reserved prefix is for fixed-address roots and logs).
+func NewHeap(s *Space, reserve uint64) *Heap {
+	if reserve > s.Size() {
+		panic("mem: heap reserve larger than space")
+	}
+	return &Heap{
+		space: s,
+		next:  s.Base() + Addr(reserve),
+		limit: s.Base() + Addr(s.Size()),
+		free:  make(map[uint64][]Addr),
+	}
+}
+
+func roundUp(n, to uint64) uint64 { return (n + to - 1) &^ (to - 1) }
+
+// Alloc returns the address of a fresh n-byte region (8-byte aligned).
+// It panics if the heap is exhausted: simulation configs size the region
+// for the workload, so exhaustion is a setup bug.
+func (h *Heap) Alloc(n uint64) Addr {
+	if n == 0 {
+		n = 8
+	}
+	n = roundUp(n, 8)
+	if fl := h.free[n]; len(fl) > 0 {
+		a := fl[len(fl)-1]
+		h.free[n] = fl[:len(fl)-1]
+		h.Allocated += n
+		return a
+	}
+	a := h.next
+	if a+Addr(n) > h.limit {
+		panic(fmt.Sprintf("mem: heap exhausted (want %d bytes, %d left)", n, uint64(h.limit-h.next)))
+	}
+	h.next += Addr(n)
+	h.Allocated += n
+	return a
+}
+
+// AllocBlock returns a fresh cache-block-aligned region of n bytes
+// (n rounded up to a multiple of the block size).
+func (h *Heap) AllocBlock(n uint64) Addr {
+	n = roundUp(n, BlockSize)
+	if fl := h.free[n|1]; len(fl) > 0 { // |1 marks the aligned class
+		a := fl[len(fl)-1]
+		h.free[n|1] = fl[:len(fl)-1]
+		h.Allocated += n
+		return a
+	}
+	// Bump-align.
+	a := Addr(roundUp(uint64(h.next), BlockSize))
+	if a+Addr(n) > h.limit {
+		panic(fmt.Sprintf("mem: heap exhausted (want %d aligned bytes)", n))
+	}
+	h.next = a + Addr(n)
+	h.Allocated += n
+	return a
+}
+
+// Free returns an Alloc'd region of n bytes to the free list.
+func (h *Heap) Free(a Addr, n uint64) {
+	if n == 0 {
+		n = 8
+	}
+	n = roundUp(n, 8)
+	h.free[n] = append(h.free[n], a)
+	h.Allocated -= n
+}
+
+// FreeBlock returns an AllocBlock'd region to the aligned free list.
+func (h *Heap) FreeBlock(a Addr, n uint64) {
+	n = roundUp(n, BlockSize)
+	h.free[n|1] = append(h.free[n|1], a)
+	h.Allocated -= n
+}
+
+// Remaining returns the bytes left in the bump region (excluding free
+// lists).
+func (h *Heap) Remaining() uint64 { return uint64(h.limit - h.next) }
+
+// FreeListSizes returns the size classes that currently have free chunks,
+// sorted (diagnostics).
+func (h *Heap) FreeListSizes() []uint64 {
+	var out []uint64
+	for sz, fl := range h.free {
+		if len(fl) > 0 {
+			out = append(out, sz)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,169 @@
+// Package mem models the simulated physical memory: a persistent-memory
+// region with two byte images.
+//
+// The architectural image holds the coherent view of memory — the value
+// of the most recent store to each location in the global memory order.
+// The persisted image holds what has actually reached the PM controller,
+// i.e. the ADR persistent domain; it is the state that survives a power
+// failure. The two images diverge exactly when persists are still in
+// flight (or were dropped, as with PMEM-Spec's silent dirty evictions),
+// and that divergence is what makes stale reads and crash-consistency
+// experiments meaningful.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BlockSize is the cache-block size in bytes (Table 3: 64 B blocks).
+const BlockSize = 64
+
+// Addr is a simulated physical address.
+type Addr uint64
+
+// BlockAlign rounds a down to its cache-block base.
+func BlockAlign(a Addr) Addr { return a &^ (BlockSize - 1) }
+
+// BlockOff returns a's offset within its cache block.
+func BlockOff(a Addr) int { return int(a & (BlockSize - 1)) }
+
+// SameBlock reports whether a and b fall in the same cache block.
+func SameBlock(a, b Addr) bool { return BlockAlign(a) == BlockAlign(b) }
+
+// Image is a flat byte image of the PM region.
+type Image struct {
+	base Addr
+	data []byte
+}
+
+// NewImage creates a zeroed image covering [base, base+size).
+func NewImage(base Addr, size uint64) *Image {
+	return &Image{base: base, data: make([]byte, size)}
+}
+
+// Base returns the first address covered by the image.
+func (im *Image) Base() Addr { return im.base }
+
+// Size returns the number of bytes covered.
+func (im *Image) Size() uint64 { return uint64(len(im.data)) }
+
+// Contains reports whether [a, a+n) lies inside the image.
+func (im *Image) Contains(a Addr, n int) bool {
+	if n < 0 || a < im.base {
+		return false
+	}
+	off := uint64(a - im.base)
+	return off+uint64(n) <= uint64(len(im.data))
+}
+
+func (im *Image) index(a Addr, n int) uint64 {
+	if !im.Contains(a, n) {
+		panic(fmt.Sprintf("mem: access [%#x,+%d) outside image [%#x,+%d)", uint64(a), n, uint64(im.base), len(im.data)))
+	}
+	return uint64(a - im.base)
+}
+
+// ReadU64 reads a little-endian uint64 at a.
+func (im *Image) ReadU64(a Addr) uint64 {
+	i := im.index(a, 8)
+	return binary.LittleEndian.Uint64(im.data[i:])
+}
+
+// WriteU64 writes a little-endian uint64 at a.
+func (im *Image) WriteU64(a Addr, v uint64) {
+	i := im.index(a, 8)
+	binary.LittleEndian.PutUint64(im.data[i:], v)
+}
+
+// Read copies len(p) bytes starting at a into p.
+func (im *Image) Read(a Addr, p []byte) {
+	i := im.index(a, len(p))
+	copy(p, im.data[i:])
+}
+
+// Write copies p into the image starting at a.
+func (im *Image) Write(a Addr, p []byte) {
+	i := im.index(a, len(p))
+	copy(im.data[i:], p)
+}
+
+// ReadBlock returns a copy of the cache block containing a.
+func (im *Image) ReadBlock(a Addr) [BlockSize]byte {
+	var b [BlockSize]byte
+	im.Read(BlockAlign(a), b[:])
+	return b
+}
+
+// WriteBlock overwrites the cache block containing a.
+func (im *Image) WriteBlock(a Addr, b [BlockSize]byte) {
+	im.Write(BlockAlign(a), b[:])
+}
+
+// Clone returns a deep copy of the image (for crash snapshots).
+func (im *Image) Clone() *Image {
+	c := &Image{base: im.base, data: make([]byte, len(im.data))}
+	copy(c.data, im.data)
+	return c
+}
+
+// CopyBlockFrom copies the block containing a from src into im. The two
+// images must cover the block.
+func (im *Image) CopyBlockFrom(src *Image, a Addr) {
+	im.WriteBlock(a, src.ReadBlock(a))
+}
+
+// Space is the simulated PM region: an architectural image plus the
+// persisted (ADR-domain) image, initially identical (both zero).
+type Space struct {
+	// Arch is the coherent, program-order view of memory.
+	Arch *Image
+	// PM is the persisted view: what survives a power failure.
+	PM *Image
+}
+
+// DefaultBase is the physical base address of the simulated PM region.
+const DefaultBase = Addr(0x1000_0000)
+
+// NewSpace creates a PM region of the given size at DefaultBase.
+func NewSpace(size uint64) *Space {
+	return &Space{
+		Arch: NewImage(DefaultBase, size),
+		PM:   NewImage(DefaultBase, size),
+	}
+}
+
+// Base returns the first PM address.
+func (s *Space) Base() Addr { return s.Arch.Base() }
+
+// Size returns the PM region size in bytes.
+func (s *Space) Size() uint64 { return s.Arch.Size() }
+
+// Contains reports whether [a, a+n) is a valid PM range.
+func (s *Space) Contains(a Addr, n int) bool { return s.Arch.Contains(a, n) }
+
+// PersistBlock copies the architectural contents of a's block into the
+// persisted image. Writeback-based designs (IntelX86 CLWB, HOPS/DPO
+// persist-buffer drains, dirty LLC writebacks that update PM) use this:
+// by the time the line reaches the controller it carries the coherent
+// data.
+func (s *Space) PersistBlock(a Addr) {
+	s.PM.CopyBlockFrom(s.Arch, a)
+}
+
+// PersistBytes applies an individual store's payload to the persisted
+// image. The PMEM-Spec persist-path uses this: each message carries the
+// bytes of one store, applied in arrival order at the controller — which
+// is how a late-arriving racing store can clobber a newer value (the
+// store-misspeculation "missing update").
+func (s *Space) PersistBytes(a Addr, p []byte) {
+	s.PM.Write(a, p)
+}
+
+// Divergent reports whether the architectural and persisted contents of
+// a's block differ (useful in tests and crash diagnostics).
+func (s *Space) Divergent(a Addr) bool {
+	ab := s.Arch.ReadBlock(a)
+	pb := s.PM.ReadBlock(a)
+	return ab != pb
+}

@@ -1,0 +1,246 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockUtilities(t *testing.T) {
+	cases := []struct {
+		a       Addr
+		aligned Addr
+		off     int
+	}{
+		{0, 0, 0}, {1, 0, 1}, {63, 0, 63}, {64, 64, 0}, {65, 64, 1},
+		{0x10000037, 0x10000000, 0x37},
+	}
+	for _, c := range cases {
+		if got := BlockAlign(c.a); got != c.aligned {
+			t.Errorf("BlockAlign(%#x) = %#x, want %#x", uint64(c.a), uint64(got), uint64(c.aligned))
+		}
+		if got := BlockOff(c.a); got != c.off {
+			t.Errorf("BlockOff(%#x) = %d, want %d", uint64(c.a), got, c.off)
+		}
+	}
+	if !SameBlock(100, 127) || SameBlock(127, 128) {
+		t.Error("SameBlock misclassified")
+	}
+}
+
+func TestBlockAlignProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		al := BlockAlign(a)
+		return al <= a && a-al < BlockSize && BlockOff(al) == 0 &&
+			al+Addr(BlockOff(a)) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImageReadWrite(t *testing.T) {
+	im := NewImage(0x1000, 4096)
+	im.WriteU64(0x1000, 0xdeadbeefcafebabe)
+	if got := im.ReadU64(0x1000); got != 0xdeadbeefcafebabe {
+		t.Errorf("ReadU64 = %#x", got)
+	}
+	// Little-endian layout.
+	var b [8]byte
+	im.Read(0x1000, b[:])
+	if b[0] != 0xbe || b[7] != 0xde {
+		t.Errorf("unexpected byte order: % x", b)
+	}
+	// Bulk read/write round-trip.
+	src := []byte("persistent memory speculation")
+	im.Write(0x1100, src)
+	dst := make([]byte, len(src))
+	im.Read(0x1100, dst)
+	if string(dst) != string(src) {
+		t.Errorf("bulk round-trip = %q", dst)
+	}
+}
+
+func TestImageU64RoundTripProperty(t *testing.T) {
+	im := NewImage(0, 1<<16)
+	f := func(off uint16, v uint64) bool {
+		a := Addr(off) &^ 7 // keep 8-byte aligned and in range
+		if !im.Contains(a, 8) {
+			return true
+		}
+		im.WriteU64(a, v)
+		return im.ReadU64(a) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImageBounds(t *testing.T) {
+	im := NewImage(0x1000, 128)
+	if im.Contains(0xFFF, 1) {
+		t.Error("Contains below base")
+	}
+	if im.Contains(0x1000, 129) {
+		t.Error("Contains past end")
+	}
+	if !im.Contains(0x1000+127, 1) {
+		t.Error("last byte should be contained")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range access did not panic")
+		}
+	}()
+	im.ReadU64(0x1000 + 124)
+}
+
+func TestImageBlockOps(t *testing.T) {
+	im := NewImage(0, 1024)
+	var blk [BlockSize]byte
+	for i := range blk {
+		blk[i] = byte(i)
+	}
+	im.WriteBlock(130, blk)  // block base 128
+	got := im.ReadBlock(190) // same block
+	if got != blk {
+		t.Error("block round-trip mismatch")
+	}
+	if im.ReadU64(128) == 0 {
+		t.Error("block write did not land at block base")
+	}
+}
+
+func TestImageClone(t *testing.T) {
+	im := NewImage(0, 256)
+	im.WriteU64(8, 42)
+	c := im.Clone()
+	im.WriteU64(8, 99)
+	if c.ReadU64(8) != 42 {
+		t.Error("clone shares storage with original")
+	}
+	if c.Base() != im.Base() || c.Size() != im.Size() {
+		t.Error("clone geometry differs")
+	}
+}
+
+func TestSpacePersistBlockAndDivergence(t *testing.T) {
+	s := NewSpace(1 << 12)
+	a := s.Base() + 64
+	s.Arch.WriteU64(a, 7)
+	if !s.Divergent(a) {
+		t.Error("expected divergence after arch-only write")
+	}
+	s.PersistBlock(a)
+	if s.Divergent(a) {
+		t.Error("expected convergence after PersistBlock")
+	}
+	if s.PM.ReadU64(a) != 7 {
+		t.Error("PersistBlock did not copy data")
+	}
+}
+
+func TestSpacePersistBytesOrdering(t *testing.T) {
+	// A late-arriving stale payload must clobber a newer one: this is the
+	// store-misspeculation "missing update" semantics.
+	s := NewSpace(1 << 12)
+	a := s.Base()
+	new8 := make([]byte, 8)
+	old8 := make([]byte, 8)
+	new8[0], old8[0] = 2, 1
+	s.PersistBytes(a, new8) // thread 2's newer value arrives first
+	s.PersistBytes(a, old8) // thread 1's older value arrives late
+	if got := s.PM.ReadU64(a); got != 1 {
+		t.Errorf("PM value = %d, want 1 (missing update reproduced)", got)
+	}
+}
+
+func TestHeapAllocBasics(t *testing.T) {
+	s := NewSpace(1 << 16)
+	h := NewHeap(s, 1024)
+	a := h.Alloc(10) // rounds to 16
+	b := h.Alloc(10)
+	if a == b {
+		t.Error("distinct allocations share an address")
+	}
+	if a < s.Base()+1024 {
+		t.Error("allocation inside reserved prefix")
+	}
+	if a%8 != 0 || b%8 != 0 {
+		t.Error("allocations not 8-byte aligned")
+	}
+	h.Free(a, 10)
+	c := h.Alloc(10)
+	if c != a {
+		t.Errorf("free-list reuse failed: got %#x, want %#x", uint64(c), uint64(a))
+	}
+}
+
+func TestHeapAllocBlockAlignment(t *testing.T) {
+	s := NewSpace(1 << 16)
+	h := NewHeap(s, 0)
+	h.Alloc(8) // misalign the bump pointer
+	a := h.AllocBlock(64)
+	if BlockOff(a) != 0 {
+		t.Errorf("AllocBlock returned unaligned %#x", uint64(a))
+	}
+	b := h.AllocBlock(100) // rounds to 128
+	if BlockOff(b) != 0 || b < a+64 {
+		t.Errorf("second AllocBlock = %#x", uint64(b))
+	}
+	h.FreeBlock(a, 64)
+	if c := h.AllocBlock(64); c != a {
+		t.Error("aligned free list not reused")
+	}
+}
+
+func TestHeapAccounting(t *testing.T) {
+	s := NewSpace(1 << 16)
+	h := NewHeap(s, 0)
+	a := h.Alloc(24)
+	if h.Allocated != 24 {
+		t.Errorf("Allocated = %d, want 24", h.Allocated)
+	}
+	h.Free(a, 24)
+	if h.Allocated != 0 {
+		t.Errorf("Allocated = %d after free, want 0", h.Allocated)
+	}
+	if len(h.FreeListSizes()) != 1 {
+		t.Error("expected one populated free-list class")
+	}
+}
+
+func TestHeapExhaustionPanics(t *testing.T) {
+	s := NewSpace(256)
+	h := NewHeap(s, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("exhaustion did not panic")
+		}
+	}()
+	h.Alloc(512)
+}
+
+func TestHeapAllocFreeProperty(t *testing.T) {
+	s := NewSpace(1 << 20)
+	h := NewHeap(s, 0)
+	live := make(map[Addr]uint64)
+	f := func(sizes []uint16) bool {
+		for _, raw := range sizes {
+			sz := uint64(raw%512) + 1
+			a := h.Alloc(sz)
+			if _, dup := live[a]; dup {
+				return false // overlap with a live allocation
+			}
+			live[a] = sz
+		}
+		for a, sz := range live {
+			h.Free(a, sz)
+			delete(live, a)
+		}
+		return h.Allocated == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

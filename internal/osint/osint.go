@@ -1,0 +1,86 @@
+// Package osint is the operating-system interrupt layer of §6.1.1: when
+// the PMEM-Spec hardware detects misspeculation it stores the faulting
+// physical address into a designated space reserved by the OS and raises
+// a hardware interrupt; the OS looks the address up in its reverse map
+// (physical address → process) and relays the event to the registered
+// failure-atomic runtime of that process.
+//
+// The simulation runs a single process, so the reverse map has one
+// entry, but the structure mirrors the paper's description: ranges are
+// registered explicitly and an interrupt for an unregistered address is
+// counted and dropped (no runtime to deliver to).
+package osint
+
+import (
+	"pmemspec/internal/core"
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+)
+
+// Handler receives relayed misspeculation events (the "signal" of
+// §6.1.2).
+type Handler func(core.Misspeculation)
+
+// registration maps a physical range to a process's handler.
+type registration struct {
+	base mem.Addr
+	size uint64
+	pid  int
+	h    Handler
+}
+
+// OS is the interrupt-relay layer.
+type OS struct {
+	m             *machine.Machine
+	designated    mem.Addr // where hardware deposits the faulting address
+	registrations []registration
+
+	// Observer, when set, sees every raised interrupt before it is
+	// relayed (tracing/diagnostics — e.g. a kernel log).
+	Observer Handler
+
+	// Interrupts counts raised hardware interrupts; Unclaimed counts
+	// interrupts whose address matched no registered process.
+	Interrupts, Unclaimed uint64
+}
+
+// DesignatedSpaceOffset is where, within the PM region, the OS reserves
+// the word that hardware fills with the faulting physical address.
+const DesignatedSpaceOffset = 0
+
+// New attaches an OS to the machine: it installs the misspeculation
+// interrupt handler and reserves the designated space at the base of PM.
+func New(m *machine.Machine) *OS {
+	os := &OS{m: m, designated: m.Space().Base() + DesignatedSpaceOffset}
+	m.SetMisspecHandler(os.interrupt)
+	return os
+}
+
+// Register adds a reverse-map entry: misspeculations whose physical
+// address falls in [base, base+size) are relayed to h as process pid.
+func (o *OS) Register(pid int, base mem.Addr, size uint64, h Handler) {
+	o.registrations = append(o.registrations, registration{base: base, size: size, pid: pid, h: h})
+}
+
+// Inject raises a synthetic misspeculation interrupt, as if the
+// hardware had detected one — fault injection for tests and demos.
+func (o *OS) Inject(ms core.Misspeculation) { o.interrupt(ms) }
+
+// interrupt is the hardware interrupt entry point.
+func (o *OS) interrupt(ms core.Misspeculation) {
+	o.Interrupts++
+	if o.Observer != nil {
+		o.Observer(ms)
+	}
+	// Hardware deposited the physical address in the designated space;
+	// model that by writing it into the reserved word (volatile side:
+	// it is controller state, not program data).
+	o.m.Space().Arch.WriteU64(o.designated, uint64(ms.Addr))
+	for _, r := range o.registrations {
+		if ms.Addr >= r.base && uint64(ms.Addr-r.base) < r.size {
+			r.h(ms)
+			return
+		}
+	}
+	o.Unclaimed++
+}

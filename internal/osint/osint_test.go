@@ -1,0 +1,111 @@
+package osint
+
+import (
+	"testing"
+
+	"pmemspec/internal/core"
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+)
+
+func newOS(t *testing.T) (*machine.Machine, *OS) {
+	t.Helper()
+	cfg := machine.DefaultConfig(machine.PMEMSpec, 1)
+	cfg.MemBytes = 4 << 20
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, New(m)
+}
+
+func TestRelayToRegisteredProcess(t *testing.T) {
+	m, os := newOS(t)
+	base := m.Space().Base()
+	var got []core.Misspeculation
+	os.Register(7, base, 1<<20, func(ms core.Misspeculation) { got = append(got, ms) })
+
+	ms := core.Misspeculation{Kind: core.LoadMisspec, Addr: base + 0x400, At: 123}
+	os.interrupt(ms)
+	if len(got) != 1 || got[0] != ms {
+		t.Fatalf("relayed = %v", got)
+	}
+	if os.Interrupts != 1 || os.Unclaimed != 0 {
+		t.Errorf("interrupts=%d unclaimed=%d", os.Interrupts, os.Unclaimed)
+	}
+	// The hardware deposited the faulting address in the designated
+	// space (§6.1.1).
+	if depot := m.Space().Arch.ReadU64(base + DesignatedSpaceOffset); depot != uint64(ms.Addr) {
+		t.Errorf("designated space holds %#x", depot)
+	}
+}
+
+func TestUnclaimedInterrupt(t *testing.T) {
+	m, os := newOS(t)
+	base := m.Space().Base()
+	os.Register(1, base, 0x1000, func(core.Misspeculation) { t.Error("wrong process signalled") })
+	os.interrupt(core.Misspeculation{Kind: core.StoreMisspec, Addr: base + 0x100000})
+	if os.Unclaimed != 1 {
+		t.Errorf("unclaimed = %d", os.Unclaimed)
+	}
+}
+
+func TestReverseMapSelectsByRange(t *testing.T) {
+	m, os := newOS(t)
+	base := m.Space().Base()
+	var hit int
+	os.Register(1, base, 0x1000, func(core.Misspeculation) { hit = 1 })
+	os.Register(2, base+0x1000, 0x1000, func(core.Misspeculation) { hit = 2 })
+	os.interrupt(core.Misspeculation{Addr: base + 0x1800})
+	if hit != 2 {
+		t.Errorf("relayed to process %d, want 2", hit)
+	}
+}
+
+func TestObserverSeesEverything(t *testing.T) {
+	m, os := newOS(t)
+	base := m.Space().Base()
+	seen := 0
+	os.Observer = func(core.Misspeculation) { seen++ }
+	os.interrupt(core.Misspeculation{Addr: base}) // unclaimed, still observed
+	if seen != 1 {
+		t.Errorf("observer saw %d", seen)
+	}
+}
+
+func TestWiredIntoMachineInterruptLine(t *testing.T) {
+	// New() must install itself as the machine's misspec handler: a
+	// hardware detection reaches the registered runtime end to end.
+	cfg := machine.DefaultConfig(machine.PMEMSpec, 1)
+	cfg.MemBytes = 4 << 20
+	cfg.LLCBytes = 32 * 1024
+	cfg.LLCWays = 2
+	cfg.Path.Latency = 1000 // 500ns: slow path
+	cfg.SpecWindow = 8000
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os := New(m)
+	base := m.Space().Base()
+	var relayed []core.Misspeculation
+	os.Register(1, base, m.Space().Size(), func(ms core.Misspeculation) { relayed = append(relayed, ms) })
+
+	// §8.4 recipe on a 2-way set.
+	sets := cfg.LLCBytes / (cfg.LLCWays * mem.BlockSize)
+	stride := mem.Addr(sets) * mem.BlockSize
+	a := base + 1<<20
+	m.Spawn("w", func(th *machine.Thread) {
+		th.StoreU64(a, 1)
+		th.LoadU64(a + stride)
+		th.LoadU64(a + 2*stride)
+		th.LoadU64(a) // stale
+		th.Work(4000) // let the persist land
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(relayed) == 0 {
+		t.Fatal("hardware detection never reached the registered process")
+	}
+}

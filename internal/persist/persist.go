@@ -1,0 +1,108 @@
+// Package persist holds the software side of each evaluated design: the
+// ordering instrumentation a compiler or library inserts into
+// failure-atomic code (Figure 2 of the PMEM-Spec paper). The
+// failure-atomic runtime calls these hooks instead of hard-coding any
+// ISA, so one FASE implementation runs unchanged on all four designs:
+//
+//	IntelX86     log → clwb+sfence → data → clwb+sfence
+//	DPO          same binary as IntelX86 (clwb is absorbed by the persist
+//	             buffer; sfence drains it)
+//	HOPS         log → ofence → data → dfence
+//	StrandWeaver log → persist-barrier → data → NewStrand per update,
+//	             JoinStrand at the end (§2.1: each update is its own
+//	             strand, so independent updates drain concurrently)
+//	PMEM-Spec    log → data → spec-barrier (no ordering annotation at all)
+package persist
+
+import (
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+)
+
+// Model is the per-design instrumentation contract.
+type Model interface {
+	// Design names the hardware this instrumentation targets.
+	Design() machine.Design
+	// Flush pushes a just-written PM range toward the persistence
+	// domain (IntelX86/DPO: one CLWB per touched cache block; the
+	// buffered and persist-path designs: nothing — their datapaths
+	// carry every store).
+	Flush(t *machine.Thread, a mem.Addr, size int)
+	// OrderBarrier orders previously flushed/issued persists before
+	// subsequent PM stores (sfence / sfence / ofence / persist-barrier /
+	// nothing).
+	OrderBarrier(t *machine.Thread)
+	// NextUpdate closes one failure-atomic update (log+data pair). Most
+	// designs order it like OrderBarrier; StrandWeaver instead opens a
+	// fresh strand so independent updates drain concurrently.
+	NextUpdate(t *machine.Thread)
+	// DurableBarrier returns only when every prior PM store of this
+	// thread is durable (sfence / sfence / dfence / JoinStrand /
+	// spec-barrier).
+	DurableBarrier(t *machine.Thread)
+}
+
+// ForDesign returns the instrumentation model for a design.
+func ForDesign(d machine.Design) Model {
+	switch d {
+	case machine.IntelX86:
+		return x86Model{}
+	case machine.DPO:
+		return dpoModel{}
+	case machine.HOPS:
+		return hopsModel{}
+	case machine.PMEMSpec:
+		return specModel{}
+	case machine.Strand:
+		return strandModel{}
+	default:
+		panic("persist: unknown design")
+	}
+}
+
+// flushBlocks issues one CLWB per cache block overlapping [a, a+size).
+func flushBlocks(t *machine.Thread, a mem.Addr, size int) {
+	for blk := mem.BlockAlign(a); blk < a+mem.Addr(size); blk += mem.BlockSize {
+		t.CLWB(blk)
+	}
+}
+
+type x86Model struct{}
+
+func (x86Model) Design() machine.Design                        { return machine.IntelX86 }
+func (x86Model) Flush(t *machine.Thread, a mem.Addr, size int) { flushBlocks(t, a, size) }
+func (x86Model) OrderBarrier(t *machine.Thread)                { t.SFence() }
+func (x86Model) NextUpdate(t *machine.Thread)                  { t.SFence() }
+func (x86Model) DurableBarrier(t *machine.Thread)              { t.SFence() }
+
+type dpoModel struct{}
+
+func (dpoModel) Design() machine.Design                        { return machine.DPO }
+func (dpoModel) Flush(t *machine.Thread, a mem.Addr, size int) { flushBlocks(t, a, size) }
+func (dpoModel) OrderBarrier(t *machine.Thread)                { t.SFence() }
+func (dpoModel) NextUpdate(t *machine.Thread)                  { t.SFence() }
+func (dpoModel) DurableBarrier(t *machine.Thread)              { t.SFence() }
+
+type hopsModel struct{}
+
+func (hopsModel) Design() machine.Design                        { return machine.HOPS }
+func (hopsModel) Flush(t *machine.Thread, a mem.Addr, size int) {}
+func (hopsModel) OrderBarrier(t *machine.Thread)                { t.OFence() }
+func (hopsModel) NextUpdate(t *machine.Thread)                  { t.OFence() }
+func (hopsModel) DurableBarrier(t *machine.Thread)              { t.DFence() }
+
+type specModel struct{}
+
+func (specModel) Design() machine.Design                        { return machine.PMEMSpec }
+func (specModel) Flush(t *machine.Thread, a mem.Addr, size int) {}
+func (specModel) OrderBarrier(t *machine.Thread)                {}
+func (specModel) NextUpdate(t *machine.Thread)                  {}
+func (specModel) DurableBarrier(t *machine.Thread)              { t.SpecBarrier() }
+
+type strandModel struct{}
+
+func (strandModel) Design() machine.Design                        { return machine.Strand }
+func (strandModel) Flush(t *machine.Thread, a mem.Addr, size int) {}
+func (strandModel) OrderBarrier(t *machine.Thread)                { t.PersistBarrier() }
+func (strandModel) NextUpdate(t *machine.Thread)                  { t.NewStrand() }
+func (strandModel) DurableBarrier(t *machine.Thread)              { t.JoinStrand() }

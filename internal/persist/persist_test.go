@@ -1,0 +1,115 @@
+package persist
+
+import (
+	"testing"
+
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+)
+
+func newMachine(t *testing.T, d machine.Design) *machine.Machine {
+	t.Helper()
+	cfg := machine.DefaultConfig(d, 1)
+	cfg.MemBytes = 4 << 20
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestForDesignRoundTrip(t *testing.T) {
+	for _, d := range machine.Designs {
+		if got := ForDesign(d).Design(); got != d {
+			t.Errorf("ForDesign(%v).Design() = %v", d, got)
+		}
+	}
+}
+
+// TestInstrumentationCounts checks which fence instructions each model
+// emits — the Figure 2 contract.
+func TestInstrumentationCounts(t *testing.T) {
+	cases := []struct {
+		design                  machine.Design
+		clwbs, sfences          uint64
+		ofences, dfences, specs uint64
+	}{
+		{machine.IntelX86, 2, 2, 0, 0, 0}, // flush+order, then durable
+		{machine.DPO, 2, 2, 0, 0, 0},
+		{machine.HOPS, 0, 0, 1, 1, 0},
+		{machine.PMEMSpec, 0, 0, 0, 0, 1},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.design.String(), func(t *testing.T) {
+			m := newMachine(t, c.design)
+			model := ForDesign(c.design)
+			base := m.Space().Base() + 1<<20
+			m.Spawn("w", func(th *machine.Thread) {
+				th.StoreU64(base, 1)
+				model.Flush(th, base, 8) // one block
+				model.OrderBarrier(th)
+				th.StoreU64(base+64, 2)
+				model.Flush(th, base+64, 8)
+				model.DurableBarrier(th)
+			})
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			s := m.Stats()
+			if s.CLWBs != c.clwbs || s.SFences != c.sfences ||
+				s.OFences != c.ofences || s.DFences != c.dfences || s.SpecBarriers != c.specs {
+				t.Errorf("counts = clwb %d sfence %d ofence %d dfence %d spec %d, want %+v",
+					s.CLWBs, s.SFences, s.OFences, s.DFences, s.SpecBarriers, c)
+			}
+		})
+	}
+}
+
+// TestDurableBarrierMakesDataDurable: after DurableBarrier, the persisted
+// image holds the data on every design.
+func TestDurableBarrierMakesDataDurable(t *testing.T) {
+	for _, d := range machine.Designs {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			m := newMachine(t, d)
+			model := ForDesign(d)
+			base := m.Space().Base() + 1<<20
+			m.Spawn("w", func(th *machine.Thread) {
+				for i := 0; i < 4; i++ {
+					a := base + mem.Addr(i*64)
+					th.StoreU64(a, uint64(i+1))
+					model.Flush(th, a, 8)
+				}
+				model.DurableBarrier(th)
+				for i := 0; i < 4; i++ {
+					if got := m.Space().PM.ReadU64(base + mem.Addr(i*64)); got != uint64(i+1) {
+						t.Errorf("%s: slot %d = %d after durable barrier", d, i, got)
+					}
+				}
+			})
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFlushCoversWholeRange: a multi-block range flush issues one CLWB
+// per touched block on IntelX86.
+func TestFlushCoversWholeRange(t *testing.T) {
+	m := newMachine(t, machine.IntelX86)
+	model := ForDesign(machine.IntelX86)
+	base := m.Space().Base() + 1<<20
+	m.Spawn("w", func(th *machine.Thread) {
+		buf := make([]byte, 200) // spans 4 blocks from offset 30
+		th.Store(base+30, buf)
+		model.Flush(th, base+30, 200)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().CLWBs; got != 4 {
+		t.Errorf("CLWBs = %d, want 4 (blocks spanned)", got)
+	}
+}

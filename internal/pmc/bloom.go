@@ -1,0 +1,104 @@
+package pmc
+
+import (
+	"pmemspec/internal/mem"
+	"pmemspec/internal/sim"
+)
+
+// Bloom is the counting bloom filter HOPS places in the PM controller
+// (§5.1.1 of the PMEM-Spec paper, after HOPS): it tracks the addresses of
+// blocks currently sitting in the per-core persist buffers. Every PM
+// load must consult the filter (costing extra cycles); a hit — true or
+// false positive — postpones the read until the conflicting persists
+// have drained.
+//
+// Each bucket keeps both an occupancy count and the latest drain
+// completion time of entries hashed into it, so a conflicting read knows
+// how long to wait; a false positive waits on exactly the same
+// information, which reproduces HOPS's behaviour of delaying reads on
+// filter conflicts regardless of whether the conflict is real.
+type Bloom struct {
+	buckets []bloomBucket
+	mask    uint64
+
+	// LookupCost is charged to every PM load (extra cycles in the
+	// controller's critical path).
+	LookupCost sim.Time
+
+	// Stats
+	Lookups, Conflicts uint64
+}
+
+type bloomBucket struct {
+	count     int
+	drainedBy sim.Time
+}
+
+// NewBloom creates a filter with nbuckets (power of two) and the given
+// per-load lookup cost.
+func NewBloom(nbuckets int, lookupCost sim.Time) *Bloom {
+	if nbuckets <= 0 || nbuckets&(nbuckets-1) != 0 {
+		panic("pmc: bloom bucket count must be a positive power of two")
+	}
+	return &Bloom{
+		buckets:    make([]bloomBucket, nbuckets),
+		mask:       uint64(nbuckets - 1),
+		LookupCost: lookupCost,
+	}
+}
+
+// two cheap independent hashes of the block address.
+func (b *Bloom) idx(a mem.Addr) (uint64, uint64) {
+	x := uint64(mem.BlockAlign(a)) >> 6
+	h1 := x * 0x9E3779B97F4A7C15
+	h2 := (x ^ 0xD6E8FEB86659FD93) * 0xBF58476D1CE4E5B9
+	return (h1 >> 16) & b.mask, (h2 >> 16) & b.mask
+}
+
+// Insert records a block entering a persist buffer; drainBy is the
+// current estimate of when it will reach PM.
+func (b *Bloom) Insert(a mem.Addr, drainBy sim.Time) {
+	i, j := b.idx(a)
+	b.add(i, drainBy)
+	if j != i {
+		b.add(j, drainBy)
+	}
+}
+
+func (b *Bloom) add(i uint64, drainBy sim.Time) {
+	b.buckets[i].count++
+	if drainBy > b.buckets[i].drainedBy {
+		b.buckets[i].drainedBy = drainBy
+	}
+}
+
+// Remove records a block leaving a persist buffer (drain complete).
+func (b *Bloom) Remove(a mem.Addr) {
+	i, j := b.idx(a)
+	b.buckets[i].count--
+	if j != i {
+		b.buckets[j].count--
+	}
+}
+
+// Check consults the filter for a PM load at time now. It returns the
+// time the load may proceed: now (plus nothing — the caller charges
+// LookupCost separately) when the filter is clean, or the conflicting
+// buckets' drain horizon on a hit.
+func (b *Bloom) Check(a mem.Addr, now sim.Time) sim.Time {
+	b.Lookups++
+	i, j := b.idx(a)
+	hit := b.buckets[i].count > 0 && b.buckets[j].count > 0
+	if !hit {
+		return now
+	}
+	b.Conflicts++
+	wait := b.buckets[i].drainedBy
+	if b.buckets[j].drainedBy < wait {
+		wait = b.buckets[j].drainedBy
+	}
+	if wait < now {
+		return now
+	}
+	return wait
+}

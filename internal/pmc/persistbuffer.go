@@ -1,0 +1,186 @@
+package pmc
+
+import (
+	"pmemspec/internal/mem"
+	"pmemspec/internal/sim"
+)
+
+// PersistBuffer is the per-core buffer beside the L1 cache that HOPS and
+// DPO use to hold PM stores until they are flushed to the controller
+// (Figure 1a/1b of the PMEM-Spec paper). Stores append in program
+// order; the buffer drains asynchronously into the controller's WPQ
+// (the durability point under ADR):
+//
+//   - HOPS (epoch persistency): entries within one epoch drain
+//     concurrently; an ofence closes the epoch and orders it before the
+//     next; a dfence stalls the thread until everything appended so far
+//     is admitted.
+//   - DPO (buffered strict persistency): every store is its own epoch
+//     and DPO "allows only a single flush to the persistent memory
+//     controller at once" — flushes serialize globally through the
+//     Serializer, each occupying the path for one transfer time.
+//
+// A full buffer stalls the appending store until the oldest entry drains.
+type PersistBuffer struct {
+	core     int
+	capacity int
+	kernel   *sim.Kernel
+	wpq      *WPQ
+	transfer sim.Time    // store-to-controller bus latency
+	ser      *Serializer // non-nil: DPO global one-flush-at-a-time
+
+	epoch uint64
+	// lastBlk is the block of the newest append (DPO same-line
+	// coalescing: consecutive stores to one line ride one flush).
+	lastBlk mem.Addr
+	// prevEpochsAdmit is the latest admission among closed epochs;
+	// entries of the open epoch may not be admitted before it.
+	prevEpochsAdmit sim.Time
+	// curEpochAdmit is the latest admission within the open epoch.
+	curEpochAdmit sim.Time
+	// outstanding holds admission times of entries still in the buffer.
+	outstanding []sim.Time
+
+	// onDrain is invoked (event context) when an entry is admitted to
+	// the WPQ: the payload is durable there.
+	onDrain func(addr mem.Addr, data []byte, at sim.Time)
+
+	// Stats
+	Appends, Drains, CapacityStalls uint64
+}
+
+// Serializer is DPO's global flush token: only one persist-buffer entry
+// may be in flight to the controller at a time across all cores. Share
+// one Serializer among every core's buffer.
+type Serializer struct {
+	next     sim.Time
+	interval sim.Time
+}
+
+// NewSerializer creates the DPO flush token; interval is how long one
+// flush occupies the path to the controller.
+func NewSerializer(interval sim.Time) *Serializer {
+	return &Serializer{interval: interval}
+}
+
+// acquire reserves the next flush slot at or after `ready`.
+func (s *Serializer) acquire(ready sim.Time) sim.Time {
+	if s.next > ready {
+		ready = s.next
+	}
+	s.next = ready + s.interval
+	return ready
+}
+
+// NewPersistBuffer creates a buffer for core with the given capacity.
+// transfer is the store-to-controller bus latency; a non-nil ser selects
+// DPO's globally serialized per-store ordering. onDrain receives each
+// drained entry at its admission time.
+func NewPersistBuffer(k *sim.Kernel, wpq *WPQ, core, capacity int, transfer sim.Time, ser *Serializer, onDrain func(mem.Addr, []byte, sim.Time)) *PersistBuffer {
+	if capacity < 1 {
+		panic("pmc: persist buffer capacity must be ≥ 1")
+	}
+	return &PersistBuffer{
+		core:     core,
+		capacity: capacity,
+		kernel:   k,
+		wpq:      wpq,
+		transfer: transfer,
+		ser:      ser,
+		onDrain:  onDrain,
+	}
+}
+
+// Full reports whether the buffer has no free entry.
+func (b *PersistBuffer) Full() bool { return len(b.outstanding) >= b.capacity }
+
+// NextFree returns the earliest time an in-flight entry drains — when a
+// stalled store may retry. Only meaningful while entries are pending.
+func (b *PersistBuffer) NextFree() sim.Time {
+	if len(b.outstanding) == 0 {
+		return 0
+	}
+	min := b.outstanding[0]
+	for _, v := range b.outstanding[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Append enqueues a store (addr, payload) at time now and schedules its
+// drain. The caller must ensure the buffer is not Full (stalling the
+// thread to NextFree() first); appending to a full buffer panics.
+// It returns the admission (durability) time.
+func (b *PersistBuffer) Append(now sim.Time, addr mem.Addr, data []byte) sim.Time {
+	if b.Full() {
+		panic("pmc: Append to full persist buffer")
+	}
+	b.Appends++
+	start := now + b.transfer
+	if b.ser != nil {
+		// DPO: per-store ordering (every store its own epoch) and one
+		// flush to the controller at a time globally. Consecutive
+		// stores to the same cache line coalesce into one flush — the
+		// persist buffer holds line-granular entries.
+		blk := mem.BlockAlign(addr)
+		if blk == b.lastBlk && b.curEpochAdmit >= start {
+			start = b.curEpochAdmit
+		} else {
+			if b.curEpochAdmit > start {
+				start = b.curEpochAdmit
+			}
+			start = b.ser.acquire(start)
+		}
+		b.lastBlk = blk
+	} else if b.prevEpochsAdmit > start {
+		// HOPS: ordered after every closed epoch's admissions.
+		start = b.prevEpochsAdmit
+	}
+	admit, _ := b.wpq.Accept(start, addr)
+	if admit > b.curEpochAdmit {
+		b.curEpochAdmit = admit
+	}
+	b.outstanding = append(b.outstanding, admit)
+	d := make([]byte, len(data))
+	copy(d, data)
+	b.kernel.Schedule(admit, func() {
+		for i, v := range b.outstanding {
+			if v == admit {
+				b.outstanding = append(b.outstanding[:i], b.outstanding[i+1:]...)
+				break
+			}
+		}
+		b.Drains++
+		if b.onDrain != nil {
+			b.onDrain(addr, d, admit)
+		}
+	})
+	return admit
+}
+
+// OFence closes the current epoch (HOPS ofence): subsequent entries are
+// ordered after everything appended so far. It is asynchronous — the
+// calling thread does not stall.
+func (b *PersistBuffer) OFence() {
+	b.epoch++
+	if b.curEpochAdmit > b.prevEpochsAdmit {
+		b.prevEpochsAdmit = b.curEpochAdmit
+	}
+}
+
+// DrainTime returns the time by which everything appended so far is
+// admitted to the WPQ: a dfence stalls the thread until then.
+func (b *PersistBuffer) DrainTime() sim.Time {
+	if b.curEpochAdmit > b.prevEpochsAdmit {
+		return b.curEpochAdmit
+	}
+	return b.prevEpochsAdmit
+}
+
+// Pending returns the number of entries still in the buffer.
+func (b *PersistBuffer) Pending() int { return len(b.outstanding) }
+
+// Epoch returns the current (open) epoch number.
+func (b *PersistBuffer) Epoch() uint64 { return b.epoch }

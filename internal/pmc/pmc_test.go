@@ -1,0 +1,264 @@
+package pmc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmemspec/internal/mem"
+	"pmemspec/internal/sim"
+)
+
+func TestControllerReadTiming(t *testing.T) {
+	c := NewController(DefaultConfig())
+	done := c.Read(0)
+	if done != sim.NS(175) {
+		t.Errorf("first read done at %v, want 175ns", done)
+	}
+	if c.Stats.Reads != 1 {
+		t.Errorf("Reads = %d", c.Stats.Reads)
+	}
+}
+
+func TestControllerWriteTiming(t *testing.T) {
+	c := NewController(DefaultConfig())
+	if done := c.Write(100); done != 100+sim.NS(94) {
+		t.Errorf("write done at %v", done)
+	}
+}
+
+func TestControllerBankQueueing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReadBanks = 2
+	c := NewController(cfg)
+	// Three simultaneous reads on two banks: the third queues.
+	d1 := c.Read(0)
+	d2 := c.Read(0)
+	d3 := c.Read(0)
+	if d1 != sim.NS(175) || d2 != sim.NS(175) {
+		t.Errorf("parallel reads done at %v, %v", d1, d2)
+	}
+	if d3 != 2*sim.NS(175) {
+		t.Errorf("queued read done at %v, want 350ns", d3)
+	}
+	if c.Stats.ReadQueueDelay != sim.NS(175) {
+		t.Errorf("queue delay = %v", c.Stats.ReadQueueDelay)
+	}
+}
+
+func TestControllerSingleBankSerializesWrites(t *testing.T) {
+	// DPO's one-flush-at-a-time behaviour.
+	cfg := DefaultConfig()
+	cfg.WriteBanks = 1
+	c := NewController(cfg)
+	d1 := c.Write(0)
+	d2 := c.Write(0)
+	if d2 != d1+sim.NS(94) {
+		t.Errorf("second write done at %v, want serialized %v", d2, d1+sim.NS(94))
+	}
+}
+
+func TestControllerServiceMonotonicProperty(t *testing.T) {
+	c := NewController(DefaultConfig())
+	f := func(gaps []uint8) bool {
+		now := sim.Time(0)
+		for _, g := range gaps {
+			now += sim.Time(g)
+			if c.Read(now) < now+c.Config().ReadLatency {
+				return false // service can never beat the media latency
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBloomInsertCheckRemove(t *testing.T) {
+	b := NewBloom(1024, 4)
+	a := mem.Addr(0x1000)
+	if got := b.Check(a, 100); got != 100 {
+		t.Errorf("clean filter delayed read to %v", got)
+	}
+	b.Insert(a, 500)
+	if got := b.Check(a, 100); got != 500 {
+		t.Errorf("conflicting read resumes at %v, want 500", got)
+	}
+	// After the drain horizon the conflict no longer delays.
+	if got := b.Check(a, 600); got != 600 {
+		t.Errorf("read after drain horizon delayed to %v", got)
+	}
+	b.Remove(a)
+	if got := b.Check(a, 100); got != 100 {
+		t.Errorf("removed entry still delays to %v", got)
+	}
+	if b.Lookups != 4 || b.Conflicts != 2 {
+		t.Errorf("lookups=%d conflicts=%d", b.Lookups, b.Conflicts)
+	}
+}
+
+func TestBloomCountsNeverNegativeProperty(t *testing.T) {
+	b := NewBloom(64, 4)
+	f := func(addrs []uint8) bool {
+		for _, raw := range addrs {
+			a := mem.Addr(raw) * 64
+			b.Insert(a, 100)
+			b.Remove(a)
+		}
+		// A fully drained filter must be conflict-free for every address.
+		for i := 0; i < 256; i++ {
+			if b.Check(mem.Addr(i*64), 0) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBloomFalsePositivePossible(t *testing.T) {
+	// With a tiny filter, some unrelated address must conflict — HOPS's
+	// false positives delay innocent reads.
+	b := NewBloom(2, 4)
+	b.Insert(0x1000, 900)
+	falsePositive := false
+	for i := 1; i < 64 && !falsePositive; i++ {
+		a := mem.Addr(0x1000 + i*64)
+		if b.Check(a, 0) > 0 {
+			falsePositive = true
+		}
+	}
+	if !falsePositive {
+		t.Error("expected at least one false positive in a 2-bucket filter")
+	}
+}
+
+func newTestBufferEnv(strict bool, capacity int) (*sim.Kernel, *Controller, *PersistBuffer, *[]mem.Addr) {
+	k := sim.NewKernel()
+	ctrl := NewController(DefaultConfig())
+	wpq := NewWPQ(ctrl, 64)
+	drained := &[]mem.Addr{}
+	var ser *Serializer
+	if strict {
+		ser = NewSerializer(sim.NS(11))
+	}
+	buf := NewPersistBuffer(k, wpq, 0, capacity, sim.NS(20), ser, func(a mem.Addr, d []byte, at sim.Time) {
+		*drained = append(*drained, a)
+	})
+	return k, ctrl, buf, drained
+}
+
+func TestPersistBufferDrainDeliversPayload(t *testing.T) {
+	k := sim.NewKernel()
+	ctrl := NewController(DefaultConfig())
+	wpq := NewWPQ(ctrl, 64)
+	var gotAddr mem.Addr
+	var gotData []byte
+	var gotAt sim.Time
+	buf := NewPersistBuffer(k, wpq, 0, 8, sim.NS(20), nil, func(a mem.Addr, d []byte, at sim.Time) {
+		gotAddr, gotData, gotAt = a, d, at
+	})
+	done := buf.Append(0, 0x2000, []byte{1, 2, 3, 4})
+	if want := sim.NS(20); done != want { // admission = durability (ADR)
+		t.Errorf("drain done at %v, want %v", done, want)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotAddr != 0x2000 || string(gotData) != string([]byte{1, 2, 3, 4}) || gotAt != done {
+		t.Errorf("drain callback got %#x % x @%v", uint64(gotAddr), gotData, gotAt)
+	}
+	if buf.Pending() != 0 || buf.Drains != 1 {
+		t.Errorf("pending=%d drains=%d", buf.Pending(), buf.Drains)
+	}
+}
+
+func TestPersistBufferEpochOrdering(t *testing.T) {
+	k, _, buf, _ := newTestBufferEnv(false, 32)
+	_ = k
+	// Two entries in epoch 0 drain concurrently.
+	d1 := buf.Append(0, 0x1000, []byte{1})
+	d2 := buf.Append(0, 0x1040, []byte{2})
+	if d2 != d1 {
+		t.Errorf("same-epoch drains not concurrent: %v vs %v", d1, d2)
+	}
+	// ofence: the next entry may not be admitted before epoch 0's
+	// admissions (same-instant admission is fine: WPQ entries apply in
+	// append order).
+	buf.OFence()
+	d3 := buf.Append(0, 0x1080, []byte{3})
+	if d3 < d1 {
+		t.Errorf("post-ofence drain %v ordered before epoch 0 (%v)", d3, d1)
+	}
+	if buf.Epoch() != 1 {
+		t.Errorf("epoch = %d", buf.Epoch())
+	}
+}
+
+func TestPersistBufferStrictOrdersEveryStore(t *testing.T) {
+	_, _, buf, _ := newTestBufferEnv(true, 32)
+	d1 := buf.Append(0, 0x1000, []byte{1})
+	d2 := buf.Append(0, 0x1040, []byte{2})
+	if d2 <= d1 {
+		t.Errorf("strict buffer drained concurrently: %v vs %v", d1, d2)
+	}
+}
+
+func TestPersistBufferDrainTimeForDFence(t *testing.T) {
+	_, _, buf, _ := newTestBufferEnv(false, 32)
+	buf.Append(0, 0x1000, []byte{1})
+	buf.OFence()
+	d := buf.Append(100, 0x1040, []byte{2})
+	if got := buf.DrainTime(); got != d {
+		t.Errorf("DrainTime = %v, want %v", got, d)
+	}
+}
+
+func TestPersistBufferCapacity(t *testing.T) {
+	k, _, buf, drained := newTestBufferEnv(false, 2)
+	buf.Append(0, 0x1000, []byte{1})
+	buf.Append(0, 0x1040, []byte{2})
+	if !buf.Full() {
+		t.Fatal("buffer should be full")
+	}
+	if buf.NextFree() == 0 {
+		t.Error("NextFree should report the head drain time")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Full() || len(*drained) != 2 {
+		t.Errorf("after run: full=%v drained=%d", buf.Full(), len(*drained))
+	}
+}
+
+func TestPersistBufferAppendFullPanics(t *testing.T) {
+	_, _, buf, _ := newTestBufferEnv(false, 1)
+	buf.Append(0, 0x1000, []byte{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("Append to full buffer did not panic")
+		}
+	}()
+	buf.Append(0, 0x1040, []byte{2})
+}
+
+func TestPersistBufferPayloadCopied(t *testing.T) {
+	k := sim.NewKernel()
+	ctrl := NewController(DefaultConfig())
+	var got []byte
+	buf := NewPersistBuffer(k, NewWPQ(ctrl, 64), 0, 8, sim.NS(20), nil, func(a mem.Addr, d []byte, at sim.Time) {
+		got = d
+	})
+	payload := []byte{9, 9}
+	buf.Append(0, 0x1000, payload)
+	payload[0] = 0 // mutate after append
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 9 {
+		t.Error("persist buffer aliased caller payload")
+	}
+}

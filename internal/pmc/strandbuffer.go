@@ -1,0 +1,156 @@
+package pmc
+
+import (
+	"pmemspec/internal/mem"
+	"pmemspec/internal/sim"
+)
+
+// StrandBuffer is StrandWeaver's per-core buffer (Figure 1c of the
+// PMEM-Spec paper): stores are appended to *strands* — independent
+// ordering domains that drain to the controller concurrently. A
+// persist-barrier orders later entries of the same strand after the
+// earlier ones; entries of different strands are unordered, which is the
+// extra concurrency strand persistency extracts beyond epochs. NewStrand
+// "clears previous persist dependencies and appears in the persist-order
+// as a new thread".
+//
+// Like the epoch persist buffer, capacity is bounded and a full buffer
+// stalls the appending store; drains become durable at WPQ admission.
+type StrandBuffer struct {
+	core     int
+	capacity int
+	kernel   *sim.Kernel
+	wpq      *WPQ
+	transfer sim.Time
+
+	// nextStrand allocates strand ids; strands holds each live strand's
+	// ordering state: entries between two persist-barriers are unordered
+	// among themselves, but may not be admitted before the previous
+	// barrier's horizon.
+	nextStrand uint64
+	strands    map[uint64]*strandState
+	// allAdmit is the latest admission across every strand (JoinStrand
+	// waits for it).
+	allAdmit sim.Time
+	// outstanding holds admission times of entries still in the buffer.
+	outstanding []sim.Time
+
+	onDrain func(addr mem.Addr, data []byte, at sim.Time)
+
+	// Stats
+	Appends, Drains, Barriers, Strands uint64
+}
+
+// NewStrandBuffer creates a strand buffer for core.
+func NewStrandBuffer(k *sim.Kernel, wpq *WPQ, core, capacity int, transfer sim.Time, onDrain func(mem.Addr, []byte, sim.Time)) *StrandBuffer {
+	if capacity < 1 {
+		panic("pmc: strand buffer capacity must be ≥ 1")
+	}
+	return &StrandBuffer{
+		core:     core,
+		capacity: capacity,
+		kernel:   k,
+		wpq:      wpq,
+		transfer: transfer,
+		strands:  map[uint64]*strandState{},
+		onDrain:  onDrain,
+	}
+}
+
+// strandState tracks one strand's ordering.
+type strandState struct {
+	// barrier is the admission horizon the strand's next entries must
+	// respect (set by the last persist-barrier).
+	barrier sim.Time
+	// sinceBarrier is the latest admission since that barrier.
+	sinceBarrier sim.Time
+}
+
+// NewStrand opens a fresh strand (no ordering dependencies) and returns
+// its id.
+func (b *StrandBuffer) NewStrand() uint64 {
+	b.Strands++
+	b.nextStrand++
+	return b.nextStrand
+}
+
+// PersistBarrier orders subsequent entries of the strand after everything
+// appended to it so far (asynchronous; the core does not stall).
+func (b *StrandBuffer) PersistBarrier(strand uint64) {
+	b.Barriers++
+	if st, ok := b.strands[strand]; ok && st.sinceBarrier > st.barrier {
+		st.barrier = st.sinceBarrier
+	}
+}
+
+// Full reports whether the buffer has no free entry.
+func (b *StrandBuffer) Full() bool { return len(b.outstanding) >= b.capacity }
+
+// NextFree returns the earliest in-flight admission (retry time while
+// Full).
+func (b *StrandBuffer) NextFree() sim.Time {
+	if len(b.outstanding) == 0 {
+		return 0
+	}
+	min := b.outstanding[0]
+	for _, v := range b.outstanding[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Append enqueues a store on the given strand at time now and returns
+// its admission (durability) time. The caller must respect Full.
+func (b *StrandBuffer) Append(now sim.Time, strand uint64, addr mem.Addr, data []byte) sim.Time {
+	if b.Full() {
+		panic("pmc: Append to full strand buffer")
+	}
+	b.Appends++
+	st := b.strands[strand]
+	if st == nil {
+		st = &strandState{}
+		b.strands[strand] = st
+	}
+	start := now + b.transfer
+	if st.barrier > start {
+		start = st.barrier
+	}
+	admit, _ := b.wpq.Accept(start, addr)
+	if admit > st.sinceBarrier {
+		st.sinceBarrier = admit
+	}
+	if admit > b.allAdmit {
+		b.allAdmit = admit
+	}
+	b.outstanding = append(b.outstanding, admit)
+	d := make([]byte, len(data))
+	copy(d, data)
+	b.kernel.Schedule(admit, func() {
+		for i, v := range b.outstanding {
+			if v == admit {
+				b.outstanding = append(b.outstanding[:i], b.outstanding[i+1:]...)
+				break
+			}
+		}
+		b.Drains++
+		if b.onDrain != nil {
+			b.onDrain(addr, d, admit)
+		}
+	})
+	return admit
+}
+
+// JoinTime returns the time by which every strand's entries so far are
+// admitted — what a JoinStrand (durability point) waits for. Joined
+// strands are retired.
+func (b *StrandBuffer) JoinTime() sim.Time {
+	for s := range b.strands {
+		delete(b.strands, s)
+	}
+	return b.allAdmit
+}
+
+// Pending returns the number of in-flight entries.
+func (b *StrandBuffer) Pending() int { return len(b.outstanding) }

@@ -1,0 +1,106 @@
+package pmc
+
+import (
+	"sort"
+
+	"pmemspec/internal/mem"
+	"pmemspec/internal/sim"
+)
+
+// WPQ models the controller's write-pending queue — Intel's ADR
+// persistent domain. A write is durable the moment it is *admitted* to
+// the WPQ (§8.1: "All stores to PM from the persist-path will be durable
+// once they appear at the PM controller"); the media write then drains
+// in the background at Table 3's 94 ns through the controller's write
+// banks. Admission is what every design's durability barrier waits for:
+// post-ADR CLWB completion (IntelX86), persist-buffer drain (HOPS/DPO),
+// and persist-path arrival (PMEM-Spec).
+//
+// The queue has bounded occupancy (64 entries, Table 3): when it is full,
+// admission stalls until a media write completes and frees a slot —
+// that back-pressure is the only way PM write bandwidth reaches the
+// cores. Writes to a block already pending in the queue coalesce ("the
+// PM controller … coalesces and buffers the store data").
+type WPQ struct {
+	cap  int
+	ctrl *Controller
+	// completions holds the media completion times of entries currently
+	// occupying the queue (pruned lazily against the query time).
+	completions []sim.Time
+	// blocks maps a pending block to its media completion (coalescing).
+	blocks map[mem.Addr]sim.Time
+
+	// Stats
+	Accepts, Coalesced, FullStalls uint64
+	StallTime                      sim.Time
+}
+
+// NewWPQ creates a write-pending queue of the given capacity in front of
+// ctrl's media write banks.
+func NewWPQ(ctrl *Controller, capacity int) *WPQ {
+	if capacity < 1 {
+		panic("pmc: WPQ capacity must be ≥ 1")
+	}
+	return &WPQ{cap: capacity, ctrl: ctrl, blocks: make(map[mem.Addr]sim.Time)}
+}
+
+// Accept admits a write to blk arriving at the controller at time `now`.
+// It returns the admission time (the durability point — equal to now
+// unless the queue is full) and the media completion time. Callers must
+// invoke Accept in approximately chronological order; the model tolerates
+// small inversions.
+func (w *WPQ) Accept(now sim.Time, blk mem.Addr) (admit, mediaDone sim.Time) {
+	blk = mem.BlockAlign(blk)
+	w.prune(now)
+	if done, ok := w.blocks[blk]; ok && done > now {
+		// Coalesce with the pending entry: durable immediately, no new
+		// media write.
+		w.Coalesced++
+		return now, done
+	}
+	admit = now
+	if len(w.completions) >= w.cap {
+		// Wait until enough media writes retire to free a slot.
+		need := len(w.completions) - w.cap + 1
+		sort.Slice(w.completions, func(i, j int) bool { return w.completions[i] < w.completions[j] })
+		admit = w.completions[need-1]
+		if admit < now {
+			admit = now
+		}
+		w.FullStalls++
+		w.StallTime += admit - now
+		w.prune(admit)
+	}
+	mediaDone = w.ctrl.Write(admit)
+	w.completions = append(w.completions, mediaDone)
+	w.blocks[blk] = mediaDone
+	w.Accepts++
+	if len(w.blocks) > 8192 {
+		w.pruneBlocks(now)
+	}
+	return admit, mediaDone
+}
+
+// Occupancy returns the number of entries pending at time now.
+func (w *WPQ) Occupancy(now sim.Time) int {
+	w.prune(now)
+	return len(w.completions)
+}
+
+func (w *WPQ) prune(now sim.Time) {
+	kept := w.completions[:0]
+	for _, c := range w.completions {
+		if c > now {
+			kept = append(kept, c)
+		}
+	}
+	w.completions = kept
+}
+
+func (w *WPQ) pruneBlocks(now sim.Time) {
+	for b, c := range w.blocks {
+		if c <= now {
+			delete(w.blocks, b)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package pmc
+
+import (
+	"testing"
+
+	"pmemspec/internal/sim"
+)
+
+func TestWPQAdmissionImmediateWhenNotFull(t *testing.T) {
+	w := NewWPQ(NewController(DefaultConfig()), 64)
+	admit, done := w.Accept(100, 0x1000)
+	if admit != 100 {
+		t.Errorf("admit = %v, want 100 (ADR: durable at arrival)", admit)
+	}
+	if done != 100+sim.NS(94) {
+		t.Errorf("media done = %v", done)
+	}
+}
+
+func TestWPQCoalescesSameBlock(t *testing.T) {
+	w := NewWPQ(NewController(DefaultConfig()), 64)
+	_, done1 := w.Accept(100, 0x1000)
+	admit2, done2 := w.Accept(110, 0x1008) // same block, different offset
+	if admit2 != 110 || done2 != done1 {
+		t.Errorf("coalesced accept = (%v,%v), want (110,%v)", admit2, done2, done1)
+	}
+	if w.Coalesced != 1 || w.Accepts != 1 {
+		t.Errorf("coalesced=%d accepts=%d", w.Coalesced, w.Accepts)
+	}
+	// After the media write retires, a new write to the block is a fresh
+	// entry.
+	admit3, done3 := w.Accept(done1+1, 0x1000)
+	if admit3 != done1+1 || done3 == done1 {
+		t.Error("post-retirement write should not coalesce")
+	}
+}
+
+func TestWPQFullBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WriteBanks = 1 // serialize media to make completions predictable
+	w := NewWPQ(NewController(cfg), 2)
+	a1, d1 := w.Accept(0, 0x0000) // media done 188
+	a2, _ := w.Accept(0, 0x0040)  // media done 376
+	if a1 != 0 || a2 != 0 {
+		t.Fatalf("early admissions delayed: %v %v", a1, a2)
+	}
+	// Queue full: third write stalls until the first media write retires.
+	a3, _ := w.Accept(0, 0x0080)
+	if a3 != d1 {
+		t.Errorf("admit under backpressure = %v, want %v", a3, d1)
+	}
+	if w.FullStalls != 1 || w.StallTime != d1 {
+		t.Errorf("stalls=%d stallTime=%v", w.FullStalls, w.StallTime)
+	}
+}
+
+func TestWPQOccupancyDrains(t *testing.T) {
+	w := NewWPQ(NewController(DefaultConfig()), 64)
+	_, done := w.Accept(0, 0x0000)
+	w.Accept(0, 0x0040)
+	if got := w.Occupancy(1); got != 2 {
+		t.Errorf("occupancy = %d, want 2", got)
+	}
+	if got := w.Occupancy(done + sim.NS(94)); got != 0 {
+		t.Errorf("occupancy after retirement = %d, want 0", got)
+	}
+}

@@ -1,0 +1,125 @@
+// Package ppath models PMEM-Spec's decoupled persist-path (§4.2): one
+// FIFO per core connecting the CPU store queue directly to the PM
+// controller, bypassing the cache hierarchy.
+//
+// Each PM store that commits from the store queue is pushed into its
+// core's path immediately and arrives at the PM controller after the
+// path transit latency, in commit order (the path is FIFO), so the
+// intra-thread persist-order equals the volatile memory order — strict
+// persistency. Paths of different cores are independent: their messages
+// can interleave arbitrarily at the controller, which is exactly the
+// freedom that makes inter-thread store misspeculation possible.
+//
+// The paths share a ring bus; a per-message slot gap models its
+// bandwidth, so a burst of stores queues up and a message's arrival can
+// slip past another core's later store — the reordering ingredient of
+// the paper's §5.2 scenario.
+package ppath
+
+import (
+	"fmt"
+
+	"pmemspec/internal/mem"
+	"pmemspec/internal/sim"
+)
+
+// Message is one store travelling down a persist-path.
+type Message struct {
+	Core   int
+	Addr   mem.Addr
+	Data   []byte // the store's payload (≤ 8 bytes)
+	SpecID uint64 // speculation ID, 0 outside critical sections
+	SentAt sim.Time
+	Arrive sim.Time
+}
+
+// Config parameterizes the persist-paths.
+type Config struct {
+	// Latency is the idle path transit latency (20 ns by default,
+	// Table 3).
+	Latency sim.Time
+	// SlotGap is the minimum spacing between two messages of one core
+	// on the ring bus (bandwidth model).
+	SlotGap sim.Time
+}
+
+// DefaultConfig matches the paper's main configuration: 20 ns transit
+// and one message per core cycle — the persist-path connects the store
+// queue, which commits at most one store per cycle, so the path is never
+// the narrower resource.
+func DefaultConfig() Config {
+	return Config{Latency: sim.NS(20), SlotGap: 1}
+}
+
+// Paths is the set of per-core persist-paths feeding one PM controller.
+type Paths struct {
+	cfg     Config
+	kernel  *sim.Kernel
+	deliver func(Message)
+	// lastArrive is, per core, the arrival time of the newest message
+	// scheduled; FIFO order forces successors to arrive after it.
+	lastArrive  []sim.Time
+	outstanding []int
+
+	// Sent and Delivered count messages (statistics).
+	Sent, Delivered uint64
+}
+
+// New creates persist-paths for ncores cores. deliver is invoked (in
+// kernel event context) when a message reaches the PM controller.
+func New(k *sim.Kernel, ncores int, cfg Config, deliver func(Message)) *Paths {
+	if cfg.Latency <= 0 || cfg.SlotGap < 0 {
+		panic(fmt.Sprintf("ppath: bad config %+v", cfg))
+	}
+	return &Paths{
+		cfg:         cfg,
+		kernel:      k,
+		deliver:     deliver,
+		lastArrive:  make([]sim.Time, ncores),
+		outstanding: make([]int, ncores),
+	}
+}
+
+// Config returns the path configuration.
+func (p *Paths) Config() Config { return p.cfg }
+
+// Send pushes a store onto core's persist-path at time now. The payload
+// is copied. It returns the scheduled arrival time.
+func (p *Paths) Send(core int, a mem.Addr, data []byte, specID uint64, now sim.Time) sim.Time {
+	d := make([]byte, len(data))
+	copy(d, data)
+	arrive := now + p.cfg.Latency
+	if min := p.lastArrive[core] + p.cfg.SlotGap; arrive < min {
+		arrive = min
+	}
+	p.lastArrive[core] = arrive
+	p.outstanding[core]++
+	p.Sent++
+	msg := Message{Core: core, Addr: a, Data: d, SpecID: specID, SentAt: now, Arrive: arrive}
+	p.kernel.Schedule(arrive, func() {
+		p.outstanding[core]--
+		p.Delivered++
+		p.deliver(msg)
+	})
+	return arrive
+}
+
+// DrainTime returns the time by which every message core has sent so far
+// will have arrived at the PM controller. A spec-barrier stalls the
+// thread until this time (§4.2: spec-barrier guarantees previous PM
+// stores arrive at the persistent domain).
+func (p *Paths) DrainTime(core int) sim.Time { return p.lastArrive[core] }
+
+// Outstanding returns the number of core's messages still in flight.
+func (p *Paths) Outstanding(core int) int { return p.outstanding[core] }
+
+// InFlightAnywhere reports whether any core has messages in flight
+// (used by crash injection: messages not yet at the controller are lost).
+func (p *Paths) InFlightAnywhere() bool {
+	for _, n := range p.outstanding {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package ppath
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmemspec/internal/mem"
+	"pmemspec/internal/sim"
+)
+
+func TestSendDeliversAfterLatency(t *testing.T) {
+	k := sim.NewKernel()
+	var got []Message
+	p := New(k, 2, DefaultConfig(), func(m Message) { got = append(got, m) })
+	arrive := p.Send(0, 0x1000, []byte{1, 2}, 7, 100)
+	if arrive != 100+sim.NS(20) {
+		t.Errorf("arrive = %v, want 100+40cyc", arrive)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivered %d messages", len(got))
+	}
+	m := got[0]
+	if m.Core != 0 || m.Addr != 0x1000 || m.SpecID != 7 || m.Arrive != arrive || len(m.Data) != 2 {
+		t.Errorf("message = %+v", m)
+	}
+}
+
+func TestFIFOPerCore(t *testing.T) {
+	k := sim.NewKernel()
+	var order []mem.Addr
+	p := New(k, 1, DefaultConfig(), func(m Message) { order = append(order, m.Addr) })
+	// Burst of sends at the same instant: slot gap forces spaced, in-order
+	// arrivals.
+	a1 := p.Send(0, 0x1000, []byte{1}, 0, 0)
+	a2 := p.Send(0, 0x1040, []byte{2}, 0, 0)
+	a3 := p.Send(0, 0x1080, []byte{3}, 0, 0)
+	if !(a1 < a2 && a2 < a3) {
+		t.Errorf("arrivals not strictly ordered: %v %v %v", a1, a2, a3)
+	}
+	if a2-a1 != DefaultConfig().SlotGap {
+		t.Errorf("slot gap = %v", a2-a1)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 0x1000 || order[1] != 0x1040 || order[2] != 0x1080 {
+		t.Errorf("delivery order = %v", order)
+	}
+}
+
+func TestCrossCoreReorderingPossible(t *testing.T) {
+	// Core 0 has a backlog; its message sent at t=0 arrives after core
+	// 1's message sent later — the ingredient of store misspeculation.
+	// A narrow path (large slot gap) makes the backlog visible.
+	k := sim.NewKernel()
+	var order []int
+	narrow := Config{Latency: sim.NS(20), SlotGap: sim.NS(2)}
+	p := New(k, 2, narrow, func(m Message) { order = append(order, m.Core) })
+	for i := 0; i < 20; i++ {
+		p.Send(0, mem.Addr(0x1000+i*64), []byte{1}, 0, 0)
+	}
+	lateSent := sim.Time(10)
+	a0 := p.Send(0, 0x9000, []byte{1}, 0, lateSent)    // queued behind backlog
+	a1 := p.Send(1, 0x9000, []byte{2}, 0, lateSent+20) // idle path
+	if a1 >= a0 {
+		t.Fatalf("no reordering: core1 at %v, core0 at %v", a1, a0)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainTimeCoversAllSends(t *testing.T) {
+	k := sim.NewKernel()
+	p := New(k, 1, DefaultConfig(), func(Message) {})
+	var last sim.Time
+	for i := 0; i < 5; i++ {
+		last = p.Send(0, mem.Addr(0x1000+i*64), []byte{1}, 0, sim.Time(i))
+	}
+	if p.DrainTime(0) != last {
+		t.Errorf("DrainTime = %v, want %v", p.DrainTime(0), last)
+	}
+	if p.Outstanding(0) != 5 || !p.InFlightAnywhere() {
+		t.Error("outstanding tracking wrong before run")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Outstanding(0) != 0 || p.InFlightAnywhere() {
+		t.Error("outstanding tracking wrong after run")
+	}
+	if p.Sent != 5 || p.Delivered != 5 {
+		t.Errorf("sent=%d delivered=%d", p.Sent, p.Delivered)
+	}
+}
+
+func TestPayloadCopied(t *testing.T) {
+	k := sim.NewKernel()
+	var got []byte
+	p := New(k, 1, DefaultConfig(), func(m Message) { got = m.Data })
+	buf := []byte{5}
+	p.Send(0, 0x1000, buf, 0, 0)
+	buf[0] = 0
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 {
+		t.Error("persist-path aliased caller payload")
+	}
+}
+
+func TestArrivalMonotonicPerCoreProperty(t *testing.T) {
+	f := func(sends []uint8) bool {
+		k := sim.NewKernel()
+		p := New(k, 1, DefaultConfig(), func(Message) {})
+		now := sim.Time(0)
+		prev := sim.Time(-1)
+		for _, g := range sends {
+			now += sim.Time(g)
+			a := p.Send(0, 0x1000, []byte{1}, 0, now)
+			if a <= prev {
+				return false
+			}
+			if a < now+p.Config().Latency {
+				return false // can't beat the idle latency
+			}
+			prev = a
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

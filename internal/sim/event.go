@@ -1,0 +1,64 @@
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback. Events fire in (At, sequence) order,
+// strictly before any thread whose clock is ≥ At is resumed.
+type Event struct {
+	At Time
+	fn func()
+
+	seq       uint64
+	index     int // heap index, -1 when not queued
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// eventQueue is a min-heap of events ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+func (q eventQueue) peek() *Event {
+	if len(q) == 0 {
+		return nil
+	}
+	return q[0]
+}
+
+var _ heap.Interface = (*eventQueue)(nil)

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kernel is the discrete-event simulation kernel. It owns the event queue
+// and the set of simulated threads and dispatches them in timestamp order.
+//
+// A Kernel is not safe for concurrent use from the host program: exactly
+// one simulated thread or event callback runs at a time, and all shared
+// simulation state (caches, controllers, …) relies on that serialization.
+type Kernel struct {
+	events  eventQueue
+	seq     uint64
+	threads []*Thread
+	now     Time // timestamp of the most recently dispatched entity
+	running bool
+	stopErr error
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the timestamp of the most recently dispatched thread step or
+// event. Inside a thread, prefer Thread.Clock (the thread's own time).
+func (k *Kernel) Now() Time { return k.now }
+
+// Schedule registers fn to run at the absolute time at. If at is in the
+// past (before the kernel's current time), the event fires as soon as
+// possible, still in deterministic order. The returned Event may be
+// cancelled before it fires.
+func (k *Kernel) Schedule(at Time, fn func()) *Event {
+	e := &Event{At: at, fn: fn, seq: k.seq, index: -1}
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// Spawn creates a simulated thread that will execute body when Run is
+// called. Threads are dispatched lowest-clock first (ties broken by
+// creation order). startAt sets the thread's initial clock.
+func (k *Kernel) Spawn(name string, startAt Time, body func(t *Thread)) *Thread {
+	t := &Thread{
+		id:     len(k.threads),
+		name:   name,
+		clock:  startAt,
+		state:  threadReady,
+		kernel: k,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	k.threads = append(k.threads, t)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(errKernelStopped); !ok {
+					// A real panic in simulated-thread code: surface it as
+					// the run's error (with the payload) instead of
+					// deadlocking the host on the yield handshake.
+					k.running = false
+					if k.stopErr == nil {
+						k.stopErr = fmt.Errorf("sim: thread %q panicked: %v", t.name, r)
+					}
+				}
+			}
+			t.state = threadDone
+			t.yield <- struct{}{}
+		}()
+		<-t.resume
+		if t.abandoned {
+			panic(errKernelStopped{})
+		}
+		body(t)
+	}()
+	return t
+}
+
+// Threads returns the threads spawned on the kernel, in creation order.
+func (k *Kernel) Threads() []*Thread { return k.threads }
+
+// Stop aborts the run: after the currently dispatched entity yields, Run
+// returns err (which may be nil). Remaining threads are abandoned; their
+// goroutines are unblocked and exit via a panic that Run swallows.
+func (k *Kernel) Stop(err error) {
+	k.running = false
+	if k.stopErr == nil {
+		k.stopErr = err
+	}
+}
+
+// errKernelStopped is the panic payload used to unwind abandoned threads.
+type errKernelStopped struct{}
+
+// Run executes the simulation until every thread has finished and the
+// event queue is empty, or Stop is called, or no progress is possible.
+// It returns an error if the simulation deadlocks (all remaining threads
+// blocked with no pending events) or if Stop was called with an error.
+func (k *Kernel) Run() error {
+	k.running = true
+	k.stopErr = nil
+	for k.running {
+		// Fire the earliest event if it is not after the earliest
+		// runnable thread; otherwise step that thread.
+		t := k.nextReady()
+		e := k.nextEvent()
+		switch {
+		case e != nil && (t == nil || e.At <= t.clock):
+			heap.Pop(&k.events)
+			k.now = e.At
+			e.fn()
+		case t != nil:
+			k.now = t.clock
+			t.resume <- struct{}{}
+			<-t.yield
+		default:
+			if k.anyLive() {
+				k.running = false
+				k.stopErr = k.deadlockError()
+				break
+			}
+			k.running = false
+		}
+	}
+	k.releaseAbandoned()
+	return k.stopErr
+}
+
+// nextReady returns the ready thread with the smallest (clock, id), or nil.
+func (k *Kernel) nextReady() *Thread {
+	var best *Thread
+	for _, t := range k.threads {
+		if t.state != threadReady {
+			continue
+		}
+		if best == nil || t.clock < best.clock {
+			best = t
+		}
+	}
+	return best
+}
+
+// nextEvent returns the earliest live event, discarding cancelled ones.
+func (k *Kernel) nextEvent() *Event {
+	for {
+		e := k.events.peek()
+		if e == nil {
+			return nil
+		}
+		if e.cancelled {
+			heap.Pop(&k.events)
+			continue
+		}
+		return e
+	}
+}
+
+func (k *Kernel) anyLive() bool {
+	for _, t := range k.threads {
+		if t.state != threadDone {
+			return true
+		}
+	}
+	return false
+}
+
+func (k *Kernel) deadlockError() error {
+	var blocked []string
+	for _, t := range k.threads {
+		if t.state == threadBlocked {
+			blocked = append(blocked, fmt.Sprintf("%s@%v (%s)", t.name, t.clock, t.blockReason))
+		}
+	}
+	sort.Strings(blocked)
+	return fmt.Errorf("sim: deadlock, no runnable threads or events; blocked: [%s]", strings.Join(blocked, ", "))
+}
+
+// releaseAbandoned unblocks goroutines of threads that never finished
+// (after a Stop or deadlock) so they do not leak. Their next resume
+// panics with errKernelStopped, which Thread.checkpoint converts into a
+// goroutine exit.
+func (k *Kernel) releaseAbandoned() {
+	for _, t := range k.threads {
+		if t.state == threadDone {
+			continue
+		}
+		t.abandoned = true
+		t.resume <- struct{}{}
+		<-t.yield
+	}
+}
+
+// mustYield reports whether a thread whose clock just advanced to c must
+// hand control back to the kernel before touching shared state: true when
+// an event or another ready thread is due at or before c.
+func (k *Kernel) mustYield(t *Thread, c Time) bool {
+	if e := k.nextEvent(); e != nil && e.At <= c {
+		return true
+	}
+	for _, o := range k.threads {
+		if o != t && o.state == threadReady && o.clock < c {
+			return true
+		}
+	}
+	return false
+}
+
+// PauseAll advances every unfinished thread's clock to at least `until`.
+// The PMEM-Spec speculation buffer uses this to model "all cores pause
+// and resume after the speculation window" when the buffer is full.
+func (k *Kernel) PauseAll(until Time) {
+	for _, t := range k.threads {
+		if t.state == threadDone {
+			continue
+		}
+		if t.clock < until {
+			t.clock = until
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+// Timing costs of the simulated lock primitives, chosen to approximate an
+// uncontended atomic RMW that round-trips the shared cache (Table 3 LLC
+// hit latency) and a cheap release store.
+const (
+	// LockAcquireCost models lock acquisition (atomic CAS hitting the
+	// shared cache): 20 ns.
+	LockAcquireCost = Time(40)
+	// LockReleaseCost models the release store: 2 ns (L1 hit).
+	LockReleaseCost = Time(4)
+	// lockHandoffCost models the coherence transfer that passes a
+	// contended lock from the releasing to the waiting core: 20 ns.
+	lockHandoffCost = Time(40)
+)
+
+// Mutex is a simulated mutual-exclusion lock with FIFO handoff. It
+// establishes the happens-before edges that data-race-free simulated
+// programs rely on; the machine layer hooks Lock/Unlock to implement
+// PMEM-Spec's spec-assign / spec-revoke critical-section tagging.
+type Mutex struct {
+	owner   *Thread
+	waiters []*Thread
+
+	// Acquisitions counts successful Lock calls (for statistics).
+	Acquisitions uint64
+	// Contended counts Lock calls that had to wait.
+	Contended uint64
+}
+
+// Lock acquires m, blocking the simulated thread until it is available.
+// Recursive locking deadlocks, as with a real non-reentrant mutex.
+func (m *Mutex) Lock(t *Thread) {
+	t.Advance(LockAcquireCost)
+	m.Acquisitions++
+	if m.owner == nil {
+		m.owner = t
+		return
+	}
+	m.Contended++
+	m.waiters = append(m.waiters, t)
+	t.Block("mutex")
+	// Ownership was transferred to us by Unlock before Wake.
+}
+
+// TryLock acquires m if it is free, reporting whether it succeeded.
+func (m *Mutex) TryLock(t *Thread) bool {
+	t.Advance(LockAcquireCost)
+	if m.owner != nil {
+		return false
+	}
+	m.Acquisitions++
+	m.owner = t
+	return true
+}
+
+// Unlock releases m, handing it to the longest-waiting thread if any.
+// Unlocking a mutex not held by t panics: that is a program bug.
+func (m *Mutex) Unlock(t *Thread) {
+	if m.owner != t {
+		panic("sim: Mutex.Unlock by non-owner")
+	}
+	t.Advance(LockReleaseCost)
+	if len(m.waiters) == 0 {
+		m.owner = nil
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	m.owner = next
+	next.Wake(t.Clock() + lockHandoffCost)
+}
+
+// Holder returns the current owner, or nil if the mutex is free.
+func (m *Mutex) Holder() *Thread { return m.owner }
+
+// Barrier lets a fixed party of threads rendezvous: each Wait blocks
+// until all n threads have arrived, then all resume at the latest
+// arrival time.
+type Barrier struct {
+	n       int
+	arrived []*Thread
+	// Generation counts completed rendezvous (for statistics/tests).
+	Generation uint64
+}
+
+// NewBarrier returns a barrier for n threads. n must be ≥ 1.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("sim: NewBarrier(n<1)")
+	}
+	return &Barrier{n: n}
+}
+
+// Wait blocks t until n threads (including t) have called Wait.
+func (b *Barrier) Wait(t *Thread) {
+	if len(b.arrived)+1 == b.n {
+		at := t.Clock()
+		for _, w := range b.arrived {
+			w.Wake(at)
+		}
+		b.arrived = b.arrived[:0]
+		b.Generation++
+		return
+	}
+	b.arrived = append(b.arrived, t)
+	t.Block("barrier")
+}

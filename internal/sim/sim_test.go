@@ -1,0 +1,383 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		ns  int64
+		cyc Time
+	}{
+		{0, 0}, {1, 2}, {2, 4}, {20, 40}, {94, 188}, {175, 350}, {160, 320},
+	}
+	for _, c := range cases {
+		if got := NS(c.ns); got != c.cyc {
+			t.Errorf("NS(%d) = %d, want %d", c.ns, got, c.cyc)
+		}
+		if got := c.cyc.Nanoseconds(); got != c.ns {
+			t.Errorf("(%d).Nanoseconds() = %d, want %d", c.cyc, got, c.ns)
+		}
+	}
+	if s := Time(4).Seconds(); s != 2e-9 {
+		t.Errorf("Seconds() = %g, want 2e-9", s)
+	}
+}
+
+func TestSingleThreadAdvance(t *testing.T) {
+	k := NewKernel()
+	var end Time
+	k.Spawn("t0", 0, func(th *Thread) {
+		th.Advance(10)
+		th.Advance(5)
+		th.AdvanceTo(100)
+		th.AdvanceTo(50) // no-op, already past
+		end = th.Clock()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 100 {
+		t.Errorf("final clock = %d, want 100", end)
+	}
+}
+
+func TestEventsFireInOrder(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.Schedule(30, func() { order = append(order, 3) })
+	k.Schedule(10, func() { order = append(order, 1) })
+	k.Schedule(20, func() { order = append(order, 2) })
+	k.Schedule(10, func() { order = append(order, 11) }) // same time: creation order
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 11, 2, 3}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestEventBeforeThreadAtSameTime(t *testing.T) {
+	// An event at time T must fire before a thread whose clock reaches T
+	// observes shared state.
+	k := NewKernel()
+	var sawEvent bool
+	var observed bool
+	k.Schedule(50, func() { sawEvent = true })
+	k.Spawn("t0", 0, func(th *Thread) {
+		th.Advance(50)
+		observed = sawEvent
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !observed {
+		t.Error("thread at t=50 did not observe event scheduled at t=50")
+	}
+}
+
+func TestThreadsInterleaveByClock(t *testing.T) {
+	k := NewKernel()
+	var trace []string
+	k.Spawn("a", 0, func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			trace = append(trace, fmt.Sprintf("a%d@%d", i, th.Clock()))
+			th.Advance(10)
+		}
+	})
+	k.Spawn("b", 5, func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			trace = append(trace, fmt.Sprintf("b%d@%d", i, th.Clock()))
+			th.Advance(10)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "a0@0 b0@5 a1@10 b1@15 a2@20 b2@25"
+	if got := strings.Join(trace, " "); got != want {
+		t.Errorf("trace = %q, want %q", got, want)
+	}
+}
+
+func TestCancelledEventDoesNotFire(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	e := k.Schedule(10, func() { fired = true })
+	e.Cancel()
+	if !e.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestMutexMutualExclusionAndFIFO(t *testing.T) {
+	k := NewKernel()
+	var m Mutex
+	var order []string
+	inCS := 0
+	body := func(name string, delay Time) func(*Thread) {
+		return func(th *Thread) {
+			th.Advance(delay)
+			m.Lock(th)
+			inCS++
+			if inCS != 1 {
+				t.Errorf("%s: %d threads in critical section", name, inCS)
+			}
+			order = append(order, name)
+			th.Advance(100)
+			inCS--
+			m.Unlock(th)
+		}
+	}
+	k.Spawn("a", 0, body("a", 0))
+	k.Spawn("b", 0, body("b", 1))
+	k.Spawn("c", 0, body("c", 2))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ""); got != "abc" {
+		t.Errorf("critical-section order = %q, want abc (FIFO)", got)
+	}
+	if m.Acquisitions != 3 || m.Contended != 2 {
+		t.Errorf("acquisitions=%d contended=%d, want 3 and 2", m.Acquisitions, m.Contended)
+	}
+	if m.Holder() != nil {
+		t.Error("mutex still held after run")
+	}
+}
+
+func TestMutexHandoffAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	var m Mutex
+	var releaseAt, acquireAt Time
+	k.Spawn("holder", 0, func(th *Thread) {
+		m.Lock(th)
+		th.Advance(1000)
+		releaseAt = th.Clock()
+		m.Unlock(th)
+	})
+	k.Spawn("waiter", 0, func(th *Thread) {
+		th.Advance(LockAcquireCost + 1) // ensure holder wins the lock
+		m.Lock(th)
+		acquireAt = th.Clock()
+		m.Unlock(th)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if acquireAt < releaseAt {
+		t.Errorf("waiter acquired at %d before release at %d", acquireAt, releaseAt)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	k := NewKernel()
+	var m Mutex
+	var got1, got2 bool
+	k.Spawn("a", 0, func(th *Thread) {
+		got1 = m.TryLock(th)
+		th.Advance(500)
+		m.Unlock(th)
+	})
+	k.Spawn("b", 10, func(th *Thread) {
+		got2 = m.TryLock(th) // while a holds it
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !got1 || got2 {
+		t.Errorf("TryLock results = %v, %v; want true, false", got1, got2)
+	}
+}
+
+func TestUnlockByNonOwnerPanics(t *testing.T) {
+	k := NewKernel()
+	var m Mutex
+	k.Spawn("a", 0, func(th *Thread) {
+		m.Unlock(th)
+	})
+	err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("expected panic error from non-owner unlock, got %v", err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel()
+	var m1, m2 Mutex
+	k.Spawn("a", 0, func(th *Thread) {
+		m1.Lock(th)
+		th.Advance(100)
+		m2.Lock(th)
+	})
+	k.Spawn("b", 0, func(th *Thread) {
+		m2.Lock(th)
+		th.Advance(100)
+		m1.Lock(th)
+	})
+	err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestStopAbandonsThreads(t *testing.T) {
+	k := NewKernel()
+	var reached int32
+	k.Spawn("stopper", 0, func(th *Thread) {
+		th.Advance(10)
+		k.Stop(errors.New("enough"))
+		th.Yield()
+		atomic.AddInt32(&reached, 1) // must not run
+	})
+	k.Spawn("other", 0, func(th *Thread) {
+		for i := 0; i < 1000; i++ {
+			th.Advance(5)
+		}
+		atomic.AddInt32(&reached, 1)
+	})
+	err := k.Run()
+	if err == nil || err.Error() != "enough" {
+		t.Fatalf("Run() = %v, want 'enough'", err)
+	}
+	if atomic.LoadInt32(&reached) != 0 {
+		t.Error("abandoned thread code ran past Stop")
+	}
+}
+
+func TestPauseAll(t *testing.T) {
+	k := NewKernel()
+	var clocks [2]Time
+	k.Schedule(10, func() { k.PauseAll(500) })
+	k.Spawn("a", 0, func(th *Thread) {
+		th.Advance(20) // crosses the event; gets paused
+		clocks[0] = th.Clock()
+	})
+	k.Spawn("b", 0, func(th *Thread) {
+		th.Advance(15)
+		clocks[1] = th.Clock()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range clocks {
+		if c < 500 {
+			t.Errorf("thread %d clock = %d, want ≥ 500 after PauseAll", i, c)
+		}
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	k := NewKernel()
+	b := NewBarrier(3)
+	var after [3]Time
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("t%d", i), 0, func(th *Thread) {
+			th.Advance(Time(10 * (i + 1)))
+			b.Wait(th)
+			after[i] = th.Clock()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range after {
+		if after[i] != 30 {
+			t.Errorf("thread %d resumed at %d, want 30 (latest arrival)", i, after[i])
+		}
+	}
+	if b.Generation != 1 {
+		t.Errorf("generation = %d, want 1", b.Generation)
+	}
+}
+
+func TestBarrierReuse(t *testing.T) {
+	k := NewKernel()
+	b := NewBarrier(2)
+	rounds := 0
+	for i := 0; i < 2; i++ {
+		k.Spawn(fmt.Sprintf("t%d", i), 0, func(th *Thread) {
+			for r := 0; r < 5; r++ {
+				th.Advance(10)
+				b.Wait(th)
+			}
+			if th.ID() == 0 {
+				rounds = 5
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 5 || b.Generation != 5 {
+		t.Errorf("rounds=%d generation=%d, want 5 and 5", rounds, b.Generation)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() string {
+		k := NewKernel()
+		var m Mutex
+		var trace []string
+		for i := 0; i < 4; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("t%d", i), Time(i), func(th *Thread) {
+				for j := 0; j < 20; j++ {
+					m.Lock(th)
+					trace = append(trace, fmt.Sprintf("%d:%d@%d", i, j, th.Clock()))
+					th.Advance(Time(7 * (i + 1)))
+					m.Unlock(th)
+					th.Advance(3)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(trace, ",")
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Error("two identical runs produced different traces")
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("a", 0, func(th *Thread) {
+		th.Advance(-1)
+	})
+	err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("expected panic error, got %v", err)
+	}
+}
+
+func TestScheduleFromThread(t *testing.T) {
+	k := NewKernel()
+	var fireTime Time
+	var threadSaw Time
+	k.Spawn("a", 0, func(th *Thread) {
+		k.Schedule(th.Clock()+100, func() { fireTime = k.Now() })
+		th.Advance(200)
+		threadSaw = fireTime
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fireTime != 100 || threadSaw != 100 {
+		t.Errorf("fireTime=%d threadSaw=%d, want 100, 100", fireTime, threadSaw)
+	}
+}

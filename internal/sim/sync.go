@@ -1,0 +1,124 @@
+package sim
+
+// RWMutex is a simulated readers-writer lock with writer preference:
+// concurrent simulated readers share it; a writer excludes everyone.
+// Like Mutex, it establishes the happens-before edges data-race-free
+// simulated programs rely on.
+type RWMutex struct {
+	readers     int
+	writer      *Thread
+	waitWriters []*Thread
+	waitReaders []*Thread
+
+	// Acquisitions counts successful lock operations of either kind;
+	// Contended counts the ones that had to wait.
+	Acquisitions, Contended uint64
+}
+
+// RLock acquires a read share, blocking while a writer holds or waits
+// for the lock (writer preference prevents writer starvation).
+func (m *RWMutex) RLock(t *Thread) {
+	t.Advance(LockAcquireCost)
+	m.Acquisitions++
+	if m.writer == nil && len(m.waitWriters) == 0 {
+		m.readers++
+		return
+	}
+	m.Contended++
+	m.waitReaders = append(m.waitReaders, t)
+	t.Block("rwmutex-read")
+	// The releaser granted our share before waking us.
+}
+
+// RUnlock releases a read share.
+func (m *RWMutex) RUnlock(t *Thread) {
+	if m.readers <= 0 {
+		panic("sim: RUnlock without readers")
+	}
+	t.Advance(LockReleaseCost)
+	m.readers--
+	m.dispatch(t.Clock())
+}
+
+// Lock acquires the write side, blocking until all readers and any
+// earlier writer have released.
+func (m *RWMutex) Lock(t *Thread) {
+	t.Advance(LockAcquireCost)
+	m.Acquisitions++
+	if m.writer == nil && m.readers == 0 && len(m.waitWriters) == 0 {
+		m.writer = t
+		return
+	}
+	m.Contended++
+	m.waitWriters = append(m.waitWriters, t)
+	t.Block("rwmutex-write")
+}
+
+// Unlock releases the write side.
+func (m *RWMutex) Unlock(t *Thread) {
+	if m.writer != t {
+		panic("sim: RWMutex.Unlock by non-writer")
+	}
+	t.Advance(LockReleaseCost)
+	m.writer = nil
+	m.dispatch(t.Clock())
+}
+
+// dispatch hands the lock to the next waiter(s) after a release.
+func (m *RWMutex) dispatch(now Time) {
+	if m.writer != nil {
+		return
+	}
+	if len(m.waitWriters) > 0 {
+		if m.readers > 0 {
+			return // the last RUnlock will re-dispatch
+		}
+		w := m.waitWriters[0]
+		m.waitWriters = m.waitWriters[1:]
+		m.writer = w
+		w.Wake(now + lockHandoffCost)
+		return
+	}
+	for _, r := range m.waitReaders {
+		m.readers++
+		r.Wake(now + lockHandoffCost)
+	}
+	m.waitReaders = m.waitReaders[:0]
+}
+
+// Cond is a simulated condition variable associated with a Mutex.
+type Cond struct {
+	// L is the mutex the condition protects.
+	L       *Mutex
+	waiters []*Thread
+}
+
+// Wait atomically releases the mutex, blocks the simulated thread until
+// a Signal/Broadcast, and re-acquires the mutex before returning. As
+// with sync.Cond, callers must re-check their predicate in a loop.
+func (c *Cond) Wait(t *Thread) {
+	c.waiters = append(c.waiters, t)
+	c.L.Unlock(t)
+	t.Block("cond")
+	c.L.Lock(t)
+}
+
+// Signal wakes the longest-waiting thread, if any. The caller should
+// hold the mutex.
+func (c *Cond) Signal(t *Thread) {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	w.Wake(t.Clock())
+}
+
+// Broadcast wakes every waiting thread. The caller should hold the
+// mutex.
+func (c *Cond) Broadcast(t *Thread) {
+	for _, w := range c.waiters {
+		w.Wake(t.Clock())
+	}
+	c.waiters = c.waiters[:0]
+}

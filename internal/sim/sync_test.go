@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRWMutexReadersShare(t *testing.T) {
+	k := NewKernel()
+	var m RWMutex
+	var inside, peak int
+	for i := 0; i < 4; i++ {
+		k.Spawn(fmt.Sprintf("r%d", i), 0, func(th *Thread) {
+			m.RLock(th)
+			inside++
+			if inside > peak {
+				peak = inside
+			}
+			th.Advance(1000)
+			inside--
+			m.RUnlock(th)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if peak < 2 {
+		t.Errorf("readers never overlapped (peak %d)", peak)
+	}
+	if m.Contended != 0 {
+		t.Errorf("uncontended readers recorded %d contentions", m.Contended)
+	}
+}
+
+func TestRWMutexWriterExcludes(t *testing.T) {
+	k := NewKernel()
+	var m RWMutex
+	var trace []string
+	k.Spawn("writer", 0, func(th *Thread) {
+		m.Lock(th)
+		trace = append(trace, "w-in")
+		th.Advance(1000)
+		trace = append(trace, "w-out")
+		m.Unlock(th)
+	})
+	for i := 0; i < 2; i++ {
+		k.Spawn(fmt.Sprintf("r%d", i), 10, func(th *Thread) {
+			m.RLock(th)
+			trace = append(trace, "r")
+			th.Advance(100)
+			m.RUnlock(th)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(trace, " ")
+	if got != "w-in w-out r r" {
+		t.Errorf("trace = %q: readers interleaved with the writer", got)
+	}
+}
+
+func TestRWMutexWriterPreference(t *testing.T) {
+	// A waiting writer blocks new readers, so it cannot starve.
+	k := NewKernel()
+	var m RWMutex
+	var order []string
+	k.Spawn("r1", 0, func(th *Thread) {
+		m.RLock(th)
+		th.Advance(1000)
+		order = append(order, "r1")
+		m.RUnlock(th)
+	})
+	k.Spawn("w", 100, func(th *Thread) {
+		m.Lock(th) // waits for r1
+		order = append(order, "w")
+		th.Advance(100)
+		m.Unlock(th)
+	})
+	k.Spawn("r2", 200, func(th *Thread) {
+		m.RLock(th) // must wait behind the queued writer
+		order = append(order, "r2")
+		m.RUnlock(th)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, " "); got != "r1 w r2" {
+		t.Errorf("order = %q, want r1 w r2 (writer preference)", got)
+	}
+}
+
+func TestRWMutexMisusePanics(t *testing.T) {
+	k := NewKernel()
+	var m RWMutex
+	k.Spawn("bad", 0, func(th *Thread) {
+		m.RUnlock(th)
+	})
+	if err := k.Run(); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("RUnlock misuse not caught: %v", err)
+	}
+	k2 := NewKernel()
+	var m2 RWMutex
+	k2.Spawn("bad", 0, func(th *Thread) {
+		m2.Unlock(th)
+	})
+	if err := k2.Run(); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("Unlock misuse not caught: %v", err)
+	}
+}
+
+func TestCondSignalWakesOne(t *testing.T) {
+	k := NewKernel()
+	var m Mutex
+	c := Cond{L: &m}
+	ready := 0
+	var woken []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("waiter%d", i), 0, func(th *Thread) {
+			m.Lock(th)
+			for ready == 0 {
+				c.Wait(th)
+			}
+			ready--
+			woken = append(woken, i)
+			m.Unlock(th)
+		})
+	}
+	k.Spawn("signaler", 100, func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			m.Lock(th)
+			ready++
+			c.Signal(th)
+			m.Unlock(th)
+			th.Advance(500)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woken) != 3 {
+		t.Errorf("woken = %v", woken)
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	k := NewKernel()
+	var m Mutex
+	c := Cond{L: &m}
+	released := false
+	done := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn(fmt.Sprintf("waiter%d", i), 0, func(th *Thread) {
+			m.Lock(th)
+			for !released {
+				c.Wait(th)
+			}
+			done++
+			m.Unlock(th)
+		})
+	}
+	k.Spawn("broadcaster", 50, func(th *Thread) {
+		m.Lock(th)
+		released = true
+		c.Broadcast(th)
+		m.Unlock(th)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 4 {
+		t.Errorf("done = %d, want 4", done)
+	}
+}
+
+func TestCondWaitReacquiresMutex(t *testing.T) {
+	k := NewKernel()
+	var m Mutex
+	c := Cond{L: &m}
+	var holdsAfterWait bool
+	k.Spawn("waiter", 0, func(th *Thread) {
+		m.Lock(th)
+		c.Wait(th)
+		holdsAfterWait = m.Holder() == th.Kernel().Threads()[0]
+		m.Unlock(th)
+	})
+	k.Spawn("signaler", 100, func(th *Thread) {
+		m.Lock(th)
+		c.Signal(th)
+		m.Unlock(th)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !holdsAfterWait {
+		t.Error("Wait returned without holding the mutex")
+	}
+}

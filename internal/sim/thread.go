@@ -1,0 +1,97 @@
+package sim
+
+import "fmt"
+
+type threadState uint8
+
+const (
+	threadReady threadState = iota
+	threadBlocked
+	threadDone
+)
+
+// Thread is a simulated hardware thread. Its methods must only be called
+// from inside the thread's own body function (except Wake, which any
+// simulation context may call).
+type Thread struct {
+	id          int
+	name        string
+	clock       Time
+	state       threadState
+	blockReason string
+	kernel      *Kernel
+	resume      chan struct{}
+	yield       chan struct{}
+	abandoned   bool
+}
+
+// ID returns the thread's index in kernel creation order.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's debug name.
+func (t *Thread) Name() string { return t.name }
+
+// Clock returns the thread's local time.
+func (t *Thread) Clock() Time { return t.clock }
+
+// Kernel returns the owning kernel.
+func (t *Thread) Kernel() *Kernel { return t.kernel }
+
+// Advance moves the thread's clock forward by d cycles, yielding to the
+// kernel if any event or lower-clock thread must run first. d must be ≥ 0.
+func (t *Thread) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Advance(%d) with negative duration", d))
+	}
+	t.clock += d
+	if t.kernel.mustYield(t, t.clock) {
+		t.checkpoint()
+	}
+}
+
+// AdvanceTo moves the thread's clock to at least `at` (no-op if already
+// past) and yields if necessary.
+func (t *Thread) AdvanceTo(at Time) {
+	if at > t.clock {
+		t.Advance(at - t.clock)
+	}
+}
+
+// Yield unconditionally hands control back to the kernel, letting due
+// events and lower-clock threads run.
+func (t *Thread) Yield() { t.checkpoint() }
+
+// Block suspends the thread until another simulation entity calls Wake.
+// reason is reported in deadlock diagnostics.
+func (t *Thread) Block(reason string) {
+	t.state = threadBlocked
+	t.blockReason = reason
+	t.checkpoint()
+}
+
+// Wake makes a blocked thread runnable again with its clock advanced to
+// at least `at`. Waking a ready or finished thread panics: it indicates a
+// lost-wakeup protocol bug in the caller.
+func (t *Thread) Wake(at Time) {
+	if t.state != threadBlocked {
+		panic(fmt.Sprintf("sim: Wake(%s) but thread is not blocked", t.name))
+	}
+	t.state = threadReady
+	t.blockReason = ""
+	if at > t.clock {
+		t.clock = at
+	}
+}
+
+// checkpoint yields to the kernel and waits to be resumed. If the kernel
+// abandoned the thread (Stop/deadlock), the goroutine unwinds.
+func (t *Thread) checkpoint() {
+	t.yield <- struct{}{}
+	<-t.resume
+	if t.abandoned {
+		// Unwind the thread body; the goroutine wrapper installed by
+		// Kernel.Spawn recovers this sentinel and completes the final
+		// yield handshake.
+		panic(errKernelStopped{})
+	}
+}

@@ -1,0 +1,36 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel models a fixed set of simulated threads (one goroutine each)
+// plus a timestamp-ordered event queue. At any instant exactly one
+// simulated thread or event callback executes, and the kernel always
+// dispatches the runnable entity with the smallest timestamp, so a run is
+// a total order over (thread steps ∪ events) and is fully deterministic
+// for a given program and seed.
+//
+// Time is measured in core clock cycles at 2 GHz (1 cycle = 0.5 ns),
+// matching the simulator configuration in Table 3 of the PMEM-Spec paper.
+package sim
+
+import "fmt"
+
+// Time is a point in simulated time, in core clock cycles at 2 GHz.
+type Time int64
+
+// CyclesPerNS is the number of core cycles per nanosecond (2 GHz core).
+const CyclesPerNS = 2
+
+// NS converts a duration in nanoseconds to cycles.
+func NS(ns int64) Time { return Time(ns * CyclesPerNS) }
+
+// Nanoseconds reports t as nanoseconds (possibly rounding down half a ns).
+func (t Time) Nanoseconds() int64 { return int64(t) / CyclesPerNS }
+
+// Seconds reports t as (floating-point) seconds of simulated time.
+func (t Time) Seconds() float64 { return float64(t) / (2e9) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("%dcyc(%.1fns)", int64(t), float64(t)/CyclesPerNS)
+}
+
+// Forever is a timestamp later than any reachable simulation time.
+const Forever = Time(1<<62 - 1)

@@ -1,0 +1,55 @@
+// Package stats provides the small numeric helpers the experiment
+// harness uses to aggregate run results: means, geometric means and
+// baseline normalization, matching how the paper reports its figures
+// (throughput normalized to the IntelX86 baseline, geomean across
+// benchmarks).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Geomean returns the geometric mean of xs, which must all be positive
+// (0 for an empty slice).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: Geomean of non-positive value %g", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Normalize divides each value by base, the paper's
+// normalized-to-baseline presentation. base must be nonzero.
+func Normalize(xs []float64, base float64) []float64 {
+	if base == 0 {
+		panic("stats: Normalize with zero base")
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}
+
+// Speedup formats a ratio as the paper quotes it ("1.27x").
+func Speedup(r float64) string { return fmt.Sprintf("%.2fx", r) }

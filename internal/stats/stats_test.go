@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if Geomean(nil) != 0 {
+		t.Error("Geomean(nil) != 0")
+	}
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Geomean(2,8) = %g, want 4", got)
+	}
+	if got := Geomean([]float64{5}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Geomean(5) = %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Geomean of non-positive did not panic")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestGeomeanBetweenMinMaxProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		min, max := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r)/100 + 0.01
+			min = math.Min(min, xs[i])
+			max = math.Max(max, xs[i])
+		}
+		g := Geomean(xs)
+		return g >= min-1e-9 && g <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 6}, 2)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Normalize[%d] = %g", i, got[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero base did not panic")
+		}
+	}()
+	Normalize([]float64{1}, 0)
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(1.272); got != "1.27x" {
+		t.Errorf("Speedup = %q", got)
+	}
+}

@@ -1,0 +1,320 @@
+// Package trace provides a portable representation of ISA-level
+// operation streams for the simulated machine: record or generate a
+// multi-threaded program once, then replay it on any design.
+//
+// Replaying one program across all four designs is the repository's
+// differential test: the architectural (coherent) memory state after a
+// run must be identical under every persistency design — the designs may
+// only differ in *when* data becomes durable, never in what the program
+// computes. Traces also serialize to a compact binary form, so failing
+// programs can be saved and replayed as regression inputs.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/sim"
+)
+
+// Kind enumerates the replayable operations.
+type Kind uint8
+
+// Operation kinds.
+const (
+	OpLoad Kind = iota
+	OpStore
+	OpCLWB
+	OpSFence
+	OpOFence
+	OpDFence
+	OpSpecBarrier
+	OpLock
+	OpUnlock
+	OpWork
+	kindCount
+)
+
+var kindNames = [...]string{
+	"load", "store", "clwb", "sfence", "ofence", "dfence",
+	"spec-barrier", "lock", "unlock", "work",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Op is one traced operation.
+type Op struct {
+	Kind Kind
+	// Addr is the target address (Load/Store/CLWB), lock index (Lock/
+	// Unlock), or unused.
+	Addr mem.Addr
+	// Value is the store payload (Store) or compute cycles (Work).
+	Value uint64
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpStore:
+		return fmt.Sprintf("store %#x <- %#x", uint64(o.Addr), o.Value)
+	case OpLoad, OpCLWB:
+		return fmt.Sprintf("%s %#x", o.Kind, uint64(o.Addr))
+	case OpLock, OpUnlock:
+		return fmt.Sprintf("%s #%d", o.Kind, uint64(o.Addr))
+	case OpWork:
+		return fmt.Sprintf("work %d", o.Value)
+	default:
+		return o.Kind.String()
+	}
+}
+
+// Program is a multi-threaded operation stream: Threads[i] runs on
+// core i. Locks is the number of shared locks the streams reference.
+type Program struct {
+	Locks   int
+	Threads [][]Op
+}
+
+// Validate checks the program's structural sanity against a machine
+// configuration: lock indices in range, balanced lock/unlock per
+// thread, addresses inside PM.
+func (p *Program) Validate(cfg machine.Config) error {
+	if len(p.Threads) > cfg.Cores {
+		return fmt.Errorf("trace: %d threads on a %d-core machine", len(p.Threads), cfg.Cores)
+	}
+	base := mem.DefaultBase
+	for tid, ops := range p.Threads {
+		depth := 0
+		for i, op := range ops {
+			switch op.Kind {
+			case OpLoad, OpStore, OpCLWB:
+				if op.Addr < base || uint64(op.Addr-base)+8 > cfg.MemBytes {
+					return fmt.Errorf("trace: thread %d op %d: address %#x outside PM", tid, i, uint64(op.Addr))
+				}
+			case OpLock:
+				if int(op.Addr) >= p.Locks {
+					return fmt.Errorf("trace: thread %d op %d: lock #%d out of range", tid, i, uint64(op.Addr))
+				}
+				depth++
+			case OpUnlock:
+				if int(op.Addr) >= p.Locks {
+					return fmt.Errorf("trace: thread %d op %d: lock #%d out of range", tid, i, uint64(op.Addr))
+				}
+				if depth == 0 {
+					return fmt.Errorf("trace: thread %d op %d: unlock without lock", tid, i)
+				}
+				depth--
+			}
+		}
+		if depth != 0 {
+			return fmt.Errorf("trace: thread %d: %d locks left held", tid, depth)
+		}
+	}
+	return nil
+}
+
+// Replay executes the program on m (which must have at least as many
+// cores as the program has threads) and returns the final simulated
+// makespan. Lock kinds map onto a shared set of simulated mutexes.
+func (p *Program) Replay(m *machine.Machine) (sim.Time, error) {
+	if err := p.Validate(m.Config()); err != nil {
+		return 0, err
+	}
+	locks := make([]sim.Mutex, p.Locks)
+	for tid := range p.Threads {
+		ops := p.Threads[tid]
+		m.Spawn(fmt.Sprintf("replay%d", tid), func(t *machine.Thread) {
+			for _, op := range ops {
+				switch op.Kind {
+				case OpLoad:
+					t.LoadU64(op.Addr)
+				case OpStore:
+					t.StoreU64(op.Addr, op.Value)
+				case OpCLWB:
+					t.CLWB(op.Addr)
+				case OpSFence:
+					t.SFence()
+				case OpOFence:
+					t.OFence()
+				case OpDFence:
+					t.DFence()
+				case OpSpecBarrier:
+					t.SpecBarrier()
+				case OpLock:
+					t.Lock(&locks[op.Addr])
+				case OpUnlock:
+					t.Unlock(&locks[op.Addr])
+				case OpWork:
+					t.Work(sim.Time(op.Value))
+				}
+			}
+		})
+	}
+	if err := m.Run(); err != nil {
+		return 0, err
+	}
+	return m.MaxThreadClock(), nil
+}
+
+// GenConfig parameterizes random program generation.
+type GenConfig struct {
+	Threads int
+	// OpsPerThread is the stream length per thread.
+	OpsPerThread int
+	// Blocks is the number of distinct cache blocks touched (from the
+	// heap base).
+	Blocks int
+	// Locks is the number of shared locks; critical sections wrap
+	// randomly chosen spans of operations.
+	Locks int
+	// HeapBase is where generated addresses start.
+	HeapBase mem.Addr
+}
+
+// Generate builds a deterministic random program: a mix of loads,
+// stores, fences of every flavour, compute, and properly nested critical
+// sections. The same seed always yields the same program.
+func Generate(seed int64, cfg GenConfig) *Program {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Program{Locks: cfg.Locks}
+	for tid := 0; tid < cfg.Threads; tid++ {
+		var ops []Op
+		inCS := -1
+		addr := func() mem.Addr {
+			return cfg.HeapBase + mem.Addr(rng.Intn(cfg.Blocks))*mem.BlockSize + mem.Addr(rng.Intn(8)*8)
+		}
+		for len(ops) < cfg.OpsPerThread {
+			switch r := rng.Intn(100); {
+			case r < 35:
+				ops = append(ops, Op{Kind: OpLoad, Addr: addr()})
+			case r < 70:
+				ops = append(ops, Op{Kind: OpStore, Addr: addr(), Value: rng.Uint64()})
+			case r < 76:
+				ops = append(ops, Op{Kind: OpCLWB, Addr: addr()})
+			case r < 80:
+				ops = append(ops, Op{Kind: OpSFence})
+			case r < 83:
+				ops = append(ops, Op{Kind: OpOFence})
+			case r < 85:
+				ops = append(ops, Op{Kind: OpDFence})
+			case r < 88:
+				ops = append(ops, Op{Kind: OpSpecBarrier})
+			case r < 93:
+				ops = append(ops, Op{Kind: OpWork, Value: uint64(rng.Intn(200) + 1)})
+			default:
+				if cfg.Locks == 0 {
+					continue
+				}
+				if inCS < 0 {
+					inCS = rng.Intn(cfg.Locks)
+					ops = append(ops, Op{Kind: OpLock, Addr: mem.Addr(inCS)})
+				} else {
+					ops = append(ops, Op{Kind: OpUnlock, Addr: mem.Addr(inCS)})
+					inCS = -1
+				}
+			}
+		}
+		if inCS >= 0 {
+			ops = append(ops, Op{Kind: OpUnlock, Addr: mem.Addr(inCS)})
+		}
+		p.Threads = append(p.Threads, ops)
+	}
+	return p
+}
+
+// traceMagic guards the binary encoding.
+const traceMagic = uint32(0x504D5350) // "PMSP"
+
+// Encode writes the program in a compact binary form.
+func (p *Program) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeU := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		bw.Write(b[:])
+	}
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], traceMagic)
+	bw.Write(b4[:])
+	writeU(uint64(p.Locks))
+	writeU(uint64(len(p.Threads)))
+	for _, ops := range p.Threads {
+		writeU(uint64(len(ops)))
+		for _, op := range ops {
+			bw.WriteByte(byte(op.Kind))
+			writeU(uint64(op.Addr))
+			writeU(op.Value)
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a program written by Encode.
+func Decode(r io.Reader) (*Program, error) {
+	br := bufio.NewReader(r)
+	readU := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+	var b4 [4]byte
+	if _, err := io.ReadFull(br, b4[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(b4[:]) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic")
+	}
+	locks, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	nthreads, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	if nthreads > 64 {
+		return nil, fmt.Errorf("trace: %d threads in header (corrupt)", nthreads)
+	}
+	p := &Program{Locks: int(locks)}
+	for t := uint64(0); t < nthreads; t++ {
+		nops, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		if nops > 1<<24 {
+			return nil, fmt.Errorf("trace: %d ops in header (corrupt)", nops)
+		}
+		ops := make([]Op, 0, nops)
+		for i := uint64(0); i < nops; i++ {
+			k, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			if Kind(k) >= kindCount {
+				return nil, fmt.Errorf("trace: unknown op kind %d", k)
+			}
+			a, err := readU()
+			if err != nil {
+				return nil, err
+			}
+			v, err := readU()
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, Op{Kind: Kind(k), Addr: mem.Addr(a), Value: v})
+		}
+		p.Threads = append(p.Threads, ops)
+	}
+	return p, nil
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"fmt"
+
+	"pmemspec/internal/fatomic"
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/sim"
+)
+
+// ArraySwaps randomly swaps array elements, one swap per failure-atomic
+// section ("Random swaps of array elements", after DPO/NV-Heaps). The
+// whole payload of both elements moves, so a torn swap is visible as a
+// duplicated or lost value — exactly what failure-atomicity must
+// prevent.
+type ArraySwaps struct {
+	elems  int
+	stride mem.Addr
+	base   mem.Addr
+	lock   sim.Mutex
+	data   int
+}
+
+// NewArraySwaps returns the benchmark.
+func NewArraySwaps() *ArraySwaps { return &ArraySwaps{} }
+
+// Name implements Workload.
+func (w *ArraySwaps) Name() string { return "arrayswap" }
+
+// Description implements Workload.
+func (w *ArraySwaps) Description() string { return "Random swaps of array elements" }
+
+func (w *ArraySwaps) scale(p Params) int {
+	if p.Scale > 0 {
+		return p.Scale
+	}
+	return 1024
+}
+
+// MemBytes implements Workload.
+func (w *ArraySwaps) MemBytes(p Params) uint64 {
+	n := uint64(w.scale(p)) * uint64((p.DataSize+mem.BlockSize-1)&^(mem.BlockSize-1))
+	return fatomic.HeapReserve(p.Threads) + n + 8<<20
+}
+
+// Setup implements Workload.
+func (w *ArraySwaps) Setup(e *Env, t *machine.Thread) {
+	w.elems = w.scale(e.P)
+	w.data = e.P.DataSize
+	w.stride = mem.Addr((w.data + mem.BlockSize - 1) &^ (mem.BlockSize - 1))
+	w.base = e.Heap.AllocBlock(uint64(w.elems) * uint64(w.stride))
+	buf := make([]byte, w.data)
+	for k := 0; k < w.elems; k++ {
+		fillPattern(buf, uint64(k))
+		putU64(buf, uint64(k))
+		t.Store(w.elem(k), buf)
+	}
+}
+
+func (w *ArraySwaps) elem(k int) mem.Addr { return w.base + mem.Addr(k)*w.stride }
+
+// Run implements Workload.
+func (w *ArraySwaps) Run(e *Env, t *machine.Thread, tid int) {
+	rng := e.Rand(tid)
+	bi := make([]byte, w.data)
+	bj := make([]byte, w.data)
+	for op := 0; op < e.P.Ops; op++ {
+		i := rng.Intn(w.elems)
+		j := rng.Intn(w.elems)
+		if i == j {
+			j = (j + 1) % w.elems
+		}
+		t.Lock(&w.lock)
+		e.RT.Run(t, func(f *fatomic.FASE) {
+			f.Load(w.elem(i), bi)
+			f.Load(w.elem(j), bj)
+			f.Store(w.elem(i), bj)
+			f.Store(w.elem(j), bi)
+		})
+		t.Unlock(&w.lock)
+		t.Work(20) // think time between swaps
+	}
+}
+
+// Verify implements Workload: the elements must hold a permutation of
+// the initial values, each with an intact payload.
+func (w *ArraySwaps) Verify(img *mem.Image, completedOps uint64) error {
+	seen := make([]bool, w.elems)
+	buf := make([]byte, w.data)
+	for k := 0; k < w.elems; k++ {
+		img.Read(w.elem(k), buf)
+		v := getU64(buf)
+		if v >= uint64(w.elems) {
+			return fmt.Errorf("arrayswap: slot %d holds invalid value %d", k, v)
+		}
+		if seen[v] {
+			return fmt.Errorf("arrayswap: value %d duplicated (torn swap)", v)
+		}
+		seen[v] = true
+		// The payload must match the value it carries (beyond the first
+		// word, which holds the value itself).
+		fillPattern(buf[:8], 0) // scrub the value word before checking
+		want := make([]byte, w.data)
+		fillPattern(want, v)
+		for i := 8; i < w.data; i++ {
+			if buf[i] != want[i] {
+				return fmt.Errorf("arrayswap: payload of value %d corrupt at byte %d", v, i)
+			}
+		}
+	}
+	return nil
+}
+
+func putU64(p []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		p[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(p []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(p[i]) << (8 * i)
+	}
+	return v
+}

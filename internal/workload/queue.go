@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+
+	"pmemspec/internal/fatomic"
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/sim"
+)
+
+// Queue is the concurrent persistent queue ("Insert/delete nodes in a
+// queue", after DPO): a singly linked list with a dummy head, protected
+// by one lock; each enqueue or dequeue is a short failure-atomic
+// section — the paper's example of a barrier-dominated benchmark.
+//
+// Node layout: +0 next (u64), +8 seq (u64), +16 payload (DataSize).
+// Root layout: +0 head, +8 tail, +16 count, +24 totalEnq, +32 totalDeq.
+type Queue struct {
+	root mem.Addr
+	data int
+	lock sim.Mutex
+	pool []mem.Addr // host-side free list of node addresses
+	node mem.Addr   // node stride
+}
+
+// NewQueue returns the benchmark.
+func NewQueue() *Queue { return &Queue{} }
+
+// Name implements Workload.
+func (w *Queue) Name() string { return "queue" }
+
+// Description implements Workload.
+func (w *Queue) Description() string { return "Insert/delete nodes in a queue" }
+
+// MemBytes implements Workload.
+func (w *Queue) MemBytes(p Params) uint64 {
+	nodes := uint64(p.Threads*p.Ops + 16)
+	stride := uint64((16 + p.DataSize + mem.BlockSize - 1) &^ (mem.BlockSize - 1))
+	return fatomic.HeapReserve(p.Threads) + nodes*stride + 8<<20
+}
+
+const (
+	qHead     = 0
+	qTail     = 8
+	qCount    = 16
+	qTotalEnq = 24
+	qTotalDeq = 32
+)
+
+// Setup implements Workload.
+func (w *Queue) Setup(e *Env, t *machine.Thread) {
+	w.data = e.P.DataSize
+	w.node = mem.Addr((16 + w.data + mem.BlockSize - 1) &^ (mem.BlockSize - 1))
+	w.root = e.Heap.AllocBlock(mem.BlockSize)
+	nodes := e.P.Threads*e.P.Ops + 16
+	for i := 0; i < nodes; i++ {
+		w.pool = append(w.pool, e.Heap.AllocBlock(uint64(w.node)))
+	}
+	// Dummy node.
+	dummy := w.take()
+	t.StoreU64(dummy, 0)
+	t.StoreU64(w.root+qHead, uint64(dummy))
+	t.StoreU64(w.root+qTail, uint64(dummy))
+	t.StoreU64(w.root+qCount, 0)
+	t.StoreU64(w.root+qTotalEnq, 0)
+	t.StoreU64(w.root+qTotalDeq, 0)
+}
+
+func (w *Queue) take() mem.Addr {
+	n := w.pool[len(w.pool)-1]
+	w.pool = w.pool[:len(w.pool)-1]
+	return n
+}
+
+func (w *Queue) give(n mem.Addr) { w.pool = append(w.pool, n) }
+
+// Run implements Workload: alternating enqueue-biased mix of inserts and
+// deletes.
+func (w *Queue) Run(e *Env, t *machine.Thread, tid int) {
+	rng := e.Rand(tid)
+	payload := make([]byte, w.data)
+	for op := 0; op < e.P.Ops; op++ {
+		enq := rng.Intn(100) < 60
+		t.Lock(&w.lock)
+		if enq {
+			n := w.take()
+			e.RT.Run(t, func(f *fatomic.FASE) {
+				seq := f.LoadU64(w.root + qTotalEnq)
+				fillPattern(payload, seq)
+				f.StoreU64(n, 0) // next = nil
+				f.StoreU64(n+8, seq)
+				f.Store(n+16, payload)
+				tail := mem.Addr(f.LoadU64(w.root + qTail))
+				f.StoreU64(tail, uint64(n)) // tail.next = n
+				f.StoreU64(w.root+qTail, uint64(n))
+				f.StoreU64(w.root+qTotalEnq, seq+1)
+				f.StoreU64(w.root+qCount, f.LoadU64(w.root+qCount)+1)
+			})
+		} else {
+			var freed mem.Addr
+			e.RT.Run(t, func(f *fatomic.FASE) {
+				freed = 0
+				if f.LoadU64(w.root+qCount) == 0 {
+					return
+				}
+				dummy := mem.Addr(f.LoadU64(w.root + qHead))
+				first := mem.Addr(f.LoadU64(dummy)) // dummy.next
+				f.StoreU64(w.root+qHead, uint64(first))
+				f.StoreU64(w.root+qTotalDeq, f.LoadU64(w.root+qTotalDeq)+1)
+				f.StoreU64(w.root+qCount, f.LoadU64(w.root+qCount)-1)
+				freed = dummy
+			})
+			if freed != 0 {
+				w.give(freed)
+			}
+		}
+		t.Unlock(&w.lock)
+		t.Work(20)
+	}
+}
+
+// Verify implements Workload: the chain from head must contain exactly
+// count nodes with strictly increasing sequence numbers and intact
+// payloads, and the persistent counters must be consistent.
+func (w *Queue) Verify(img *mem.Image, completedOps uint64) error {
+	count := img.ReadU64(w.root + qCount)
+	enq := img.ReadU64(w.root + qTotalEnq)
+	deq := img.ReadU64(w.root + qTotalDeq)
+	if enq-deq != count {
+		return fmt.Errorf("queue: counters inconsistent: enq=%d deq=%d count=%d", enq, deq, count)
+	}
+	dummy := mem.Addr(img.ReadU64(w.root + qHead))
+	cur := mem.Addr(img.ReadU64(dummy)) // first real node
+	var walked uint64
+	lastSeq := int64(-1)
+	payload := make([]byte, w.data)
+	for cur != 0 {
+		if walked > count {
+			return fmt.Errorf("queue: chain longer than count %d (cycle or torn link)", count)
+		}
+		seq := img.ReadU64(cur + 8)
+		if int64(seq) <= lastSeq {
+			return fmt.Errorf("queue: sequence not increasing (%d after %d)", seq, lastSeq)
+		}
+		lastSeq = int64(seq)
+		img.Read(cur+16, payload)
+		if !checkPattern(payload, seq) {
+			return fmt.Errorf("queue: payload of node seq %d corrupt", seq)
+		}
+		walked++
+		cur = mem.Addr(img.ReadU64(cur))
+	}
+	if walked != count {
+		return fmt.Errorf("queue: walked %d nodes, count says %d", walked, count)
+	}
+	return nil
+}

@@ -1,0 +1,526 @@
+package workload
+
+import (
+	"fmt"
+
+	"pmemspec/internal/fatomic"
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/sim"
+)
+
+// RBTree inserts and deletes entries in a persistent red-black tree
+// ("Insert/delete entries in a Red-Black tree", after DPO/NV-Heaps).
+// Every rebalancing step runs inside the failure-atomic section, so a
+// crash or misspeculation abort mid-rotation must never leave a torn
+// tree — Verify checks the full red-black invariants.
+//
+// Node layout: +0 key, +8 color (0 black / 1 red), +16 left, +24 right,
+// +32 parent, +40 stamp, +48 payload (DataSize).
+// Root block: +0 root pointer, +8 persistent node count.
+type RBTree struct {
+	rootPtr mem.Addr
+	data    int
+	node    mem.Addr
+	lock    sim.Mutex
+	pool    []mem.Addr
+	initial int
+}
+
+// NewRBTree returns the benchmark.
+func NewRBTree() *RBTree { return &RBTree{} }
+
+// Name implements Workload.
+func (w *RBTree) Name() string { return "rbtree" }
+
+// Description implements Workload.
+func (w *RBTree) Description() string { return "Insert/delete entries in a Red-Black tree" }
+
+func (w *RBTree) scale(p Params) int {
+	if p.Scale > 0 {
+		return p.Scale
+	}
+	return 1024
+}
+
+// MemBytes implements Workload.
+func (w *RBTree) MemBytes(p Params) uint64 {
+	stride := uint64((48 + p.DataSize + mem.BlockSize - 1) &^ (mem.BlockSize - 1))
+	nodes := uint64(w.scale(p) + p.Threads*p.Ops + 8)
+	return fatomic.HeapReserve(p.Threads) + nodes*stride + 8<<20
+}
+
+// Field offsets.
+const (
+	rbKey    = 0
+	rbColor  = 8
+	rbLeft   = 16
+	rbRight  = 24
+	rbParent = 32
+	rbStamp  = 40
+	rbData   = 48
+)
+
+const (
+	black = 0
+	red   = 1
+)
+
+// Setup implements Workload: builds the initial tree.
+func (w *RBTree) Setup(e *Env, t *machine.Thread) {
+	w.data = e.P.DataSize
+	w.initial = w.scale(e.P)
+	w.node = mem.Addr((48 + w.data + mem.BlockSize - 1) &^ (mem.BlockSize - 1))
+	w.rootPtr = e.Heap.AllocBlock(mem.BlockSize)
+	nodes := w.initial + e.P.Threads*e.P.Ops + 8
+	for i := 0; i < nodes; i++ {
+		w.pool = append(w.pool, e.Heap.AllocBlock(uint64(w.node)))
+	}
+	t.StoreU64(w.rootPtr, 0)
+	t.StoreU64(w.rootPtr+8, 0)
+	// Insert the initial keys through the normal FASE path (cheap at
+	// setup scale and exercises the same code).
+	rng := e.Rand(-1)
+	payload := make([]byte, w.data)
+	for i := 0; i < w.initial; i++ {
+		key := rng.Uint64() >> 16
+		fillPattern(payload, key)
+		n := w.take()
+		e.RT.Run(t, func(f *fatomic.FASE) {
+			if !w.insert(f, n, key, key, payload) {
+				// Duplicate random key: extremely unlikely; recycle.
+				w.give(n)
+			}
+		})
+	}
+}
+
+func (w *RBTree) take() mem.Addr {
+	n := w.pool[len(w.pool)-1]
+	w.pool = w.pool[:len(w.pool)-1]
+	return n
+}
+
+func (w *RBTree) give(n mem.Addr) { w.pool = append(w.pool, n) }
+
+// Run implements Workload: a 50/50 insert/delete mix; deletes target
+// keys this thread inserted.
+func (w *RBTree) Run(e *Env, t *machine.Thread, tid int) {
+	rng := e.Rand(tid)
+	payload := make([]byte, w.data)
+	var mine []uint64
+	for op := 0; op < e.P.Ops; op++ {
+		doInsert := len(mine) == 0 || rng.Intn(100) < 50
+		t.Lock(&w.lock)
+		if doInsert {
+			key := rng.Uint64() >> 16
+			stamp := uint64(tid)<<48 | uint64(op)
+			fillPattern(payload, stamp)
+			n := w.take()
+			inserted := false
+			e.RT.Run(t, func(f *fatomic.FASE) {
+				inserted = w.insert(f, n, key, stamp, payload)
+			})
+			if inserted {
+				mine = append(mine, key)
+			} else {
+				w.give(n)
+			}
+		} else {
+			idx := rng.Intn(len(mine))
+			key := mine[idx]
+			mine[idx] = mine[len(mine)-1]
+			mine = mine[:len(mine)-1]
+			var freed mem.Addr
+			e.RT.Run(t, func(f *fatomic.FASE) {
+				freed = w.delete(f, key)
+			})
+			if freed != 0 {
+				w.give(freed)
+			}
+		}
+		t.Unlock(&w.lock)
+		t.Work(20)
+	}
+}
+
+// --- tree primitives over the FASE accessors ---
+
+func (w *RBTree) root(f *fatomic.FASE) mem.Addr { return mem.Addr(f.LoadU64(w.rootPtr)) }
+
+func (w *RBTree) setRoot(f *fatomic.FASE, n mem.Addr) { f.StoreU64(w.rootPtr, uint64(n)) }
+
+func fld(f *fatomic.FASE, n mem.Addr, off mem.Addr) mem.Addr {
+	return mem.Addr(f.LoadU64(n + off))
+}
+
+func setFld(f *fatomic.FASE, n, off, v mem.Addr) { f.StoreU64(n+off, uint64(v)) }
+
+// color reads a node's color; nil nodes are black.
+func color(f *fatomic.FASE, n mem.Addr) uint64 {
+	if n == 0 {
+		return black
+	}
+	return f.LoadU64(n + rbColor)
+}
+
+func setColor(f *fatomic.FASE, n mem.Addr, c uint64) {
+	if n != 0 {
+		f.StoreU64(n+rbColor, c)
+	}
+}
+
+func (w *RBTree) rotateLeft(f *fatomic.FASE, x mem.Addr) {
+	y := fld(f, x, rbRight)
+	yl := fld(f, y, rbLeft)
+	setFld(f, x, rbRight, yl)
+	if yl != 0 {
+		setFld(f, yl, rbParent, x)
+	}
+	xp := fld(f, x, rbParent)
+	setFld(f, y, rbParent, xp)
+	switch {
+	case xp == 0:
+		w.setRoot(f, y)
+	case x == fld(f, xp, rbLeft):
+		setFld(f, xp, rbLeft, y)
+	default:
+		setFld(f, xp, rbRight, y)
+	}
+	setFld(f, y, rbLeft, x)
+	setFld(f, x, rbParent, y)
+}
+
+func (w *RBTree) rotateRight(f *fatomic.FASE, x mem.Addr) {
+	y := fld(f, x, rbLeft)
+	yr := fld(f, y, rbRight)
+	setFld(f, x, rbLeft, yr)
+	if yr != 0 {
+		setFld(f, yr, rbParent, x)
+	}
+	xp := fld(f, x, rbParent)
+	setFld(f, y, rbParent, xp)
+	switch {
+	case xp == 0:
+		w.setRoot(f, y)
+	case x == fld(f, xp, rbRight):
+		setFld(f, xp, rbRight, y)
+	default:
+		setFld(f, xp, rbLeft, y)
+	}
+	setFld(f, y, rbRight, x)
+	setFld(f, x, rbParent, y)
+}
+
+// insert adds (key, stamp, payload) using the pre-allocated node n,
+// returning false (node unused) if the key already exists — the payload
+// is updated in place in that case.
+func (w *RBTree) insert(f *fatomic.FASE, n mem.Addr, key, stamp uint64, payload []byte) bool {
+	var parent mem.Addr
+	cur := w.root(f)
+	for cur != 0 {
+		parent = cur
+		ck := f.LoadU64(cur + rbKey)
+		switch {
+		case key < ck:
+			cur = fld(f, cur, rbLeft)
+		case key > ck:
+			cur = fld(f, cur, rbRight)
+		default:
+			f.StoreU64(cur+rbStamp, stamp)
+			f.Store(cur+rbData, payload)
+			return false
+		}
+	}
+	f.StoreU64(n+rbKey, key)
+	f.StoreU64(n+rbColor, red)
+	setFld(f, n, rbLeft, 0)
+	setFld(f, n, rbRight, 0)
+	setFld(f, n, rbParent, parent)
+	f.StoreU64(n+rbStamp, stamp)
+	f.Store(n+rbData, payload)
+	switch {
+	case parent == 0:
+		w.setRoot(f, n)
+	case key < f.LoadU64(parent+rbKey):
+		setFld(f, parent, rbLeft, n)
+	default:
+		setFld(f, parent, rbRight, n)
+	}
+	w.insertFixup(f, n)
+	f.StoreU64(w.rootPtr+8, f.LoadU64(w.rootPtr+8)+1)
+	return true
+}
+
+func (w *RBTree) insertFixup(f *fatomic.FASE, z mem.Addr) {
+	for {
+		zp := fld(f, z, rbParent)
+		if zp == 0 || color(f, zp) == black {
+			break
+		}
+		zpp := fld(f, zp, rbParent)
+		if zp == fld(f, zpp, rbLeft) {
+			y := fld(f, zpp, rbRight) // uncle
+			if color(f, y) == red {
+				setColor(f, zp, black)
+				setColor(f, y, black)
+				setColor(f, zpp, red)
+				z = zpp
+				continue
+			}
+			if z == fld(f, zp, rbRight) {
+				z = zp
+				w.rotateLeft(f, z)
+				zp = fld(f, z, rbParent)
+				zpp = fld(f, zp, rbParent)
+			}
+			setColor(f, zp, black)
+			setColor(f, zpp, red)
+			w.rotateRight(f, zpp)
+		} else {
+			y := fld(f, zpp, rbLeft)
+			if color(f, y) == red {
+				setColor(f, zp, black)
+				setColor(f, y, black)
+				setColor(f, zpp, red)
+				z = zpp
+				continue
+			}
+			if z == fld(f, zp, rbLeft) {
+				z = zp
+				w.rotateRight(f, z)
+				zp = fld(f, z, rbParent)
+				zpp = fld(f, zp, rbParent)
+			}
+			setColor(f, zp, black)
+			setColor(f, zpp, red)
+			w.rotateLeft(f, zpp)
+		}
+	}
+	setColor(f, w.root(f), black)
+}
+
+// transplant replaces subtree u with subtree v.
+func (w *RBTree) transplant(f *fatomic.FASE, u, v mem.Addr) {
+	up := fld(f, u, rbParent)
+	switch {
+	case up == 0:
+		w.setRoot(f, v)
+	case u == fld(f, up, rbLeft):
+		setFld(f, up, rbLeft, v)
+	default:
+		setFld(f, up, rbRight, v)
+	}
+	if v != 0 {
+		setFld(f, v, rbParent, up)
+	}
+}
+
+func (w *RBTree) minimum(f *fatomic.FASE, n mem.Addr) mem.Addr {
+	for {
+		l := fld(f, n, rbLeft)
+		if l == 0 {
+			return n
+		}
+		n = l
+	}
+}
+
+// delete removes key, returning the freed node address (0 if the key was
+// absent).
+func (w *RBTree) delete(f *fatomic.FASE, key uint64) mem.Addr {
+	z := w.root(f)
+	for z != 0 {
+		zk := f.LoadU64(z + rbKey)
+		if key == zk {
+			break
+		}
+		if key < zk {
+			z = fld(f, z, rbLeft)
+		} else {
+			z = fld(f, z, rbRight)
+		}
+	}
+	if z == 0 {
+		return 0
+	}
+	y := z
+	yColor := color(f, y)
+	var x, xParent mem.Addr
+	switch {
+	case fld(f, z, rbLeft) == 0:
+		x = fld(f, z, rbRight)
+		xParent = fld(f, z, rbParent)
+		w.transplant(f, z, x)
+	case fld(f, z, rbRight) == 0:
+		x = fld(f, z, rbLeft)
+		xParent = fld(f, z, rbParent)
+		w.transplant(f, z, x)
+	default:
+		y = w.minimum(f, fld(f, z, rbRight))
+		yColor = color(f, y)
+		x = fld(f, y, rbRight)
+		if fld(f, y, rbParent) == z {
+			xParent = y
+			if x != 0 {
+				setFld(f, x, rbParent, y)
+			}
+		} else {
+			xParent = fld(f, y, rbParent)
+			w.transplant(f, y, x)
+			zr := fld(f, z, rbRight)
+			setFld(f, y, rbRight, zr)
+			setFld(f, zr, rbParent, y)
+		}
+		w.transplant(f, z, y)
+		zl := fld(f, z, rbLeft)
+		setFld(f, y, rbLeft, zl)
+		setFld(f, zl, rbParent, y)
+		setColor(f, y, color(f, z))
+	}
+	if yColor == black {
+		w.deleteFixup(f, x, xParent)
+	}
+	f.StoreU64(w.rootPtr+8, f.LoadU64(w.rootPtr+8)-1)
+	return z
+}
+
+func (w *RBTree) deleteFixup(f *fatomic.FASE, x, xParent mem.Addr) {
+	for x != w.root(f) && color(f, x) == black {
+		if xParent == 0 {
+			break
+		}
+		if x == fld(f, xParent, rbLeft) {
+			s := fld(f, xParent, rbRight)
+			if color(f, s) == red {
+				setColor(f, s, black)
+				setColor(f, xParent, red)
+				w.rotateLeft(f, xParent)
+				s = fld(f, xParent, rbRight)
+			}
+			if color(f, fld(f, s, rbLeft)) == black && color(f, fld(f, s, rbRight)) == black {
+				setColor(f, s, red)
+				x = xParent
+				xParent = fld(f, x, rbParent)
+			} else {
+				if color(f, fld(f, s, rbRight)) == black {
+					setColor(f, fld(f, s, rbLeft), black)
+					setColor(f, s, red)
+					w.rotateRight(f, s)
+					s = fld(f, xParent, rbRight)
+				}
+				setColor(f, s, color(f, xParent))
+				setColor(f, xParent, black)
+				setColor(f, fld(f, s, rbRight), black)
+				w.rotateLeft(f, xParent)
+				x = w.root(f)
+			}
+		} else {
+			s := fld(f, xParent, rbLeft)
+			if color(f, s) == red {
+				setColor(f, s, black)
+				setColor(f, xParent, red)
+				w.rotateRight(f, xParent)
+				s = fld(f, xParent, rbLeft)
+			}
+			if color(f, fld(f, s, rbRight)) == black && color(f, fld(f, s, rbLeft)) == black {
+				setColor(f, s, red)
+				x = xParent
+				xParent = fld(f, x, rbParent)
+			} else {
+				if color(f, fld(f, s, rbLeft)) == black {
+					setColor(f, fld(f, s, rbRight), black)
+					setColor(f, s, red)
+					w.rotateLeft(f, s)
+					s = fld(f, xParent, rbLeft)
+				}
+				setColor(f, s, color(f, xParent))
+				setColor(f, xParent, black)
+				setColor(f, fld(f, s, rbLeft), black)
+				w.rotateRight(f, xParent)
+				x = w.root(f)
+			}
+		}
+	}
+	setColor(f, x, black)
+}
+
+// Verify implements Workload: full red-black invariants plus payload
+// integrity: BST ordering, no red node with a red child, equal black
+// height on every path, consistent parent pointers, and the persistent
+// node count matching the walk.
+func (w *RBTree) Verify(img *mem.Image, completedOps uint64) error {
+	root := mem.Addr(img.ReadU64(w.rootPtr))
+	count := img.ReadU64(w.rootPtr + 8)
+	if root == 0 {
+		if count != 0 {
+			return fmt.Errorf("rbtree: empty tree but count %d", count)
+		}
+		return nil
+	}
+	if img.ReadU64(root+rbColor) != black {
+		return fmt.Errorf("rbtree: root is red")
+	}
+	if img.ReadU64(root+rbParent) != 0 {
+		return fmt.Errorf("rbtree: root has a parent")
+	}
+	visited := make(map[mem.Addr]bool)
+	payload := make([]byte, w.data)
+	var walk func(n mem.Addr, min, max uint64) (int, error) // black height
+	walk = func(n mem.Addr, min, max uint64) (int, error) {
+		if n == 0 {
+			return 1, nil
+		}
+		if visited[n] {
+			return 0, fmt.Errorf("rbtree: cycle at %#x", uint64(n))
+		}
+		visited[n] = true
+		key := img.ReadU64(n + rbKey)
+		if key <= min || key >= max {
+			return 0, fmt.Errorf("rbtree: BST violation at key %d", key)
+		}
+		c := img.ReadU64(n + rbColor)
+		l := mem.Addr(img.ReadU64(n + rbLeft))
+		r := mem.Addr(img.ReadU64(n + rbRight))
+		if c == red {
+			if l != 0 && img.ReadU64(l+rbColor) == red {
+				return 0, fmt.Errorf("rbtree: red-red violation at key %d", key)
+			}
+			if r != 0 && img.ReadU64(r+rbColor) == red {
+				return 0, fmt.Errorf("rbtree: red-red violation at key %d", key)
+			}
+		}
+		for _, ch := range []mem.Addr{l, r} {
+			if ch != 0 && mem.Addr(img.ReadU64(ch+rbParent)) != n {
+				return 0, fmt.Errorf("rbtree: parent pointer broken under key %d", key)
+			}
+		}
+		stamp := img.ReadU64(n + rbStamp)
+		img.Read(n+rbData, payload)
+		if !checkPattern(payload, stamp) {
+			return 0, fmt.Errorf("rbtree: payload torn at key %d", key)
+		}
+		bl, err := walk(l, min, key)
+		if err != nil {
+			return 0, err
+		}
+		br, err := walk(r, key, max)
+		if err != nil {
+			return 0, err
+		}
+		if bl != br {
+			return 0, fmt.Errorf("rbtree: black-height mismatch at key %d (%d vs %d)", key, bl, br)
+		}
+		if c == black {
+			bl++
+		}
+		return bl, nil
+	}
+	if _, err := walk(root, 0, ^uint64(0)); err != nil {
+		return err
+	}
+	if uint64(len(visited)) != count {
+		return fmt.Errorf("rbtree: walked %d nodes, persistent count %d", len(visited), count)
+	}
+	return nil
+}

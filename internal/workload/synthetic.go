@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+
+	"pmemspec/internal/fatomic"
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+)
+
+// Synthetic is the §8.4 load-misspeculation generator: inside one
+// failure-atomic section it updates a victim block, conflict-evicts it
+// all the way out of the LLC, and immediately reloads it. If the reload
+// beats the in-flight persist to the PM controller, the program observes
+// the stale value; the speculation buffer detects the violation when the
+// persist lands and the runtime aborts and re-executes the section.
+//
+// Each round issues exactly LLCWays cold fills into the victim's set:
+// the first ways−1 displace the previous round's conflict blocks (they
+// are older than the just-stored victim) and the last one displaces the
+// victim itself — the minimal eviction recipe. Even so, the
+// eviction-to-reload gap contains LLCWays PM fetches (~200 ns each), so,
+// exactly as the paper reports, misspeculation only appears when the
+// persist-path latency is inflated well past its 20 ns default
+// ("PM load misspeculation is only observed under an unrealistically
+// long persist-path latency"), and the experiment uses a small,
+// low-associativity LLC ("Depending on the cache hierarchy, the program
+// may require tens of memory accesses").
+type Synthetic struct {
+	// LLCWays/LLCSets describe the machine's LLC geometry; SetConfigure
+	// fills them from the machine config before Setup.
+	LLCWays int
+	LLCSets int
+
+	base   mem.Addr
+	stride mem.Addr
+	// StaleObserved counts reloads that returned a value older than the
+	// one just stored (ground truth, host-side).
+	StaleObserved uint64
+}
+
+// NewSynthetic returns the generator with geometry for the default
+// Table 3 LLC; SetConfigure overrides it.
+func NewSynthetic() *Synthetic {
+	return &Synthetic{LLCWays: 16, LLCSets: 16 * 1024 * 1024 / (16 * mem.BlockSize)}
+}
+
+// SetConfigure adapts the generator to the machine's LLC geometry.
+func (w *Synthetic) SetConfigure(cfg machine.Config) {
+	w.LLCWays = cfg.LLCWays
+	w.LLCSets = cfg.LLCBytes / (cfg.LLCWays * mem.BlockSize)
+}
+
+// Name implements Workload.
+func (w *Synthetic) Name() string { return "synthetic" }
+
+// Description implements Workload.
+func (w *Synthetic) Description() string {
+	return "Synthetic PM load-misspeculation generator (§8.4)"
+}
+
+// pool is the number of rotating conflict-block groups (a group is
+// reusable one round after it was evicted).
+const syntheticPoolGroups = 2
+
+// MemBytes implements Workload.
+func (w *Synthetic) MemBytes(p Params) uint64 {
+	stride := uint64(w.LLCSets) * mem.BlockSize
+	blocks := uint64(syntheticPoolGroups*w.LLCWays + 2)
+	return fatomic.HeapReserve(p.Threads) + stride*blocks + 8<<20
+}
+
+// conflict returns the i-th conflict block of the round's group.
+func (w *Synthetic) conflict(round, i int) mem.Addr {
+	g := round % syntheticPoolGroups
+	return w.base + mem.Addr(1+g*w.LLCWays+i)*w.stride
+}
+
+// Setup implements Workload.
+func (w *Synthetic) Setup(e *Env, t *machine.Thread) {
+	w.stride = mem.Addr(w.LLCSets) * mem.BlockSize
+	w.base = e.Heap.AllocBlock(uint64(w.stride) * uint64(syntheticPoolGroups*w.LLCWays+2))
+	t.StoreU64(w.base, 0)
+}
+
+// Run implements Workload: each FASE bumps the victim's value,
+// conflict-evicts its set, and reloads it.
+func (w *Synthetic) Run(e *Env, t *machine.Thread, tid int) {
+	if tid != 0 {
+		// The generator is single-threaded by construction (the paper's
+		// program is too); other workers idle.
+		return
+	}
+	for op := 0; op < e.P.Ops; op++ {
+		want := uint64(op + 1)
+		op := op
+		attempt := 0
+		e.RT.Run(t, func(f *fatomic.FASE) {
+			attempt++
+			f.StoreU64(w.base, want) // victim dirty; persist in flight
+			if attempt == 1 {
+				// Blow the set: the last fill evicts the victim
+				// (WriteBack). Only the first attempt runs the eviction
+				// recipe: a deterministic simulator would otherwise
+				// recreate the identical race on every re-execution
+				// (on real hardware, timing jitter breaks the cycle).
+				for i := 0; i < w.LLCWays; i++ {
+					f.LoadU64(w.conflict(op, i))
+				}
+			}
+			// The reload races the persist.
+			if got := f.LoadU64(w.base); got != want {
+				w.StaleObserved++
+			}
+		})
+	}
+}
+
+// Verify implements Workload: after recovery-free completion the victim
+// holds the final generation.
+func (w *Synthetic) Verify(img *mem.Image, completedOps uint64) error {
+	if completedOps == 0 {
+		return nil
+	}
+	if got := img.ReadU64(w.base); got != completedOps {
+		return fmt.Errorf("synthetic: victim holds %d, want %d", got, completedOps)
+	}
+	return nil
+}

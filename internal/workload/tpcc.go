@@ -1,0 +1,281 @@
+package workload
+
+import (
+	"fmt"
+
+	"pmemspec/internal/fatomic"
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/sim"
+)
+
+// TPCC runs the new-order transaction of TPC-C ("New order transaction
+// in TPCC"), simplified to its persistent-memory essence: allocate an
+// order id from the district, write the order record and its order
+// lines, and decrement the stock of each ordered item — all in one
+// failure-atomic section. Each worker owns one district (TPC-C's home
+// district locality, with the ~1% remote accesses elided so district
+// locks keep the run data-race-free).
+//
+// The mixed variant (NewTPCCMix, "tpcc-mix") interleaves TPC-C payment
+// transactions: district year-to-date and customer balances move under
+// the same district lock, with a history ring that lets Verify replay
+// money conservation exactly.
+//
+// Layout per district:
+//
+//	header:    +0 next_o_id, +8 ytd, +16 next_h_id (u64 each)
+//	stock:     items × one block: +0 quantity (u64)
+//	orders:    capacity × orderStride:
+//	             +0 o_id, +8 c_id, +16 nLines, +24 stamp,
+//	             +32 lines[5]{item u64, qty u64}
+//	customers: tpccCustomers × one block: +0 balance (i64), +8 ytdPayment,
+//	             +16 payCount
+//	history:   capacity × one block: +0 h_id, +8 c_id, +16 amount, +24 stamp
+type TPCC struct {
+	name      string
+	desc      string
+	payments  bool
+	districts int
+	items     int
+	capacity  int // orders (and payments) per district
+	stride    mem.Addr
+	dBase     []mem.Addr // district headers
+	sBase     []mem.Addr // stock arrays
+	oBase     []mem.Addr // order arrays
+	cBase     []mem.Addr // customer arrays
+	hBase     []mem.Addr // history rings
+	locks     []sim.Mutex
+}
+
+// NewTPCC returns the paper's benchmark (new-order transactions only).
+func NewTPCC() *TPCC {
+	return &TPCC{name: "tpcc", desc: "New order transaction in TPCC"}
+}
+
+// NewTPCCMix returns the extended variant: a 50/50 mix of new-order and
+// payment transactions.
+func NewTPCCMix() *TPCC {
+	return &TPCC{name: "tpcc-mix", desc: "New order + payment transactions in TPCC", payments: true}
+}
+
+// Name implements Workload.
+func (w *TPCC) Name() string { return w.name }
+
+// Description implements Workload.
+func (w *TPCC) Description() string { return w.desc }
+
+const (
+	tpccLines     = 5
+	tpccInitStock = 1000
+	tpccRefill    = 1000
+	orderHdr      = 32
+	tpccCustomers = 256
+	tpccInitBal   = 10_000
+)
+
+func (w *TPCC) itemsScale(p Params) int {
+	if p.Scale > 0 {
+		return p.Scale
+	}
+	return 512
+}
+
+// MemBytes implements Workload.
+func (w *TPCC) MemBytes(p Params) uint64 {
+	stride := uint64((orderHdr + tpccLines*16 + mem.BlockSize - 1) &^ (mem.BlockSize - 1))
+	perDistrict := uint64(mem.BlockSize) + uint64(w.itemsScale(p))*mem.BlockSize + uint64(p.Ops+1)*stride +
+		uint64(tpccCustomers)*mem.BlockSize + uint64(p.Ops+1)*mem.BlockSize
+	return fatomic.HeapReserve(p.Threads) + uint64(p.Threads)*perDistrict + 8<<20
+}
+
+// Setup implements Workload.
+func (w *TPCC) Setup(e *Env, t *machine.Thread) {
+	w.districts = e.P.Threads
+	w.items = w.itemsScale(e.P)
+	w.capacity = e.P.Ops + 1
+	w.stride = mem.Addr((orderHdr + tpccLines*16 + mem.BlockSize - 1) &^ (mem.BlockSize - 1))
+	w.locks = make([]sim.Mutex, w.districts)
+	for d := 0; d < w.districts; d++ {
+		hdr := e.Heap.AllocBlock(mem.BlockSize)
+		stock := e.Heap.AllocBlock(uint64(w.items) * mem.BlockSize)
+		orders := e.Heap.AllocBlock(uint64(w.capacity) * uint64(w.stride))
+		customers := e.Heap.AllocBlock(tpccCustomers * mem.BlockSize)
+		history := e.Heap.AllocBlock(uint64(w.capacity) * mem.BlockSize)
+		w.dBase = append(w.dBase, hdr)
+		w.sBase = append(w.sBase, stock)
+		w.oBase = append(w.oBase, orders)
+		w.cBase = append(w.cBase, customers)
+		w.hBase = append(w.hBase, history)
+		t.StoreU64(hdr, 0)    // next_o_id
+		t.StoreU64(hdr+8, 0)  // ytd
+		t.StoreU64(hdr+16, 0) // next_h_id
+		for i := 0; i < w.items; i++ {
+			t.StoreU64(stock+mem.Addr(i)*mem.BlockSize, tpccInitStock)
+		}
+		for c := 0; c < tpccCustomers; c++ {
+			cu := customers + mem.Addr(c)*mem.BlockSize
+			t.StoreU64(cu, tpccInitBal) // balance
+			t.StoreU64(cu+8, 0)         // ytdPayment
+			t.StoreU64(cu+16, 0)        // payCount
+		}
+	}
+}
+
+func (w *TPCC) customer(d, c int) mem.Addr { return w.cBase[d] + mem.Addr(c)*mem.BlockSize }
+
+func (w *TPCC) history(d int, h uint64) mem.Addr { return w.hBase[d] + mem.Addr(h)*mem.BlockSize }
+
+// payment runs one TPC-C payment transaction under the district lock.
+func (w *TPCC) payment(e *Env, t *machine.Thread, d, cid int, amount uint64) {
+	e.RT.Run(t, func(f *fatomic.FASE) {
+		hid := f.LoadU64(w.dBase[d] + 16)
+		f.StoreU64(w.dBase[d]+8, f.LoadU64(w.dBase[d]+8)+amount)
+		cu := w.customer(d, cid)
+		f.StoreU64(cu, f.LoadU64(cu)-amount)
+		f.StoreU64(cu+8, f.LoadU64(cu+8)+amount)
+		f.StoreU64(cu+16, f.LoadU64(cu+16)+1)
+		h := w.history(d, hid)
+		f.StoreU64(h, hid)
+		f.StoreU64(h+8, uint64(cid))
+		f.StoreU64(h+16, amount)
+		f.StoreU64(h+24, hid*2654435761+uint64(d)+1)
+		f.StoreU64(w.dBase[d]+16, hid+1)
+	})
+}
+
+func (w *TPCC) order(d int, i uint64) mem.Addr { return w.oBase[d] + mem.Addr(i)*w.stride }
+
+func (w *TPCC) stock(d, item int) mem.Addr { return w.sBase[d] + mem.Addr(item)*mem.BlockSize }
+
+// Run implements Workload: new-order transactions against the worker's
+// home district.
+func (w *TPCC) Run(e *Env, t *machine.Thread, tid int) {
+	rng := e.Rand(tid)
+	d := tid % w.districts
+	lk := &w.locks[d]
+	for op := 0; op < e.P.Ops; op++ {
+		if w.payments && op%2 == 1 {
+			cid := rng.Intn(tpccCustomers)
+			amount := uint64(rng.Intn(500) + 1)
+			t.Lock(lk)
+			w.payment(e, t, d, cid, amount)
+			t.Unlock(lk)
+			t.Work(30)
+			continue
+		}
+		var items [tpccLines]int
+		var qtys [tpccLines]uint64
+		for l := 0; l < tpccLines; l++ {
+			items[l] = rng.Intn(w.items)
+			qtys[l] = uint64(rng.Intn(10) + 1)
+		}
+		cid := rng.Intn(3000)
+		t.Lock(lk)
+		e.RT.Run(t, func(f *fatomic.FASE) {
+			oid := f.LoadU64(w.dBase[d])
+			rec := w.order(d, oid)
+			f.StoreU64(rec, oid)
+			f.StoreU64(rec+8, uint64(cid))
+			f.StoreU64(rec+16, tpccLines)
+			f.StoreU64(rec+24, oid*2654435761+uint64(d))
+			for l := 0; l < tpccLines; l++ {
+				f.StoreU64(rec+orderHdr+mem.Addr(l*16), uint64(items[l]))
+				f.StoreU64(rec+orderHdr+mem.Addr(l*16+8), qtys[l])
+				sa := w.stock(d, items[l])
+				q := f.LoadU64(sa)
+				if q < qtys[l] {
+					q += tpccRefill
+				}
+				f.StoreU64(sa, q-qtys[l])
+			}
+			f.StoreU64(w.dBase[d], oid+1)
+		})
+		t.Unlock(lk)
+		t.Work(30)
+	}
+}
+
+// Verify implements Workload: per district, next_o_id orders exist with
+// dense ids and valid stamps, and replaying their order lines reproduces
+// the stored stock levels exactly.
+func (w *TPCC) Verify(img *mem.Image, completedOps uint64) error {
+	for d := 0; d < w.districts; d++ {
+		n := img.ReadU64(w.dBase[d])
+		if n > uint64(w.capacity) {
+			return fmt.Errorf("tpcc: district %d next_o_id %d exceeds capacity", d, n)
+		}
+		stock := make([]uint64, w.items)
+		for i := range stock {
+			stock[i] = tpccInitStock
+		}
+		for oid := uint64(0); oid < n; oid++ {
+			rec := w.order(d, oid)
+			if got := img.ReadU64(rec); got != oid {
+				return fmt.Errorf("tpcc: district %d order %d has id %d (torn order)", d, oid, got)
+			}
+			if img.ReadU64(rec+24) != oid*2654435761+uint64(d) {
+				return fmt.Errorf("tpcc: district %d order %d stamp corrupt", d, oid)
+			}
+			nl := img.ReadU64(rec + 16)
+			if nl != tpccLines {
+				return fmt.Errorf("tpcc: district %d order %d has %d lines", d, oid, nl)
+			}
+			for l := 0; l < tpccLines; l++ {
+				item := img.ReadU64(rec + orderHdr + mem.Addr(l*16))
+				qty := img.ReadU64(rec + orderHdr + mem.Addr(l*16+8))
+				if item >= uint64(w.items) || qty == 0 || qty > 10 {
+					return fmt.Errorf("tpcc: district %d order %d line %d invalid (%d,%d)", d, oid, l, item, qty)
+				}
+				if stock[item] < qty {
+					stock[item] += tpccRefill
+				}
+				stock[item] -= qty
+			}
+		}
+		for i := 0; i < w.items; i++ {
+			if got := img.ReadU64(w.stock(d, i)); got != stock[i] {
+				return fmt.Errorf("tpcc: district %d item %d stock %d, replay says %d", d, i, got, stock[i])
+			}
+		}
+		// Payment conservation: replay the history ring against the
+		// district YTD and per-customer balances.
+		nh := img.ReadU64(w.dBase[d] + 16)
+		if nh > uint64(w.capacity) {
+			return fmt.Errorf("tpcc: district %d next_h_id %d exceeds capacity", d, nh)
+		}
+		var ytd uint64
+		paid := make([]uint64, tpccCustomers)
+		counts := make([]uint64, tpccCustomers)
+		for hid := uint64(0); hid < nh; hid++ {
+			h := w.history(d, hid)
+			if img.ReadU64(h) != hid {
+				return fmt.Errorf("tpcc: district %d history %d torn", d, hid)
+			}
+			if img.ReadU64(h+24) != hid*2654435761+uint64(d)+1 {
+				return fmt.Errorf("tpcc: district %d history %d stamp corrupt", d, hid)
+			}
+			cid := img.ReadU64(h + 8)
+			amount := img.ReadU64(h + 16)
+			if cid >= tpccCustomers || amount == 0 || amount > 500 {
+				return fmt.Errorf("tpcc: district %d history %d invalid (%d,%d)", d, hid, cid, amount)
+			}
+			ytd += amount
+			paid[cid] += amount
+			counts[cid]++
+		}
+		if got := img.ReadU64(w.dBase[d] + 8); got != ytd {
+			return fmt.Errorf("tpcc: district %d ytd %d, history says %d", d, got, ytd)
+		}
+		for c := 0; c < tpccCustomers; c++ {
+			cu := w.customer(d, c)
+			if got := img.ReadU64(cu); got != tpccInitBal-paid[c] {
+				return fmt.Errorf("tpcc: district %d customer %d balance %d, history says %d", d, c, got, tpccInitBal-paid[c])
+			}
+			if img.ReadU64(cu+8) != paid[c] || img.ReadU64(cu+16) != counts[c] {
+				return fmt.Errorf("tpcc: district %d customer %d ytd/count drift", d, c)
+			}
+		}
+	}
+	return nil
+}

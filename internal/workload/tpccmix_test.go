@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestTPCCMixRunsAndConserves(t *testing.T) {
+	w := NewTPCCMix()
+	p := Params{Threads: 2, Ops: 40, DataSize: 64, Seed: 5}
+	env := runOn(t, w, p)
+	if err := w.Verify(env.M.Space().Arch, env.RT.Stats.FASEs); err != nil {
+		t.Fatal(err)
+	}
+	// Payments actually ran.
+	tp := w
+	anyYTD := false
+	for d := 0; d < tp.districts; d++ {
+		if env.M.Space().Arch.ReadU64(tp.dBase[d]+8) > 0 {
+			anyYTD = true
+		}
+	}
+	if !anyYTD {
+		t.Error("no payments recorded")
+	}
+}
+
+func TestTPCCMixVerifyDetectsYTDDrift(t *testing.T) {
+	w := NewTPCCMix()
+	p := Params{Threads: 2, Ops: 30, DataSize: 64, Seed: 5}
+	env := runOn(t, w, p)
+	img := env.M.Space().Arch
+	img.WriteU64(w.dBase[0]+8, img.ReadU64(w.dBase[0]+8)+1)
+	if err := w.Verify(img, 0); err == nil {
+		t.Error("ytd drift not detected")
+	}
+}
+
+func TestTPCCMixVerifyDetectsBalanceDrift(t *testing.T) {
+	w := NewTPCCMix()
+	p := Params{Threads: 2, Ops: 30, DataSize: 64, Seed: 5}
+	env := runOn(t, w, p)
+	img := env.M.Space().Arch
+	cu := w.customer(0, 3)
+	img.WriteU64(cu, img.ReadU64(cu)-1)
+	if err := w.Verify(img, 0); err == nil {
+		t.Error("balance drift not detected")
+	}
+}
+
+func TestTATPMixRunsAndVerifies(t *testing.T) {
+	w := NewTATPMix()
+	p := Params{Threads: 2, Ops: 60, DataSize: 64, Seed: 5}
+	env := runOn(t, w, p)
+	if err := w.Verify(env.M.Space().Arch, env.RT.Stats.FASEs); err != nil {
+		t.Fatal(err)
+	}
+	// The mix actually reduced write transactions: committed FASEs well
+	// below total ops.
+	if env.RT.Stats.FASEs >= uint64(2*60) {
+		t.Errorf("FASEs = %d: read transactions missing", env.RT.Stats.FASEs)
+	}
+	if env.RT.Stats.FASEs == 0 {
+		t.Error("no update transactions at all")
+	}
+}

@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pmemspec/internal/fatomic"
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/osint"
+	"pmemspec/internal/persist"
+	"pmemspec/internal/sim"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("All() = %d workloads, want the 8 of Table 4", len(all))
+	}
+	want := []string{"arrayswap", "queue", "hashmap", "rbtree", "tatp", "tpcc", "vacation", "memcached"}
+	for i, w := range all {
+		if w.Name() != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, w.Name(), want[i])
+		}
+		if w.Description() == "" {
+			t.Errorf("%s: empty description", w.Name())
+		}
+	}
+	if _, err := ByName("synthetic"); err != nil {
+		t.Error("synthetic not resolvable by name")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	// Fresh instances each call.
+	a, _ := ByName("rbtree")
+	b, _ := ByName("rbtree")
+	if a == b {
+		t.Error("ByName returned a shared instance")
+	}
+}
+
+func TestPatternHelpers(t *testing.T) {
+	f := func(tag uint64, size uint8) bool {
+		n := int(size%200) + 1
+		p := make([]byte, n)
+		fillPattern(p, tag)
+		if !checkPattern(p, tag) {
+			return false
+		}
+		// Any single-byte corruption must be caught.
+		p[n/2] ^= 0xFF
+		return !checkPattern(p, tag)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemBytesCoversNeeds(t *testing.T) {
+	p := DefaultParams(8)
+	p.Ops = 100
+	for _, w := range All() {
+		if w.MemBytes(p) < fatomic.HeapReserve(p.Threads) {
+			t.Errorf("%s: MemBytes below the runtime reserve", w.Name())
+		}
+	}
+}
+
+// runOn executes a workload on a small machine and returns the env.
+func runOn(t *testing.T, w Workload, p Params) *Env {
+	t.Helper()
+	cfg := machine.DefaultConfig(machine.PMEMSpec, p.Threads)
+	cfg.MemBytes = w.MemBytes(p)
+	if cfg.MemBytes < 16<<20 {
+		cfg.MemBytes = 16 << 20
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os := osint.New(m)
+	rt := fatomic.New(m, persist.ForDesign(machine.PMEMSpec), os, fatomic.Lazy)
+	heap := mem.NewHeap(m.Space(), fatomic.HeapReserve(p.Threads))
+	env := &Env{M: m, RT: rt, Heap: heap, P: p}
+	barrier := sim.NewBarrier(p.Threads)
+	for tid := 0; tid < p.Threads; tid++ {
+		tid := tid
+		m.Spawn("w", func(th *machine.Thread) {
+			if tid == 0 {
+				w.Setup(env, th)
+			}
+			barrier.Wait(th.Sim())
+			w.Run(env, th, tid)
+		})
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// TestVerifyCatchesCorruption: each workload's Verify must reject a
+// corrupted image — the property every crash-consistency check relies
+// on. One byte deep inside the heap region is flipped; at least one of
+// a handful of flip locations must trip the verifier.
+func TestVerifyCatchesCorruption(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, _ := ByName(name)
+			p := Params{Threads: 2, Ops: 15, DataSize: 64, Seed: 3}
+			env := runOn(t, w, p)
+			img := env.M.Space().Arch
+			if err := w.Verify(img, env.RT.Stats.FASEs); err != nil {
+				t.Fatalf("clean image rejected: %v", err)
+			}
+			// Flip bytes at several offsets into the heap area until one
+			// is detected (sparse structures leave gaps a flip can miss).
+			start := img.Base() + mem.Addr(fatomic.HeapReserve(p.Threads))
+			caught := false
+			for off := mem.Addr(0); off < 1<<16 && !caught; off += 4096 + 8 {
+				a := start + off
+				if !img.Contains(a, 1) {
+					break
+				}
+				var b [1]byte
+				img.Read(a, b[:])
+				img.Write(a, []byte{b[0] ^ 0x5A})
+				if err := w.Verify(img, env.RT.Stats.FASEs); err != nil {
+					caught = true
+				}
+				img.Write(a, b[:]) // restore
+			}
+			if !caught {
+				t.Error("no corruption detected at any probed offset")
+			}
+		})
+	}
+}
+
+func TestQueueVerifyDetectsTornLink(t *testing.T) {
+	w := NewQueue()
+	p := Params{Threads: 2, Ops: 30, DataSize: 64, Seed: 1}
+	env := runOn(t, w, p)
+	img := env.M.Space().Arch
+	// Corrupt the count field directly.
+	img.WriteU64(w.root+qCount, img.ReadU64(w.root+qCount)+1)
+	if err := w.Verify(img, 0); err == nil {
+		t.Error("count corruption not detected")
+	}
+}
+
+func TestRBTreeVerifyDetectsColorViolation(t *testing.T) {
+	w := NewRBTree()
+	p := Params{Threads: 1, Ops: 40, DataSize: 64, Seed: 2}
+	env := runOn(t, w, p)
+	img := env.M.Space().Arch
+	root := mem.Addr(img.ReadU64(w.rootPtr))
+	if root == 0 {
+		t.Fatal("empty tree")
+	}
+	img.WriteU64(root+rbColor, red) // red root violates the invariants
+	if err := w.Verify(img, 0); err == nil || !strings.Contains(err.Error(), "root is red") {
+		t.Errorf("red root not detected: %v", err)
+	}
+}
+
+func TestTPCCVerifyDetectsStockDrift(t *testing.T) {
+	w := NewTPCC()
+	p := Params{Threads: 2, Ops: 20, DataSize: 64, Seed: 1}
+	env := runOn(t, w, p)
+	img := env.M.Space().Arch
+	img.WriteU64(w.stock(0, 0), img.ReadU64(w.stock(0, 0))+1)
+	if err := w.Verify(img, 0); err == nil || !strings.Contains(err.Error(), "stock") {
+		t.Errorf("stock drift not detected: %v", err)
+	}
+}
+
+func TestVacationVerifyDetectsOverbooking(t *testing.T) {
+	w := NewVacation()
+	p := Params{Threads: 2, Ops: 15, DataSize: 64, Seed: 1}
+	env := runOn(t, w, p)
+	img := env.M.Space().Arch
+	r := w.resource(0, 0)
+	img.WriteU64(r+8, img.ReadU64(r)+5) // used > total
+	if err := w.Verify(img, 0); err == nil {
+		t.Error("overbooking not detected")
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams(8)
+	if p.Threads != 8 || p.DataSize != 64 || p.Ops == 0 {
+		t.Errorf("DefaultParams = %+v", p)
+	}
+}
+
+func TestEnvRandDeterministicPerTid(t *testing.T) {
+	e := &Env{P: Params{Seed: 5}}
+	a, b := e.Rand(1), e.Rand(1)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same tid+seed diverged")
+		}
+	}
+	if e.Rand(1).Uint64() == e.Rand(2).Uint64() {
+		t.Error("different tids share a stream")
+	}
+}

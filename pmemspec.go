@@ -1,0 +1,118 @@
+// Package pmemspec is a simulation-based reproduction of PMEM-Spec
+// (Jeong & Jung, ASPLOS 2021): persistent-memory speculation, showing
+// that a strict persistency model can outperform relaxed (epoch-based)
+// models.
+//
+// The package is the public facade over the implementation in internal/:
+// it re-exports the machine configuration, the four evaluated designs
+// (IntelX86 epoch, DPO, HOPS, PMEM-Spec), the failure-atomic runtime
+// with misspeculation recovery, the Table 4 workload suite, and the
+// experiment harness that regenerates every figure of the paper's
+// evaluation.
+//
+// # Quick start
+//
+//	cfg := pmemspec.DefaultConfig(pmemspec.PMEMSpec, 8)
+//	m, err := pmemspec.NewMachine(cfg)
+//	...
+//
+// or run a whole benchmark:
+//
+//	w, _ := pmemspec.WorkloadByName("rbtree")
+//	res, err := pmemspec.RunBenchmark(pmemspec.PMEMSpec, w,
+//	    pmemspec.BenchParams{Threads: 8, Ops: 1000, DataSize: 64, Seed: 1})
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and modelling decisions, and EXPERIMENTS.md for the
+// paper-vs-measured comparison of every table and figure.
+package pmemspec
+
+import (
+	"pmemspec/internal/fatomic"
+	"pmemspec/internal/harness"
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/workload"
+)
+
+// Design selects one of the paper's four evaluated systems.
+type Design = machine.Design
+
+// The evaluated designs (§8.1), plus the StrandWeaver extension the
+// paper discusses as the most relaxed prior design.
+const (
+	IntelX86 = machine.IntelX86
+	DPO      = machine.DPO
+	HOPS     = machine.HOPS
+	PMEMSpec = machine.PMEMSpec
+	Strand   = machine.Strand
+)
+
+// Designs lists the paper's four designs in its order; AllDesigns adds
+// the StrandWeaver extension.
+var (
+	Designs    = machine.Designs
+	AllDesigns = machine.AllDesigns
+)
+
+// MachineConfig is the full simulated-machine configuration (Table 3).
+type MachineConfig = machine.Config
+
+// Machine is a simulated multicore system running one design.
+type Machine = machine.Machine
+
+// Thread is a simulated hardware thread.
+type Thread = machine.Thread
+
+// DefaultConfig returns the paper's Table 3 configuration for a design
+// and core count.
+func DefaultConfig(d Design, cores int) MachineConfig {
+	return machine.DefaultConfig(d, cores)
+}
+
+// NewMachine builds a simulated machine.
+func NewMachine(cfg MachineConfig) (*Machine, error) { return machine.New(cfg) }
+
+// Addr is a simulated physical address.
+type Addr = mem.Addr
+
+// Image is a byte image of the PM region (architectural or persisted).
+type Image = mem.Image
+
+// RecoveryMode selects lazy or eager misspeculation recovery (§6.2).
+type RecoveryMode = fatomic.Mode
+
+// Recovery modes.
+const (
+	LazyRecovery  = fatomic.Lazy
+	EagerRecovery = fatomic.Eager
+)
+
+// Recover runs the post-crash failure-recovery protocol on a persisted
+// image, rolling back every FASE that had not reached its durability
+// point.
+func Recover(img *Image, nthreads int) (fatomic.RecoveryReport, error) {
+	return fatomic.Recover(img, nthreads)
+}
+
+// Workload is one Table 4 benchmark.
+type Workload = workload.Workload
+
+// BenchParams configures a benchmark run.
+type BenchParams = workload.Params
+
+// Workloads returns fresh instances of the Table 4 suite.
+func Workloads() []Workload { return workload.All() }
+
+// WorkloadByName returns a fresh instance of the named benchmark
+// (including "synthetic", the §8.4 misspeculation generator).
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// BenchResult is the outcome of one benchmark run.
+type BenchResult = harness.Result
+
+// RunBenchmark executes a workload on a fresh machine of the given
+// design and verifies its invariants.
+func RunBenchmark(d Design, w Workload, p BenchParams) (BenchResult, error) {
+	return harness.Run(d, w, p)
+}
