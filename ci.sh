@@ -1,0 +1,41 @@
+#!/bin/sh
+# ci.sh — the tier-1 verification workflow. Run before every commit.
+#
+#   ./ci.sh          full check (build, vet, fmt, tests, race-checked harness)
+#   QUICK=1 ./ci.sh  same, but the slow figure-shape sweeps run in -short mode
+#
+# The -race pass covers internal/harness because that is where host-level
+# concurrency lives (the experiment worker pool); the simulator itself is
+# single-goroutine-at-a-time per kernel but many kernels run concurrently
+# under the pool, so the harness suite doubles as the cross-run
+# shared-state audit.
+set -eu
+cd "$(dirname "$0")"
+
+short=""
+if [ "${QUICK:-0}" = "1" ]; then
+	short="-short"
+fi
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" "$unformatted"
+	exit 1
+fi
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test $short ./... =="
+go test $short ./...
+
+echo "== go test -race $short ./internal/harness/... ./internal/sim/... =="
+# -timeout raised above the go default: the race detector is ~10x and
+# the harness sweeps are minutes-long even unraced on small hosts.
+go test -race -timeout 60m $short ./internal/harness/... ./internal/sim/...
+
+echo "ci.sh: all checks passed"

@@ -4,10 +4,15 @@
 // latencies), the §8.4 misspeculation study and the §5.1.3 detection
 // ablation.
 //
+// Experiments enumerate their (workload × design × config) grids and run
+// them on a host worker pool (-parallel); results are identical at any
+// worker count. -bench-out records per-experiment wall-clock to a JSON
+// file so successive revisions have a perf trajectory.
+//
 // Usage:
 //
-//	pmemspec-bench -experiment fig9 [-ops 500] [-threads 8] [-seed 1] [-v]
-//	pmemspec-bench -experiment all
+//	pmemspec-bench -experiment fig9 [-ops 500] [-threads 8] [-seed 1] [-parallel 8] [-v]
+//	pmemspec-bench -experiment all -json -bench-out BENCH_baseline.json
 package main
 
 import (
@@ -15,9 +20,23 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"pmemspec/internal/harness"
 )
+
+// benchOut is the wall-clock record -bench-out writes: one entry per
+// experiment plus the host context needed to compare runs.
+type benchOut struct {
+	Parallel    int                `json:"parallel"` // resolved worker count
+	NumCPU      int                `json:"num_cpu"`
+	Threads     int                `json:"threads"`
+	Ops         int                `json:"ops"`
+	Seed        int64              `json:"seed"`
+	Experiments map[string]float64 `json:"experiments_seconds"`
+	Total       float64            `json:"total_seconds"`
+}
 
 func main() {
 	var (
@@ -25,14 +44,16 @@ func main() {
 		ops        = flag.Int("ops", 400, "failure-atomic operations per thread (paper: 100K; shapes stabilize far earlier)")
 		threads    = flag.Int("threads", 8, "worker threads for single-panel experiments")
 		seed       = flag.Int64("seed", 1, "workload RNG seed")
+		parallel   = flag.Int("parallel", 0, "concurrent experiment runs on the host (0 = GOMAXPROCS)")
 		verbose    = flag.Bool("v", false, "print per-run progress")
 		asJSON     = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+		benchFile  = flag.String("bench-out", "", "write per-experiment wall-clock JSON to this file")
 	)
 	flag.Parse()
 
-	progress := func(string) {}
+	runner := &harness.Runner{Parallel: *parallel}
 	if *verbose {
-		progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+		runner.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
 
 	emit := func(v any, table func()) error {
@@ -48,7 +69,7 @@ func main() {
 	run := func(name string) error {
 		switch name {
 		case "fig9":
-			rows, err := harness.Fig9(*threads, *ops, *seed, progress)
+			rows, err := runner.Fig9(*threads, *ops, *seed)
 			if err != nil {
 				return err
 			}
@@ -56,7 +77,7 @@ func main() {
 				harness.PrintFig9(os.Stdout, fmt.Sprintf("Figure 9 — %d cores (normalized to IntelX86)", *threads), rows)
 			})
 		case "fig10":
-			panels, err := harness.Fig10([]int{16, 32, 64}, *ops, *seed, progress)
+			panels, err := runner.Fig10([]int{16, 32, 64}, *ops, *seed)
 			if err != nil {
 				return err
 			}
@@ -64,7 +85,7 @@ func main() {
 				harness.PrintFig10(os.Stdout, panels)
 			})
 		case "fig11":
-			pts, err := harness.Fig11(*threads, *ops, *seed, progress)
+			pts, err := runner.Fig11(*threads, *ops, *seed)
 			if err != nil {
 				return err
 			}
@@ -72,7 +93,7 @@ func main() {
 				harness.PrintFig11(os.Stdout, pts)
 			})
 		case "fig12":
-			pts, err := harness.Fig12(*threads, *ops, *seed, progress)
+			pts, err := runner.Fig12(*threads, *ops, *seed)
 			if err != nil {
 				return err
 			}
@@ -80,7 +101,7 @@ func main() {
 				harness.PrintFig12(os.Stdout, pts)
 			})
 		case "misspec":
-			res, err := harness.MisspecStudy(*threads, *ops, *seed, progress)
+			res, err := runner.MisspecStudy(*threads, *ops, *seed)
 			if err != nil {
 				return err
 			}
@@ -88,7 +109,7 @@ func main() {
 				harness.PrintMisspec(os.Stdout, res)
 			})
 		case "ablation":
-			res, err := harness.DetectionAblation(*threads, *ops, *seed, progress)
+			res, err := runner.DetectionAblation(*threads, *ops, *seed)
 			if err != nil {
 				return err
 			}
@@ -104,10 +125,37 @@ func main() {
 	if *experiment == "all" {
 		names = []string{"fig9", "fig10", "fig11", "fig12", "misspec", "ablation"}
 	}
+	record := benchOut{
+		Parallel:    *parallel,
+		NumCPU:      runtime.NumCPU(),
+		Threads:     *threads,
+		Ops:         *ops,
+		Seed:        *seed,
+		Experiments: map[string]float64{},
+	}
+	if record.Parallel <= 0 {
+		record.Parallel = runtime.GOMAXPROCS(0)
+	}
 	for _, name := range names {
+		start := time.Now()
 		if err := run(name); err != nil {
 			fmt.Fprintln(os.Stderr, "pmemspec-bench:", err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start).Seconds()
+		record.Experiments[name] = elapsed
+		record.Total += elapsed
+	}
+	if *benchFile != "" {
+		data, err := json.MarshalIndent(record, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchFile, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmemspec-bench: bench-out:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pmemspec-bench: wall-clock written to %s (total %.1fs at parallel=%d)\n",
+			*benchFile, record.Total, record.Parallel)
 	}
 }

@@ -27,6 +27,28 @@ func run(design machine.Design, w workload.Workload, p workload.Params, mode fat
 	return runCustom(design, w, p, mode, true, opts...)
 }
 
+// Runner executes the experiment drivers with host-level parallelism:
+// each driver enumerates its (workload × design × config) grid as
+// independent jobs and dispatches them through RunAll. Parallel sets the
+// worker count (≤ 0: GOMAXPROCS); results are identical at any setting.
+// Progress, if non-nil, receives one label per started run; RunAll
+// serializes the calls.
+type Runner struct {
+	Parallel int
+	Progress func(string)
+}
+
+// benchJob builds the job for one (design, workload, params) run.
+func benchJob(label string, d machine.Design, name string, p workload.Params, opts ...Option) Job {
+	return Job{Label: label, Run: func() (Result, error) {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return Result{}, err
+		}
+		return Run(d, w, p, opts...)
+	}}
+}
+
 // Fig9Row is one benchmark's throughput under each design, normalized to
 // the IntelX86 baseline — one group of bars in Figure 9.
 type Fig9Row struct {
@@ -38,26 +60,33 @@ type Fig9Row struct {
 // Fig9 reproduces Figure 9 (and, at other core counts, Figure 10's
 // panels): all Table 4 benchmarks × all four designs.
 func Fig9(threads, ops int, seed int64, progress func(string)) ([]Fig9Row, error) {
+	return (&Runner{Progress: progress}).Fig9(threads, ops, seed)
+}
+
+// Fig9 runs the Figure 9 grid on the runner's worker pool.
+func (r *Runner) Fig9(threads, ops int, seed int64) ([]Fig9Row, error) {
+	names := workload.Names()
+	designs := machine.Designs
+	jobs := make([]Job, 0, len(names)*len(designs))
+	for _, name := range names {
+		for _, d := range designs {
+			jobs = append(jobs, benchJob(fmt.Sprintf("fig9: %s / %s", name, d),
+				d, name, params(name, threads, ops, seed)))
+		}
+	}
+	results := RunAll(jobs, r.Parallel, r.Progress)
+	if err := firstError(results); err != nil {
+		return nil, err
+	}
 	var rows []Fig9Row
-	for _, name := range workload.Names() {
+	for wi, name := range names {
 		row := Fig9Row{
 			Workload:   name,
 			Raw:        map[machine.Design]float64{},
 			Normalized: map[machine.Design]float64{},
 		}
-		for _, d := range machine.Designs {
-			w, err := workload.ByName(name)
-			if err != nil {
-				return nil, err
-			}
-			if progress != nil {
-				progress(fmt.Sprintf("fig9: %s / %s", name, d))
-			}
-			res, err := Run(d, w, params(name, threads, ops, seed))
-			if err != nil {
-				return nil, err
-			}
-			row.Raw[d] = res.Throughput
+		for di, d := range designs {
+			row.Raw[d] = results[wi*len(designs)+di].Result.Throughput
 		}
 		base := row.Raw[machine.IntelX86]
 		for d, v := range row.Raw {
@@ -84,15 +113,47 @@ func Geomeans(rows []Fig9Row) map[machine.Design]float64 {
 
 // Fig10 reproduces Figure 10: the Fig9 sweep at 16, 32 and 64 cores.
 func Fig10(coreCounts []int, ops int, seed int64, progress func(string)) (map[int][]Fig9Row, error) {
-	out := map[int][]Fig9Row{}
+	return (&Runner{Progress: progress}).Fig10(coreCounts, ops, seed)
+}
+
+// Fig10 runs every panel's grid through one pool dispatch, so the large
+// 64-core runs overlap with the cheaper panels instead of serializing
+// panel by panel.
+func (r *Runner) Fig10(coreCounts []int, ops int, seed int64) (map[int][]Fig9Row, error) {
+	names := workload.Names()
+	designs := machine.Designs
+	var jobs []Job
 	for _, cores := range coreCounts {
-		rows, err := Fig9(cores, ops, seed, func(s string) {
-			if progress != nil {
-				progress(fmt.Sprintf("%d cores: %s", cores, s))
+		for _, name := range names {
+			for _, d := range designs {
+				jobs = append(jobs, benchJob(fmt.Sprintf("%d cores: fig9: %s / %s", cores, name, d),
+					d, name, params(name, cores, ops, seed)))
 			}
-		})
-		if err != nil {
-			return nil, err
+		}
+	}
+	results := RunAll(jobs, r.Parallel, r.Progress)
+	if err := firstError(results); err != nil {
+		return nil, err
+	}
+	out := map[int][]Fig9Row{}
+	i := 0
+	for _, cores := range coreCounts {
+		var rows []Fig9Row
+		for _, name := range names {
+			row := Fig9Row{
+				Workload:   name,
+				Raw:        map[machine.Design]float64{},
+				Normalized: map[machine.Design]float64{},
+			}
+			for _, d := range designs {
+				row.Raw[d] = results[i].Result.Throughput
+				i++
+			}
+			base := row.Raw[machine.IntelX86]
+			for d, v := range row.Raw {
+				row.Normalized[d] = v / base
+			}
+			rows = append(rows, row)
 		}
 		out[cores] = rows
 	}
@@ -111,18 +172,16 @@ type Fig11Point struct {
 // sizes {1,2,4,8,16}, averaged over the benchmarks and normalized to the
 // 16-entry (overflow-free) configuration.
 func Fig11(threads, ops int, seed int64, progress func(string)) ([]Fig11Point, error) {
+	return (&Runner{Progress: progress}).Fig11(threads, ops, seed)
+}
+
+// Fig11 runs the buffer-size sweep on the runner's worker pool.
+func (r *Runner) Fig11(threads, ops int, seed int64) ([]Fig11Point, error) {
 	sizes := []int{1, 2, 4, 8, 16}
-	perSize := make(map[int][]float64)
-	overflows := make(map[int]uint64)
-	for _, name := range workload.Names() {
+	names := workload.Names()
+	jobs := make([]Job, 0, len(names)*len(sizes))
+	for _, name := range names {
 		for _, size := range sizes {
-			w, err := workload.ByName(name)
-			if err != nil {
-				return nil, err
-			}
-			if progress != nil {
-				progress(fmt.Sprintf("fig11: %s / %d entries", name, size))
-			}
 			p := params(name, threads, ops, seed)
 			if name == "memcached" {
 				// Buffer entries come from dirty LLC evictions (§8.3.2),
@@ -130,10 +189,19 @@ func Fig11(threads, ops int, seed int64, progress func(string)) ([]Fig11Point, e
 				// configuration: a value store well past the LLC.
 				p.Scale = 32768
 			}
-			res, err := Run(machine.PMEMSpec, w, p, WithSpecBufEntries(size))
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, benchJob(fmt.Sprintf("fig11: %s / %d entries", name, size),
+				machine.PMEMSpec, name, p, WithSpecBufEntries(size)))
+		}
+	}
+	results := RunAll(jobs, r.Parallel, r.Progress)
+	if err := firstError(results); err != nil {
+		return nil, err
+	}
+	perSize := make(map[int][]float64)
+	overflows := make(map[int]uint64)
+	for wi := range names {
+		for si, size := range sizes {
+			res := results[wi*len(sizes)+si].Result
 			perSize[size] = append(perSize[size], res.Throughput)
 			overflows[size] += res.MStats.SpecOverflowPauses
 		}
@@ -164,50 +232,56 @@ type Fig12Point struct {
 // (For HOPS the latency scales its buffer-drain path, the analogous
 // resource.)
 func Fig12(threads, ops int, seed int64, progress func(string)) ([]Fig12Point, error) {
+	return (&Runner{Progress: progress}).Fig12(threads, ops, seed)
+}
+
+// Fig12 dispatches the baseline runs and the whole latency sweep as one
+// job batch; normalization happens after the barrier.
+func (r *Runner) Fig12(threads, ops int, seed int64) ([]Fig12Point, error) {
 	latencies := []int64{20, 40, 60, 80, 100}
-	// Baseline throughput per workload.
-	base := map[string]float64{}
-	for _, name := range workload.Names() {
-		w, err := workload.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		if progress != nil {
-			progress(fmt.Sprintf("fig12: baseline %s", name))
-		}
-		res, err := Run(machine.IntelX86, w, params(name, threads, ops, seed))
-		if err != nil {
-			return nil, err
-		}
-		base[name] = res.Throughput
+	sweepDesigns := []machine.Design{machine.HOPS, machine.PMEMSpec}
+	names := workload.Names()
+
+	var jobs []Job
+	for _, name := range names {
+		jobs = append(jobs, benchJob(fmt.Sprintf("fig12: baseline %s", name),
+			machine.IntelX86, name, params(name, threads, ops, seed)))
 	}
-	var out []Fig12Point
 	for _, lat := range latencies {
-		pt := Fig12Point{LatencyNS: lat, Geomean: map[machine.Design]float64{}}
-		for _, d := range []machine.Design{machine.HOPS, machine.PMEMSpec} {
-			var norm []float64
-			for _, name := range workload.Names() {
-				w, err := workload.ByName(name)
-				if err != nil {
-					return nil, err
-				}
-				if progress != nil {
-					progress(fmt.Sprintf("fig12: %s / %dns / %s", d, lat, name))
-				}
+		for _, d := range sweepDesigns {
+			for _, name := range names {
 				opt := WithPathLatencyNS(lat)
 				if d == machine.HOPS {
 					// The analogous knob for the buffered design: its
 					// total store-to-controller drain latency becomes
 					// the swept value.
+					lat := lat
 					opt = func(c *machine.Config) {
 						c.PBufDrainLag = sim.NS(lat) - c.WritebackLatency
 					}
 				}
-				res, err := Run(d, w, params(name, threads, ops, seed), opt)
-				if err != nil {
-					return nil, err
-				}
-				norm = append(norm, res.Throughput/base[name])
+				jobs = append(jobs, benchJob(fmt.Sprintf("fig12: %s / %dns / %s", d, lat, name),
+					d, name, params(name, threads, ops, seed), opt))
+			}
+		}
+	}
+	results := RunAll(jobs, r.Parallel, r.Progress)
+	if err := firstError(results); err != nil {
+		return nil, err
+	}
+	base := map[string]float64{}
+	for wi, name := range names {
+		base[name] = results[wi].Result.Throughput
+	}
+	i := len(names)
+	var out []Fig12Point
+	for _, lat := range latencies {
+		pt := Fig12Point{LatencyNS: lat, Geomean: map[machine.Design]float64{}}
+		for _, d := range sweepDesigns {
+			var norm []float64
+			for _, name := range names {
+				norm = append(norm, results[i].Result.Throughput/base[name])
+				i++
 			}
 			pt.Geomean[d] = stats.Geomean(norm)
 		}
@@ -244,51 +318,63 @@ type SyntheticOutcome struct {
 // and the synthetic load-misspeculation generator under default and
 // inflated persist-path latencies.
 func MisspecStudy(threads, ops int, seed int64, progress func(string)) (MisspecResult, error) {
-	out := MisspecResult{PerBenchmark: map[string]uint64{}}
-	for _, name := range workload.Names() {
-		w, err := workload.ByName(name)
-		if err != nil {
-			return out, err
-		}
-		if progress != nil {
-			progress(fmt.Sprintf("misspec: %s", name))
-		}
-		res, err := Run(machine.PMEMSpec, w, params(name, threads, ops, seed))
-		if err != nil {
-			return out, err
-		}
-		out.PerBenchmark[name] = uint64(len(res.MStats.Misspeculations))
-	}
-	var err error
-	out.SyntheticDefault, err = runSynthetic(ops, seed, 20, progress)
-	if err != nil {
-		return out, err
-	}
-	out.SyntheticSlow, err = runSynthetic(ops, seed, 500, progress)
-	return out, err
+	return (&Runner{Progress: progress}).MisspecStudy(threads, ops, seed)
 }
 
-// runSynthetic runs the §8.4 generator on a machine whose LLC is small
-// and low-associative enough for the conflict-eviction recipe to fit
-// inside the speculation window ("Depending on the cache hierarchy, the
-// program may require tens of memory accesses"). The slow configuration
-// inflates the persist-path latency 25×; with the two PM fetches the
-// minimal eviction recipe needs (~420 ns), nothing shorter can lose the
-// race — matching the paper's observation that only an unrealistically
-// long path latency produces load misspeculation.
-func runSynthetic(ops int, seed int64, pathNS int64, progress func(string)) (SyntheticOutcome, error) {
-	if progress != nil {
-		progress(fmt.Sprintf("misspec: synthetic @%dns path", pathNS))
+// MisspecStudy runs the per-benchmark grid and both synthetic-generator
+// configurations as one job batch.
+func (r *Runner) MisspecStudy(threads, ops int, seed int64) (MisspecResult, error) {
+	names := workload.Names()
+	var jobs []Job
+	for _, name := range names {
+		jobs = append(jobs, benchJob(fmt.Sprintf("misspec: %s", name),
+			machine.PMEMSpec, name, params(name, threads, ops, seed)))
 	}
+	synDefault, jobDefault := syntheticJob(ops, seed, 20)
+	synSlow, jobSlow := syntheticJob(ops, seed, 500)
+	jobs = append(jobs, jobDefault, jobSlow)
+
+	results := RunAll(jobs, r.Parallel, r.Progress)
+	out := MisspecResult{PerBenchmark: map[string]uint64{}}
+	if err := firstError(results); err != nil {
+		return out, err
+	}
+	for wi, name := range names {
+		out.PerBenchmark[name] = uint64(len(results[wi].Result.MStats.Misspeculations))
+	}
+	out.SyntheticDefault = syntheticOutcome(synDefault, results[len(names)].Result)
+	out.SyntheticSlow = syntheticOutcome(synSlow, results[len(names)+1].Result)
+	return out, nil
+}
+
+// syntheticJob builds the §8.4 generator job for a machine whose LLC is
+// small and low-associative enough for the conflict-eviction recipe to
+// fit inside the speculation window ("Depending on the cache hierarchy,
+// the program may require tens of memory accesses"). The slow
+// configuration inflates the persist-path latency 25×; with the two PM
+// fetches the minimal eviction recipe needs (~420 ns), nothing shorter
+// can lose the race — matching the paper's observation that only an
+// unrealistically long path latency produces load misspeculation. The
+// generator instance is returned so the caller can read its ground-truth
+// counters after the pool barrier.
+func syntheticJob(ops int, seed int64, pathNS int64) (*workload.Synthetic, Job) {
 	syn := workload.NewSynthetic()
-	p := workload.Params{Threads: 1, Ops: ops, DataSize: 64, Seed: seed}
-	res, err := Run(machine.PMEMSpec, syn, p,
-		WithSmallLLC(32*1024, 2),
-		WithPathLatencyNS(pathNS),
-		func(c *machine.Config) { c.SpecWindow = sim.NS(pathNS * 8) })
-	if err != nil {
-		return SyntheticOutcome{}, err
+	job := Job{
+		Label: fmt.Sprintf("misspec: synthetic @%dns path", pathNS),
+		Run: func() (Result, error) {
+			p := workload.Params{Threads: 1, Ops: ops, DataSize: 64, Seed: seed}
+			return Run(machine.PMEMSpec, syn, p,
+				WithSmallLLC(32*1024, 2),
+				WithPathLatencyNS(pathNS),
+				func(c *machine.Config) { c.SpecWindow = sim.NS(pathNS * 8) })
+		},
 	}
+	return syn, job
+}
+
+// syntheticOutcome pairs a synthetic run's Result with the generator's
+// ground-truth counters.
+func syntheticOutcome(syn *workload.Synthetic, res Result) SyntheticOutcome {
 	return SyntheticOutcome{
 		StaleObserved: syn.StaleObserved,
 		StaleFetches:  res.MStats.StaleFetches,
@@ -296,7 +382,7 @@ func runSynthetic(ops int, seed int64, pathNS int64, progress func(string)) (Syn
 		Aborts:        res.RStats.Aborts,
 		Committed:     res.Committed,
 		VerifyOK:      true, // Run verified already
-	}, nil
+	}
 }
 
 // AblationResult compares the §5.1.4 eviction-based detector against the
@@ -313,16 +399,18 @@ type AblationResult struct {
 // under the fetch-based scheme, every store that misses in the caches is
 // (falsely) flagged when its own persist arrives.
 func DetectionAblation(threads, ops int, seed int64, progress func(string)) ([2]AblationResult, error) {
+	return (&Runner{Progress: progress}).DetectionAblation(threads, ops, seed)
+}
+
+// DetectionAblation runs both detector schemes concurrently.
+func (r *Runner) DetectionAblation(threads, ops int, seed int64) ([2]AblationResult, error) {
 	var out [2]AblationResult
+	schemes := []string{"eviction-based (§5.1.4)", "fetch-based (§5.1.3)"}
+	var jobs []Job
 	for i, fetchBased := range []bool{false, true} {
-		name := "eviction-based (§5.1.4)"
 		var opts []Option
 		if fetchBased {
-			name = "fetch-based (§5.1.3)"
 			opts = append(opts, WithFetchBasedDetection())
-		}
-		if progress != nil {
-			progress("ablation: " + name)
 		}
 		// Memcached's large value store produces steady write-allocate
 		// misses — the pattern of Figure 4. The window is widened so it
@@ -330,20 +418,30 @@ func DetectionAblation(threads, ops int, seed int64, progress func(string)) ([2]
 		// (media read + path), which is what makes the fetch-based
 		// scheme's false positives visible.
 		opts = append(opts, func(c *machine.Config) { c.SpecWindow = sim.NS(1000) })
-		w, err := workload.ByName("memcached")
-		if err != nil {
-			return out, err
-		}
-		res, err := RunDetectOnly(machine.PMEMSpec, w, params("memcached", threads, ops, seed), opts...)
-		if err != nil {
-			return out, err
-		}
+		name := schemes[i]
+		jobs = append(jobs, Job{
+			Label: "ablation: " + name,
+			Run: func() (Result, error) {
+				w, err := workload.ByName("memcached")
+				if err != nil {
+					return Result{}, err
+				}
+				return RunDetectOnly(machine.PMEMSpec, w, params("memcached", threads, ops, seed), opts...)
+			},
+		})
+	}
+	results := RunAll(jobs, r.Parallel, r.Progress)
+	if err := firstError(results); err != nil {
+		return out, err
+	}
+	for i := range results {
+		res := results[i].Result
 		fp := len(res.MStats.Misspeculations) - int(res.MStats.StaleFetches)
 		if fp < 0 {
 			fp = 0
 		}
 		out[i] = AblationResult{
-			Scheme:         name,
+			Scheme:         schemes[i],
 			Detections:     len(res.MStats.Misspeculations),
 			ActualStale:    res.MStats.StaleFetches,
 			FalsePositives: fp,

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// The experiment drivers enumerate their (workload × design × config)
+// grids as independent Jobs and dispatch them through RunAll, so an
+// `-experiment all` sweep uses every host core instead of one. Each job
+// builds its own machine.Machine, OS layer, runtime and workload — runs
+// share no simulation state — and results are keyed by job index, never
+// by completion order, so the output is byte-identical at any worker
+// count.
+
+// Job is one independent experiment run.
+type Job struct {
+	// Label identifies the run in progress output and panic reports.
+	Label string
+	// Run executes the job. It must not touch state shared with other
+	// jobs; it runs on an arbitrary host goroutine.
+	Run func() (Result, error)
+}
+
+// JobResult is the outcome of one Job: its Result, or the error (a
+// failure, or a captured panic with stack) that ended it.
+type JobResult struct {
+	Result Result
+	Err    error
+}
+
+// RunAll executes jobs across `workers` host goroutines and returns their
+// outcomes indexed exactly like jobs. workers ≤ 0 selects GOMAXPROCS.
+// progress, if non-nil, is invoked with each job's label as it starts;
+// calls are serialized but their order depends on scheduling (results do
+// not). A panic inside a job is captured as that job's error instead of
+// tearing down the whole sweep.
+func RunAll(jobs []Job, workers int, progress func(string)) []JobResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]JobResult, len(jobs))
+	if workers <= 1 {
+		for i := range jobs {
+			if progress != nil {
+				progress(jobs[i].Label)
+			}
+			out[i] = runJob(&jobs[i])
+		}
+		return out
+	}
+	var mu sync.Mutex
+	report := func(s string) {
+		if progress == nil {
+			return
+		}
+		mu.Lock()
+		progress(s)
+		mu.Unlock()
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				report(jobs[i].Label)
+				out[i] = runJob(&jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// runJob runs one job, converting a panic into its error.
+func runJob(j *Job) (jr JobResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			jr.Err = fmt.Errorf("harness: job %q panicked: %v\n%s", j.Label, r, debug.Stack())
+		}
+	}()
+	jr.Result, jr.Err = j.Run()
+	return jr
+}
+
+// firstError returns the error of the lowest-indexed failed job, so the
+// reported failure is deterministic regardless of completion order.
+func firstError(rs []JobResult) error {
+	for i := range rs {
+		if rs[i].Err != nil {
+			return rs[i].Err
+		}
+	}
+	return nil
+}

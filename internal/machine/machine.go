@@ -229,7 +229,7 @@ func (m *Machine) persistArrived(msg ppath.Message) {
 		m.coreAdmit[msg.Core] = admit
 	}
 	apply := func() {
-		m.space.PersistBytes(msg.Addr, msg.Data)
+		m.space.PersistBytes(msg.Addr, msg.Payload())
 		m.specBufs[idx].OnPersist(admit, msg.Addr, msg.SpecID, mediaDone)
 	}
 	if admit > msg.Arrive {

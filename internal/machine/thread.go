@@ -228,12 +228,9 @@ func (t *Thread) fetchFromPM(issued sim.Time, a mem.Addr) *cache.Line {
 		// as of the read's service time. Under PMEM-Spec this may be
 		// stale — that is the speculation.
 		if m.cfg.Design == PMEMSpec {
-			pmBlk := m.space.PM.ReadBlock(a)
-			archBlk := m.space.Arch.ReadBlock(a)
-			if pmBlk != archBlk {
+			if blk := m.space.StaleBlock(a); blk != nil {
 				m.stats.StaleFetches++
-				blk := pmBlk
-				fr.divergent = &blk
+				fr.divergent = blk
 			}
 		}
 		fr.ready = m.ctrls[idx].Read(at) + m.cfg.WritebackLatency

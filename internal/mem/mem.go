@@ -12,6 +12,7 @@
 package mem
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 )
@@ -107,10 +108,21 @@ func (im *Image) Clone() *Image {
 	return c
 }
 
+// BlockSlice returns the image's backing bytes for the cache block
+// containing a, aliasing the image storage (no copy). Callers must not
+// retain the slice across image writes; it exists for the simulator's
+// per-access hot paths, where the block-sized value copies of
+// ReadBlock/WriteBlock dominated.
+func (im *Image) BlockSlice(a Addr) []byte {
+	b := BlockAlign(a)
+	i := im.index(b, BlockSize)
+	return im.data[i : i+BlockSize : i+BlockSize]
+}
+
 // CopyBlockFrom copies the block containing a from src into im. The two
 // images must cover the block.
 func (im *Image) CopyBlockFrom(src *Image, a Addr) {
-	im.WriteBlock(a, src.ReadBlock(a))
+	copy(im.BlockSlice(a), src.BlockSlice(a))
 }
 
 // Space is the simulated PM region: an architectural image plus the
@@ -163,7 +175,20 @@ func (s *Space) PersistBytes(a Addr, p []byte) {
 // Divergent reports whether the architectural and persisted contents of
 // a's block differ (useful in tests and crash diagnostics).
 func (s *Space) Divergent(a Addr) bool {
-	ab := s.Arch.ReadBlock(a)
-	pb := s.PM.ReadBlock(a)
-	return ab != pb
+	return !bytes.Equal(s.Arch.BlockSlice(a), s.PM.BlockSlice(a))
+}
+
+// StaleBlock returns nil when a's block is identical in both images, or
+// a fresh copy of the persisted block when they diverge — the stale data
+// a speculative PM fetch delivers while persists for the block are still
+// in flight. The copy is taken only on divergence, keeping the common
+// (converged) fetch path allocation-free.
+func (s *Space) StaleBlock(a Addr) *[BlockSize]byte {
+	pm := s.PM.BlockSlice(a)
+	if bytes.Equal(pm, s.Arch.BlockSlice(a)) {
+		return nil
+	}
+	blk := new([BlockSize]byte)
+	copy(blk[:], pm)
+	return blk
 }

@@ -1,0 +1,55 @@
+package mem
+
+import "testing"
+
+// Block-op microbenchmarks: these paths run on every PM fetch, persist
+// and dirty writeback, so they must stay copy-minimal and allocation-free
+// in the converged (non-stale) case.
+
+func BenchmarkCopyBlockFrom(b *testing.B) {
+	s := NewSpace(1 << 20)
+	a := s.Base() + 4096
+	s.Arch.WriteU64(a, 0xdeadbeef)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.PM.CopyBlockFrom(s.Arch, a)
+	}
+}
+
+func BenchmarkDivergentConverged(b *testing.B) {
+	s := NewSpace(1 << 20)
+	a := s.Base() + 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Divergent(a) {
+			b.Fatal("converged block reported divergent")
+		}
+	}
+}
+
+func BenchmarkStaleBlockConverged(b *testing.B) {
+	s := NewSpace(1 << 20)
+	a := s.Base() + 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.StaleBlock(a) != nil {
+			b.Fatal("converged block reported stale")
+		}
+	}
+}
+
+func BenchmarkStaleBlockDivergent(b *testing.B) {
+	s := NewSpace(1 << 20)
+	a := s.Base() + 4096
+	s.Arch.WriteU64(a, 0xdeadbeef)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.StaleBlock(a) == nil {
+			b.Fatal("divergent block reported converged")
+		}
+	}
+}

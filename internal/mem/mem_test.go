@@ -244,3 +244,49 @@ func TestHeapAllocFreeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestBlockSliceAliasesImage(t *testing.T) {
+	im := NewImage(0, 1024)
+	im.WriteU64(128, 0x1122334455667788)
+	s := im.BlockSlice(130) // any address inside the block
+	if got := leU64t(s[:8]); got != 0x1122334455667788 {
+		t.Fatalf("BlockSlice contents = %#x", got)
+	}
+	s[0] = 0xff // writes through to the image
+	if got := im.ReadU64(128); got&0xff != 0xff {
+		t.Errorf("BlockSlice does not alias image: %#x", got)
+	}
+	if len(s) != BlockSize || cap(s) != BlockSize {
+		t.Errorf("len/cap = %d/%d, want %d", len(s), cap(s), BlockSize)
+	}
+}
+
+func leU64t(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func TestStaleBlock(t *testing.T) {
+	s := NewSpace(4096)
+	a := s.Base() + 256
+	if blk := s.StaleBlock(a); blk != nil {
+		t.Fatal("converged block reported stale")
+	}
+	s.Arch.WriteU64(a, 42)
+	blk := s.StaleBlock(a)
+	if blk == nil {
+		t.Fatal("divergent block not reported stale")
+	}
+	// The copy holds the persisted (old) bytes and is detached from both
+	// images.
+	if got := leU64t(blk[:8]); got != 0 {
+		t.Errorf("stale copy = %d, want persisted 0", got)
+	}
+	blk[0] = 0xee
+	if s.PM.ReadU64(a) != 0 || s.Arch.ReadU64(a) != 42 {
+		t.Error("StaleBlock copy aliases an image")
+	}
+}

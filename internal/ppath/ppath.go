@@ -23,15 +23,21 @@ import (
 	"pmemspec/internal/sim"
 )
 
-// Message is one store travelling down a persist-path.
+// Message is one store travelling down a persist-path. The payload is
+// stored inline (stores are ≤ 8 bytes after store-queue splitting) so a
+// message costs no separate heap allocation on the per-store hot path.
 type Message struct {
 	Core   int
 	Addr   mem.Addr
-	Data   []byte // the store's payload (≤ 8 bytes)
+	Data   [8]byte // the store's payload bytes, Len of them valid
+	Len    int
 	SpecID uint64 // speculation ID, 0 outside critical sections
 	SentAt sim.Time
 	Arrive sim.Time
 }
+
+// Payload returns the message's payload bytes.
+func (m *Message) Payload() []byte { return m.Data[:m.Len] }
 
 // Config parameterizes the persist-paths.
 type Config struct {
@@ -86,8 +92,9 @@ func (p *Paths) Config() Config { return p.cfg }
 // Send pushes a store onto core's persist-path at time now. The payload
 // is copied. It returns the scheduled arrival time.
 func (p *Paths) Send(core int, a mem.Addr, data []byte, specID uint64, now sim.Time) sim.Time {
-	d := make([]byte, len(data))
-	copy(d, data)
+	if len(data) > 8 {
+		panic(fmt.Sprintf("ppath: %d-byte payload exceeds one store", len(data)))
+	}
 	arrive := now + p.cfg.Latency
 	if min := p.lastArrive[core] + p.cfg.SlotGap; arrive < min {
 		arrive = min
@@ -95,7 +102,8 @@ func (p *Paths) Send(core int, a mem.Addr, data []byte, specID uint64, now sim.T
 	p.lastArrive[core] = arrive
 	p.outstanding[core]++
 	p.Sent++
-	msg := Message{Core: core, Addr: a, Data: d, SpecID: specID, SentAt: now, Arrive: arrive}
+	msg := Message{Core: core, Addr: a, SpecID: specID, SentAt: now, Arrive: arrive}
+	msg.Len = copy(msg.Data[:], data)
 	p.kernel.Schedule(arrive, func() {
 		p.outstanding[core]--
 		p.Delivered++

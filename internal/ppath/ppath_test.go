@@ -23,7 +23,7 @@ func TestSendDeliversAfterLatency(t *testing.T) {
 		t.Fatalf("delivered %d messages", len(got))
 	}
 	m := got[0]
-	if m.Core != 0 || m.Addr != 0x1000 || m.SpecID != 7 || m.Arrive != arrive || len(m.Data) != 2 {
+	if m.Core != 0 || m.Addr != 0x1000 || m.SpecID != 7 || m.Arrive != arrive || len(m.Payload()) != 2 {
 		t.Errorf("message = %+v", m)
 	}
 }
@@ -100,7 +100,7 @@ func TestDrainTimeCoversAllSends(t *testing.T) {
 func TestPayloadCopied(t *testing.T) {
 	k := sim.NewKernel()
 	var got []byte
-	p := New(k, 1, DefaultConfig(), func(m Message) { got = m.Data })
+	p := New(k, 1, DefaultConfig(), func(m Message) { got = append([]byte(nil), m.Payload()...) })
 	buf := []byte{5}
 	p.Send(0, 0x1000, buf, 0, 0)
 	buf[0] = 0

@@ -8,14 +8,30 @@ type Event struct {
 	At Time
 	fn func()
 
+	k         *Kernel
 	seq       uint64
 	index     int // heap index, -1 when not queued
 	cancelled bool
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
+// already-cancelled event is a no-op. Cancelled events are compacted out
+// of the queue lazily: dropped when they surface at the top, or in bulk
+// once they outnumber the live entries.
+func (e *Event) Cancel() {
+	if e.cancelled {
+		return
+	}
+	e.cancelled = true
+	e.fn = nil // release the callback's captures immediately
+	if e.k == nil || e.index < 0 {
+		return
+	}
+	e.k.cancelled++
+	if n := len(e.k.events); n >= 64 && e.k.cancelled*2 > n {
+		e.k.compactEvents()
+	}
+}
 
 // Cancelled reports whether Cancel was called on the event.
 func (e *Event) Cancelled() bool { return e.cancelled }

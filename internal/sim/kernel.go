@@ -13,13 +13,18 @@ import (
 // A Kernel is not safe for concurrent use from the host program: exactly
 // one simulated thread or event callback runs at a time, and all shared
 // simulation state (caches, controllers, …) relies on that serialization.
+// Distinct Kernels are fully independent and may run on concurrent host
+// goroutines (the experiment harness's parallel runner relies on this).
 type Kernel struct {
-	events  eventQueue
-	seq     uint64
-	threads []*Thread
-	now     Time // timestamp of the most recently dispatched entity
-	running bool
-	stopErr error
+	events    eventQueue
+	cancelled int // cancelled events still occupying the queue
+	seq       uint64
+	threads   []*Thread
+	ready     readyQueue // min-heap of runnable threads by (clock, id)
+	now       Time       // timestamp of the most recently dispatched entity
+	running   bool
+	stopped   bool // a stop reason has been recorded; later ones are ignored
+	stopErr   error
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -36,10 +41,31 @@ func (k *Kernel) Now() Time { return k.now }
 // possible, still in deterministic order. The returned Event may be
 // cancelled before it fires.
 func (k *Kernel) Schedule(at Time, fn func()) *Event {
-	e := &Event{At: at, fn: fn, seq: k.seq, index: -1}
+	e := &Event{At: at, fn: fn, k: k, seq: k.seq, index: -1}
 	k.seq++
 	heap.Push(&k.events, e)
 	return e
+}
+
+// compactEvents rebuilds the event queue without its cancelled entries.
+// Cancel only marks events, so long-lived runs that cancel many timeouts
+// would otherwise drag dead entries through every heap operation; Cancel
+// triggers a rebuild once they outnumber the live events.
+func (k *Kernel) compactEvents() {
+	live := k.events[:0]
+	for _, e := range k.events {
+		if e.cancelled {
+			e.index = -1
+			continue
+		}
+		live = append(live, e)
+	}
+	for i := len(live); i < len(k.events); i++ {
+		k.events[i] = nil
+	}
+	k.events = live
+	heap.Init(&k.events)
+	k.cancelled = 0
 }
 
 // Spawn creates a simulated thread that will execute body when Run is
@@ -47,15 +73,17 @@ func (k *Kernel) Schedule(at Time, fn func()) *Event {
 // creation order). startAt sets the thread's initial clock.
 func (k *Kernel) Spawn(name string, startAt Time, body func(t *Thread)) *Thread {
 	t := &Thread{
-		id:     len(k.threads),
-		name:   name,
-		clock:  startAt,
-		state:  threadReady,
-		kernel: k,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		id:         len(k.threads),
+		name:       name,
+		clock:      startAt,
+		state:      threadReady,
+		readyIndex: -1,
+		kernel:     k,
+		resume:     make(chan struct{}),
+		yield:      make(chan struct{}),
 	}
 	k.threads = append(k.threads, t)
+	heap.Push(&k.ready, t)
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -64,12 +92,16 @@ func (k *Kernel) Spawn(name string, startAt Time, body func(t *Thread)) *Thread 
 					// the run's error (with the payload) instead of
 					// deadlocking the host on the yield handshake.
 					k.running = false
-					if k.stopErr == nil {
+					if !k.stopped {
+						k.stopped = true
 						k.stopErr = fmt.Errorf("sim: thread %q panicked: %v", t.name, r)
 					}
 				}
 			}
 			t.state = threadDone
+			if t.readyIndex >= 0 {
+				heap.Remove(&k.ready, t.readyIndex)
+			}
 			t.yield <- struct{}{}
 		}()
 		<-t.resume
@@ -85,11 +117,14 @@ func (k *Kernel) Spawn(name string, startAt Time, body func(t *Thread)) *Thread 
 func (k *Kernel) Threads() []*Thread { return k.threads }
 
 // Stop aborts the run: after the currently dispatched entity yields, Run
-// returns err (which may be nil). Remaining threads are abandoned; their
-// goroutines are unblocked and exit via a panic that Run swallows.
+// returns err (which may be nil). The first stop reason wins — later
+// Stop calls and thread panics cannot overwrite it. Remaining threads are
+// abandoned; their goroutines are unblocked and exit via a panic that Run
+// swallows.
 func (k *Kernel) Stop(err error) {
 	k.running = false
-	if k.stopErr == nil {
+	if !k.stopped {
+		k.stopped = true
 		k.stopErr = err
 	}
 }
@@ -103,11 +138,12 @@ type errKernelStopped struct{}
 // blocked with no pending events) or if Stop was called with an error.
 func (k *Kernel) Run() error {
 	k.running = true
+	k.stopped = false
 	k.stopErr = nil
 	for k.running {
 		// Fire the earliest event if it is not after the earliest
 		// runnable thread; otherwise step that thread.
-		t := k.nextReady()
+		t := k.ready.peek()
 		e := k.nextEvent()
 		switch {
 		case e != nil && (t == nil || e.At <= t.clock):
@@ -121,7 +157,10 @@ func (k *Kernel) Run() error {
 		default:
 			if k.anyLive() {
 				k.running = false
-				k.stopErr = k.deadlockError()
+				if !k.stopped {
+					k.stopped = true
+					k.stopErr = k.deadlockError()
+				}
 				break
 			}
 			k.running = false
@@ -129,20 +168,6 @@ func (k *Kernel) Run() error {
 	}
 	k.releaseAbandoned()
 	return k.stopErr
-}
-
-// nextReady returns the ready thread with the smallest (clock, id), or nil.
-func (k *Kernel) nextReady() *Thread {
-	var best *Thread
-	for _, t := range k.threads {
-		if t.state != threadReady {
-			continue
-		}
-		if best == nil || t.clock < best.clock {
-			best = t
-		}
-	}
-	return best
 }
 
 // nextEvent returns the earliest live event, discarding cancelled ones.
@@ -154,6 +179,7 @@ func (k *Kernel) nextEvent() *Event {
 		}
 		if e.cancelled {
 			heap.Pop(&k.events)
+			k.cancelled--
 			continue
 		}
 		return e
@@ -197,17 +223,35 @@ func (k *Kernel) releaseAbandoned() {
 
 // mustYield reports whether a thread whose clock just advanced to c must
 // hand control back to the kernel before touching shared state: true when
-// an event or another ready thread is due at or before c.
+// an event or another ready thread is due strictly before c (events tie-
+// break ahead of threads, so an event at exactly c also forces a yield).
+// The ready heap makes this O(1): if t itself is the heap minimum, every
+// other runnable thread is at (clock, id) ≥ t's and none can be due.
 func (k *Kernel) mustYield(t *Thread, c Time) bool {
 	if e := k.nextEvent(); e != nil && e.At <= c {
 		return true
 	}
-	for _, o := range k.threads {
-		if o != t && o.state == threadReady && o.clock < c {
-			return true
-		}
+	r := k.ready.peek()
+	return r != nil && r != t && r.clock < c
+}
+
+// readyAdd marks t runnable in the scheduler index.
+func (k *Kernel) readyAdd(t *Thread) {
+	heap.Push(&k.ready, t)
+}
+
+// readyRemove drops t from the scheduler index (block, completion).
+func (k *Kernel) readyRemove(t *Thread) {
+	if t.readyIndex >= 0 {
+		heap.Remove(&k.ready, t.readyIndex)
 	}
-	return false
+}
+
+// readyFix restores heap order after t's clock moved while runnable.
+func (k *Kernel) readyFix(t *Thread) {
+	if t.readyIndex >= 0 {
+		heap.Fix(&k.ready, t.readyIndex)
+	}
 }
 
 // PauseAll advances every unfinished thread's clock to at least `until`.
@@ -222,4 +266,53 @@ func (k *Kernel) PauseAll(until Time) {
 			t.clock = until
 		}
 	}
+	// Clocks moved wholesale; rebuild the ready index in one pass rather
+	// than sifting entries one by one.
+	heap.Init(&k.ready)
 }
+
+// readyQueue is a min-heap of runnable threads ordered by (clock, id) —
+// the dispatch order. Each thread carries its heap index so block/unblock
+// and clock advances are O(log n) instead of the former O(n) scan per
+// dispatch (which dominated the Fig 10 64-core panels).
+type readyQueue []*Thread
+
+func (q readyQueue) Len() int { return len(q) }
+
+func (q readyQueue) Less(i, j int) bool {
+	if q[i].clock != q[j].clock {
+		return q[i].clock < q[j].clock
+	}
+	return q[i].id < q[j].id
+}
+
+func (q readyQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].readyIndex = i
+	q[j].readyIndex = j
+}
+
+func (q *readyQueue) Push(x any) {
+	t := x.(*Thread)
+	t.readyIndex = len(*q)
+	*q = append(*q, t)
+}
+
+func (q *readyQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.readyIndex = -1
+	*q = old[:n-1]
+	return t
+}
+
+func (q readyQueue) peek() *Thread {
+	if len(q) == 0 {
+		return nil
+	}
+	return q[0]
+}
+
+var _ heap.Interface = (*readyQueue)(nil)

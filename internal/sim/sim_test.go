@@ -381,3 +381,132 @@ func TestScheduleFromThread(t *testing.T) {
 		t.Errorf("fireTime=%d threadSaw=%d, want 100, 100", fireTime, threadSaw)
 	}
 }
+
+// TestStopFirstReasonWins: the first Stop reason is the run's outcome —
+// later Stop calls and even a subsequent thread panic cannot overwrite
+// it. In particular Stop(nil) is a clean shutdown, not an empty slot a
+// later error may fill.
+func TestStopFirstReasonWins(t *testing.T) {
+	t.Run("nil-then-panic", func(t *testing.T) {
+		k := NewKernel()
+		k.Spawn("w", 0, func(th *Thread) {
+			th.Advance(1)
+			k.Stop(nil)
+			panic("late panic after clean stop")
+		})
+		if err := k.Run(); err != nil {
+			t.Errorf("Run() = %v, want nil (first stop reason)", err)
+		}
+	})
+	t.Run("err-then-err", func(t *testing.T) {
+		k := NewKernel()
+		first := errors.New("first")
+		k.Spawn("w", 0, func(th *Thread) {
+			k.Stop(first)
+			k.Stop(errors.New("second"))
+		})
+		if err := k.Run(); err != first {
+			t.Errorf("Run() = %v, want first", err)
+		}
+	})
+	t.Run("nil-then-err", func(t *testing.T) {
+		k := NewKernel()
+		k.Spawn("w", 0, func(th *Thread) {
+			k.Stop(nil)
+			k.Stop(errors.New("second"))
+		})
+		if err := k.Run(); err != nil {
+			t.Errorf("Run() = %v, want nil", err)
+		}
+	})
+	t.Run("panic-still-reported-without-stop", func(t *testing.T) {
+		k := NewKernel()
+		k.Spawn("w", 0, func(th *Thread) {
+			panic("boom")
+		})
+		err := k.Run()
+		if err == nil || !strings.Contains(err.Error(), "boom") {
+			t.Errorf("Run() = %v, want panic error", err)
+		}
+	})
+	t.Run("reusable-after-stop", func(t *testing.T) {
+		// A second Run on the same kernel starts with a clean stop slate.
+		k := NewKernel()
+		k.Spawn("w", 0, func(th *Thread) { k.Stop(errors.New("once")) })
+		if err := k.Run(); err == nil {
+			t.Fatal("first Run returned nil")
+		}
+		done := false
+		k.Schedule(5, func() { done = true })
+		if err := k.Run(); err != nil {
+			t.Errorf("second Run() = %v, want nil", err)
+		}
+		if !done {
+			t.Error("second Run did not fire the event")
+		}
+	})
+}
+
+// TestReadySchedulingMatchesCreationOrderOnTies: threads at equal clocks
+// dispatch in creation order — the ready heap must preserve the scan
+// order it replaced.
+func TestReadySchedulingMatchesCreationOrderOnTies(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("t%d", i), 0, func(th *Thread) {
+			order = append(order, i)
+			th.Advance(10) // all tie again at 10
+			order = append(order, i)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Thread 7 is last to advance to the tie at 10: no other ready
+	// thread is then strictly earlier, so it continues without yielding
+	// (exactly the pre-heap scan semantics) before 0–6 resume in id order.
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 7, 0, 1, 2, 3, 4, 5, 6}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestEventCompaction: cancelling most of a large event population
+// triggers the bulk compaction and the survivors still fire in order.
+func TestEventCompaction(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	var events []*Event
+	for i := 0; i < 256; i++ {
+		at := Time(i + 1)
+		events = append(events, k.Schedule(at, func() { fired = append(fired, at) }))
+	}
+	for i, e := range events {
+		if i%4 != 0 {
+			e.Cancel()
+		}
+	}
+	if len(k.events) < 256 && k.cancelled == 0 {
+		// bulk compaction ran — expected with 3/4 cancelled
+	} else if len(k.events) == 256 {
+		t.Fatalf("no compaction: %d events, %d cancelled", len(k.events), k.cancelled)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 64 {
+		t.Fatalf("fired %d events, want 64", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] <= fired[i-1] {
+			t.Fatal("events fired out of order after compaction")
+		}
+	}
+}

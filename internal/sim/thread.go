@@ -18,6 +18,7 @@ type Thread struct {
 	name        string
 	clock       Time
 	state       threadState
+	readyIndex  int // position in the kernel's ready heap, -1 when absent
 	blockReason string
 	kernel      *Kernel
 	resume      chan struct{}
@@ -44,6 +45,7 @@ func (t *Thread) Advance(d Time) {
 		panic(fmt.Sprintf("sim: Advance(%d) with negative duration", d))
 	}
 	t.clock += d
+	t.kernel.readyFix(t)
 	if t.kernel.mustYield(t, t.clock) {
 		t.checkpoint()
 	}
@@ -66,6 +68,7 @@ func (t *Thread) Yield() { t.checkpoint() }
 func (t *Thread) Block(reason string) {
 	t.state = threadBlocked
 	t.blockReason = reason
+	t.kernel.readyRemove(t)
 	t.checkpoint()
 }
 
@@ -81,6 +84,7 @@ func (t *Thread) Wake(at Time) {
 	if at > t.clock {
 		t.clock = at
 	}
+	t.kernel.readyAdd(t)
 }
 
 // checkpoint yields to the kernel and waits to be resumed. If the kernel
