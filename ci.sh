@@ -38,4 +38,23 @@ echo "== go test -race $short ./internal/harness/... ./internal/sim/... =="
 # the harness sweeps are minutes-long even unraced on small hosts.
 go test -race -timeout 60m $short ./internal/harness/... ./internal/sim/...
 
+echo "== crash campaign (all designs, boundary-aligned, injection) =="
+# A small end-to-end fault-injection campaign: every design × every
+# workload, persist-boundary-aligned crash points plus a coarse uniform
+# grid, with synthetic misspeculations injected through the OS relay.
+# Exits non-zero on any invariant violation or failed trial.
+go run ./cmd/pmemspec-crash -all -threads 2 -ops 12 -points 2 -maxus 100 \
+	-boundaries -boundary-budget 2 -max-points 5 \
+	-inject-stale-ns 4000 -inject-ooo-ns 7000 -inject-count 3 \
+	-report /tmp/pmemspec-campaign.json
+# The report must be independent of pool width (checked on one cell;
+# the harness suite covers the multi-design case).
+go run ./cmd/pmemspec-crash -workload queue -threads 2 -ops 12 -points 3 -maxus 100 \
+	-boundaries -boundary-budget 2 -inject-stale-ns 4000 -inject-count 3 \
+	-parallel 1 -report /tmp/pmemspec-campaign-p1.json >/dev/null
+go run ./cmd/pmemspec-crash -workload queue -threads 2 -ops 12 -points 3 -maxus 100 \
+	-boundaries -boundary-budget 2 -inject-stale-ns 4000 -inject-count 3 \
+	-parallel 8 -report /tmp/pmemspec-campaign-p8.json >/dev/null
+cmp /tmp/pmemspec-campaign-p1.json /tmp/pmemspec-campaign-p8.json
+
 echo "ci.sh: all checks passed"

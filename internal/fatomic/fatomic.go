@@ -118,8 +118,13 @@ type Stats struct {
 	Aborts           uint64
 	FaultsSuppressed uint64
 	MisspecSignals   uint64
-	StageRetries     uint64
-	UndoneEntries    uint64
+	// LoadSignals/StoreSignals split MisspecSignals by violation kind
+	// (stale load vs out-of-order persist) — the crash campaign's
+	// injection report keys on them.
+	LoadSignals   uint64
+	StoreSignals  uint64
+	StageRetries  uint64
+	UndoneEntries uint64
 }
 
 type threadState struct {
@@ -184,8 +189,13 @@ func (r *Runtime) Mode() Mode { return r.mode }
 
 // onMisspec is the misspeculation handler (§6.2): it flags every thread
 // currently executing a FASE; threads outside FASEs are untouched.
-func (r *Runtime) onMisspec(core.Misspeculation) {
+func (r *Runtime) onMisspec(ms core.Misspeculation) {
 	r.Stats.MisspecSignals++
+	if ms.Kind == core.StoreMisspec {
+		r.Stats.StoreSignals++
+	} else {
+		r.Stats.LoadSignals++
+	}
 	for i := range r.state {
 		if r.state[i].inFASE {
 			r.state[i].misspec = true

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+
+	"pmemspec/internal/machine"
+	"pmemspec/internal/workload"
+)
+
+// smallCampaign is the shared test configuration: all four designs, one
+// workload, a coarse uniform grid plus discovered persist boundaries,
+// and misspeculation injection on both chains.
+func smallCampaign() CampaignConfig {
+	return CampaignConfig{
+		Workloads:      []string{"arrayswap"},
+		Params:         workload.Params{Threads: 2, Ops: 15, DataSize: 64, Seed: 7},
+		Points:         3,
+		MaxNS:          120_000,
+		Boundaries:     true,
+		BoundaryBudget: 4,
+		MaxPoints:      10,
+		Inject:         InjectionPlan{StalePeriodNS: 3_000, OOOPeriodNS: 5_000, Count: 6},
+	}
+}
+
+// TestCampaignInjectionAllDesigns is the headline acceptance check: a
+// campaign with injected misspeculations across all four designs
+// completes with zero invariant violations — the runtime treats every
+// synthetic signal as a virtual power failure and loses no committed
+// work.
+func TestCampaignInjectionAllDesigns(t *testing.T) {
+	rep, err := RunCampaign(smallCampaign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 || rep.Failures != 0 {
+		for _, tr := range rep.Trials {
+			if tr.Verdict != VerdictOK {
+				t.Errorf("%s/%s %s: %s: %s", tr.Design, tr.Workload, tr.Point, tr.Verdict, tr.Detail)
+			}
+		}
+		t.Fatalf("campaign: %d violations, %d failures", rep.Violations, rep.Failures)
+	}
+	cells := rep.Cells()
+	if len(cells) != len(machine.Designs) {
+		t.Fatalf("got %d cells, want %d", len(cells), len(machine.Designs))
+	}
+	var injected, signals uint64
+	boundaryTrials := 0
+	for _, tr := range rep.Trials {
+		injected += tr.InjectedStale + tr.InjectedOOO
+		signals += tr.LoadSignals + tr.StoreSignals
+		if tr.Point != "" && tr.Point != "no-crash" && tr.Point[0] != 'u' {
+			boundaryTrials++
+		}
+	}
+	if injected == 0 {
+		t.Error("injector raised no misspeculation events")
+	}
+	if signals == 0 {
+		t.Error("no injected event was ever relayed to an in-FASE thread")
+	}
+	if boundaryTrials == 0 {
+		t.Error("no boundary-aligned crash point survived merging")
+	}
+}
+
+// TestCampaignParallelDeterminism is the byte-identical-report check:
+// the same campaign on a 1-wide and an 8-wide pool must serialize to
+// exactly the same JSON.
+func TestCampaignParallelDeterminism(t *testing.T) {
+	cfg := smallCampaign()
+	// Trim to two designs: this test is about pool scheduling, not
+	// design coverage.
+	cfg.Designs = []machine.Design{machine.IntelX86, machine.PMEMSpec}
+	r1, err := (&Runner{Parallel: 1}).RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := (&Runner{Parallel: 8}).RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := json.Marshal(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := json.Marshal(r8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b8) {
+		t.Fatalf("reports differ between -parallel 1 and -parallel 8:\n%s\n---\n%s", b1, b8)
+	}
+}
+
+// TestCampaignRecordsDiscoveryFailure: a cell whose boundary discovery
+// fails must fall back to the uniform grid and record an error row, not
+// abort the campaign.
+func TestCampaignRecordsDiscoveryFailure(t *testing.T) {
+	cfg := CampaignConfig{
+		Designs:   []machine.Design{machine.PMEMSpec},
+		Workloads: []string{"arrayswap"},
+		Params:    workload.Params{Threads: 2, Ops: 5, DataSize: 64, Seed: 1},
+		Points:    2,
+		MaxNS:     50_000,
+	}
+	rep, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("clean campaign reported %d failures", rep.Failures)
+	}
+	if got := len(rep.Trials); got != 2 {
+		t.Fatalf("got %d trials, want 2 uniform points", got)
+	}
+}

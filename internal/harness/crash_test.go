@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"strings"
 	"testing"
 
+	"pmemspec/internal/fatomic"
 	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
 	"pmemspec/internal/workload"
 )
 
@@ -31,6 +34,9 @@ func TestCrashSweepAllDesigns(t *testing.T) {
 				for _, o := range outs {
 					if o.Crashed {
 						crashed++
+					}
+					if o.Err != nil {
+						t.Errorf("crash@%dns failed to run: %v", o.CrashAtNS, o.Err)
 					}
 					if o.VerifyErr != nil {
 						t.Errorf("crash@%dns: %v", o.CrashAtNS, o.VerifyErr)
@@ -86,5 +92,167 @@ func TestRunWithCrashAfterCompletion(t *testing.T) {
 	}
 	if o.Recovery.ThreadsRolledBack != 0 {
 		t.Error("completed run had in-flight FASEs")
+	}
+}
+
+// TestRunWithCrashDuringSetup: a crash inside single-threaded setup must
+// take the log-protocol-only branch — no invariant check on structures
+// that may not exist yet, and nothing reported as recovered.
+func TestRunWithCrashDuringSetup(t *testing.T) {
+	w, _ := workload.ByName("rbtree")
+	p := workload.Params{Threads: 2, Ops: 50, DataSize: 64, Scale: 4096, Seed: 3}
+	o, err := RunWithCrash(machine.PMEMSpec, w, p, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Crashed {
+		t.Fatal("crash at 50ns did not interrupt setup")
+	}
+	if o.VerifyErr != nil {
+		t.Errorf("setup-crash branch must only check the log protocol: %v", o.VerifyErr)
+	}
+	if o.Recovery != (fatomic.RecoveryReport{}) {
+		t.Error("setup-crash branch must not report recovery work")
+	}
+}
+
+// panicVerifyWorkload is a stub whose Verify dereferences a wild pointer
+// (modeled as a panic) — the checker must convert that into an error.
+type panicVerifyWorkload struct{}
+
+func (panicVerifyWorkload) Name() string                                     { return "panic-verify" }
+func (panicVerifyWorkload) Description() string                              { return "test stub" }
+func (panicVerifyWorkload) MemBytes(p workload.Params) uint64                { return 0 }
+func (panicVerifyWorkload) Setup(e *workload.Env, th *machine.Thread)        {}
+func (panicVerifyWorkload) Run(e *workload.Env, th *machine.Thread, tid int) {}
+func (panicVerifyWorkload) Verify(img *mem.Image, completedOps uint64) error {
+	panic("wild pointer at 0xdead")
+}
+
+// TestSafeVerifyPanic: a panicking Verify is a consistency violation,
+// not a harness crash.
+func TestSafeVerifyPanic(t *testing.T) {
+	err := safeVerify(panicVerifyWorkload{}, nil, 0)
+	if err == nil {
+		t.Fatal("panic in Verify was not converted to an error")
+	}
+	if !strings.Contains(err.Error(), "0xdead") {
+		t.Errorf("converted error lost the panic value: %v", err)
+	}
+}
+
+// TestUniformPoints: integer division must not produce zero or duplicate
+// crash points when maxNS < points, and invalid spans are rejected.
+func TestUniformPoints(t *testing.T) {
+	pts, err := UniformPoints(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 || len(pts) > 4 {
+		t.Fatalf("10 points over 4ns yielded %d points, want 1..4", len(pts))
+	}
+	last := int64(0)
+	for _, p := range pts {
+		if p.AtNS <= last {
+			t.Errorf("point %+v not strictly increasing after %d", p, last)
+		}
+		last = p.AtNS
+	}
+	if pts[len(pts)-1].AtNS != 4 {
+		t.Errorf("sweep must keep its full span, last point %d want 4", pts[len(pts)-1].AtNS)
+	}
+	if _, err := UniformPoints(0, 100); err == nil {
+		t.Error("zero points accepted")
+	}
+	if _, err := UniformPoints(4, 0); err == nil {
+		t.Error("non-positive span accepted")
+	}
+}
+
+// TestRunTrialsRecordsErrors: one broken trial must be recorded as a
+// failed outcome, not abort the batch (the sweep keeps sweeping).
+func TestRunTrialsRecordsErrors(t *testing.T) {
+	specs := []TrialSpec{
+		{Design: machine.PMEMSpec, Workload: "no-such-workload",
+			Params: workload.Params{Threads: 1, Ops: 2, DataSize: 64, Seed: 1},
+			Point:  CrashPoint{AtNS: 1000, Label: "uniform@1000ns"}},
+		{Design: machine.PMEMSpec, Workload: "arrayswap",
+			Params: workload.Params{Threads: 1, Ops: 2, DataSize: 64, Seed: 1},
+			Point:  NoCrash},
+	}
+	outs := (&Runner{Parallel: 1}).RunTrials(specs)
+	if len(outs) != 2 {
+		t.Fatalf("got %d outcomes, want 2", len(outs))
+	}
+	if outs[0].Err == nil {
+		t.Error("broken trial did not record its error")
+	}
+	if outs[0].Workload != "no-such-workload" || outs[0].Label != "uniform@1000ns" {
+		t.Errorf("failed outcome lost its identity: %+v", outs[0])
+	}
+	if outs[1].Err != nil || outs[1].VerifyErr != nil {
+		t.Errorf("healthy trial after a broken one: err=%v verify=%v", outs[1].Err, outs[1].VerifyErr)
+	}
+}
+
+// TestDiscoverBoundaries: an instrumented run must observe both boundary
+// families, and Points must label and budget them deterministically.
+func TestDiscoverBoundaries(t *testing.T) {
+	spec := TrialSpec{Design: machine.PMEMSpec, Workload: "arrayswap",
+		Params: workload.Params{Threads: 2, Ops: 10, DataSize: 64, Seed: 1}}
+	b, err := DiscoverBoundaries(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.DrainNS) == 0 {
+		t.Error("no durability-barrier drains observed")
+	}
+	if len(b.AdmitNS) == 0 {
+		t.Error("no WPQ admissions observed")
+	}
+	pts := b.Points(6)
+	if len(pts) == 0 || len(pts) > 3*6 {
+		t.Fatalf("budget 6 instants yielded %d points, want 1..18", len(pts))
+	}
+	var drainLbl, admitLbl bool
+	for _, p := range pts {
+		if p.AtNS <= 0 {
+			t.Errorf("non-positive boundary point %+v", p)
+		}
+		if strings.Contains(p.Label, "drain@") {
+			drainLbl = true
+		}
+		if strings.Contains(p.Label, "admit@") {
+			admitLbl = true
+		}
+	}
+	if !drainLbl || !admitLbl {
+		t.Errorf("points missing a boundary family: drain=%v admit=%v", drainLbl, admitLbl)
+	}
+	again, err := DiscoverBoundaries(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.DrainNS) != len(b.DrainNS) || len(again.AdmitNS) != len(b.AdmitNS) {
+		t.Error("boundary discovery is not deterministic")
+	}
+}
+
+// TestMergePoints: merging dedupes by instant and is order-independent.
+func TestMergePoints(t *testing.T) {
+	a := []CrashPoint{{10, "uniform@10ns"}, {20, "uniform@20ns"}}
+	b := []CrashPoint{{10, "drain@10ns"}, {15, "admit@15ns"}}
+	m1 := MergePoints(a, b)
+	m2 := MergePoints(b, a)
+	if len(m1) != 3 {
+		t.Fatalf("got %d merged points, want 3", len(m1))
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Errorf("merge depends on input order: %+v vs %+v", m1[i], m2[i])
+		}
+	}
+	if m1[0].Label != "drain@10ns" {
+		t.Errorf("dedupe must keep the first label in sort order, got %q", m1[0].Label)
 	}
 }

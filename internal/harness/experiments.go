@@ -39,8 +39,8 @@ type Runner struct {
 }
 
 // benchJob builds the job for one (design, workload, params) run.
-func benchJob(label string, d machine.Design, name string, p workload.Params, opts ...Option) Job {
-	return Job{Label: label, Run: func() (Result, error) {
+func benchJob(label string, d machine.Design, name string, p workload.Params, opts ...Option) Job[Result] {
+	return Job[Result]{Label: label, Run: func() (Result, error) {
 		w, err := workload.ByName(name)
 		if err != nil {
 			return Result{}, err
@@ -67,7 +67,7 @@ func Fig9(threads, ops int, seed int64, progress func(string)) ([]Fig9Row, error
 func (r *Runner) Fig9(threads, ops int, seed int64) ([]Fig9Row, error) {
 	names := workload.Names()
 	designs := machine.Designs
-	jobs := make([]Job, 0, len(names)*len(designs))
+	jobs := make([]Job[Result], 0, len(names)*len(designs))
 	for _, name := range names {
 		for _, d := range designs {
 			jobs = append(jobs, benchJob(fmt.Sprintf("fig9: %s / %s", name, d),
@@ -122,7 +122,7 @@ func Fig10(coreCounts []int, ops int, seed int64, progress func(string)) (map[in
 func (r *Runner) Fig10(coreCounts []int, ops int, seed int64) (map[int][]Fig9Row, error) {
 	names := workload.Names()
 	designs := machine.Designs
-	var jobs []Job
+	var jobs []Job[Result]
 	for _, cores := range coreCounts {
 		for _, name := range names {
 			for _, d := range designs {
@@ -179,7 +179,7 @@ func Fig11(threads, ops int, seed int64, progress func(string)) ([]Fig11Point, e
 func (r *Runner) Fig11(threads, ops int, seed int64) ([]Fig11Point, error) {
 	sizes := []int{1, 2, 4, 8, 16}
 	names := workload.Names()
-	jobs := make([]Job, 0, len(names)*len(sizes))
+	jobs := make([]Job[Result], 0, len(names)*len(sizes))
 	for _, name := range names {
 		for _, size := range sizes {
 			p := params(name, threads, ops, seed)
@@ -242,7 +242,7 @@ func (r *Runner) Fig12(threads, ops int, seed int64) ([]Fig12Point, error) {
 	sweepDesigns := []machine.Design{machine.HOPS, machine.PMEMSpec}
 	names := workload.Names()
 
-	var jobs []Job
+	var jobs []Job[Result]
 	for _, name := range names {
 		jobs = append(jobs, benchJob(fmt.Sprintf("fig12: baseline %s", name),
 			machine.IntelX86, name, params(name, threads, ops, seed)))
@@ -325,7 +325,7 @@ func MisspecStudy(threads, ops int, seed int64, progress func(string)) (MisspecR
 // configurations as one job batch.
 func (r *Runner) MisspecStudy(threads, ops int, seed int64) (MisspecResult, error) {
 	names := workload.Names()
-	var jobs []Job
+	var jobs []Job[Result]
 	for _, name := range names {
 		jobs = append(jobs, benchJob(fmt.Sprintf("misspec: %s", name),
 			machine.PMEMSpec, name, params(name, threads, ops, seed)))
@@ -357,9 +357,9 @@ func (r *Runner) MisspecStudy(threads, ops int, seed int64) (MisspecResult, erro
 // unrealistically long path latency produces load misspeculation. The
 // generator instance is returned so the caller can read its ground-truth
 // counters after the pool barrier.
-func syntheticJob(ops int, seed int64, pathNS int64) (*workload.Synthetic, Job) {
+func syntheticJob(ops int, seed int64, pathNS int64) (*workload.Synthetic, Job[Result]) {
 	syn := workload.NewSynthetic()
-	job := Job{
+	job := Job[Result]{
 		Label: fmt.Sprintf("misspec: synthetic @%dns path", pathNS),
 		Run: func() (Result, error) {
 			p := workload.Params{Threads: 1, Ops: ops, DataSize: 64, Seed: seed}
@@ -406,7 +406,7 @@ func DetectionAblation(threads, ops int, seed int64, progress func(string)) ([2]
 func (r *Runner) DetectionAblation(threads, ops int, seed int64) ([2]AblationResult, error) {
 	var out [2]AblationResult
 	schemes := []string{"eviction-based (§5.1.4)", "fetch-based (§5.1.3)"}
-	var jobs []Job
+	var jobs []Job[Result]
 	for i, fetchBased := range []bool{false, true} {
 		var opts []Option
 		if fetchBased {
@@ -419,7 +419,7 @@ func (r *Runner) DetectionAblation(threads, ops int, seed int64) ([2]AblationRes
 		// scheme's false positives visible.
 		opts = append(opts, func(c *machine.Config) { c.SpecWindow = sim.NS(1000) })
 		name := schemes[i]
-		jobs = append(jobs, Job{
+		jobs = append(jobs, Job[Result]{
 			Label: "ablation: " + name,
 			Run: func() (Result, error) {
 				w, err := workload.ByName("memcached")

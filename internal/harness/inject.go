@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"pmemspec/internal/core"
+	"pmemspec/internal/fatomic"
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/osint"
+	"pmemspec/internal/sim"
+)
+
+// InjectionPlan synthesizes misspeculation interrupts through the §6.1
+// OS relay at fixed simulated-time rates, independent of the design's
+// own detection hardware. Injected events exercise the signal → abort →
+// rollback → re-execute path (§6.1.2) under every design: the runtime
+// must treat each as a virtual power failure and lose no committed work.
+//
+// The zero value injects nothing.
+type InjectionPlan struct {
+	// StalePeriodNS raises a stale-load event (core.LoadMisspec) every
+	// period nanoseconds of simulated time; 0 disables.
+	StalePeriodNS int64 `json:"stale_period_ns,omitempty"`
+	// OOOPeriodNS raises an out-of-order-persist event
+	// (core.StoreMisspec) every period nanoseconds; 0 disables.
+	OOOPeriodNS int64 `json:"ooo_period_ns,omitempty"`
+	// OffsetNS delays the first event of each chain; 0 means one period.
+	OffsetNS int64 `json:"offset_ns,omitempty"`
+	// Count caps the number of events per chain; 0 means unbounded
+	// (chains stop when the workload finishes).
+	Count int `json:"count,omitempty"`
+	// SiteStride spaces successive injection addresses within the
+	// workload heap, in bytes; 0 means 7 cache blocks (scatters sites
+	// across structures without aliasing a single set).
+	SiteStride uint64 `json:"site_stride,omitempty"`
+}
+
+// InjectionStats counts what an armed plan actually raised.
+type InjectionStats struct {
+	StaleLoads  uint64 // injected core.LoadMisspec events
+	OOOPersists uint64 // injected core.StoreMisspec events
+	Unclaimed   uint64 // events whose address matched no registered runtime
+}
+
+// Enabled reports whether the plan injects anything.
+func (pl InjectionPlan) Enabled() bool {
+	return pl.StalePeriodNS > 0 || pl.OOOPeriodNS > 0
+}
+
+// arm schedules the plan's event chains on the machine's kernel. Each
+// chain re-schedules itself only while active() holds (the kernel runs
+// until its event queue drains, so an unconditional chain would keep a
+// finished run alive forever) and its Count budget remains. Sites walk
+// the workload heap — the region the runtime registers with the OS — so
+// events are claimed and relayed; threads outside a FASE simply ignore
+// the signal, mirroring a benign mis-detection.
+func (pl InjectionPlan) arm(m *machine.Machine, os *osint.OS, threads int, stats *InjectionStats, active func() bool) {
+	if !pl.Enabled() {
+		return
+	}
+	stride := pl.SiteStride
+	if stride == 0 {
+		stride = 7 * mem.BlockSize
+	}
+	heapBase := m.Space().Base() + mem.Addr(fatomic.HeapReserve(threads))
+	span := m.Space().Size() - fatomic.HeapReserve(threads)
+	if span < mem.BlockSize {
+		return
+	}
+	site := func(i uint64) mem.Addr {
+		return mem.BlockAlign(heapBase + mem.Addr((i*stride)%span))
+	}
+	chain := func(periodNS int64, kind core.Kind, fired *uint64) {
+		if periodNS <= 0 {
+			return
+		}
+		period := sim.NS(periodNS)
+		first := sim.NS(pl.OffsetNS)
+		if pl.OffsetNS <= 0 {
+			first = period
+		}
+		k := m.Kernel()
+		var fire func()
+		var seq uint64
+		fire = func() {
+			if !active() || (pl.Count > 0 && seq >= uint64(pl.Count)) {
+				return
+			}
+			ms := core.Misspeculation{Kind: kind, Addr: site(seq), At: k.Now()}
+			if kind == core.StoreMisspec {
+				// Distinct IDs, as a real inter-thread persist-order
+				// violation would carry (§5.2).
+				ms.SeenID = seq + 1
+				ms.NewID = seq + 2
+			}
+			seq++
+			*fired++
+			if !os.Inject(ms) {
+				stats.Unclaimed++
+			}
+			k.Schedule(k.Now()+period, fire)
+		}
+		k.Schedule(first, fire)
+	}
+	chain(pl.StalePeriodNS, core.LoadMisspec, &stats.StaleLoads)
+	chain(pl.OOOPeriodNS, core.StoreMisspec, &stats.OOOPersists)
+}

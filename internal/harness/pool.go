@@ -13,21 +13,23 @@ import (
 // builds its own machine.Machine, OS layer, runtime and workload — runs
 // share no simulation state — and results are keyed by job index, never
 // by completion order, so the output is byte-identical at any worker
-// count.
+// count. The pool is generic over the job's result type: benchmark jobs
+// produce Result, crash-campaign jobs produce CrashOutcome, boundary
+// discovery produces Boundaries.
 
-// Job is one independent experiment run.
-type Job struct {
+// Job is one independent experiment run producing a T.
+type Job[T any] struct {
 	// Label identifies the run in progress output and panic reports.
 	Label string
 	// Run executes the job. It must not touch state shared with other
 	// jobs; it runs on an arbitrary host goroutine.
-	Run func() (Result, error)
+	Run func() (T, error)
 }
 
 // JobResult is the outcome of one Job: its Result, or the error (a
 // failure, or a captured panic with stack) that ended it.
-type JobResult struct {
-	Result Result
+type JobResult[T any] struct {
+	Result T
 	Err    error
 }
 
@@ -37,14 +39,14 @@ type JobResult struct {
 // calls are serialized but their order depends on scheduling (results do
 // not). A panic inside a job is captured as that job's error instead of
 // tearing down the whole sweep.
-func RunAll(jobs []Job, workers int, progress func(string)) []JobResult {
+func RunAll[T any](jobs []Job[T], workers int, progress func(string)) []JobResult[T] {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	out := make([]JobResult, len(jobs))
+	out := make([]JobResult[T], len(jobs))
 	if workers <= 1 {
 		for i := range jobs {
 			if progress != nil {
@@ -84,7 +86,7 @@ func RunAll(jobs []Job, workers int, progress func(string)) []JobResult {
 }
 
 // runJob runs one job, converting a panic into its error.
-func runJob(j *Job) (jr JobResult) {
+func runJob[T any](j *Job[T]) (jr JobResult[T]) {
 	defer func() {
 		if r := recover(); r != nil {
 			jr.Err = fmt.Errorf("harness: job %q panicked: %v\n%s", j.Label, r, debug.Stack())
@@ -96,7 +98,7 @@ func runJob(j *Job) (jr JobResult) {
 
 // firstError returns the error of the lowest-indexed failed job, so the
 // reported failure is deterministic regardless of completion order.
-func firstError(rs []JobResult) error {
+func firstError[T any](rs []JobResult[T]) error {
 	for i := range rs {
 		if rs[i].Err != nil {
 			return rs[i].Err

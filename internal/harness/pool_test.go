@@ -15,10 +15,10 @@ import (
 // completion order, at any worker count.
 func TestRunAllIndexedResults(t *testing.T) {
 	const n = 37
-	jobs := make([]Job, n)
+	jobs := make([]Job[Result], n)
 	for i := range jobs {
 		i := i
-		jobs[i] = Job{
+		jobs[i] = Job[Result]{
 			Label: fmt.Sprintf("job%d", i),
 			Run:   func() (Result, error) { return Result{Committed: uint64(i)}, nil },
 		}
@@ -40,7 +40,7 @@ func TestRunAllIndexedResults(t *testing.T) {
 // remaining jobs still run.
 func TestRunAllPanicCapture(t *testing.T) {
 	var ran atomic.Int64
-	jobs := []Job{
+	jobs := []Job[Result]{
 		{Label: "ok1", Run: func() (Result, error) { ran.Add(1); return Result{}, nil }},
 		{Label: "boom", Run: func() (Result, error) { panic("exploded") }},
 		{Label: "ok2", Run: func() (Result, error) { ran.Add(1); return Result{}, nil }},
@@ -61,9 +61,9 @@ func TestRunAllPanicCapture(t *testing.T) {
 // under concurrency (the callback itself needs no locking).
 func TestRunAllProgressSerialized(t *testing.T) {
 	const n = 64
-	jobs := make([]Job, n)
+	jobs := make([]Job[Result], n)
 	for i := range jobs {
-		jobs[i] = Job{Label: fmt.Sprintf("j%d", i), Run: func() (Result, error) { return Result{}, nil }}
+		jobs[i] = Job[Result]{Label: fmt.Sprintf("j%d", i), Run: func() (Result, error) { return Result{}, nil }}
 	}
 	seen := map[string]int{} // mutated without locking: RunAll serializes
 	RunAll(jobs, 8, func(s string) { seen[s]++ })
@@ -142,10 +142,10 @@ func TestFig10ParallelDeterminism(t *testing.T) {
 // TestRunAllFirstErrorDeterministic: the reported error is the lowest-
 // indexed failure, independent of completion order.
 func TestRunAllFirstErrorDeterministic(t *testing.T) {
-	jobs := make([]Job, 16)
+	jobs := make([]Job[Result], 16)
 	for i := range jobs {
 		i := i
-		jobs[i] = Job{
+		jobs[i] = Job[Result]{
 			Label: fmt.Sprintf("j%d", i),
 			Run: func() (Result, error) {
 				if i%3 == 2 { // jobs 2, 5, 8, 11, 14 fail
@@ -174,7 +174,7 @@ func TestConcurrentRunsShareNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	jobs := make([]Job, 8)
+	jobs := make([]Job[Result], 8)
 	for i := range jobs {
 		jobs[i] = benchJob("clone", machine.PMEMSpec, "queue", params("queue", 2, 25, 3))
 	}

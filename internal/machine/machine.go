@@ -76,6 +76,13 @@ type Machine struct {
 	// misspecHandler is the OS interrupt line (osint registers here).
 	misspecHandler func(core.Misspeculation)
 
+	// drainObserver, when set, sees the completion of every durability-
+	// relevant barrier (sfence, dfence, join-strand, spec-barrier): the
+	// instants at which a core's outstanding persists have drained to the
+	// persistent domain. The crash campaign aligns fault-injection points
+	// to these boundaries.
+	drainObserver func(core int, at sim.Time)
+
 	stats Stats
 }
 
@@ -289,6 +296,28 @@ func (m *Machine) Stats() Stats { return m.stats }
 // SetMisspecHandler registers the OS interrupt handler for
 // misspeculation detection events.
 func (m *Machine) SetMisspecHandler(h func(core.Misspeculation)) { m.misspecHandler = h }
+
+// SetDrainObserver registers f to observe every durability-barrier
+// completion (core, thread-local time). Instrumented discovery runs use
+// it to collect persist boundaries; nil disables.
+func (m *Machine) SetDrainObserver(f func(core int, at sim.Time)) { m.drainObserver = f }
+
+// notifyDrain reports a completed durability barrier to the observer.
+func (m *Machine) notifyDrain(core int, at sim.Time) {
+	if m.drainObserver != nil {
+		m.drainObserver(core, at)
+	}
+}
+
+// SetAdmitObserver registers f on every PM controller's WPQ to observe
+// write admissions — the ADR durability instants. Crash points placed
+// just before/at/after an admission toggle whether that write survives,
+// which is the sharpest boundary a crash campaign can probe.
+func (m *Machine) SetAdmitObserver(f func(admit sim.Time, blk mem.Addr)) {
+	for _, q := range m.wpqs {
+		q.OnAdmit = f
+	}
+}
 
 // Spawn creates a simulated thread pinned to the next free core. It
 // panics if more threads than cores are spawned (the paper's runs are

@@ -401,6 +401,7 @@ func (t *Thread) SFence() {
 		}
 	}
 	m.stats.BarrierStallCycles += t.sim.Clock() - start
+	m.notifyDrain(t.coreID, t.sim.Clock())
 }
 
 // OFence closes the current epoch (HOPS): asynchronous, near-free.
@@ -431,6 +432,7 @@ func (t *Thread) DFence() {
 		}
 	}
 	m.stats.BarrierStallCycles += t.sim.Clock() - start
+	m.notifyDrain(t.coreID, t.sim.Clock())
 }
 
 // NewStrand opens a fresh strand for this core's subsequent PM stores
@@ -469,6 +471,7 @@ func (t *Thread) JoinStrand() {
 	}
 	m.stats.BarrierStallCycles += t.sim.Clock() - start
 	t.strand = 0
+	m.notifyDrain(t.coreID, t.sim.Clock())
 }
 
 // SpecBarrier is PMEM-Spec's durability barrier (§4.2): it stalls until
@@ -494,6 +497,7 @@ func (t *Thread) SpecBarrier() {
 		t.sim.AdvanceTo(d)
 	}
 	m.stats.BarrierStallCycles += t.sim.Clock() - start
+	m.notifyDrain(t.coreID, t.sim.Clock())
 }
 
 // SpecAssign enters a critical section: the thread's speculation-ID

@@ -40,8 +40,10 @@ type OS struct {
 	Observer Handler
 
 	// Interrupts counts raised hardware interrupts; Unclaimed counts
-	// interrupts whose address matched no registered process.
-	Interrupts, Unclaimed uint64
+	// interrupts whose address matched no registered process; Injected
+	// counts the synthetic interrupts raised through Inject (fault
+	// injection), a subset of Interrupts.
+	Interrupts, Unclaimed, Injected uint64
 }
 
 // DesignatedSpaceOffset is where, within the PM region, the OS reserves
@@ -52,7 +54,7 @@ const DesignatedSpaceOffset = 0
 // interrupt handler and reserves the designated space at the base of PM.
 func New(m *machine.Machine) *OS {
 	os := &OS{m: m, designated: m.Space().Base() + DesignatedSpaceOffset}
-	m.SetMisspecHandler(os.interrupt)
+	m.SetMisspecHandler(func(ms core.Misspeculation) { os.interrupt(ms) })
 	return os
 }
 
@@ -63,11 +65,17 @@ func (o *OS) Register(pid int, base mem.Addr, size uint64, h Handler) {
 }
 
 // Inject raises a synthetic misspeculation interrupt, as if the
-// hardware had detected one — fault injection for tests and demos.
-func (o *OS) Inject(ms core.Misspeculation) { o.interrupt(ms) }
+// hardware had detected one — fault injection for tests, demos and the
+// crash campaign's misspeculation injector. It reports whether a
+// registered process claimed (and handled) the event.
+func (o *OS) Inject(ms core.Misspeculation) bool {
+	o.Injected++
+	return o.interrupt(ms)
+}
 
-// interrupt is the hardware interrupt entry point.
-func (o *OS) interrupt(ms core.Misspeculation) {
+// interrupt is the hardware interrupt entry point. It reports whether
+// the reverse map found a process to relay the event to.
+func (o *OS) interrupt(ms core.Misspeculation) bool {
 	o.Interrupts++
 	if o.Observer != nil {
 		o.Observer(ms)
@@ -79,8 +87,9 @@ func (o *OS) interrupt(ms core.Misspeculation) {
 	for _, r := range o.registrations {
 		if ms.Addr >= r.base && uint64(ms.Addr-r.base) < r.size {
 			r.h(ms)
-			return
+			return true
 		}
 	}
 	o.Unclaimed++
+	return false
 }

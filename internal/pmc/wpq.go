@@ -33,6 +33,12 @@ type WPQ struct {
 	// Stats
 	Accepts, Coalesced, FullStalls uint64
 	StallTime                      sim.Time
+
+	// OnAdmit, when set, observes every admission (including coalesced
+	// ones) with its admission time — the instant the write becomes
+	// durable under ADR. Crash campaigns align fault-injection points to
+	// these boundaries.
+	OnAdmit func(admit sim.Time, blk mem.Addr)
 }
 
 // NewWPQ creates a write-pending queue of the given capacity in front of
@@ -56,6 +62,9 @@ func (w *WPQ) Accept(now sim.Time, blk mem.Addr) (admit, mediaDone sim.Time) {
 		// Coalesce with the pending entry: durable immediately, no new
 		// media write.
 		w.Coalesced++
+		if w.OnAdmit != nil {
+			w.OnAdmit(now, blk)
+		}
 		return now, done
 	}
 	admit = now
@@ -77,6 +86,9 @@ func (w *WPQ) Accept(now sim.Time, blk mem.Addr) (admit, mediaDone sim.Time) {
 	w.Accepts++
 	if len(w.blocks) > 8192 {
 		w.pruneBlocks(now)
+	}
+	if w.OnAdmit != nil {
+		w.OnAdmit(admit, blk)
 	}
 	return admit, mediaDone
 }
