@@ -27,6 +27,12 @@ fi
 echo "== go vet ./... =="
 go vet ./...
 
+echo "== pmemspec-lint ./... =="
+# The repo's own persistency-discipline and determinism analyzers
+# (internal/analysis); any diagnostic fails the build. Fast enough to
+# run in QUICK mode too.
+go run ./cmd/pmemspec-lint ./...
+
 echo "== go build ./... =="
 go build ./...
 

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"pmemspec/internal/machine"
@@ -54,6 +55,12 @@ func diffOne(seed int64, threads, ops int) error {
 			}
 		}
 	}
+	// Sorted slot order so the first reported divergence is stable.
+	addrs := make([]mem.Addr, 0, len(written))
+	for a := range written {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	var ref []byte
 	var refDesign machine.Design
 	for _, d := range machine.Designs {
@@ -73,8 +80,8 @@ func diffOne(seed int64, threads, ops int) error {
 				return fmt.Errorf("seed %d: architectural state differs between %s and %s", seed, refDesign, d)
 			}
 		}
-		for a, vals := range written {
-			if got := m.Space().Arch.ReadU64(a); !vals[got] {
+		for _, a := range addrs {
+			if got := m.Space().Arch.ReadU64(a); !written[a][got] {
 				return fmt.Errorf("seed %d on %s: slot %#x holds %#x, never stored", seed, d, uint64(a), got)
 			}
 		}

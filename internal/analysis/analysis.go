@@ -1,0 +1,218 @@
+// Package analysis is the repository's static persistency-discipline
+// and determinism checker: a stdlib-only (go/parser, go/ast, go/types)
+// analysis engine with a shared source loader, a cross-package fact
+// store, and vet-style diagnostics, driven by cmd/pmemspec-lint.
+//
+// The shipped analyzers enforce the invariants the PMEM-Spec paper's
+// compiler pass and the experiment harness's determinism contract
+// otherwise leave to convention:
+//
+//	specpair        lock/spec-assign pairing on all control-flow paths
+//	                (§6: spec-assign/spec-revoke around critical
+//	                sections, revoke ordered before the unlock)
+//	barrierpair     every raw PM store is flushed and ordered before
+//	                commit, lock release or return (Figure 2), and no
+//	                fence is issued twice in a row
+//	simdeterminism  no wall-clock reads, global RNG, or order-sensitive
+//	                map iteration in simulator/harness/report code (the
+//	                byte-identical-at-any--parallel-width contract)
+//	poolcapture     worker-pool job closures neither capture loop
+//	                variables nor write shared state
+//
+// A diagnostic is suppressed by a `//lint:allow <analyzer>` comment on
+// the same or the preceding line; use it for intentional exceptions
+// such as wall-clock timing in pmemspec-bench.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, in vet coordinates.
+type Diagnostic struct {
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Analyzers lists the shipped checks in report order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{SpecPair, BarrierPair, SimDeterminism, PoolCapture}
+}
+
+// FactStore carries analyzer-computed facts about objects across
+// packages. Packages are analyzed in dependency order, so a fact
+// exported while analyzing a callee's package is visible to callers.
+type FactStore struct {
+	facts map[types.Object]map[string]bool
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: make(map[types.Object]map[string]bool)}
+}
+
+// Export records fact for obj.
+func (s *FactStore) Export(obj types.Object, fact string) {
+	if obj == nil {
+		return
+	}
+	m := s.facts[obj]
+	if m == nil {
+		m = make(map[string]bool)
+		s.facts[obj] = m
+	}
+	m[fact] = true
+}
+
+// Has reports whether fact was exported for obj.
+func (s *FactStore) Has(obj types.Object, fact string) bool {
+	return obj != nil && s.facts[obj][fact]
+}
+
+// Pass is one (analyzer, package) execution.
+type Pass struct {
+	Fset  *token.FileSet
+	Pkg   *Package
+	Facts *FactStore
+
+	analyzer *Analyzer
+	allow    map[string]map[int][]string // file -> line -> allowed analyzers
+	sink     *[]Diagnostic
+}
+
+// SuppressedAt reports whether a lint:allow directive for this
+// analyzer sits on pos's line or the line above it. Analyzers may
+// consult it on a func declaration to opt a whole function out —
+// including its exported facts — when the function participates in a
+// protocol the per-function view cannot see (e.g. redo logging's
+// deferred ordering).
+func (p *Pass) SuppressedAt(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, name := range p.allow[position.Filename][line] {
+			if name == p.analyzer.Name || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Reportf records a diagnostic at pos unless a lint:allow directive on
+// the same or preceding line suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.SuppressedAt(pos) {
+		return
+	}
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowRE matches the escape hatch: //lint:allow name[,name...] [reason].
+var allowRE = regexp.MustCompile(`^//\s*lint:allow\s+([a-z, ]+)`)
+
+// allowDirectives indexes every lint:allow comment of a package by file
+// and line.
+func allowDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					out[pos.Filename] = byLine
+				}
+				for _, name := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ',' || r == ' ' }) {
+					byLine[pos.Line] = append(byLine[pos.Line], name)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers runs the analyzers over the packages (already in
+// dependency order, as Loader.Load returns them) and returns the
+// surviving diagnostics sorted by position.
+func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts := NewFactStore()
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if !pkg.InModule {
+			continue
+		}
+		allow := allowDirectives(fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:     fset,
+				Pkg:      pkg,
+				Facts:    facts,
+				analyzer: a,
+				allow:    allow,
+				sink:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// pathHasAny reports whether the package path contains one of the given
+// segments — the analyzers' scoping primitive.
+func pathHasAny(pkgPath string, segments ...string) bool {
+	for _, s := range segments {
+		if strings.Contains(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}

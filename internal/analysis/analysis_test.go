@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the test's working directory to go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// want is one expected diagnostic: a substring that must appear in a
+// diagnostic reported at file:line.
+type want struct {
+	file   string
+	line   int
+	substr string
+}
+
+// wantRE extracts the quoted substrings of a `// want "..." "..."`
+// comment.
+var wantRE = regexp.MustCompile(`// want ((?:"[^"]*"\s*)+)`)
+
+// parseWants scans the fixture sources for // want comments.
+func parseWants(t *testing.T, dir string) []want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range regexp.MustCompile(`"[^"]*"`).FindAllString(m[1], -1) {
+				wants = append(wants, want{file: e.Name(), line: i + 1, substr: strings.Trim(q, `"`)})
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden checks one analyzer against its fixture package: every
+// diagnostic must match a // want comment on its line and vice versa.
+func runGolden(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	root := repoRoot(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := "internal/analysis/testdata/src/" + fixture
+	pkgs, err := l.Load("./" + rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(l.Fset, pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := parseWants(t, filepath.Join(root, filepath.FromSlash(rel)))
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want comments", fixture)
+	}
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == filepath.Base(d.File) && w.line == d.Line && strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: missing diagnostic containing %q", w.file, w.line, w.substr)
+		}
+	}
+}
+
+func TestSpecPairGolden(t *testing.T)       { runGolden(t, SpecPair, "specpairtest") }
+func TestBarrierPairGolden(t *testing.T)    { runGolden(t, BarrierPair, "barrierpairtest") }
+func TestSimDeterminismGolden(t *testing.T) { runGolden(t, SimDeterminism, "simdeterminismtest") }
+func TestPoolCaptureGolden(t *testing.T)    { runGolden(t, PoolCapture, "poolcapturetest") }
+
+// TestRepoLintsClean is the repository's own gate: the full module must
+// produce zero diagnostics under all analyzers.
+func TestRepoLintsClean(t *testing.T) {
+	root := repoRoot(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(l.Fset, pkgs, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repository should lint clean, got: %s", d)
+	}
+}
+
+// TestLoaderResolvesModuleAndStdlib covers the loader's two resolution
+// domains and the dependency ordering contract.
+func TestLoaderResolvesModuleAndStdlib(t *testing.T) {
+	l, err := NewLoader(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./internal/workload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || !pkgs[0].InModule {
+		t.Fatalf("expected one module package, got %+v", pkgs)
+	}
+	if pkgs[0].Types == nil || pkgs[0].Types.Scope().Lookup("Workload") == nil {
+		t.Fatal("workload package did not type-check (Workload not found in scope)")
+	}
+}
+
+// TestAllowDirectiveParsing covers the escape-hatch comment forms.
+func TestAllowDirectiveParsing(t *testing.T) {
+	if !allowRE.MatchString("//lint:allow specpair") {
+		t.Error("bare directive not recognized")
+	}
+	if !allowRE.MatchString("// lint:allow specpair, barrierpair some reason") {
+		t.Error("spaced multi-name directive not recognized")
+	}
+	if allowRE.MatchString("// lint:disallow specpair") {
+		t.Error("non-directive comment recognized")
+	}
+}

@@ -1,0 +1,331 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// BarrierPair enforces the Figure 2 fence discipline on code that
+// writes PM through the raw machine.Thread store APIs (Store, StoreU64,
+// StorePrivate, StorePrivateU64): every such store must be pushed
+// toward the persistence domain (persist.Model.Flush or Thread.CLWB)
+// and then ordered by a barrier (OrderBarrier/NextUpdate/
+// DurableBarrier, or the raw SFence/DFence/OFence/SpecBarrier/
+// PersistBarrier/JoinStrand) before the function returns or releases a
+// lock — the commit points at which other threads or a crash can
+// observe the data. Stores made through fatomic.FASE are self-fenced by
+// the runtime and are exempt. Two barriers with nothing between them
+// are flagged as a double fence (the paper's cost model: every stall
+// barrier consumes store-queue entries, so redundant ones are pure
+// overhead).
+//
+// Helper functions summarize across calls via facts: a function that
+// only flushes exports "pmflush", one that ends fenced with no pending
+// store exports "pmfence", and one that returns with an unfenced raw
+// store exports "pmstore" — its callers inherit the obligation.
+var BarrierPair = &Analyzer{
+	Name: "barrierpair",
+	Doc:  "check raw PM stores are flushed and ordered before commit, lock release, or return",
+	Run:  runBarrierPair,
+}
+
+// Fact names exported by barrierpair.
+const (
+	factPMStore = "pmstore" // returns with an unfenced raw PM store
+	factPMFlush = "pmflush" // flushes PM on behalf of the caller
+	factPMFence = "pmfence" // issues an ordering/durability barrier and ends clean
+)
+
+func runBarrierPair(pass *Pass) error {
+	if !pathHasAny(pass.Pkg.Path, "/internal/workload", "/internal/fatomic", "/analysis/testdata") {
+		return nil
+	}
+	decls := funcDecls(pass.Pkg)
+	// Pass 1: function summaries as facts, so intra-package helpers
+	// (declared in any file order) resolve before diagnosis.
+	for _, fd := range decls {
+		if pass.SuppressedAt(fd.decl.Pos()) {
+			continue // opted out: export no facts either
+		}
+		w := &bpWalker{pass: pass, info: pass.Pkg.Info, summarize: true}
+		st := w.block(fd.decl.Body.List, bpState{})
+		if fd.obj == nil {
+			continue
+		}
+		if len(st.unflushed)+len(st.unordered) > 0 {
+			pass.Facts.Export(fd.obj, factPMStore)
+			continue
+		}
+		if w.sawFlush {
+			pass.Facts.Export(fd.obj, factPMFlush)
+		}
+		if w.sawFence {
+			pass.Facts.Export(fd.obj, factPMFence)
+		}
+	}
+	// Pass 2: diagnose.
+	for _, fd := range decls {
+		if pass.SuppressedAt(fd.decl.Pos()) {
+			continue
+		}
+		w := &bpWalker{pass: pass, info: pass.Pkg.Info}
+		end := w.block(fd.decl.Body.List, bpState{})
+		w.atReturn(end, fd.decl.Body.Rbrace)
+	}
+	return nil
+}
+
+// bpState tracks raw stores along the walk. Position sets are kept
+// small and sorted for deterministic reports.
+type bpState struct {
+	unflushed []token.Pos // stored, not yet flushed
+	unordered []token.Pos // flushed, not yet ordered by a barrier
+	lastFence token.Pos   // set while a barrier is the latest event
+}
+
+func posAdd(set []token.Pos, p token.Pos) []token.Pos {
+	for _, q := range set {
+		if q == p {
+			return set
+		}
+	}
+	set = append(append([]token.Pos{}, set...), p)
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	return set
+}
+
+func posUnion(a, b []token.Pos) []token.Pos {
+	out := append([]token.Pos{}, a...)
+	for _, p := range b {
+		out = posAdd(out, p)
+	}
+	return out
+}
+
+// bpWalker is the per-function linear walker with branch unions.
+type bpWalker struct {
+	pass      *Pass
+	info      *types.Info
+	summarize bool // pass 1: no diagnostics
+	sawFlush  bool
+	sawFence  bool
+	reported  map[token.Pos]bool
+}
+
+func (w *bpWalker) reportf(pos token.Pos, format string, args ...any) {
+	if w.summarize {
+		return
+	}
+	if w.reported == nil {
+		w.reported = map[token.Pos]bool{}
+	}
+	if w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	w.pass.Reportf(pos, format, args...)
+}
+
+// atReturn flags stores that escape the function unfenced.
+func (w *bpWalker) atReturn(st bpState, pos token.Pos) {
+	for _, p := range st.unflushed {
+		w.reportf(p, "raw PM store is never flushed toward the persistence domain (model Flush + barrier) before return")
+	}
+	for _, p := range st.unordered {
+		w.reportf(p, "flushed PM store is not ordered by a barrier before return")
+	}
+}
+
+// atCommit flags stores pending at a lock release.
+func (w *bpWalker) atCommit(st bpState, what string, pos token.Pos) bpState {
+	for range st.unflushed {
+		w.reportf(pos, "raw PM store is not flushed and ordered before %s: a crash after the release can tear it", what)
+		break
+	}
+	if len(st.unflushed) == 0 {
+		for range st.unordered {
+			w.reportf(pos, "flushed PM store is not ordered by a barrier before %s", what)
+			break
+		}
+	}
+	st.unflushed, st.unordered = nil, nil
+	return st
+}
+
+func (w *bpWalker) block(list []ast.Stmt, st bpState) bpState {
+	for _, s := range list {
+		st = w.stmt(s, st)
+	}
+	return st
+}
+
+func (w *bpWalker) stmt(s ast.Stmt, st bpState) bpState {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return w.expr(s.X, st)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			st = w.expr(r, st)
+		}
+		return st
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st = w.expr(v, st)
+					}
+				}
+			}
+		}
+		return st
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			st = w.expr(r, st)
+		}
+		w.atReturn(st, s.Return)
+		return bpState{}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		st = w.expr(s.Cond, st)
+		thenSt := w.block(s.Body.List, st)
+		elseSt := st
+		if s.Else != nil {
+			elseSt = w.stmt(s.Else, st)
+		}
+		return bpState{unflushed: posUnion(thenSt.unflushed, elseSt.unflushed),
+			unordered: posUnion(thenSt.unordered, elseSt.unordered)}
+	case *ast.BlockStmt:
+		return w.block(s.List, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			st = w.expr(s.Cond, st)
+		}
+		body := w.block(s.Body.List, st)
+		if s.Post != nil {
+			body = w.stmt(s.Post, body)
+		}
+		return bpState{unflushed: posUnion(st.unflushed, body.unflushed),
+			unordered: posUnion(st.unordered, body.unordered)}
+	case *ast.RangeStmt:
+		st = w.expr(s.X, st)
+		body := w.block(s.Body.List, st)
+		return bpState{unflushed: posUnion(st.unflushed, body.unflushed),
+			unordered: posUnion(st.unordered, body.unordered)}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			st = w.expr(s.Tag, st)
+		}
+		out := st
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				caseSt := w.block(cc.Body, st)
+				out = bpState{unflushed: posUnion(out.unflushed, caseSt.unflushed),
+					unordered: posUnion(out.unordered, caseSt.unordered)}
+			}
+		}
+		return out
+	case *ast.DeferStmt:
+		return w.expr(s.Call, st)
+	case *ast.GoStmt:
+		return w.expr(s.Call, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	default:
+		return st
+	}
+}
+
+// expr applies classified calls inside e in evaluation order.
+func (w *bpWalker) expr(e ast.Expr, st bpState) bpState {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := w.block(n.Body.List, bpState{})
+			w.atReturn(inner, n.Body.Rbrace)
+			return false
+		case *ast.CallExpr:
+			st = w.call(n, st)
+		}
+		return true
+	})
+	return st
+}
+
+func (w *bpWalker) call(call *ast.CallExpr, st bpState) bpState {
+	fn := calleeOf(w.info, call)
+	if fn == nil {
+		st.lastFence = token.NoPos
+		return st
+	}
+	pos := call.Pos()
+	switch {
+	// Raw PM stores.
+	case isMethod(fn, "internal/machine", "Thread", "Store"),
+		isMethod(fn, "internal/machine", "Thread", "StoreU64"),
+		isMethod(fn, "internal/machine", "Thread", "StorePrivate"),
+		isMethod(fn, "internal/machine", "Thread", "StorePrivateU64"),
+		w.pass.Facts.Has(fn, factPMStore):
+		st.unflushed = posAdd(st.unflushed, pos)
+		st.lastFence = token.NoPos
+
+	// Flushes.
+	case isMethod(fn, "internal/persist", "Model", "Flush"),
+		isMethod(fn, "internal/machine", "Thread", "CLWB"),
+		w.pass.Facts.Has(fn, factPMFlush):
+		w.sawFlush = true
+		st.unordered = posUnion(st.unordered, st.unflushed)
+		st.unflushed = nil
+		st.lastFence = token.NoPos
+
+	// Ordering / durability barriers.
+	case isMethod(fn, "internal/persist", "Model", "OrderBarrier"),
+		isMethod(fn, "internal/persist", "Model", "NextUpdate"),
+		isMethod(fn, "internal/persist", "Model", "DurableBarrier"),
+		isMethod(fn, "internal/machine", "Thread", "SFence"),
+		isMethod(fn, "internal/machine", "Thread", "DFence"),
+		isMethod(fn, "internal/machine", "Thread", "OFence"),
+		isMethod(fn, "internal/machine", "Thread", "SpecBarrier"),
+		isMethod(fn, "internal/machine", "Thread", "PersistBarrier"),
+		isMethod(fn, "internal/machine", "Thread", "JoinStrand"),
+		w.pass.Facts.Has(fn, factPMFence):
+		w.sawFence = true
+		if st.lastFence.IsValid() {
+			w.reportf(pos, "double fence: nothing was stored or flushed since the previous barrier (redundant stall)")
+		}
+		for range st.unflushed {
+			w.reportf(pos, "PM store is ordered by a barrier but never flushed (the model's Flush must precede the barrier)")
+			break
+		}
+		st.unflushed, st.unordered = nil, nil
+		st.lastFence = pos
+
+	// Lock transfer points: release must not leak unfenced stores.
+	case isMethod(fn, "internal/machine", "Thread", "Unlock"),
+		isMethod(fn, "internal/sim", "Mutex", "Unlock"):
+		st = w.atCommit(st, "lock release", pos)
+		st.lastFence = token.NoPos
+
+	case isMethod(fn, "internal/machine", "Thread", "Lock"),
+		isMethod(fn, "internal/machine", "Thread", "TryLock"),
+		isMethod(fn, "internal/sim", "Mutex", "Lock"),
+		isMethod(fn, "internal/sim", "Mutex", "TryLock"):
+		st.lastFence = token.NoPos
+
+	default:
+		// Unknown calls may store or load PM; be conservative about
+		// double-fence adjacency only.
+		st.lastFence = token.NoPos
+	}
+	return st
+}

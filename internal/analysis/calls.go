@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeOf resolves a call expression to the function or method object
+// it invokes, or nil for indirect calls through function values and
+// conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified call (pkg.Func).
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// fnPkgPath returns the package path of fn ("" for builtins).
+func fnPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// recvTypeName returns the name of fn's receiver's named type ("" for
+// plain functions). Pointer receivers are unwrapped; interface methods
+// report the interface's name.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// isMethod reports whether fn is method recvName.name in a package whose
+// path ends in pkgSuffix.
+func isMethod(fn *types.Func, pkgSuffix, recvName, name string) bool {
+	return fn != nil && fn.Name() == name &&
+		strings.HasSuffix(fnPkgPath(fn), pkgSuffix) &&
+		recvTypeName(fn) == recvName
+}
+
+// isFunc reports whether fn is the package-level function pkgPath.name.
+func isFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Name() == name && recvTypeName(fn) == "" && fnPkgPath(fn) == pkgPath
+}
+
+// receiverExprString renders the receiver expression of a method call
+// ("w.lock", "lk") for use in diagnostics and lock-identity tokens.
+func receiverExprString(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "?"
+	}
+	return exprString(sel.X)
+}
+
+// exprString renders simple expressions; compound expressions collapse
+// to a positional placeholder (identity by source text is only used for
+// matching lock tokens within one function).
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(…)"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return "?"
+	}
+}
+
+// funcDecls yields every function declaration (with body) in the
+// package, paired with its types.Func object.
+func funcDecls(pkg *Package) []funcDecl {
+	var out []funcDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			out = append(out, funcDecl{decl: fd, obj: obj})
+		}
+	}
+	return out
+}
+
+type funcDecl struct {
+	decl *ast.FuncDecl
+	obj  *types.Func
+}

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package: the unit analyzers operate on.
+type Package struct {
+	// Path is the import path ("pmemspec/internal/sim").
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// InModule reports whether the package belongs to the analyzed
+	// module. Analyzers run only on module packages; dependencies are
+	// loaded signatures-only for type information.
+	InModule bool
+	// Files are the parsed sources (comments retained, tests excluded).
+	Files []*ast.File
+	// Types and Info carry the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages from source with no tooling
+// beyond the standard library: module packages resolve against the
+// module root, everything else against GOROOT/src. Dependency packages
+// are checked with IgnoreFuncBodies (only their API surface matters),
+// so loading the repository costs a couple of seconds, not a stdlib
+// build.
+type Loader struct {
+	Fset *token.FileSet
+
+	ctx        build.Context
+	modulePath string
+	moduleDir  string
+	pkgs       map[string]*Package // by import path; nil while in flight
+	order      []*Package          // dependency (completion) order
+}
+
+// NewLoader returns a loader for the module rooted at moduleDir. The
+// module path is read from go.mod.
+func NewLoader(moduleDir string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePathOf(abs)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	ctx.CgoEnabled = false // pure-Go file selection everywhere
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		ctx:        ctx,
+		modulePath: modPath,
+		moduleDir:  abs,
+		pkgs:       make(map[string]*Package),
+	}, nil
+}
+
+// ModulePath returns the module's import-path prefix.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// modulePathOf extracts the module path from dir/go.mod.
+func modulePathOf(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", dir)
+}
+
+// Load resolves the given patterns ("./...", "./internal/sim", import
+// paths) and returns the matched module packages in dependency order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var paths []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		expanded, err := l.expand(pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range expanded {
+			add(p)
+		}
+	}
+	var out []*Package
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	// Re-order the requested packages by dependency (completion) order,
+	// so facts exported by a callee are present before its callers run.
+	rank := map[*Package]int{}
+	for i, p := range l.order {
+		rank[p] = i
+	}
+	sort.SliceStable(out, func(i, j int) bool { return rank[out[i]] < rank[out[j]] })
+	return out, nil
+}
+
+// expand turns one pattern into import paths.
+func (l *Loader) expand(pat string) ([]string, error) {
+	switch {
+	case pat == "./...":
+		return l.walkModule(l.moduleDir)
+	case strings.HasSuffix(pat, "/..."):
+		root := strings.TrimSuffix(pat, "/...")
+		if strings.HasPrefix(root, "./") || root == "." {
+			return l.walkModule(filepath.Join(l.moduleDir, root))
+		}
+		if root == l.modulePath || strings.HasPrefix(root, l.modulePath+"/") {
+			return l.walkModule(filepath.Join(l.moduleDir, strings.TrimPrefix(strings.TrimPrefix(root, l.modulePath), "/")))
+		}
+		return nil, fmt.Errorf("analysis: pattern %q is outside module %s", pat, l.modulePath)
+	case strings.HasPrefix(pat, "./") || pat == ".":
+		rel, err := filepath.Rel(l.moduleDir, filepath.Join(l.moduleDir, pat))
+		if err != nil {
+			return nil, err
+		}
+		return []string{l.dirImportPath(rel)}, nil
+	default:
+		return []string{pat}, nil
+	}
+}
+
+// dirImportPath maps a module-relative directory to its import path.
+func (l *Loader) dirImportPath(rel string) string {
+	rel = filepath.ToSlash(rel)
+	if rel == "." || rel == "" {
+		return l.modulePath
+	}
+	return l.modulePath + "/" + rel
+}
+
+// walkModule lists the import paths of every buildable package under
+// root, skipping testdata, hidden and underscore-prefixed directories —
+// the same exclusions the go tool applies to "./...".
+func (l *Loader) walkModule(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if p, err := l.ctx.ImportDir(path, 0); err == nil && len(p.GoFiles) > 0 {
+			rel, err := filepath.Rel(l.moduleDir, path)
+			if err != nil {
+				return err
+			}
+			out = append(out, l.dirImportPath(rel))
+		}
+		return nil
+	})
+	return out, err
+}
+
+// dirFor resolves an import path to the directory holding its sources.
+func (l *Loader) dirFor(path string) (dir string, inModule bool, err error) {
+	if path == l.modulePath {
+		return l.moduleDir, true, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleDir, filepath.FromSlash(rest)), true, nil
+	}
+	dir = filepath.Join(l.ctx.GOROOT, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return "", false, fmt.Errorf("analysis: cannot resolve import %q", path)
+	}
+	return dir, false, nil
+}
+
+// load parses and type-checks one package (and, recursively, its
+// imports). Module packages are fully checked; dependencies are checked
+// signatures-only.
+func (l *Loader) load(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{Path: "unsafe", Types: types.Unsafe}, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	l.pkgs[path] = nil // in flight
+	dir, inModule, err := l.dirFor(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	cfg := types.Config{
+		Importer:         importerFunc(func(p, _ string) (*types.Package, error) { return l.importTypes(p) }),
+		IgnoreFuncBodies: !inModule,
+		Sizes:            types.SizesFor("gc", l.ctx.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, _ := cfg.Check(path, l.Fset, files, info)
+	if firstErr != nil && inModule {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, firstErr)
+	}
+	if tpkg == nil {
+		return nil, fmt.Errorf("analysis: type-checking %s failed: %v", path, firstErr)
+	}
+	pkg := &Package{Path: path, Dir: dir, InModule: inModule, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	l.order = append(l.order, pkg)
+	return pkg, nil
+}
+
+// importTypes is the importer hook: load the package, return its types.
+func (l *Loader) importTypes(path string) (*types.Package, error) {
+	pkg, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// importerFunc adapts a function to both importer interfaces.
+type importerFunc func(path, dir string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path, "") }
+func (f importerFunc) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
+	return f(path, dir)
+}

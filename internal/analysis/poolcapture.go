@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolCapture checks the closures handed to the harness worker pool.
+// RunAll executes Job.Run bodies concurrently, so a Run closure must be
+// self-contained: it may read captured configuration, but it must not
+//
+//   - capture a loop-header variable of an enclosing for/range
+//     statement (the repo convention is an explicit body-local copy,
+//     `spec := specs[i]`, so the binding each job sees is obvious at
+//     the construction site), nor
+//
+//   - write state shared with other jobs: any assignment through a
+//     captured variable that is not element-indexed (results[i] = …
+//     writes a private slot; count++ on a captured counter races).
+var PoolCapture = &Analyzer{
+	Name: "poolcapture",
+	Doc:  "worker-pool job closures must not capture loop variables or write shared state",
+	Run:  runPoolCapture,
+}
+
+func runPoolCapture(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, fd := range funcDecls(pass.Pkg) {
+		body := fd.decl.Body
+		var lits []*ast.FuncLit
+		ast.Inspect(body, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || !pcIsJobLit(info, cl) {
+				return true
+			}
+			for _, el := range cl.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Run" {
+					if fl, ok := kv.Value.(*ast.FuncLit); ok {
+						lits = append(lits, fl)
+					}
+				}
+			}
+			return true
+		})
+		for _, fl := range lits {
+			pcCheckLit(pass, info, fl, pcEnclosingLoopVars(info, body, fl))
+		}
+	}
+	return nil
+}
+
+// pcIsJobLit reports whether cl constructs a harness.Job (any
+// instantiation).
+func pcIsJobLit(info *types.Info, cl *ast.CompositeLit) bool {
+	tv, ok := info.Types[cl]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Job" && obj.Pkg() != nil &&
+		pathHasAny(obj.Pkg().Path(), "/internal/harness", "/analysis/testdata")
+}
+
+// pcEnclosingLoopVars collects the header-declared variables of every
+// for/range statement enclosing fl.
+func pcEnclosingLoopVars(info *types.Info, body *ast.BlockStmt, fl *ast.FuncLit) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	addDef := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n.Pos() <= fl.Pos() && fl.End() <= n.End() && n.Tok == token.DEFINE {
+				if n.Key != nil {
+					addDef(n.Key)
+				}
+				if n.Value != nil {
+					addDef(n.Value)
+				}
+			}
+		case *ast.ForStmt:
+			if n.Pos() <= fl.Pos() && fl.End() <= n.End() {
+				if as, ok := n.Init.(*ast.AssignStmt); ok && as.Tok == token.DEFINE {
+					for _, lhs := range as.Lhs {
+						addDef(lhs)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// pcCheckLit walks one Run closure body.
+func pcCheckLit(pass *Pass, info *types.Info, fl *ast.FuncLit, loopVars map[types.Object]bool) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && loopVars[obj] {
+				pass.Reportf(n.Pos(), "job closure captures loop variable %s; copy it to a body-local (`%s := %s`) before constructing the job", n.Name, n.Name, n.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				pcCheckWrite(pass, info, fl, lhs)
+			}
+		case *ast.IncDecStmt:
+			pcCheckWrite(pass, info, fl, n.X)
+		}
+		return true
+	})
+}
+
+// pcCheckWrite flags a write whose target is a variable captured from
+// outside the closure. Writes through an index expression address a
+// per-job slot and pass.
+func pcCheckWrite(pass *Pass, info *types.Info, fl *ast.FuncLit, lhs ast.Expr) {
+	e := ast.Unparen(lhs)
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			return // element-keyed slot
+		case *ast.SelectorExpr:
+			e = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+		case *ast.Ident:
+			if x.Name == "_" {
+				return
+			}
+			obj, ok := info.Uses[x].(*types.Var)
+			if !ok {
+				return
+			}
+			if obj.Pos() < fl.Pos() || obj.Pos() >= fl.End() {
+				pass.Reportf(lhs.Pos(), "job closure writes captured variable %s, shared with other pool jobs; return the value instead or write an index-keyed slot", x.Name)
+			}
+			return
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,565 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpecPair enforces the paper's compiler rule (§6) on workload and
+// runtime code: every critical-section entry is paired with its exit on
+// all control-flow paths, and the speculation-ID revoke happens before
+// the lock release. Concretely, per function it checks a stack
+// discipline over:
+//
+//	machine.Thread.Lock/Unlock/TryLock   (lock + spec-assign as a unit)
+//	sim.Mutex.Lock/Unlock/TryLock        (raw lock)
+//	machine.Thread.SpecAssign/SpecRevoke (raw speculation register)
+//
+// A raw spec-assign must be revoked before the enclosing raw unlock —
+// mixing machine-level lock entry with sim-level release (which would
+// skip the revoke) is likewise a violation. TryLock is recognized when
+// its result directly guards the critical section (`if m.TryLock(t)`,
+// `if ok := m.TryLock(t); ok`, and the negated early-exit forms);
+// discarding the result is itself reported, since a won lock would then
+// never be released.
+var SpecPair = &Analyzer{
+	Name: "specpair",
+	Doc:  "check Lock/Unlock and SpecAssign/SpecRevoke balance on all control-flow paths",
+	Run:  runSpecPair,
+}
+
+func runSpecPair(pass *Pass) error {
+	if !pathHasAny(pass.Pkg.Path, "/internal/workload", "/internal/fatomic", "/analysis/testdata") {
+		return nil
+	}
+	for _, fd := range funcDecls(pass.Pkg) {
+		w := &spWalker{pass: pass, info: pass.Pkg.Info, reported: map[string]bool{}}
+		w.function(fd.decl.Body)
+	}
+	return nil
+}
+
+// spTok is one entry of the critical-section stack.
+type spTok struct {
+	kind string // "cs" (machine lock+spec unit), "lock" (raw sim lock), "spec"
+	name string // lock expression text, "" for spec
+	pos  token.Pos
+}
+
+func (t spTok) describe() string {
+	switch t.kind {
+	case "cs":
+		return fmt.Sprintf("critical section on %s (machine Lock)", t.name)
+	case "lock":
+		return fmt.Sprintf("sim lock %s", t.name)
+	default:
+		return "spec-assign"
+	}
+}
+
+// spState is one control-flow path's stack.
+type spState struct {
+	stack []spTok
+}
+
+func (s spState) push(t spTok) spState {
+	ns := spState{stack: make([]spTok, len(s.stack)+1)}
+	copy(ns.stack, s.stack)
+	ns.stack[len(s.stack)] = t
+	return ns
+}
+
+func (s spState) key() string {
+	k := ""
+	for _, t := range s.stack {
+		k += t.kind + ":" + t.name + ";"
+	}
+	return k
+}
+
+const (
+	spMaxStates = 64
+	spMaxDepth  = 16
+)
+
+// spWalker runs the per-function path walk.
+type spWalker struct {
+	pass     *Pass
+	info     *types.Info
+	reported map[string]bool
+	deferred []spEvent // unconditional deferred exits, applied at returns
+	overflow bool
+	loops    []*spLoop
+}
+
+type spLoop struct {
+	entry  []spState
+	breaks []spState
+}
+
+// spEvent classifies one call's effect.
+type spEvent struct {
+	op   string // "push", "pop", "trylock", "ignored-trylock"
+	tok  spTok
+	want string // for pop: expected token kind
+	pos  token.Pos
+}
+
+func (w *spWalker) reportf(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if w.reported[key] {
+		return
+	}
+	w.reported[key] = true
+	w.pass.Reportf(pos, "%s", msg)
+}
+
+// function walks one function or closure body with an empty stack.
+func (w *spWalker) function(body *ast.BlockStmt) {
+	saveDefer, saveOverflow, saveLoops := w.deferred, w.overflow, w.loops
+	w.deferred, w.overflow, w.loops = nil, false, nil
+	out := w.stmts(body.List, []spState{{}})
+	for _, s := range out {
+		w.checkReturn(s, body.Rbrace)
+	}
+	w.deferred, w.overflow, w.loops = saveDefer, saveOverflow, saveLoops
+}
+
+// checkReturn applies deferred exits and reports tokens still open.
+func (w *spWalker) checkReturn(s spState, pos token.Pos) {
+	stack := s.stack
+	for i := len(w.deferred) - 1; i >= 0; i-- {
+		stack = w.applyPop(stack, w.deferred[i])
+	}
+	for _, t := range stack {
+		switch t.kind {
+		case "spec":
+			w.reportf(t.pos, "SpecAssign is not revoked on every path (function can return with the speculation ID still assigned)")
+		default:
+			w.reportf(t.pos, "%s is not released on every path", t.describe())
+		}
+	}
+	_ = pos
+}
+
+// dedup merges equivalent states and enforces the explosion cap.
+func (w *spWalker) dedup(states []spState) []spState {
+	seen := map[string]bool{}
+	out := states[:0]
+	for _, s := range states {
+		k := s.key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, s)
+	}
+	if len(out) > spMaxStates {
+		w.overflow = true
+		out = out[:spMaxStates]
+	}
+	return out
+}
+
+// stmts walks a statement list, returning the fall-through states.
+func (w *spWalker) stmts(list []ast.Stmt, in []spState) []spState {
+	states := in
+	for _, st := range list {
+		if w.overflow {
+			return states
+		}
+		states = w.stmt(st, states)
+	}
+	return states
+}
+
+func (w *spWalker) stmt(st ast.Stmt, in []spState) []spState {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		return w.exprs(st.X, in, true)
+	case *ast.AssignStmt:
+		states := in
+		for _, rhs := range st.Rhs {
+			states = w.exprs(rhs, states, false)
+		}
+		return states
+	case *ast.DeclStmt:
+		states := in
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						states = w.exprs(v, states, false)
+					}
+				}
+			}
+		}
+		return states
+	case *ast.ReturnStmt:
+		states := in
+		for _, r := range st.Results {
+			states = w.exprs(r, states, false)
+		}
+		for _, s := range states {
+			w.checkReturn(s, st.Return)
+		}
+		return nil
+	case *ast.IfStmt:
+		return w.ifStmt(st, in)
+	case *ast.BlockStmt:
+		return w.stmts(st.List, in)
+	case *ast.ForStmt:
+		return w.loop(st.Init, st.Cond, st.Post, st.Body, in, st.Cond == nil)
+	case *ast.RangeStmt:
+		states := w.exprs(st.X, in, false)
+		return w.loop(nil, nil, nil, st.Body, states, false)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.branches(st, in)
+	case *ast.DeferStmt:
+		if ev, ok := w.classify(st.Call); ok && ev.op == "pop" {
+			w.deferred = append(w.deferred, ev)
+			return in
+		}
+		return w.exprs(st.Call, in, false)
+	case *ast.GoStmt:
+		w.scanLits(st.Call)
+		return in
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, in)
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			if n := len(w.loops); n > 0 && st.Label == nil {
+				w.loops[n-1].breaks = append(w.loops[n-1].breaks, in...)
+			}
+			return nil
+		case token.CONTINUE:
+			if n := len(w.loops); n > 0 && st.Label == nil {
+				w.loopIterEnd(w.loops[n-1], in, st.Pos())
+			}
+			return nil
+		}
+		return in
+	case *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+		return in
+	default:
+		return in
+	}
+}
+
+// loop walks a for/range body: the body must leave the stack exactly as
+// it found it (each iteration is balanced); break states join the exit.
+func (w *spWalker) loop(init ast.Stmt, cond ast.Expr, post ast.Stmt, body *ast.BlockStmt, in []spState, infinite bool) []spState {
+	states := in
+	if init != nil {
+		states = w.stmt(init, states)
+	}
+	if cond != nil {
+		states = w.exprs(cond, states, false)
+	}
+	lp := &spLoop{entry: states}
+	w.loops = append(w.loops, lp)
+	bodyOut := w.stmts(body.List, states)
+	if post != nil {
+		bodyOut = w.stmt(post, bodyOut)
+	}
+	w.loopIterEnd(lp, bodyOut, body.Rbrace)
+	w.loops = w.loops[:len(w.loops)-1]
+	var out []spState
+	if !infinite {
+		out = append(out, states...)
+	}
+	out = append(out, lp.breaks...)
+	if len(out) == 0 {
+		// Infinite loop with no break: nothing falls through.
+		return nil
+	}
+	return w.dedup(out)
+}
+
+// loopIterEnd checks that a state reaching the end of a loop iteration
+// matches one of the loop-entry states.
+func (w *spWalker) loopIterEnd(lp *spLoop, states []spState, pos token.Pos) {
+	entry := map[string]bool{}
+	for _, s := range lp.entry {
+		entry[s.key()] = true
+	}
+	for _, s := range states {
+		if entry[s.key()] {
+			continue
+		}
+		for _, t := range s.stack {
+			w.reportf(t.pos, "%s does not balance within the loop body (each iteration must release what it acquires)", t.describe())
+		}
+		if len(s.stack) == 0 {
+			w.reportf(pos, "loop body releases a lock acquired outside the loop")
+		}
+	}
+}
+
+// branches unions the outcomes of switch/select case bodies.
+func (w *spWalker) branches(st ast.Stmt, in []spState) []spState {
+	var bodies [][]ast.Stmt
+	hasDefault := false
+	collect := func(list []ast.Stmt) {
+		for _, c := range list {
+			switch c := c.(type) {
+			case *ast.CaseClause:
+				bodies = append(bodies, c.Body)
+				if c.List == nil {
+					hasDefault = true
+				}
+			case *ast.CommClause:
+				bodies = append(bodies, c.Body)
+				if c.Comm == nil {
+					hasDefault = true
+				}
+			}
+		}
+	}
+	switch st := st.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			in = w.stmt(st.Init, in)
+		}
+		if st.Tag != nil {
+			in = w.exprs(st.Tag, in, false)
+		}
+		collect(st.Body.List)
+	case *ast.TypeSwitchStmt:
+		collect(st.Body.List)
+	case *ast.SelectStmt:
+		collect(st.Body.List)
+	}
+	var out []spState
+	for _, b := range bodies {
+		out = append(out, w.stmts(b, in)...)
+	}
+	if !hasDefault || len(bodies) == 0 {
+		out = append(out, in...)
+	}
+	return w.dedup(out)
+}
+
+// ifStmt handles branching, including the TryLock guard forms.
+func (w *spWalker) ifStmt(st *ast.IfStmt, in []spState) []spState {
+	states := in
+	var bound map[string]spEvent // ident name -> trylock event from init
+	if st.Init != nil {
+		if ev, name, ok := w.tryLockInit(st.Init); ok {
+			bound = map[string]spEvent{name: ev}
+		} else {
+			states = w.stmt(st.Init, states)
+		}
+	}
+
+	cond, negated := ast.Unparen(st.Cond), false
+	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		cond, negated = ast.Unparen(u.X), true
+	}
+	var tryEv spEvent
+	haveTry := false
+	if call, ok := cond.(*ast.CallExpr); ok {
+		if ev, ok := w.classify(call); ok && ev.op == "trylock" {
+			tryEv, haveTry = ev, true
+		}
+	} else if id, ok := cond.(*ast.Ident); ok && bound != nil {
+		if ev, ok := bound[id.Name]; ok {
+			tryEv, haveTry = ev, true
+		}
+	}
+
+	if !haveTry {
+		states = w.exprs(st.Cond, states, false)
+		thenOut := w.stmts(st.Body.List, states)
+		elseOut := states
+		if st.Else != nil {
+			elseOut = w.stmt(st.Else, states)
+		}
+		return w.dedup(append(thenOut, elseOut...))
+	}
+
+	// TryLock guard: the success branch holds the lock.
+	var locked []spState
+	for _, s := range states {
+		locked = append(locked, s.push(tryEv.tok))
+	}
+	thenIn, elseIn := locked, states
+	if negated {
+		thenIn, elseIn = states, locked
+	}
+	thenOut := w.stmts(st.Body.List, thenIn)
+	elseOut := elseIn
+	if st.Else != nil {
+		elseOut = w.stmt(st.Else, elseIn)
+	}
+	return w.dedup(append(thenOut, elseOut...))
+}
+
+// tryLockInit matches `ok := m.TryLock(t)` as an if-init statement.
+func (w *spWalker) tryLockInit(st ast.Stmt) (spEvent, string, bool) {
+	as, ok := st.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return spEvent{}, "", false
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return spEvent{}, "", false
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return spEvent{}, "", false
+	}
+	ev, ok2 := w.classify(call)
+	if !ok2 || ev.op != "trylock" {
+		return spEvent{}, "", false
+	}
+	return ev, id.Name, true
+}
+
+// exprs applies every classified call inside e to the states, in
+// evaluation order. stmtLevel marks a bare ExprStmt, where a discarded
+// TryLock result is reported.
+func (w *spWalker) exprs(e ast.Expr, in []spState, stmtLevel bool) []spState {
+	states := in
+	ast.Inspect(e, func(n ast.Node) bool {
+		if w.overflow {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.function(n.Body)
+			return false
+		case *ast.CallExpr:
+			// Arguments evaluate before the call applies; recursion via
+			// Inspect handles nesting adequately for this code shape.
+			if ev, ok := w.classify(n); ok {
+				states = w.apply(states, ev, stmtLevel && ast.Unparen(e) == ast.Expr(n))
+				for _, a := range n.Args {
+					w.scanLits(a)
+				}
+				return false
+			}
+		}
+		return true
+	})
+	return w.dedup(states)
+}
+
+// scanLits analyzes function literals nested in an expression.
+func (w *spWalker) scanLits(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			w.function(fl.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// apply transforms every state by one event.
+func (w *spWalker) apply(states []spState, ev spEvent, reportIgnored bool) []spState {
+	switch ev.op {
+	case "push":
+		out := make([]spState, 0, len(states))
+		for _, s := range states {
+			if len(s.stack) >= spMaxDepth {
+				w.overflow = true
+				return states
+			}
+			out = append(out, s.push(ev.tok))
+		}
+		return out
+	case "pop":
+		out := make([]spState, 0, len(states))
+		for _, s := range states {
+			out = append(out, spState{stack: w.applyPop(s.stack, ev)})
+		}
+		return out
+	case "trylock":
+		if reportIgnored {
+			w.reportf(ev.pos, "result of %s.TryLock is discarded: a won lock would never be released", ev.tok.name)
+		}
+		// Result consumed in a form the walk cannot track: no state change.
+		return states
+	}
+	return states
+}
+
+// applyPop pops ev from the stack, reporting discipline violations.
+func (w *spWalker) applyPop(stack []spTok, ev spEvent) []spTok {
+	if len(stack) == 0 {
+		switch ev.want {
+		case "spec":
+			w.reportf(ev.pos, "SpecRevoke without a matching SpecAssign on this path")
+		default:
+			w.reportf(ev.pos, "Unlock of %s without a matching Lock on this path", ev.tok.name)
+		}
+		return stack
+	}
+	top := stack[len(stack)-1]
+	if top.kind == ev.want && (ev.want == "spec" || top.name == ev.tok.name) {
+		return stack[:len(stack)-1]
+	}
+	// Mismatch: diagnose the specific discipline broken, then remove the
+	// intended token (if present) to avoid cascading reports.
+	switch {
+	case ev.want == "lock" && top.kind == "spec":
+		w.reportf(ev.pos, "Unlock of %s before SpecRevoke: the revoke must precede the lock release (§6 compiler rule)", ev.tok.name)
+	case ev.want == "lock" && top.kind == "cs" && top.name == ev.tok.name:
+		w.reportf(ev.pos, "%s was acquired with machine Thread.Lock but released with sim Mutex.Unlock, skipping the SpecRevoke", ev.tok.name)
+		return stack[:len(stack)-1]
+	case ev.want == "cs" && top.kind == "lock" && top.name == ev.tok.name:
+		w.reportf(ev.pos, "%s was acquired with sim Mutex.Lock but released with machine Thread.Unlock, which issues an unmatched SpecRevoke", ev.tok.name)
+		return stack[:len(stack)-1]
+	case ev.want == "spec":
+		w.reportf(ev.pos, "SpecRevoke crosses %s: release it first (spec sections must nest innermost)", top.describe())
+	default:
+		w.reportf(ev.pos, "Unlock of %s crosses %s (releases must nest)", ev.tok.name, top.describe())
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		t := stack[i]
+		if t.kind == ev.want && (ev.want == "spec" || t.name == ev.tok.name) {
+			return append(append([]spTok{}, stack[:i]...), stack[i+1:]...)
+		}
+	}
+	return stack
+}
+
+// classify maps a call to its stack event, if it is one of the paired
+// APIs.
+func (w *spWalker) classify(call *ast.CallExpr) (spEvent, bool) {
+	fn := calleeOf(w.info, call)
+	if fn == nil {
+		return spEvent{}, false
+	}
+	pos := call.Pos()
+	lockName := func() string {
+		if len(call.Args) > 0 {
+			return exprString(call.Args[0])
+		}
+		return receiverExprString(call)
+	}
+	switch {
+	case isMethod(fn, "internal/machine", "Thread", "Lock"):
+		return spEvent{op: "push", tok: spTok{kind: "cs", name: lockName(), pos: pos}}, true
+	case isMethod(fn, "internal/machine", "Thread", "Unlock"):
+		return spEvent{op: "pop", want: "cs", tok: spTok{kind: "cs", name: lockName(), pos: pos}, pos: pos}, true
+	case isMethod(fn, "internal/machine", "Thread", "TryLock"):
+		return spEvent{op: "trylock", tok: spTok{kind: "cs", name: lockName(), pos: pos}, pos: pos}, true
+	case isMethod(fn, "internal/sim", "Mutex", "Lock"):
+		return spEvent{op: "push", tok: spTok{kind: "lock", name: receiverExprString(call), pos: pos}}, true
+	case isMethod(fn, "internal/sim", "Mutex", "Unlock"):
+		return spEvent{op: "pop", want: "lock", tok: spTok{kind: "lock", name: receiverExprString(call), pos: pos}, pos: pos}, true
+	case isMethod(fn, "internal/sim", "Mutex", "TryLock"):
+		return spEvent{op: "trylock", tok: spTok{kind: "lock", name: receiverExprString(call), pos: pos}, pos: pos}, true
+	case isMethod(fn, "internal/machine", "Thread", "SpecAssign"):
+		return spEvent{op: "push", tok: spTok{kind: "spec", pos: pos}}, true
+	case isMethod(fn, "internal/machine", "Thread", "SpecRevoke"):
+		return spEvent{op: "pop", want: "spec", tok: spTok{kind: "spec", pos: pos}, pos: pos}, true
+	}
+	return spEvent{}, false
+}

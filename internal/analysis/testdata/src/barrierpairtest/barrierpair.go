@@ -1,0 +1,85 @@
+// Package barrierpairtest is the barrierpair golden fixture: each
+// // want comment names a substring of the diagnostic the analyzer
+// must report on that line. The code only has to type-check.
+package barrierpairtest
+
+import (
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/persist"
+	"pmemspec/internal/sim"
+)
+
+// flushOne and fenceAll exist so helper-fact propagation is exercised:
+// callers below rely on the analyzer summarizing them.
+func flushOne(t *machine.Thread, m persist.Model, a mem.Addr) {
+	m.Flush(t, a, 8)
+}
+
+func fenceAll(t *machine.Thread, m persist.Model) {
+	m.OrderBarrier(t)
+}
+
+func fenced(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	m.Flush(t, a, 8)
+	m.OrderBarrier(t)
+}
+
+func fencedThroughHelpers(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	flushOne(t, m, a)
+	fenceAll(t, m)
+}
+
+func neverFlushed(t *machine.Thread, a mem.Addr) {
+	t.StoreU64(a, 1) // want "never flushed toward the persistence domain"
+}
+
+func flushedNotOrdered(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1) // want "not ordered by a barrier before return"
+	m.Flush(t, a, 8)
+}
+
+func orderedNotFlushed(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	m.OrderBarrier(t) // want "ordered by a barrier but never flushed"
+}
+
+func doubleFence(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	m.Flush(t, a, 8)
+	m.OrderBarrier(t)
+	m.OrderBarrier(t) // want "double fence"
+}
+
+func leakAcrossUnlock(t *machine.Thread, m persist.Model, lk *sim.Mutex, a mem.Addr) {
+	t.Lock(lk)
+	t.StoreU64(a, 1)
+	t.Unlock(lk) // want "not flushed and ordered before lock release"
+}
+
+func fencedBeforeUnlock(t *machine.Thread, m persist.Model, lk *sim.Mutex, a mem.Addr) {
+	t.Lock(lk)
+	t.StoreU64(a, 1)
+	m.Flush(t, a, 8)
+	m.DurableBarrier(t)
+	t.Unlock(lk)
+}
+
+func allowedStore(t *machine.Thread, a mem.Addr) {
+	t.StoreU64(a, 1) //lint:allow barrierpair
+}
+
+// prefault opts out wholesale (function-level directive): no
+// diagnostics and no exported facts, so fencedCaller stays clean even
+// though it cannot see a flush.
+//
+//lint:allow barrierpair
+func prefault(t *machine.Thread, a mem.Addr) {
+	t.StoreU64(a, 1)
+}
+
+func fencedCaller(t *machine.Thread, a mem.Addr) {
+	prefault(t, a)
+}

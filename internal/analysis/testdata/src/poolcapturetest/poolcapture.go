@@ -1,0 +1,71 @@
+// Package poolcapturetest is the poolcapture golden fixture: each
+// // want comment names a substring of the diagnostic the analyzer
+// must report on that line.
+package poolcapturetest
+
+import "pmemspec/internal/harness"
+
+func goodJobs(items []int) []harness.Job[int] {
+	var jobs []harness.Job[int]
+	for i := range items {
+		v := items[i]
+		jobs = append(jobs, harness.Job[int]{
+			Label: "ok",
+			Run:   func() (int, error) { return v * 2, nil },
+		})
+	}
+	return jobs
+}
+
+func capturesLoopVar(items []int) []harness.Job[int] {
+	var jobs []harness.Job[int]
+	for i := range items {
+		jobs = append(jobs, harness.Job[int]{
+			Label: "bad",
+			Run:   func() (int, error) { return items[i], nil }, // want "captures loop variable i"
+		})
+	}
+	return jobs
+}
+
+func writesShared(items []int) ([]harness.Job[int], *int) {
+	total := new(int)
+	var jobs []harness.Job[int]
+	for i := range items {
+		v := items[i]
+		jobs = append(jobs, harness.Job[int]{
+			Label: "bad",
+			Run: func() (int, error) {
+				*total += v // want "writes captured variable total"
+				return v, nil
+			},
+		})
+	}
+	return jobs, total
+}
+
+func writesIndexedSlot(items, out []int) []harness.Job[int] {
+	var jobs []harness.Job[int]
+	for i := range items {
+		i := i
+		jobs = append(jobs, harness.Job[int]{
+			Label: "ok",
+			Run: func() (int, error) {
+				out[i] = items[i] * 2
+				return 0, nil
+			},
+		})
+	}
+	return jobs
+}
+
+func allowedCapture(items []int) []harness.Job[int] {
+	var jobs []harness.Job[int]
+	for i := range items {
+		jobs = append(jobs, harness.Job[int]{
+			Label: "allowed",
+			Run:   func() (int, error) { return items[i], nil }, //lint:allow poolcapture
+		})
+	}
+	return jobs
+}

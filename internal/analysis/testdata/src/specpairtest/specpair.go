@@ -1,0 +1,105 @@
+// Package specpairtest is the specpair golden fixture: each // want
+// comment names a substring of the diagnostic the analyzer must report
+// on that line, and functions without one must stay silent. The code
+// is never executed — it only has to type-check.
+package specpairtest
+
+import (
+	"pmemspec/internal/machine"
+	"pmemspec/internal/sim"
+)
+
+func balanced(t *machine.Thread, lk *sim.Mutex) {
+	t.Lock(lk)
+	t.Unlock(lk)
+}
+
+func balancedDefer(t *machine.Thread, lk *sim.Mutex, bad bool) {
+	t.Lock(lk)
+	defer t.Unlock(lk)
+	if bad {
+		return
+	}
+}
+
+func unreleasedOnEarlyReturn(t *machine.Thread, lk *sim.Mutex, bad bool) {
+	t.Lock(lk) // want "is not released on every path"
+	if bad {
+		return
+	}
+	t.Unlock(lk)
+}
+
+func specLeak(t *machine.Thread, bad bool) {
+	t.SpecAssign() // want "not revoked on every path"
+	if bad {
+		return
+	}
+	t.SpecRevoke()
+}
+
+func revokeAfterUnlock(t *machine.Thread, st *sim.Thread, lk *sim.Mutex) {
+	lk.Lock(st)
+	t.SpecAssign()
+	lk.Unlock(st) // want "revoke must precede the lock release"
+	t.SpecRevoke()
+}
+
+func revokeBeforeUnlock(t *machine.Thread, st *sim.Thread, lk *sim.Mutex) {
+	lk.Lock(st)
+	t.SpecAssign()
+	t.SpecRevoke()
+	lk.Unlock(st)
+}
+
+func mixedRelease(t *machine.Thread, st *sim.Thread, lk *sim.Mutex) {
+	t.Lock(lk)
+	lk.Unlock(st) // want "released with sim Mutex.Unlock"
+}
+
+func tryLockGuarded(t *machine.Thread, lk *sim.Mutex) {
+	if t.TryLock(lk) {
+		t.Unlock(lk)
+	}
+}
+
+func tryLockBound(t *machine.Thread, lk *sim.Mutex) {
+	if ok := t.TryLock(lk); ok {
+		t.Unlock(lk)
+	}
+}
+
+func tryLockNegated(t *machine.Thread, lk *sim.Mutex) {
+	if !t.TryLock(lk) {
+		return
+	}
+	t.Unlock(lk)
+}
+
+func tryLockDiscarded(t *machine.Thread, lk *sim.Mutex) {
+	t.TryLock(lk) // want "result of lk.TryLock is discarded"
+}
+
+func loopImbalance(t *machine.Thread, lk *sim.Mutex, n int) {
+	for i := 0; i < n; i++ {
+		t.Lock(lk) // want "does not balance within the loop body"
+	}
+}
+
+func loopBalanced(t *machine.Thread, lk *sim.Mutex, n int) {
+	for i := 0; i < n; i++ {
+		t.Lock(lk)
+		t.Unlock(lk)
+	}
+}
+
+func unlockWithoutLock(t *machine.Thread, lk *sim.Mutex) {
+	t.Unlock(lk) // want "without a matching Lock"
+}
+
+// allowedImbalance shows the escape hatch: the lock intentionally
+// outlives the function (handed to a callee), so the finding is
+// suppressed in place.
+func allowedImbalance(t *machine.Thread, lk *sim.Mutex) {
+	t.Lock(lk) //lint:allow specpair
+}

@@ -172,7 +172,11 @@ func (r *Runtime) Model() persist.Model { return r.model }
 // WarmLog pre-faults thread t's undo-log region, as real failure-atomic
 // runtimes do at startup (e.g. Mnemosyne pre-faults its logs): the
 // write-allocate misses of first touch belong to initialization, not to
-// the measured kernel.
+// the measured kernel. The pre-fault stores are deliberately left
+// unfenced: their values are dead, only the cache-line allocation
+// matters.
+//
+//lint:allow barrierpair
 func (r *Runtime) WarmLog(t *machine.Thread) {
 	base := logBase(r.m.Space().Base(), t.Core())
 	for off := mem.Addr(0); off < LogRegionBytes; off += mem.BlockSize {

@@ -249,6 +249,12 @@ func (x *Tx) StoreU64(a mem.Addr, v uint64) {
 	x.Store(a, b[:])
 }
 
+// storeOne appends one log entry and flushes it. Ordering is deferred:
+// redo entries only have to be durable before the commit marker, and
+// attemptTx issues that single DurableBarrier — the scheme's whole
+// point is avoiding a per-store fence.
+//
+//lint:allow barrierpair
 func (x *Tx) storeOne(a mem.Addr, p []byte) {
 	if x.count >= EntryCap {
 		panic(fmt.Sprintf("fatomic: transaction exceeded %d log entries", EntryCap))

@@ -242,6 +242,50 @@ func TestLockAssignsMonotonicSpecIDs(t *testing.T) {
 	}
 }
 
+func TestTryLockSpecAssignRevokeNesting(t *testing.T) {
+	m := mustNew(t, smallConfig(PMEMSpec, 2))
+	var held, free, inner sim.Mutex
+	m.Spawn("holder", func(th *Thread) {
+		th.Lock(&held)
+		th.Work(5000)
+		th.Unlock(&held)
+	})
+	m.Spawn("w", func(th *Thread) {
+		th.Work(500) // let holder take the contended mutex first
+		if !th.TryLock(&free) {
+			t.Error("TryLock on a free mutex failed")
+			return
+		}
+		outer := th.SpecID()
+		if outer == 0 {
+			t.Error("successful TryLock did not run spec-assign")
+		}
+		if th.TryLock(&held) {
+			t.Error("TryLock on a held mutex succeeded")
+		}
+		if th.SpecID() != outer {
+			t.Error("failed TryLock disturbed the speculation ID")
+		}
+		if !th.TryLock(&inner) {
+			t.Error("nested TryLock on a free mutex failed")
+		}
+		if th.SpecID() <= outer {
+			t.Error("nested TryLock did not assign a newer spec ID")
+		}
+		th.Unlock(&inner)
+		if th.SpecID() != outer {
+			t.Error("inner unlock did not restore the outer spec ID")
+		}
+		th.Unlock(&free)
+		if th.SpecID() != 0 {
+			t.Error("final unlock did not clear the spec ID")
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // tinyCacheConfig builds a PMEM-Spec machine whose caches are small
 // enough to force evictions with a handful of accesses, and whose
 // persist-path is slow enough that a refetch races the in-flight persist.

@@ -560,6 +560,24 @@ func (t *Thread) RestoreSpecContext(ctx SpecContext) {
 // queue; DPO's barriers additionally order the persist buffer.
 func (t *Thread) Lock(l *sim.Mutex) {
 	l.Lock(t.sim)
+	t.lockAcquired()
+}
+
+// TryLock attempts to acquire l without blocking. On success it runs
+// the same design-specific post-acquire sequence as Lock (spec-assign
+// under PMEM-Spec, store-queue/persist-buffer drains under the RMW
+// designs); on failure the thread's state is untouched.
+func (t *Thread) TryLock(l *sim.Mutex) bool {
+	if !l.TryLock(t.sim) {
+		return false
+	}
+	t.lockAcquired()
+	return true
+}
+
+// lockAcquired is the design-specific post-acquire step shared by Lock
+// and TryLock.
+func (t *Thread) lockAcquired() {
 	switch t.m.cfg.Design {
 	case PMEMSpec:
 		t.SpecAssign()

@@ -55,7 +55,9 @@ func (w *ArraySwaps) Setup(e *Env, t *machine.Thread) {
 		fillPattern(buf, uint64(k))
 		putU64(buf, uint64(k))
 		t.Store(w.elem(k), buf)
+		setupFlush(e, t, w.elem(k), w.data)
 	}
+	setupCommit(e, t)
 }
 
 func (w *ArraySwaps) elem(k int) mem.Addr { return w.base + mem.Addr(k)*w.stride }

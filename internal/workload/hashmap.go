@@ -112,7 +112,10 @@ func (w *Hashmap) Setup(e *Env, t *machine.Thread) {
 		fillPattern(val, key)
 		t.Store(n+24, val)
 		t.StoreU64(b, uint64(n))
+		setupFlush(e, t, n, 24+w.data)
 	}
+	setupFlush(e, t, w.table, w.buckets*8)
+	setupCommit(e, t)
 }
 
 func (w *Hashmap) keyAt(i int) uint64 { return uint64(i)*2654435761 + 1 }

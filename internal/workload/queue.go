@@ -65,6 +65,9 @@ func (w *Queue) Setup(e *Env, t *machine.Thread) {
 	t.StoreU64(w.root+qCount, 0)
 	t.StoreU64(w.root+qTotalEnq, 0)
 	t.StoreU64(w.root+qTotalDeq, 0)
+	setupFlush(e, t, dummy, 8)
+	setupFlush(e, t, w.root, mem.BlockSize)
+	setupCommit(e, t)
 }
 
 func (w *Queue) take() mem.Addr {

@@ -78,6 +78,8 @@ func (w *RBTree) Setup(e *Env, t *machine.Thread) {
 	}
 	t.StoreU64(w.rootPtr, 0)
 	t.StoreU64(w.rootPtr+8, 0)
+	setupFlush(e, t, w.rootPtr, 16)
+	setupCommit(e, t)
 	// Insert the initial keys through the normal FASE path (cheap at
 	// setup scale and exercises the same code).
 	rng := e.Rand(-1)

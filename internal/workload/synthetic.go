@@ -81,6 +81,8 @@ func (w *Synthetic) Setup(e *Env, t *machine.Thread) {
 	w.stride = mem.Addr(w.LLCSets) * mem.BlockSize
 	w.base = e.Heap.AllocBlock(uint64(w.stride) * uint64(syntheticPoolGroups*w.LLCWays+2))
 	t.StoreU64(w.base, 0)
+	setupFlush(e, t, w.base, 8)
+	setupCommit(e, t)
 }
 
 // Run implements Workload: each FASE bumps the victim's value,

@@ -77,7 +77,9 @@ func (w *TATP) Setup(e *Env, t *machine.Thread) {
 		t.StoreU64(w.sub(i)+8, uint64(i))
 		fillPattern(val, uint64(i))
 		t.Store(w.sub(i)+16, val)
+		setupFlush(e, t, w.sub(i), 16+w.data)
 	}
+	setupCommit(e, t)
 }
 
 // Run implements Workload: each transaction updates one subscriber's

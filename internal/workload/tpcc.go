@@ -119,7 +119,11 @@ func (w *TPCC) Setup(e *Env, t *machine.Thread) {
 			t.StoreU64(cu+8, 0)         // ytdPayment
 			t.StoreU64(cu+16, 0)        // payCount
 		}
+		setupFlush(e, t, hdr, 24)
+		setupFlush(e, t, stock, w.items*mem.BlockSize)
+		setupFlush(e, t, customers, tpccCustomers*mem.BlockSize)
 	}
+	setupCommit(e, t)
 }
 
 func (w *TPCC) customer(d, c int) mem.Addr { return w.cBase[d] + mem.Addr(c)*mem.BlockSize }

@@ -74,11 +74,14 @@ func (w *Vacation) Setup(e *Env, t *machine.Thread) {
 			t.StoreU64(r+8, 0)           // used
 			t.StoreU64(r+16, uint64(50+i%400))
 		}
+		setupFlush(e, t, w.tables[tb], w.resources*mem.BlockSize)
 	}
 	w.custBase = e.Heap.AllocBlock(uint64(w.customers) * mem.BlockSize)
 	for c := 0; c < w.customers; c++ {
 		t.StoreU64(w.customer(c), 0)
 	}
+	setupFlush(e, t, w.custBase, w.customers*mem.BlockSize)
+	setupCommit(e, t)
 }
 
 // Run implements Workload: each transaction serves one customer,

@@ -130,6 +130,22 @@ func ByName(name string) (Workload, error) {
 	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
 }
 
+// setupFlush pushes a region written during the single-threaded setup
+// phase toward the persistence domain. Setup stores bypass the FASE
+// path (they need no undo logging), so they must be flushed and
+// ordered explicitly: the measured kernel starts from durable initial
+// state, and a simulated crash in the first transactions must not
+// expose torn setup data.
+func setupFlush(e *Env, t *machine.Thread, a mem.Addr, n int) {
+	e.RT.Model().Flush(t, a, n)
+}
+
+// setupCommit makes everything setupFlush pushed out durable; every
+// Setup ends with it.
+func setupCommit(e *Env, t *machine.Thread) {
+	e.RT.Model().DurableBarrier(t)
+}
+
 // fillPattern writes a recognizable payload derived from tag into p.
 func fillPattern(p []byte, tag uint64) {
 	for i := range p {
