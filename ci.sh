@@ -27,11 +27,23 @@ fi
 echo "== go vet ./... =="
 go vet ./...
 
-echo "== pmemspec-lint ./... =="
+echo "== pmemspec-lint -fix -diff ./... =="
 # The repo's own persistency-discipline and determinism analyzers
-# (internal/analysis); any diagnostic fails the build. Fast enough to
-# run in QUICK mode too.
-go run ./cmd/pmemspec-lint ./...
+# (internal/analysis); any diagnostic fails the build. Check mode
+# (-fix -diff) additionally fails if the redundant-barrier optimizer
+# still has applicable edits — apply them with `pmemspec-lint -fix`
+# before committing. The whole pass must also fit the wall-clock budget
+# (the loader is stdlib-only and signatures-only for dependencies, so a
+# lint run costs seconds, not a build).
+LINT_BUDGET_S=${LINT_BUDGET_S:-120}
+lint_start=$(date +%s)
+go run ./cmd/pmemspec-lint -fix -diff ./...
+lint_elapsed=$(( $(date +%s) - lint_start ))
+echo "pmemspec-lint: ${lint_elapsed}s (budget ${LINT_BUDGET_S}s)"
+if [ "$lint_elapsed" -gt "$LINT_BUDGET_S" ]; then
+	echo "pmemspec-lint exceeded its ${LINT_BUDGET_S}s wall-clock budget"
+	exit 1
+fi
 
 echo "== go build ./... =="
 go build ./...

@@ -4,13 +4,26 @@
 //
 // Usage:
 //
-//	pmemspec-lint [-json] [-c name,name] [packages...]
+//	pmemspec-lint [-json] [-c name,name] [-fix] [-diff] [packages...]
 //
 // Packages default to ./... relative to the module root (found by
 // walking up from the working directory to go.mod). Diagnostics print
 // as file:line:col: analyzer: message; -json emits a JSON array
-// instead. Exit status is 1 if any diagnostic was reported, 2 on
-// loader or analysis failure, 0 otherwise.
+// instead (machine-applicable fixes ride along in each entry's "edit"
+// field).
+//
+// Fix mode consumes the suggested edits the redundantbarrier analyzer
+// attaches to its findings:
+//
+//	-fix        apply the edits to the source files in place
+//	-diff       print the edits as a unified diff, change nothing
+//	-fix -diff  check mode: print the diff, change nothing, and exit 1
+//	            if any applicable edit remains (the CI gate)
+//
+// Either mode reports a summary (diagnostics, applicable edits, files,
+// elapsed time) to stderr. Exit status is 1 if any diagnostic was
+// reported (or, in check mode, any edit remains), 2 on loader or
+// analysis failure, 0 otherwise.
 //
 // Suppress an individual finding with a //lint:allow <analyzer>
 // comment on the same or the preceding line.
@@ -22,7 +35,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"pmemspec/internal/analysis"
 )
@@ -31,8 +46,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	checks := flag.String("c", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the available analyzers and exit")
+	fix := flag.Bool("fix", false, "apply suggested edits in place (-fix -diff: check mode, no writes)")
+	diff := flag.Bool("diff", false, "print suggested edits as a unified diff without applying")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pmemspec-lint [-json] [-c name,name] [packages...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: pmemspec-lint [-json] [-c name,name] [-fix] [-diff] [packages...]\n\nAnalyzers:\n")
 		for _, a := range analysis.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
@@ -67,6 +84,7 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	start := time.Now() //lint:allow simdeterminism CLI wall-clock stat, not simulator state
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmemspec-lint:", err)
@@ -78,6 +96,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pmemspec-lint:", err)
 		os.Exit(2)
 	}
+	elapsed := time.Since(start) //lint:allow simdeterminism CLI wall-clock stat, not simulator state
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -94,9 +113,59 @@ func main() {
 			fmt.Println(d)
 		}
 	}
+
+	edits := analysis.CollectEdits(diags)
+	nEdits := 0
+	for _, es := range edits {
+		nEdits += len(es)
+	}
+	if *fix || *diff {
+		if err := runFix(root, edits, *fix && !*diff, *diff); err != nil {
+			fmt.Fprintln(os.Stderr, "pmemspec-lint:", err)
+			os.Exit(2)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "pmemspec-lint: %d diagnostics, %d applicable edits in %d files, %d packages in %.2fs\n",
+		len(diags), nEdits, len(edits), len(pkgs), elapsed.Seconds())
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// runFix applies or renders the collected edits. With apply unset the
+// files are left untouched (-diff alone previews; -fix -diff is the
+// check mode, which still exits nonzero through the caller because the
+// underlying diagnostics remain).
+func runFix(root string, edits map[string][]*analysis.SuggestedEdit, apply, showDiff bool) error {
+	files := make([]string, 0, len(edits))
+	for f := range edits {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		out, applied, err := analysis.ApplyEdits(src, edits[file])
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		if showDiff {
+			name := file
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Print(analysis.Diff(name, src, out))
+		}
+		if apply {
+			if err := os.WriteFile(file, out, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "pmemspec-lint: %s: applied %d of %d edits\n", file, applied, len(edits[file]))
+		}
+	}
+	return nil
 }
 
 // selectAnalyzers filters the shipped analyzers by the -c flag.

@@ -13,6 +13,12 @@
 //	barrierpair     every raw PM store is flushed and ordered before
 //	                commit, lock release or return (Figure 2), and no
 //	                fence is issued twice in a row
+//	persistflow     interprocedural per-location persist-state tracking
+//	                on the shared dataflow engine: missing flush/fence
+//	                through call layers, wrong-epoch stores, §6 spec
+//	                coverage of lock-protected stores
+//	redundantbarrier provably-redundant flushes and fences, with
+//	                machine-applicable deletion fixes (-fix/-diff)
 //	simdeterminism  no wall-clock reads, global RNG, or order-sensitive
 //	                map iteration in simulator/harness/report code (the
 //	                byte-identical-at-any--parallel-width contract)
@@ -37,11 +43,15 @@ import (
 // Diagnostic is one finding, in vet coordinates.
 type Diagnostic struct {
 	Pos      token.Position `json:"-"`
+	Package  string         `json:"package"`
 	File     string         `json:"file"`
 	Line     int            `json:"line"`
 	Col      int            `json:"col"`
 	Analyzer string         `json:"analyzer"`
 	Message  string         `json:"message"`
+	// Edit is a machine-applicable fix, when the analyzer can offer one
+	// (pmemspec-lint -fix applies it).
+	Edit *SuggestedEdit `json:"edit,omitempty"`
 }
 
 func (d Diagnostic) String() string {
@@ -55,9 +65,11 @@ type Analyzer struct {
 	Run  func(*Pass) error
 }
 
-// Analyzers lists the shipped checks in report order.
+// Analyzers lists the shipped checks in run order. PersistFlow runs
+// before RedundantBarrier so the optimizer sees fresh pf: summaries
+// within each package.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SpecPair, BarrierPair, SimDeterminism, PoolCapture}
+	return []*Analyzer{SpecPair, BarrierPair, PersistFlow, RedundantBarrier, SimDeterminism, PoolCapture}
 }
 
 // FactStore carries analyzer-computed facts about objects across
@@ -128,6 +140,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	}
 	*p.sink = append(*p.sink, Diagnostic{
 		Pos:      position,
+		Package:  p.Pkg.Path,
 		File:     position.Filename,
 		Line:     position.Line,
 		Col:      position.Column,
@@ -190,8 +203,20 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (
 			}
 		}
 	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// sortDiagnostics orders findings by (package, file, line, column,
+// analyzer, message) — a total order over everything the JSON output
+// prints, so -json is byte-identical across runs regardless of
+// analyzer scheduling or map iteration inside an analyzer.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -201,9 +226,11 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags, nil
 }
 
 // pathHasAny reports whether the package path contains one of the given

@@ -5,6 +5,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+
+	"pmemspec/internal/analysis/dataflow"
 )
 
 // BarrierPair enforces the Figure 2 fence discipline on code that
@@ -21,10 +23,19 @@ import (
 // barrier consumes store-queue entries, so redundant ones are pure
 // overhead).
 //
+// The check runs on the shared dataflow CFG, so `defer t.Unlock(lk)`
+// and deferred flush/fence calls execute in the exit epilogue: the
+// commit-point check sees the state that is actually live when the
+// deferred release runs, on every return path.
+//
 // Helper functions summarize across calls via facts: a function that
 // only flushes exports "pmflush", one that ends fenced with no pending
 // store exports "pmfence", and one that returns with an unfenced raw
 // store exports "pmstore" — its callers inherit the obligation.
+//
+// The model is deliberately coarse — one flush clears every pending
+// store and position sets are not address-sensitive; the persistflow
+// analyzer layers per-location precision on the same engine.
 var BarrierPair = &Analyzer{
 	Name: "barrierpair",
 	Doc:  "check raw PM stores are flushed and ordered before commit, lock release, or return",
@@ -49,19 +60,20 @@ func runBarrierPair(pass *Pass) error {
 		if pass.SuppressedAt(fd.decl.Pos()) {
 			continue // opted out: export no facts either
 		}
-		w := &bpWalker{pass: pass, info: pass.Pkg.Info, summarize: true}
-		st := w.block(fd.decl.Body.List, bpState{})
+		w := &bpWalker{pass: pass, info: pass.Pkg.Info}
+		exit := w.analyze(fd.decl.Body, false)
 		if fd.obj == nil {
 			continue
 		}
-		if len(st.unflushed)+len(st.unordered) > 0 {
+		if len(exit.unflushed)+len(exit.unordered) > 0 {
 			pass.Facts.Export(fd.obj, factPMStore)
 			continue
 		}
-		if w.sawFlush {
+		sawFlush, sawFence := w.scanOps(fd.decl.Body)
+		if sawFlush {
 			pass.Facts.Export(fd.obj, factPMFlush)
 		}
-		if w.sawFence {
+		if sawFence {
 			pass.Facts.Export(fd.obj, factPMFence)
 		}
 	}
@@ -71,14 +83,13 @@ func runBarrierPair(pass *Pass) error {
 			continue
 		}
 		w := &bpWalker{pass: pass, info: pass.Pkg.Info}
-		end := w.block(fd.decl.Body.List, bpState{})
-		w.atReturn(end, fd.decl.Body.Rbrace)
+		w.analyze(fd.decl.Body, true)
 	}
 	return nil
 }
 
-// bpState tracks raw stores along the walk. Position sets are kept
-// small and sorted for deterministic reports.
+// bpState tracks raw stores at one program point. Position sets are
+// kept small and sorted for deterministic reports and canonical Equal.
 type bpState struct {
 	unflushed []token.Pos // stored, not yet flushed
 	unordered []token.Pos // flushed, not yet ordered by a barrier
@@ -104,20 +115,26 @@ func posUnion(a, b []token.Pos) []token.Pos {
 	return out
 }
 
-// bpWalker is the per-function linear walker with branch unions.
+func posEqual(a, b []token.Pos) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bpWalker analyzes one function (and its nested literals) on the CFG.
 type bpWalker struct {
-	pass      *Pass
-	info      *types.Info
-	summarize bool // pass 1: no diagnostics
-	sawFlush  bool
-	sawFence  bool
-	reported  map[token.Pos]bool
+	pass     *Pass
+	info     *types.Info
+	reported map[token.Pos]bool
 }
 
 func (w *bpWalker) reportf(pos token.Pos, format string, args ...any) {
-	if w.summarize {
-		return
-	}
 	if w.reported == nil {
 		w.reported = map[token.Pos]bool{}
 	}
@@ -128,8 +145,35 @@ func (w *bpWalker) reportf(pos token.Pos, format string, args ...any) {
 	w.pass.Reportf(pos, format, args...)
 }
 
+// analyze solves one body and (in diagnose mode) reports; it returns
+// the state at function exit for summarization.
+func (w *bpWalker) analyze(body *ast.BlockStmt, diagnose bool) bpState {
+	cfg := dataflow.Build(body)
+	tr := &bpTransfer{w: w}
+	res := dataflow.Solve[bpState](cfg, tr)
+	if diagnose {
+		rep := &bpTransfer{w: w, report: true}
+		for _, blk := range cfg.Blocks {
+			in, ok := res.In[blk]
+			if !ok {
+				continue
+			}
+			dataflow.FlowThrough(blk, in, rep)
+		}
+		if exit, ok := res.In[cfg.Exit]; ok {
+			w.atReturn(exit)
+		}
+	}
+	// Nested function literals are separate functions.
+	for _, lit := range tr.lits {
+		w.analyze(lit.Body, diagnose)
+	}
+	exit := res.In[cfg.Exit]
+	return exit
+}
+
 // atReturn flags stores that escape the function unfenced.
-func (w *bpWalker) atReturn(st bpState, pos token.Pos) {
+func (w *bpWalker) atReturn(st bpState) {
 	for _, p := range st.unflushed {
 		w.reportf(p, "raw PM store is never flushed toward the persistence domain (model Flush + barrier) before return")
 	}
@@ -138,132 +182,132 @@ func (w *bpWalker) atReturn(st bpState, pos token.Pos) {
 	}
 }
 
-// atCommit flags stores pending at a lock release.
-func (w *bpWalker) atCommit(st bpState, what string, pos token.Pos) bpState {
-	for range st.unflushed {
-		w.reportf(pos, "raw PM store is not flushed and ordered before %s: a crash after the release can tear it", what)
-		break
+// scanOps syntactically scans a body (including nested literals) for
+// flush and fence operations — the basis of the pmflush/pmfence
+// summaries.
+func (w *bpWalker) scanOps(body *ast.BlockStmt) (sawFlush, sawFence bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(w.info, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case bpIsFlush(fn), w.pass.Facts.Has(fn, factPMFlush):
+			sawFlush = true
+		case bpIsFence(fn), w.pass.Facts.Has(fn, factPMFence):
+			sawFence = true
+		}
+		return true
+	})
+	return sawFlush, sawFence
+}
+
+func bpIsStore(fn *types.Func) bool {
+	return isMethod(fn, "internal/machine", "Thread", "Store") ||
+		isMethod(fn, "internal/machine", "Thread", "StoreU64") ||
+		isMethod(fn, "internal/machine", "Thread", "StorePrivate") ||
+		isMethod(fn, "internal/machine", "Thread", "StorePrivateU64")
+}
+
+func bpIsFlush(fn *types.Func) bool {
+	return isMethod(fn, "internal/persist", "Model", "Flush") ||
+		isMethod(fn, "internal/machine", "Thread", "CLWB")
+}
+
+func bpIsFence(fn *types.Func) bool {
+	return isMethod(fn, "internal/persist", "Model", "OrderBarrier") ||
+		isMethod(fn, "internal/persist", "Model", "NextUpdate") ||
+		isMethod(fn, "internal/persist", "Model", "DurableBarrier") ||
+		isMethod(fn, "internal/machine", "Thread", "SFence") ||
+		isMethod(fn, "internal/machine", "Thread", "DFence") ||
+		isMethod(fn, "internal/machine", "Thread", "OFence") ||
+		isMethod(fn, "internal/machine", "Thread", "SpecBarrier") ||
+		isMethod(fn, "internal/machine", "Thread", "PersistBarrier") ||
+		isMethod(fn, "internal/machine", "Thread", "JoinStrand")
+}
+
+func bpIsUnlock(fn *types.Func) bool {
+	return isMethod(fn, "internal/machine", "Thread", "Unlock") ||
+		isMethod(fn, "internal/sim", "Mutex", "Unlock")
+}
+
+func bpIsLock(fn *types.Func) bool {
+	return isMethod(fn, "internal/machine", "Thread", "Lock") ||
+		isMethod(fn, "internal/machine", "Thread", "TryLock") ||
+		isMethod(fn, "internal/sim", "Mutex", "Lock") ||
+		isMethod(fn, "internal/sim", "Mutex", "TryLock")
+}
+
+// bpTransfer is the dataflow client for the coarse fence discipline.
+type bpTransfer struct {
+	w      *bpWalker
+	report bool
+	lits   []*ast.FuncLit
+	seen   map[*ast.FuncLit]bool
+}
+
+func (t *bpTransfer) Entry() bpState { return bpState{} }
+
+func (t *bpTransfer) Node(n ast.Node, s bpState, _ bool) bpState {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			if !t.report { // collect once, during the solve
+				if t.seen == nil {
+					t.seen = map[*ast.FuncLit]bool{}
+				}
+				if !t.seen[x] {
+					t.seen[x] = true
+					t.lits = append(t.lits, x)
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			s = t.call(x, s)
+		}
+		return true
+	})
+	return s
+}
+
+func (t *bpTransfer) Branch(_ ast.Expr, _ bool, s bpState) bpState { return s }
+
+func (t *bpTransfer) Join(a, b bpState) bpState {
+	out := bpState{
+		unflushed: posUnion(a.unflushed, b.unflushed),
+		unordered: posUnion(a.unordered, b.unordered),
 	}
-	if len(st.unflushed) == 0 {
-		for range st.unordered {
-			w.reportf(pos, "flushed PM store is not ordered by a barrier before %s", what)
-			break
+	if a.lastFence == b.lastFence {
+		out.lastFence = a.lastFence
+	}
+	return out
+}
+
+func (t *bpTransfer) Equal(a, b bpState) bool {
+	return posEqual(a.unflushed, b.unflushed) &&
+		posEqual(a.unordered, b.unordered) &&
+		a.lastFence == b.lastFence
+}
+
+// atCommit flags stores pending at a lock release.
+func (t *bpTransfer) atCommit(st bpState, what string, pos token.Pos) bpState {
+	if t.report {
+		if len(st.unflushed) > 0 {
+			t.w.reportf(pos, "raw PM store is not flushed and ordered before %s: a crash after the release can tear it", what)
+		} else if len(st.unordered) > 0 {
+			t.w.reportf(pos, "flushed PM store is not ordered by a barrier before %s", what)
 		}
 	}
 	st.unflushed, st.unordered = nil, nil
 	return st
 }
 
-func (w *bpWalker) block(list []ast.Stmt, st bpState) bpState {
-	for _, s := range list {
-		st = w.stmt(s, st)
-	}
-	return st
-}
-
-func (w *bpWalker) stmt(s ast.Stmt, st bpState) bpState {
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		return w.expr(s.X, st)
-	case *ast.AssignStmt:
-		for _, r := range s.Rhs {
-			st = w.expr(r, st)
-		}
-		return st
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, v := range vs.Values {
-						st = w.expr(v, st)
-					}
-				}
-			}
-		}
-		return st
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			st = w.expr(r, st)
-		}
-		w.atReturn(st, s.Return)
-		return bpState{}
-	case *ast.IfStmt:
-		if s.Init != nil {
-			st = w.stmt(s.Init, st)
-		}
-		st = w.expr(s.Cond, st)
-		thenSt := w.block(s.Body.List, st)
-		elseSt := st
-		if s.Else != nil {
-			elseSt = w.stmt(s.Else, st)
-		}
-		return bpState{unflushed: posUnion(thenSt.unflushed, elseSt.unflushed),
-			unordered: posUnion(thenSt.unordered, elseSt.unordered)}
-	case *ast.BlockStmt:
-		return w.block(s.List, st)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			st = w.stmt(s.Init, st)
-		}
-		if s.Cond != nil {
-			st = w.expr(s.Cond, st)
-		}
-		body := w.block(s.Body.List, st)
-		if s.Post != nil {
-			body = w.stmt(s.Post, body)
-		}
-		return bpState{unflushed: posUnion(st.unflushed, body.unflushed),
-			unordered: posUnion(st.unordered, body.unordered)}
-	case *ast.RangeStmt:
-		st = w.expr(s.X, st)
-		body := w.block(s.Body.List, st)
-		return bpState{unflushed: posUnion(st.unflushed, body.unflushed),
-			unordered: posUnion(st.unordered, body.unordered)}
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			st = w.stmt(s.Init, st)
-		}
-		if s.Tag != nil {
-			st = w.expr(s.Tag, st)
-		}
-		out := st
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				caseSt := w.block(cc.Body, st)
-				out = bpState{unflushed: posUnion(out.unflushed, caseSt.unflushed),
-					unordered: posUnion(out.unordered, caseSt.unordered)}
-			}
-		}
-		return out
-	case *ast.DeferStmt:
-		return w.expr(s.Call, st)
-	case *ast.GoStmt:
-		return w.expr(s.Call, st)
-	case *ast.LabeledStmt:
-		return w.stmt(s.Stmt, st)
-	default:
-		return st
-	}
-}
-
-// expr applies classified calls inside e in evaluation order.
-func (w *bpWalker) expr(e ast.Expr, st bpState) bpState {
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			inner := w.block(n.Body.List, bpState{})
-			w.atReturn(inner, n.Body.Rbrace)
-			return false
-		case *ast.CallExpr:
-			st = w.call(n, st)
-		}
-		return true
-	})
-	return st
-}
-
-func (w *bpWalker) call(call *ast.CallExpr, st bpState) bpState {
-	fn := calleeOf(w.info, call)
+func (t *bpTransfer) call(call *ast.CallExpr, st bpState) bpState {
+	fn := calleeOf(t.w.info, call)
 	if fn == nil {
 		st.lastFence = token.NoPos
 		return st
@@ -271,55 +315,35 @@ func (w *bpWalker) call(call *ast.CallExpr, st bpState) bpState {
 	pos := call.Pos()
 	switch {
 	// Raw PM stores.
-	case isMethod(fn, "internal/machine", "Thread", "Store"),
-		isMethod(fn, "internal/machine", "Thread", "StoreU64"),
-		isMethod(fn, "internal/machine", "Thread", "StorePrivate"),
-		isMethod(fn, "internal/machine", "Thread", "StorePrivateU64"),
-		w.pass.Facts.Has(fn, factPMStore):
+	case bpIsStore(fn), t.w.pass.Facts.Has(fn, factPMStore):
 		st.unflushed = posAdd(st.unflushed, pos)
 		st.lastFence = token.NoPos
 
 	// Flushes.
-	case isMethod(fn, "internal/persist", "Model", "Flush"),
-		isMethod(fn, "internal/machine", "Thread", "CLWB"),
-		w.pass.Facts.Has(fn, factPMFlush):
-		w.sawFlush = true
+	case bpIsFlush(fn), t.w.pass.Facts.Has(fn, factPMFlush):
 		st.unordered = posUnion(st.unordered, st.unflushed)
 		st.unflushed = nil
 		st.lastFence = token.NoPos
 
 	// Ordering / durability barriers.
-	case isMethod(fn, "internal/persist", "Model", "OrderBarrier"),
-		isMethod(fn, "internal/persist", "Model", "NextUpdate"),
-		isMethod(fn, "internal/persist", "Model", "DurableBarrier"),
-		isMethod(fn, "internal/machine", "Thread", "SFence"),
-		isMethod(fn, "internal/machine", "Thread", "DFence"),
-		isMethod(fn, "internal/machine", "Thread", "OFence"),
-		isMethod(fn, "internal/machine", "Thread", "SpecBarrier"),
-		isMethod(fn, "internal/machine", "Thread", "PersistBarrier"),
-		isMethod(fn, "internal/machine", "Thread", "JoinStrand"),
-		w.pass.Facts.Has(fn, factPMFence):
-		w.sawFence = true
-		if st.lastFence.IsValid() {
-			w.reportf(pos, "double fence: nothing was stored or flushed since the previous barrier (redundant stall)")
-		}
-		for range st.unflushed {
-			w.reportf(pos, "PM store is ordered by a barrier but never flushed (the model's Flush must precede the barrier)")
-			break
+	case bpIsFence(fn), t.w.pass.Facts.Has(fn, factPMFence):
+		if t.report {
+			if st.lastFence.IsValid() {
+				t.w.reportf(pos, "double fence: nothing was stored or flushed since the previous barrier (redundant stall)")
+			}
+			if len(st.unflushed) > 0 {
+				t.w.reportf(pos, "PM store is ordered by a barrier but never flushed (the model's Flush must precede the barrier)")
+			}
 		}
 		st.unflushed, st.unordered = nil, nil
 		st.lastFence = pos
 
 	// Lock transfer points: release must not leak unfenced stores.
-	case isMethod(fn, "internal/machine", "Thread", "Unlock"),
-		isMethod(fn, "internal/sim", "Mutex", "Unlock"):
-		st = w.atCommit(st, "lock release", pos)
+	case bpIsUnlock(fn):
+		st = t.atCommit(st, "lock release", pos)
 		st.lastFence = token.NoPos
 
-	case isMethod(fn, "internal/machine", "Thread", "Lock"),
-		isMethod(fn, "internal/machine", "Thread", "TryLock"),
-		isMethod(fn, "internal/sim", "Mutex", "Lock"),
-		isMethod(fn, "internal/sim", "Mutex", "TryLock"):
+	case bpIsLock(fn):
 		st.lastFence = token.NoPos
 
 	default:

@@ -1,0 +1,290 @@
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Loc is an abstract PM location: the canonical access path of the
+// address expression, split into a base and an additive offset, so a
+// flush of `w.root` covers a store to `w.root+qHead` (same Base,
+// different Off). Root is the object the base path is rooted at (a
+// parameter, receiver, local, or package var) when the resolver can
+// tell, which is what lets interprocedural summaries turn "param #1 is
+// left Dirty" into a caller-side obligation.
+type Loc struct {
+	Base string
+	Off  string
+	Root types.Object
+}
+
+func (l Loc) String() string {
+	if l.Off != "" {
+		return l.Base + "+" + l.Off
+	}
+	return l.Base
+}
+
+// Resolver canonicalizes address expressions into Locs within one
+// function body. It pre-scans the body so that a local assigned exactly
+// once (`a := w.root + qHead`) is substituted by its defining
+// expression, making `t.Store(a, v)` and `m.Flush(w.root, n)` land on
+// the same Base.
+type Resolver struct {
+	info *types.Info
+	// bind maps a single-assignment local to its defining expression.
+	bind map[types.Object]ast.Expr
+	// mutated marks objects assigned more than once, range-bound,
+	// inc/dec'd, or address-taken — never substituted.
+	mutated map[types.Object]bool
+	counts  map[types.Object]int
+}
+
+// NewResolver builds a resolver for one function body.
+func NewResolver(info *types.Info, body *ast.BlockStmt) *Resolver {
+	r := &Resolver{
+		info:    info,
+		bind:    map[types.Object]ast.Expr{},
+		mutated: map[types.Object]bool{},
+		counts:  map[types.Object]int{},
+	}
+	if body == nil {
+		return r
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			onePair := len(s.Lhs) == len(s.Rhs)
+			for i, lhs := range s.Lhs {
+				obj := r.objOf(lhs)
+				if obj == nil {
+					continue
+				}
+				r.counts[obj]++
+				if s.Tok == token.DEFINE && onePair && r.counts[obj] == 1 {
+					r.bind[obj] = s.Rhs[i]
+				} else {
+					r.mutated[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				obj := r.info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				r.counts[obj]++
+				if len(s.Values) == len(s.Names) && r.counts[obj] == 1 {
+					r.bind[obj] = s.Values[i]
+				} else if len(s.Values) > 0 {
+					r.mutated[obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{s.Key, s.Value} {
+				if obj := r.objOf(e); obj != nil {
+					r.mutated[obj] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if obj := r.objOf(s.X); obj != nil {
+				r.mutated[obj] = true
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				if obj := r.objOf(s.X); obj != nil {
+					r.mutated[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return r
+}
+
+func (r *Resolver) objOf(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := r.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return r.info.Uses[id]
+}
+
+// Loc canonicalizes an address expression. The base is the leftmost
+// operand of the top-level +/- chain (the repo idiom addresses PM as
+// `region + offset`, e.g. `w.root+qHead` or `e+8`).
+func (r *Resolver) Loc(e ast.Expr) Loc {
+	base, off := r.splitAddr(e, 0)
+	root := r.rootOf(base)
+	return Loc{Base: r.canonOf(base, 0), Off: off, Root: root}
+}
+
+// splitAddr peels additive offsets off the address expression,
+// returning the base expression and the canonical offset string.
+func (r *Resolver) splitAddr(e ast.Expr, depth int) (ast.Expr, string) {
+	e = r.deref(e, depth)
+	var offs []string
+	for {
+		bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+			break
+		}
+		op := "+"
+		if bin.Op == token.SUB {
+			op = "-"
+		}
+		offs = append([]string{op + r.canonOf(bin.Y, depth+1)}, offs...)
+		e = r.deref(bin.X, depth)
+	}
+	off := strings.Join(offs, "")
+	off = strings.TrimPrefix(off, "+")
+	return e, off
+}
+
+// deref follows single-assignment locals and unwraps type conversions
+// so the address flows to its defining expression.
+func (r *Resolver) deref(e ast.Expr, depth int) ast.Expr {
+	const maxDepth = 8
+	for depth < maxDepth {
+		e = ast.Unparen(e)
+		if id, ok := e.(*ast.Ident); ok {
+			obj := r.objOf(id)
+			if obj == nil || r.mutated[obj] {
+				return e
+			}
+			if def, ok := r.bind[obj]; ok {
+				e = def
+				depth++
+				continue
+			}
+			return e
+		}
+		if conv, ok := e.(*ast.CallExpr); ok && len(conv.Args) == 1 && r.isConversion(conv) {
+			e = conv.Args[0]
+			depth++
+			continue
+		}
+		return e
+	}
+	return e
+}
+
+// isConversion reports whether a call expression is a type conversion
+// (`mem.Addr(x)`, `uint64(n)`), which is address-transparent.
+func (r *Resolver) isConversion(c *ast.CallExpr) bool {
+	if tv, ok := r.info.Types[c.Fun]; ok {
+		return tv.IsType()
+	}
+	return false
+}
+
+// canonOf renders the canonical string of an expression, substituting
+// single-assignment locals. Expressions the resolver cannot interpret
+// canonicalize to a position-tagged opaque token, so distinct unknown
+// addresses never collide (a flush of one must not cover the other).
+func (r *Resolver) canonOf(e ast.Expr, depth int) string {
+	const maxDepth = 8
+	if depth > maxDepth {
+		return fmt.Sprintf("?depth@%d", e.Pos())
+	}
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := r.objOf(x)
+		if obj != nil && !r.mutated[obj] {
+			if def, ok := r.bind[obj]; ok {
+				return r.canonOf(def, depth+1)
+			}
+		}
+		return x.Name
+	case *ast.SelectorExpr:
+		return r.canonOf(x.X, depth+1) + "." + x.Sel.Name
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.BinaryExpr:
+		return r.canonOf(x.X, depth+1) + x.Op.String() + r.canonOf(x.Y, depth+1)
+	case *ast.UnaryExpr:
+		return x.Op.String() + r.canonOf(x.X, depth+1)
+	case *ast.StarExpr:
+		return "*" + r.canonOf(x.X, depth+1)
+	case *ast.IndexExpr:
+		return r.canonOf(x.X, depth+1) + "[" + r.canonOf(x.Index, depth+1) + "]"
+	case *ast.CallExpr:
+		if r.isConversion(x) && len(x.Args) == 1 {
+			return r.canonOf(x.Args[0], depth+1)
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = r.canonOf(a, depth+1)
+		}
+		return r.canonOf(x.Fun, depth+1) + "(" + strings.Join(args, ",") + ")"
+	default:
+		return fmt.Sprintf("?@%d", e.Pos())
+	}
+}
+
+// rootOf finds the object the base path is rooted at: the leftmost
+// identifier after following bindings and conversions.
+func (r *Resolver) rootOf(e ast.Expr) types.Object {
+	const maxDepth = 16
+	for i := 0; i < maxDepth; i++ {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := r.objOf(x)
+			if obj != nil && !r.mutated[obj] {
+				if def, ok := r.bind[obj]; ok {
+					e = def
+					continue
+				}
+			}
+			return obj
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if r.isConversion(x) && len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return nil
+		case *ast.BinaryExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// ParamIndex reports which parameter (0-based, receiver excluded) of
+// sig the location is rooted at, or -1. Summaries use it to hand a
+// Dirty-at-exit obligation back to the caller.
+func ParamIndex(l Loc, sig *types.Signature) int {
+	if l.Root == nil || sig == nil {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == l.Root {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsReceiverRooted reports whether the location is rooted at the
+// method receiver.
+func IsReceiverRooted(l Loc, sig *types.Signature) bool {
+	return l.Root != nil && sig != nil && sig.Recv() != nil && sig.Recv() == l.Root
+}

@@ -1,0 +1,640 @@
+// Package dataflow is the shared static-analysis engine under the
+// repository's persistency-discipline analyzers: a control-flow-graph
+// builder for Go function bodies, a generic worklist solver for
+// forward dataflow problems over that CFG, the persist-state lattice
+// (Dirty → Flushed → Ordered → Committed with ⊤/⊥) the PMEM-Spec
+// checks interpret programs through, and a small field-sensitive
+// access-path alias layer for PM addresses.
+//
+// The CFG models the control constructs the repository's code uses:
+// if/else with short-circuit && and || decomposed into separate
+// condition blocks (so a TryLock guard inside a conjunction is still
+// branch-sensitive), for and range loops with explicit back edges,
+// switch/type-switch/select, break/continue (including labeled forms),
+// goto, and defer. Deferred calls execute in an epilogue chain in LIFO
+// order that every return funnels through before the exit block, which
+// is what lets clients treat `defer t.Unlock(lk)` as balancing on all
+// exit paths. A `defer func() { ... }()` whose body contains no defer
+// of its own is inlined into the epilogue so the literal's statements
+// are interpreted against the live exit state.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// BranchKind classifies an edge out of a block.
+type BranchKind int
+
+const (
+	// Always is an unconditional edge.
+	Always BranchKind = iota
+	// True is taken when the block's condition evaluated true.
+	True
+	// False is taken when the block's condition evaluated false.
+	False
+)
+
+// Edge is one control transfer. For True/False edges, Cond is the leaf
+// condition expression (never an &&, || or ! — the builder decomposes
+// those), so clients can refine state along the edge.
+type Edge struct {
+	To   *Block
+	Kind BranchKind
+	Cond ast.Expr
+}
+
+// Block is one straight-line run of AST nodes. Nodes are statements
+// and expressions in execution order; compound control statements are
+// never nodes (the builder decomposes them), so a client transfer
+// function may interpret each node in isolation.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []Edge
+	// Deferred marks an epilogue block: its nodes execute as deferred
+	// calls at function exit, not at their source position.
+	Deferred bool
+	// LoopHead marks a block that is the target of a back edge; End is
+	// then the loop body's closing position (for diagnostics).
+	LoopHead bool
+	End      token.Pos
+}
+
+// BackEdge records one loop back edge (From's out-edge targeting the
+// loop head To).
+type BackEdge struct {
+	From, To *Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry *Block
+	// Exit is the single normal-exit block: every return and the final
+	// fall-through reach it after flowing through the defer epilogue.
+	Exit      *Block
+	Blocks    []*Block
+	BackEdges []BackEdge
+}
+
+// deferEntry is one recorded defer statement, replayed in reverse
+// order in the epilogue.
+type deferEntry struct {
+	call *ast.CallExpr
+}
+
+// builder accumulates the graph. cur == nil means the current point is
+// unreachable (after return/break/...).
+type builder struct {
+	cfg    *CFG
+	cur    *Block
+	defers []deferEntry
+	// preExit collects every return edge; the epilogue is chained onto
+	// it once the body is built (the defer list is complete by then).
+	preExit *Block
+	loops   []*loopFrame
+	labeled map[string]*loopFrame
+	gotos   map[string]*Block // label name -> target block
+	pending []pendingGoto
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// loopFrame tracks the jump targets of one enclosing loop or switch.
+type loopFrame struct {
+	label      string
+	breakTo    *Block // nil until first needed? always allocated
+	continueTo *Block // nil for switch/select frames
+}
+
+// Build constructs the CFG of one function body.
+func Build(body *ast.BlockStmt) *CFG {
+	b := &builder{
+		cfg:     &CFG{},
+		labeled: map[string]*loopFrame{},
+		gotos:   map[string]*Block{},
+	}
+	b.cfg.Entry = b.newBlock()
+	b.preExit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.preExit, Always, nil)
+	}
+	// Resolve forward gotos.
+	for _, pg := range b.pending {
+		if t, ok := b.gotos[pg.label]; ok {
+			b.edge(pg.from, t, Always, nil)
+		} else {
+			b.edge(pg.from, b.preExit, Always, nil)
+		}
+	}
+	// Epilogue: deferred calls in LIFO order, then the exit block.
+	b.cur = b.preExit
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		b.deferBlock(b.defers[i].call)
+	}
+	b.cfg.Exit = b.newBlock()
+	b.edge(b.cur, b.cfg.Exit, Always, nil)
+	return b.cfg
+}
+
+// deferBlock appends the epilogue segment for one deferred call. A
+// deferred function literal without nested defers is inlined — its
+// body builds as ordinary blocks (marked Deferred) whose returns fall
+// through to the next epilogue segment.
+func (b *builder) deferBlock(call *ast.CallExpr) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok && len(call.Args) == 0 && inlinableDefer(lit) {
+		next := b.newBlock()
+		next.Deferred = true
+		savePre := b.preExit
+		b.preExit = next
+		start := b.newBlock()
+		start.Deferred = true
+		b.edge(b.cur, start, Always, nil)
+		b.cur = start
+		b.stmts(lit.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, next, Always, nil)
+		}
+		b.preExit = savePre
+		b.cur = next
+		return
+	}
+	blk := b.newBlock()
+	blk.Deferred = true
+	blk.Nodes = append(blk.Nodes, call)
+	b.edge(b.cur, blk, Always, nil)
+	b.cur = blk
+}
+
+// inlinableDefer reports whether a deferred literal's body can be
+// spliced into the epilogue: no defer statements of its own.
+func inlinableDefer(lit *ast.FuncLit) bool {
+	ok := true
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.DeferStmt:
+			ok = false
+			return false
+		case *ast.FuncLit:
+			return false // nested literals are separate functions
+		}
+		return ok
+	})
+	return ok
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block, kind BranchKind, cond ast.Expr) {
+	from.Succs = append(from.Succs, Edge{To: to, Kind: kind, Cond: cond})
+	if to.LoopHead && to.Index <= from.Index {
+		b.cfg.BackEdges = append(b.cfg.BackEdges, BackEdge{From: from, To: to})
+	}
+}
+
+// emit appends a node to the current block (if reachable).
+func (b *builder) emit(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *builder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// jump ends the current block with an unconditional edge.
+func (b *builder) jump(to *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, to, Always, nil)
+	}
+	b.cur = nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	if b.cur == nil {
+		// Unreachable code still needs label targets for gotos; anything
+		// else is skipped. Create a fresh (unreached) block so structure
+		// below a dead point is still built.
+		switch s.(type) {
+		case *ast.LabeledStmt:
+			b.cur = b.newBlock()
+		default:
+			return
+		}
+	}
+	switch s := s.(type) {
+	case *ast.ExprStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt, *ast.GoStmt:
+		b.emit(s)
+	case *ast.EmptyStmt:
+	case *ast.ReturnStmt:
+		b.emit(s)
+		b.jump(b.preExit)
+	case *ast.DeferStmt:
+		// Argument expressions (and a method receiver) evaluate now; the
+		// call itself runs in the epilogue.
+		for _, a := range s.Call.Args {
+			b.emit(a)
+		}
+		b.defers = append(b.defers, deferEntry{call: s.Call})
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+	case *ast.SwitchStmt:
+		b.switchStmt(s, "")
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, "")
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	default:
+		b.emit(s)
+	}
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	name := s.Label.Name
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, name)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, name)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner, name)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(inner, name)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, name)
+	default:
+		// A plain labeled statement: a goto target.
+		t := b.newBlock()
+		b.jump(t)
+		b.cur = t
+		b.gotos[name] = t
+		b.stmt(s.Stmt)
+		return
+	}
+	// Loop/switch labels double as goto targets at the construct head;
+	// the construct builders registered the frame under the label.
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if f := b.frame(s.Label); f != nil && f.breakTo != nil {
+			b.jump(f.breakTo)
+			return
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		if f := b.continueFrame(s.Label); f != nil && f.continueTo != nil {
+			b.jump(f.continueTo)
+			return
+		}
+		b.cur = nil
+	case token.GOTO:
+		if t, ok := b.gotos[s.Label.Name]; ok {
+			b.jump(t)
+			return
+		}
+		b.pending = append(b.pending, pendingGoto{from: b.cur, label: s.Label.Name})
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled by switchStmt (fallthrough connects case bodies);
+		// if reached here, ignore.
+	}
+}
+
+// frame resolves the break target: innermost frame, or the labeled one.
+func (b *builder) frame(label *ast.Ident) *loopFrame {
+	if label != nil {
+		return b.labeled[label.Name]
+	}
+	if n := len(b.loops); n > 0 {
+		return b.loops[n-1]
+	}
+	return nil
+}
+
+// continueFrame resolves the continue target: innermost *loop* frame
+// (switch frames have no continue target), or the labeled one.
+func (b *builder) continueFrame(label *ast.Ident) *loopFrame {
+	if label != nil {
+		return b.labeled[label.Name]
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if b.loops[i].continueTo != nil {
+			return b.loops[i]
+		}
+	}
+	return nil
+}
+
+func (b *builder) pushFrame(f *loopFrame) {
+	b.loops = append(b.loops, f)
+	if f.label != "" {
+		b.labeled[f.label] = f
+	}
+}
+
+func (b *builder) popFrame() {
+	f := b.loops[len(b.loops)-1]
+	b.loops = b.loops[:len(b.loops)-1]
+	if f.label != "" {
+		delete(b.labeled, f.label)
+	}
+}
+
+// cond wires the condition expression e so that control reaches tBlk
+// when e is true and fBlk when e is false, decomposing short-circuit
+// operators and negation into separate leaf-condition blocks.
+func (b *builder) cond(e ast.Expr, tBlk, fBlk *Block) {
+	if b.cur == nil {
+		return
+	}
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock()
+			mid.Deferred = b.cur.Deferred
+			b.cond(x.X, mid, fBlk)
+			b.cur = mid
+			b.cond(x.Y, tBlk, fBlk)
+			return
+		case token.LOR:
+			mid := b.newBlock()
+			mid.Deferred = b.cur.Deferred
+			b.cond(x.X, tBlk, mid)
+			b.cur = mid
+			b.cond(x.Y, tBlk, fBlk)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, fBlk, tBlk)
+			return
+		}
+	}
+	// Leaf condition: evaluate it in the current block, then branch.
+	b.emit(e)
+	b.edge(b.cur, tBlk, True, e)
+	b.edge(b.cur, fBlk, False, e)
+	b.cur = nil
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if b.cur == nil {
+		return
+	}
+	thenBlk := b.newBlock()
+	afterBlk := b.newBlock()
+	elseBlk := afterBlk
+	if s.Else != nil {
+		elseBlk = b.newBlock()
+	}
+	thenBlk.Deferred, afterBlk.Deferred, elseBlk.Deferred = b.cur.Deferred, b.cur.Deferred, b.cur.Deferred
+	b.cond(s.Cond, thenBlk, elseBlk)
+	b.cur = thenBlk
+	b.stmts(s.Body.List)
+	b.jump(afterBlk)
+	if s.Else != nil {
+		b.cur = elseBlk
+		b.stmt(s.Else)
+		b.jump(afterBlk)
+	}
+	b.cur = afterBlk
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if b.cur == nil {
+		return
+	}
+	head := b.newBlock()
+	head.LoopHead = true
+	head.End = s.Body.Rbrace
+	body := b.newBlock()
+	post := b.newBlock()
+	after := b.newBlock()
+	head.Deferred, body.Deferred, post.Deferred, after.Deferred =
+		b.cur.Deferred, b.cur.Deferred, b.cur.Deferred, b.cur.Deferred
+	b.jump(head)
+	b.cur = head
+	if s.Cond != nil {
+		b.cond(s.Cond, body, after)
+	} else {
+		b.edge(head, body, Always, nil)
+		b.cur = nil
+	}
+	b.pushFrame(&loopFrame{label: label, breakTo: after, continueTo: post})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.jump(post)
+	b.popFrame()
+	b.cur = post
+	if s.Post != nil {
+		b.stmt(s.Post)
+	}
+	b.jump(head) // back edge
+	b.cur = after
+	// An infinite loop without breaks leaves `after` unreached; that is
+	// correct — nothing falls through.
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.emit(s.X)
+	if b.cur == nil {
+		return
+	}
+	head := b.newBlock()
+	head.LoopHead = true
+	head.End = s.Body.Rbrace
+	body := b.newBlock()
+	after := b.newBlock()
+	head.Deferred, body.Deferred, after.Deferred = b.cur.Deferred, b.cur.Deferred, b.cur.Deferred
+	b.jump(head)
+	head.Succs = append(head.Succs,
+		Edge{To: body, Kind: Always},
+		Edge{To: after, Kind: Always})
+	b.pushFrame(&loopFrame{label: label, breakTo: after, continueTo: head})
+	b.cur = body
+	b.stmts(s.Body.List)
+	b.jump(head) // back edge
+	b.popFrame()
+	b.cur = after
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.emit(s.Tag)
+	}
+	if b.cur == nil {
+		return
+	}
+	dispatch := b.cur
+	after := b.newBlock()
+	after.Deferred = dispatch.Deferred
+	b.pushFrame(&loopFrame{label: label, breakTo: after})
+	var caseBlocks []*Block
+	var bodies [][]ast.Stmt
+	hasDefault := false
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		blk.Deferred = dispatch.Deferred
+		// Case expressions evaluate during dispatch.
+		for _, e := range cc.List {
+			dispatch.Nodes = append(dispatch.Nodes, e)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(dispatch, blk, Always, nil)
+		caseBlocks = append(caseBlocks, blk)
+		bodies = append(bodies, cc.Body)
+	}
+	if !hasDefault || len(caseBlocks) == 0 {
+		b.edge(dispatch, after, Always, nil)
+	}
+	for i, blk := range caseBlocks {
+		b.cur = blk
+		b.stmts(stripFallthrough(bodies[i]))
+		if hasFallthrough(bodies[i]) && i+1 < len(caseBlocks) {
+			b.jump(caseBlocks[i+1])
+		} else {
+			b.jump(after)
+		}
+	}
+	b.popFrame()
+	b.cur = after
+}
+
+func hasFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func stripFallthrough(body []ast.Stmt) []ast.Stmt {
+	if hasFallthrough(body) {
+		return body[:len(body)-1]
+	}
+	return body
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.emit(s.Assign)
+	if b.cur == nil {
+		return
+	}
+	dispatch := b.cur
+	after := b.newBlock()
+	after.Deferred = dispatch.Deferred
+	b.pushFrame(&loopFrame{label: label, breakTo: after})
+	hasDefault := false
+	var blocks []*Block
+	var bodies [][]ast.Stmt
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		blk.Deferred = dispatch.Deferred
+		b.edge(dispatch, blk, Always, nil)
+		blocks = append(blocks, blk)
+		bodies = append(bodies, cc.Body)
+	}
+	if !hasDefault || len(blocks) == 0 {
+		b.edge(dispatch, after, Always, nil)
+	}
+	for i, blk := range blocks {
+		b.cur = blk
+		b.stmts(bodies[i])
+		b.jump(after)
+	}
+	b.popFrame()
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	if b.cur == nil {
+		return
+	}
+	dispatch := b.cur
+	after := b.newBlock()
+	after.Deferred = dispatch.Deferred
+	b.pushFrame(&loopFrame{label: label, breakTo: after})
+	hasDefault := false
+	var blocks []*Block
+	var clauses []*ast.CommClause
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			hasDefault = true
+		}
+		blk := b.newBlock()
+		blk.Deferred = dispatch.Deferred
+		b.edge(dispatch, blk, Always, nil)
+		blocks = append(blocks, blk)
+		clauses = append(clauses, cc)
+	}
+	if len(blocks) == 0 {
+		b.edge(dispatch, after, Always, nil)
+	}
+	_ = hasDefault // a select with no default still takes exactly one case
+	for i, blk := range blocks {
+		b.cur = blk
+		if clauses[i].Comm != nil {
+			b.stmt(clauses[i].Comm)
+		}
+		b.stmts(clauses[i].Body)
+		b.jump(after)
+	}
+	b.popFrame()
+	b.cur = after
+}

@@ -1,0 +1,330 @@
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses one function body and builds its CFG.
+func buildFunc(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return Build(fn.Body)
+}
+
+// reachable returns every block reachable from entry.
+func reachable(cfg *CFG) map[*Block]bool {
+	seen := map[*Block]bool{}
+	work := []*Block{cfg.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		for _, e := range blk.Succs {
+			work = append(work, e.To)
+		}
+	}
+	return seen
+}
+
+// callNames lists the call expressions appearing in reachable blocks,
+// tagged with D when the block is a defer epilogue block.
+func callNames(cfg *CFG) []string {
+	var out []string
+	for _, blk := range cfg.Blocks {
+		if !reachable(cfg)[blk] {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			ast.Inspect(n, func(x ast.Node) bool {
+				if c, ok := x.(*ast.CallExpr); ok {
+					if id, ok := c.Fun.(*ast.Ident); ok {
+						tag := id.Name
+						if blk.Deferred {
+							tag += "/D"
+						}
+						out = append(out, tag)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func TestCFGLinear(t *testing.T) {
+	cfg := buildFunc(t, "a(); b(); c()")
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	got := strings.Join(callNames(cfg), " ")
+	if got != "a b c" {
+		t.Fatalf("calls = %q", got)
+	}
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	cfg := buildFunc(t, "if x() { a() } else { b() }; c()")
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// Both arms and the join must be present.
+	got := strings.Join(callNames(cfg), " ")
+	for _, want := range []string{"x", "a", "b", "c"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in %q", want, got)
+		}
+	}
+}
+
+func TestCFGShortCircuitDecomposed(t *testing.T) {
+	cfg := buildFunc(t, "if a() && !b() || c() { d() }")
+	// Every True/False edge must carry a leaf condition (no &&/||/!).
+	for _, blk := range cfg.Blocks {
+		for _, e := range blk.Succs {
+			if e.Kind == Always {
+				continue
+			}
+			if e.Cond == nil {
+				t.Fatal("conditional edge without condition")
+			}
+			switch x := e.Cond.(type) {
+			case *ast.BinaryExpr:
+				if x.Op == token.LAND || x.Op == token.LOR {
+					t.Fatalf("non-leaf condition %v", x.Op)
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.NOT {
+					t.Fatal("negation not decomposed")
+				}
+			}
+		}
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	cfg := buildFunc(t, "for i := 0; i < n; i++ { a() }; b()")
+	if len(cfg.BackEdges) != 1 {
+		t.Fatalf("BackEdges = %d, want 1", len(cfg.BackEdges))
+	}
+	be := cfg.BackEdges[0]
+	if !be.To.LoopHead {
+		t.Fatal("back edge target not marked LoopHead")
+	}
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestCFGRangeLoopBackEdge(t *testing.T) {
+	cfg := buildFunc(t, "for range xs { a() }; b()")
+	if len(cfg.BackEdges) != 1 {
+		t.Fatalf("BackEdges = %d, want 1", len(cfg.BackEdges))
+	}
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestCFGInfiniteLoopNoExitFallthrough(t *testing.T) {
+	cfg := buildFunc(t, "for { a() }")
+	if reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit reachable through infinite loop")
+	}
+}
+
+func TestCFGBreakReachesAfter(t *testing.T) {
+	cfg := buildFunc(t, "for { if x() { break }; a() }; b()")
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("break does not reach exit")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	cfg := buildFunc(t, "outer:\nfor { for { break outer } }; b()")
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("labeled break does not reach exit")
+	}
+	got := strings.Join(callNames(cfg), " ")
+	if !strings.Contains(got, "b") {
+		t.Fatalf("code after labeled break unreachable: %q", got)
+	}
+}
+
+func TestCFGDeferEpilogueOnAllExits(t *testing.T) {
+	cfg := buildFunc(t, "defer u()\nif x() { return }\na()")
+	// u must appear exactly once, in a Deferred block, and both the
+	// early return and the fallthrough must reach it before Exit.
+	var deferBlk *Block
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "u" {
+					if !blk.Deferred {
+						t.Fatal("deferred call in non-epilogue block")
+					}
+					deferBlk = blk
+				}
+			}
+		}
+	}
+	if deferBlk == nil {
+		t.Fatal("deferred call missing from CFG")
+	}
+	if !reachable(cfg)[deferBlk] {
+		t.Fatal("epilogue unreachable")
+	}
+}
+
+func TestCFGDeferLIFO(t *testing.T) {
+	cfg := buildFunc(t, "defer first()\ndefer second()\na()")
+	var order []string
+	// Walk the single epilogue chain from preExit: collect deferred
+	// call order by block index (epilogue blocks are appended in
+	// execution order).
+	for _, blk := range cfg.Blocks {
+		if !blk.Deferred {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok {
+					order = append(order, id.Name)
+				}
+			}
+		}
+	}
+	if fmt.Sprint(order) != "[second first]" {
+		t.Fatalf("defer order = %v, want [second first]", order)
+	}
+}
+
+func TestCFGDeferFuncLitInlined(t *testing.T) {
+	cfg := buildFunc(t, "defer func() { if x() { u() } }()\na()")
+	got := strings.Join(callNames(cfg), " ")
+	if !strings.Contains(got, "u/D") || !strings.Contains(got, "x/D") {
+		t.Fatalf("deferred literal not inlined into epilogue: %q", got)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	cfg := buildFunc(t, "switch x() {\ncase 1:\n\ta()\n\tfallthrough\ncase 2:\n\tb()\ndefault:\n\tc()\n}\nd()")
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	got := strings.Join(callNames(cfg), " ")
+	for _, want := range []string{"a", "b", "c", "d"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in %q", want, got)
+		}
+	}
+}
+
+func TestCFGGotoBackward(t *testing.T) {
+	cfg := buildFunc(t, "i := 0\nagain:\ni++\nif i < 3 { goto again }\na()")
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	cfg := buildFunc(t, "if x() { goto done }\na()\ndone:\nb()")
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	got := strings.Join(callNames(cfg), " ")
+	if !strings.Contains(got, "b") {
+		t.Fatalf("goto target unreachable: %q", got)
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	cfg := buildFunc(t, "select {\ncase <-ch:\n\ta()\ndefault:\n\tb()\n}\nc()")
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+// countCalls is a tiny dataflow problem used to exercise the solver:
+// state is the maximum number of calls to "a" along any path (capped).
+type countCalls struct{}
+
+func (countCalls) Entry() int { return 0 }
+func (countCalls) Node(n ast.Node, s int, _ bool) int {
+	count := 0
+	ast.Inspect(n, func(x ast.Node) bool {
+		if c, ok := x.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "a" {
+				count++
+			}
+		}
+		return true
+	})
+	s += count
+	if s > 10 {
+		s = 10 // cap for a finite lattice
+	}
+	return s
+}
+func (countCalls) Branch(_ ast.Expr, _ bool, s int) int { return s }
+func (countCalls) Join(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+func (countCalls) Equal(a, b int) bool { return a == b }
+
+func TestSolveTerminatesOnLoop(t *testing.T) {
+	cfg := buildFunc(t, "for { a() }")
+	res := Solve[int](cfg, countCalls{})
+	// The loop head must have saturated at the cap.
+	for _, blk := range cfg.Blocks {
+		if blk.LoopHead {
+			if got := res.In[blk]; got != 10 {
+				t.Fatalf("loop head in-state = %d, want saturated 10", got)
+			}
+		}
+	}
+}
+
+func TestSolveBranchJoin(t *testing.T) {
+	cfg := buildFunc(t, "if x() { a() }\nb()")
+	res := Solve[int](cfg, countCalls{})
+	if got := res.In[cfg.Exit]; got != 1 {
+		t.Fatalf("exit in-state = %d, want 1 (max over paths)", got)
+	}
+}
+
+func TestEntryInExcludesBackEdges(t *testing.T) {
+	cfg := buildFunc(t, "a()\nfor { a() }")
+	tr := countCalls{}
+	res := Solve[int](cfg, tr)
+	var head *Block
+	for _, blk := range cfg.Blocks {
+		if blk.LoopHead {
+			head = blk
+		}
+	}
+	if head == nil {
+		t.Fatal("no loop head")
+	}
+	in, ok := EntryIn[int](cfg, res, tr, head)
+	if !ok || in != 1 {
+		t.Fatalf("EntryIn = %d,%v, want 1,true (the pre-loop call only)", in, ok)
+	}
+}

@@ -1,0 +1,340 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func loc(base, off string) Loc { return Loc{Base: base, Off: off} }
+
+func TestLatticeJoinIsMax(t *testing.T) {
+	order := []PersistState{PSBottom, PSCommitted, PSOrdered, PSFlushed, PSDirty, PSTop}
+	for i, a := range order {
+		for j, b := range order {
+			want := a
+			if j > i {
+				want = b
+			}
+			if got := JoinPS(a, b); got != want {
+				t.Fatalf("join(%v,%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestStoreFlushFenceProgression(t *testing.T) {
+	s := NewPMState()
+	l := loc("w.root", "qHead")
+	s, prev := s.WithStore(l, 1)
+	if prev != PSBottom || s.Locs[l].S != PSDirty {
+		t.Fatalf("after store: prev=%v state=%v", prev, s.Locs[l].S)
+	}
+	s, eff := s.WithFlush(loc("w.root", ""), 2)
+	if eff.DirtyCovered != 1 || eff.Redundant || s.Locs[l].S != PSFlushed {
+		t.Fatalf("after flush: %+v state=%v", eff, s.Locs[l].S)
+	}
+	s, red := s.WithFence(3, false)
+	if red || s.Locs[l].S != PSOrdered {
+		t.Fatalf("after order: red=%v state=%v", red, s.Locs[l].S)
+	}
+	s, red = s.WithFence(4, true)
+	if red || s.Locs[l].S != PSCommitted {
+		t.Fatalf("after durable: red=%v state=%v", red, s.Locs[l].S)
+	}
+}
+
+func TestFlushCoversSameBaseOnly(t *testing.T) {
+	s := NewPMState()
+	s, _ = s.WithStore(loc("w.root", "qHead"), 1)
+	s, _ = s.WithStore(loc("dummy", ""), 2)
+	s, eff := s.WithFlush(loc("w.root", ""), 3)
+	if eff.DirtyCovered != 1 {
+		t.Fatalf("DirtyCovered = %d, want 1", eff.DirtyCovered)
+	}
+	if s.Locs[loc("dummy", "")].S != PSDirty {
+		t.Fatal("flush of w.root must not cover dummy")
+	}
+}
+
+func TestRedundantFlush(t *testing.T) {
+	s := NewPMState()
+	s, _ = s.WithStore(loc("e", ""), 1)
+	s, _ = s.WithFlush(loc("e", ""), 2)
+	_, eff := s.WithFlush(loc("e", ""), 3)
+	if !eff.Redundant {
+		t.Fatal("second flush of an already-Flushed loc must be redundant")
+	}
+	// A flush covering no tracked loc makes no redundancy claim.
+	_, eff = s.WithFlush(loc("other", ""), 4)
+	if eff.Redundant {
+		t.Fatal("flush of an untracked base must not claim redundancy")
+	}
+}
+
+func TestRedundantFence(t *testing.T) {
+	s := NewPMState()
+	s, _ = s.WithStore(loc("e", ""), 1)
+	s, _ = s.WithFlush(loc("e", ""), 2)
+	s, red := s.WithFence(3, false)
+	if red {
+		t.Fatal("first fence is not redundant")
+	}
+	// Ordering fence directly after an ordering fence: redundant.
+	s2, red := s.WithFence(4, false)
+	if !red {
+		t.Fatal("back-to-back ordering fences: second must be redundant")
+	}
+	// Durability barrier after a mere ordering fence: NOT redundant
+	// (it upgrades ordering to durability).
+	_, red = s2.WithFence(5, true)
+	if red {
+		t.Fatal("durable after ordering must not be redundant")
+	}
+	// Ordering fence after a durability barrier: redundant.
+	s3, _ := s.WithFence(6, true)
+	_, red = s3.WithFence(7, false)
+	if !red {
+		t.Fatal("ordering after durable must be redundant")
+	}
+	// A store in between revalidates the fence.
+	s4, _ := s.WithStore(loc("e", ""), 8)
+	_, red = s4.WithFence(9, false)
+	if red {
+		t.Fatal("fence after an intervening store is not redundant")
+	}
+}
+
+func TestWrongEpochStore(t *testing.T) {
+	s := NewPMState()
+	l := loc("e", "8")
+	s, _ = s.WithStore(l, 1)
+	s, _ = s.WithFlush(loc("e", ""), 2)
+	s2, prev := s.WithStore(l, 3)
+	if prev != PSFlushed {
+		t.Fatalf("store onto Flushed loc: prev=%v, want Flushed (wrong-epoch signal)", prev)
+	}
+	if !s2.Locs[l].WrongEpoch {
+		t.Fatal("store onto Flushed loc must be flagged WrongEpoch")
+	}
+	// A covering re-flush clears the hazard.
+	s3, _ := s2.WithFlush(loc("e", ""), 4)
+	if s3.Locs[l].WrongEpoch {
+		t.Fatal("re-flush must clear the WrongEpoch flag")
+	}
+	// The flag survives a join against a clean path (any path wrong is
+	// wrong).
+	j := JoinPM(s2, s3)
+	if !j.Locs[l].WrongEpoch {
+		t.Fatal("join must keep the WrongEpoch flag from the hazardous path")
+	}
+}
+
+func TestUnknownCallBlocksOptimizerClaims(t *testing.T) {
+	s := NewPMState()
+	s, _ = s.WithStore(loc("e", ""), 1)
+	s, _ = s.WithFlush(loc("e", ""), 2)
+	s, _ = s.WithFence(3, false)
+	s = s.WithUnknownCall()
+	// Fence adjacency is gone.
+	_, red := s.WithFence(4, false)
+	if red {
+		t.Fatal("fence after unknown call must not be redundant")
+	}
+	// Flush redundancy is gone (the callee may have dirtied the loc).
+	_, eff := s.WithFlush(loc("e", ""), 5)
+	if eff.Redundant {
+		t.Fatal("flush after unknown call must not be redundant")
+	}
+}
+
+func TestJoinPMPerLocMax(t *testing.T) {
+	l := loc("e", "")
+	a := NewPMState()
+	a, _ = a.WithStore(l, 1)
+	a, _ = a.WithFlush(l, 2)
+	b := NewPMState()
+	b, _ = b.WithStore(l, 3)
+	j := JoinPM(a, b)
+	if j.Locs[l].S != PSDirty {
+		t.Fatalf("join(Flushed,Dirty) = %v, want Dirty", j.Locs[l].S)
+	}
+	if j.Locs[l].Origin != 3 {
+		t.Fatalf("join must keep the worse state's origin, got %v", j.Locs[l].Origin)
+	}
+}
+
+func TestJoinPMFenceValidity(t *testing.T) {
+	a := NewPMState()
+	a, _ = a.WithFence(1, false)
+	b := NewPMState()
+	b, _ = b.WithStore(loc("e", ""), 2)
+	j := JoinPM(a, b)
+	if j.FenceValid {
+		t.Fatal("fence validity must not survive a join with a fenceless path")
+	}
+	j2 := JoinPM(a, a)
+	if !j2.FenceValid {
+		t.Fatal("identical fences must stay valid through join")
+	}
+}
+
+func TestJoinPMDepths(t *testing.T) {
+	a := NewPMState()
+	a = a.WithDepths(1, 1)
+	b := NewPMState()
+	if d := JoinPM(a, b).LockDepth; d != DepthUnknown {
+		t.Fatalf("join of differing lock depths = %d, want DepthUnknown", d)
+	}
+	if d := JoinPM(a, a).LockDepth; d != 1 {
+		t.Fatalf("join of equal lock depths = %d, want 1", d)
+	}
+}
+
+func TestEqualPM(t *testing.T) {
+	a := NewPMState()
+	a, _ = a.WithStore(loc("e", ""), 1)
+	b := NewPMState()
+	b, _ = b.WithStore(loc("e", ""), 1)
+	if !EqualPM(a, b) {
+		t.Fatal("identical states must be equal")
+	}
+	b, _ = b.WithFlush(loc("e", ""), 2)
+	if EqualPM(a, b) {
+		t.Fatal("different states must differ")
+	}
+}
+
+// typecheckFunc parses and type-checks one function and returns its
+// body plus the populated type info.
+func typecheckFunc(t *testing.T, src string) (*ast.BlockStmt, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default(), Error: func(error) {}}
+	conf.Check("p", fset, []*ast.File{file}, info)
+	var body *ast.BlockStmt
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == "f" {
+			body = fn.Body
+		}
+	}
+	if body == nil {
+		t.Fatal("no func f")
+	}
+	return body, info
+}
+
+func TestResolverCanonicalizesBinding(t *testing.T) {
+	src := `package p
+type W struct{ root uint64 }
+func f(w *W) {
+	a := w.root + 8
+	_ = a
+}`
+	body, info := typecheckFunc(t, src)
+	r := NewResolver(info, body)
+	// Find the `a` use and the `w.root + 8` expression.
+	var aUse ast.Expr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "a" && info.Uses[id] != nil {
+			aUse = id
+		}
+		return true
+	})
+	if aUse == nil {
+		t.Fatal("no use of a")
+	}
+	got := r.Loc(aUse)
+	if got.Base != "w.root" || got.Off != "8" {
+		t.Fatalf("Loc(a) = %+v, want Base w.root Off 8", got)
+	}
+	if got.Root == nil || got.Root.Name() != "w" {
+		t.Fatalf("Root = %v, want parameter w", got.Root)
+	}
+}
+
+func TestResolverMutatedVarNotSubstituted(t *testing.T) {
+	src := `package p
+func f(x, y uint64) {
+	a := x
+	a = y
+	_ = a
+}`
+	body, info := typecheckFunc(t, src)
+	r := NewResolver(info, body)
+	var aUse ast.Expr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "a" && info.Uses[id] != nil {
+			aUse = id
+		}
+		return true
+	})
+	got := r.Loc(aUse)
+	if got.Base != "a" {
+		t.Fatalf("reassigned var must stay opaque, got Base %q", got.Base)
+	}
+}
+
+func TestResolverUnwrapsConversions(t *testing.T) {
+	src := `package p
+type Addr uint64
+func f(e uint64) {
+	a := Addr(e) // conversion is address-transparent
+	_ = a
+}`
+	body, info := typecheckFunc(t, src)
+	r := NewResolver(info, body)
+	var aUse ast.Expr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "a" && info.Uses[id] != nil {
+			aUse = id
+		}
+		return true
+	})
+	got := r.Loc(aUse)
+	if got.Base != "e" {
+		t.Fatalf("conversion must unwrap to e, got Base %q", got.Base)
+	}
+}
+
+func TestParamIndex(t *testing.T) {
+	src := `package p
+type W struct{ root uint64 }
+func f(w *W, e uint64) {
+	_ = e
+}`
+	body, info := typecheckFunc(t, src)
+	r := NewResolver(info, body)
+	var eUse ast.Expr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "e" && info.Uses[id] != nil {
+			eUse = id
+		}
+		return true
+	})
+	l := r.Loc(eUse)
+	var sig *types.Signature
+	for _, obj := range info.Defs {
+		if fn, ok := obj.(*types.Func); ok && fn.Name() == "f" {
+			sig = fn.Type().(*types.Signature)
+		}
+	}
+	if sig == nil {
+		t.Fatal("no signature")
+	}
+	if got := ParamIndex(l, sig); got != 1 {
+		t.Fatalf("ParamIndex(e) = %d, want 1", got)
+	}
+}

@@ -1,0 +1,170 @@
+package dataflow
+
+import "go/ast"
+
+// Transfer is a client's forward dataflow problem over the CFG. States
+// must form a finite-height join-semilattice for Solve to terminate;
+// clients with unbounded domains must cap them (Solve additionally
+// enforces an iteration budget as a backstop).
+type Transfer[S any] interface {
+	// Entry is the state at function entry.
+	Entry() S
+	// Node interprets one block node. deferred marks epilogue nodes:
+	// calls executing at function exit via defer.
+	Node(n ast.Node, s S, deferred bool) S
+	// Branch refines the post-condition state along a True/False edge
+	// whose leaf condition is cond. Most clients return s unchanged.
+	Branch(cond ast.Expr, outcome bool, s S) S
+	// Join merges two incoming states.
+	Join(a, b S) S
+	// Equal reports whether two states are indistinguishable (the
+	// fixpoint test).
+	Equal(a, b S) bool
+}
+
+// Result holds the solved fixpoint: the state at entry of every
+// reached block. Blocks absent from In were never reached.
+type Result[S any] struct {
+	In map[*Block]S
+}
+
+// maxVisitsPerBlock bounds fixpoint iteration per block — a backstop
+// against client lattices that fail to converge.
+const maxVisitsPerBlock = 64
+
+// Solve runs the worklist algorithm to a fixpoint and returns the
+// per-block entry states.
+func Solve[S any](cfg *CFG, t Transfer[S]) *Result[S] {
+	return solve(cfg, t, false)
+}
+
+// SolveAcyclic propagates along forward edges only: loop bodies are
+// interpreted once from the loop-entry state and back edges are not
+// followed. Clients that enforce a per-iteration invariant (the loop
+// body must restore the state it was entered with) use this and check
+// each back edge explicitly via EdgeState against EntryIn; propagating
+// an imbalanced iteration around the loop would compound the already-
+// reported violation into spurious follow-on states.
+func SolveAcyclic[S any](cfg *CFG, t Transfer[S]) *Result[S] {
+	return solve(cfg, t, true)
+}
+
+func solve[S any](cfg *CFG, t Transfer[S], skipBack bool) *Result[S] {
+	res := &Result[S]{In: make(map[*Block]S, len(cfg.Blocks))}
+	res.In[cfg.Entry] = t.Entry()
+	visits := make([]int, len(cfg.Blocks))
+	work := []*Block{cfg.Entry}
+	queued := make([]bool, len(cfg.Blocks))
+	queued[cfg.Entry.Index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		if visits[blk.Index] >= maxVisitsPerBlock {
+			continue
+		}
+		visits[blk.Index]++
+		outs := FlowThrough(blk, res.In[blk], t)
+		for i, e := range blk.Succs {
+			if skipBack && e.To.LoopHead && e.To.Index <= blk.Index {
+				continue
+			}
+			out := outs[i]
+			prev, seen := res.In[e.To]
+			var next S
+			if seen {
+				next = t.Join(prev, out)
+				if t.Equal(prev, next) {
+					continue
+				}
+			} else {
+				next = out
+			}
+			res.In[e.To] = next
+			if !queued[e.To.Index] {
+				queued[e.To.Index] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return res
+}
+
+// FlowThrough interprets one block from state in and returns the state
+// flowing out along each successor edge (indexed like blk.Succs),
+// applying Branch refinement on conditional edges.
+func FlowThrough[S any](blk *Block, in S, t Transfer[S]) []S {
+	s := in
+	for _, n := range blk.Nodes {
+		s = t.Node(n, s, blk.Deferred)
+	}
+	outs := make([]S, len(blk.Succs))
+	for i, e := range blk.Succs {
+		switch e.Kind {
+		case True:
+			outs[i] = t.Branch(e.Cond, true, s)
+		case False:
+			outs[i] = t.Branch(e.Cond, false, s)
+		default:
+			outs[i] = s
+		}
+	}
+	return outs
+}
+
+// EntryIn returns the join of the states flowing into head along
+// forward (non-back) edges only — the state at first entry of a loop,
+// used by clients that check loop-body balance. ok is false when no
+// forward edge reaches head.
+func EntryIn[S any](cfg *CFG, res *Result[S], t Transfer[S], head *Block) (S, bool) {
+	back := map[*Block]bool{}
+	for _, be := range cfg.BackEdges {
+		if be.To == head {
+			back[be.From] = true
+		}
+	}
+	var acc S
+	have := false
+	for _, blk := range cfg.Blocks {
+		in, reached := res.In[blk]
+		if !reached || back[blk] {
+			continue
+		}
+		outs := FlowThrough(blk, in, t)
+		for i, e := range blk.Succs {
+			if e.To != head {
+				continue
+			}
+			if !have {
+				acc, have = outs[i], true
+			} else {
+				acc = t.Join(acc, outs[i])
+			}
+		}
+	}
+	return acc, have
+}
+
+// EdgeState returns the state flowing along one specific edge at the
+// solved fixpoint. ok is false when the source block was never reached.
+func EdgeState[S any](res *Result[S], t Transfer[S], from, to *Block) (S, bool) {
+	in, reached := res.In[from]
+	if !reached {
+		var zero S
+		return zero, false
+	}
+	outs := FlowThrough(from, in, t)
+	var acc S
+	have := false
+	for i, e := range from.Succs {
+		if e.To != to {
+			continue
+		}
+		if !have {
+			acc, have = outs[i], true
+		} else {
+			acc = t.Join(acc, outs[i])
+		}
+	}
+	return acc, have
+}

@@ -1,0 +1,173 @@
+// Suggested-edit machinery: analyzers attach machine-applicable edits
+// to diagnostics (today: statement deletions proposed by
+// redundantbarrier); pmemspec-lint -fix applies them in place, -diff
+// renders them, and -fix -diff together is the CI check mode.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// SuggestedEdit is one machine-applicable replacement: the byte range
+// [Start, End) of File is replaced by NewText (empty = deletion).
+// StartLine/EndLine are informational. Deletions expand to whole lines
+// at apply time when the surrounding text is blank.
+type SuggestedEdit struct {
+	File      string `json:"file"`
+	Start     int    `json:"start"`
+	End       int    `json:"end"`
+	StartLine int    `json:"start_line"`
+	EndLine   int    `json:"end_line"`
+	NewText   string `json:"new_text"`
+}
+
+// ReportEdit records a diagnostic carrying a suggested edit (which may
+// be nil when no mechanical fix applies). Suppression rules match
+// Reportf.
+func (p *Pass) ReportEdit(pos token.Pos, edit *SuggestedEdit, format string, args ...any) {
+	if p.SuppressedAt(pos) {
+		return
+	}
+	position := p.Fset.Position(pos)
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      position,
+		Package:  p.Pkg.Path,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Edit:     edit,
+	})
+}
+
+// deleteStmtEdit builds a deletion edit for a call that forms a whole
+// expression statement; any other shape (an epilogue defer call, a call
+// in an expression) returns nil and the finding ships without a fix.
+func (p *Pass) deleteStmtEdit(top ast.Node, call *ast.CallExpr) *SuggestedEdit {
+	es, ok := top.(*ast.ExprStmt)
+	if !ok || ast.Unparen(es.X) != call {
+		return nil
+	}
+	start := p.Fset.Position(es.Pos())
+	end := p.Fset.Position(es.End())
+	return &SuggestedEdit{
+		File:      start.Filename,
+		Start:     start.Offset,
+		End:       end.Offset,
+		StartLine: start.Line,
+		EndLine:   end.Line,
+	}
+}
+
+// CollectEdits groups the applicable edits of a diagnostic set by file.
+func CollectEdits(diags []Diagnostic) map[string][]*SuggestedEdit {
+	out := map[string][]*SuggestedEdit{}
+	for _, d := range diags {
+		if d.Edit != nil {
+			out[d.Edit.File] = append(out[d.Edit.File], d.Edit)
+		}
+	}
+	return out
+}
+
+// ApplyEdits applies edits to one file's contents. Edits are applied
+// last-to-first; a deletion whose line remainder is blank swallows the
+// whole line. Overlapping edits fall back to their exact spans, and an
+// edit that still overlaps a later one is skipped (reported in the
+// returned count as not applied).
+func ApplyEdits(src []byte, edits []*SuggestedEdit) (out []byte, applied int, err error) {
+	sorted := append([]*SuggestedEdit{}, edits...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start > sorted[j].Start })
+	out = append([]byte{}, src...)
+	lowWater := len(src) + 1 // start of the last-applied region
+	for _, e := range sorted {
+		if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+			return nil, applied, fmt.Errorf("analysis: edit %d:%d out of range for %d-byte file", e.Start, e.End, len(src))
+		}
+		start, end := e.Start, e.End
+		if e.NewText == "" {
+			if ws, we, ok := wholeLines(src, start, end); ok && we <= lowWater {
+				start, end = ws, we
+			}
+		}
+		if end > lowWater {
+			continue // overlaps an already-applied edit: skip
+		}
+		out = append(out[:start], append([]byte(e.NewText), out[end:]...)...)
+		lowWater = start
+		applied++
+	}
+	return out, applied, nil
+}
+
+// wholeLines expands [start, end) to cover its full source lines
+// (including the trailing newline) when everything else on those lines
+// is whitespace, so deleting a statement does not leave a blank line.
+func wholeLines(src []byte, start, end int) (int, int, bool) {
+	ls := start
+	for ls > 0 && src[ls-1] != '\n' {
+		ls--
+	}
+	le := end
+	for le < len(src) && src[le] != '\n' {
+		le++
+	}
+	if le < len(src) {
+		le++ // include the newline
+	}
+	if strings.TrimSpace(string(src[ls:start])) != "" ||
+		strings.TrimSpace(string(src[end:le])) != "" {
+		return start, end, false
+	}
+	return ls, le, true
+}
+
+// Diff renders a minimal unified diff between two versions of a file:
+// one hunk covering the changed region (common prefix and suffix lines
+// elided). Returns "" when the contents are identical.
+func Diff(path string, oldSrc, newSrc []byte) string {
+	if string(oldSrc) == string(newSrc) {
+		return ""
+	}
+	oldLines := splitLines(string(oldSrc))
+	newLines := splitLines(string(newSrc))
+	p := 0
+	for p < len(oldLines) && p < len(newLines) && oldLines[p] == newLines[p] {
+		p++
+	}
+	s := 0
+	for s < len(oldLines)-p && s < len(newLines)-p &&
+		oldLines[len(oldLines)-1-s] == newLines[len(newLines)-1-s] {
+		s++
+	}
+	oldMid := oldLines[p : len(oldLines)-s]
+	newMid := newLines[p : len(newLines)-s]
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- a/%s\n+++ b/%s\n", path, path)
+	fmt.Fprintf(&b, "@@ -%d,%d +%d,%d @@\n", p+1, len(oldMid), p+1, len(newMid))
+	for _, l := range oldMid {
+		b.WriteString("-" + strings.TrimSuffix(l, "\n"))
+		b.WriteString("\n")
+	}
+	for _, l := range newMid {
+		b.WriteString("+" + strings.TrimSuffix(l, "\n"))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	lines := strings.SplitAfter(s, "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}

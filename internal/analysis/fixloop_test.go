@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pmemspec/internal/harness"
+	"pmemspec/internal/workload"
+)
+
+// TestRedundantBarrierFixLoop proves the full optimizer loop on the
+// fixture: propose deletions, apply them mechanically, re-analyze the
+// edited tree to show every claim was consumed and no new finding
+// appeared, then run a crash campaign with misspeculation injection to
+// show the simulated runtime is still crash-consistent (the suggested
+// edits only ever remove provably-dead stalls, never protocol).
+func TestRedundantBarrierFixLoop(t *testing.T) {
+	root := repoRoot(t)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./internal/analysis/testdata/src/redundantbarriertest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(l.Fset, pkgs, []*Analyzer{RedundantBarrier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFile := CollectEdits(diags)
+	if len(byFile) != 1 {
+		t.Fatalf("expected edits in exactly one file, got %d", len(byFile))
+	}
+	for _, d := range diags {
+		if d.Edit == nil {
+			t.Errorf("finding without a machine-applicable edit: %s", d)
+		}
+	}
+
+	// Apply the proposed deletions to a scratch copy inside the module
+	// (the loader resolves pmemspec/... imports against the module root).
+	dir, err := os.MkdirTemp(filepath.Join(root, "internal", "analysis", "testdata", "src"), "rbfixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	for file, edits := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, applied, err := ApplyEdits(src, edits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if applied != len(edits) {
+			t.Fatalf("applied %d of %d edits", applied, len(edits))
+		}
+		if diff := Diff(file, src, out); !strings.Contains(diff, "--- a/") || !strings.Contains(diff, "-\tm.") {
+			t.Errorf("diff rendering looks wrong:\n%s", diff)
+		}
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(file)), out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Re-analyze the edited tree: every proposal must be consumed.
+	l2, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs2, err := l2.Load("./" + filepath.ToSlash(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags2, err := RunAnalyzers(l2.Fset, pkgs2, []*Analyzer{RedundantBarrier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags2 {
+		t.Errorf("edited tree still has a redundant barrier: %s", d)
+	}
+
+	// Crash-campaign green: the fix loop ends with the runtime's own
+	// consistency gate, not just a clean lint.
+	if testing.Short() {
+		t.Skip("skipping crash campaign in -short mode")
+	}
+	rep, err := harness.RunCampaign(harness.CampaignConfig{
+		Workloads:      []string{"arrayswap"},
+		Params:         workload.Params{Threads: 2, Ops: 12, DataSize: 64, Seed: 11},
+		Points:         2,
+		MaxNS:          100_000,
+		Boundaries:     true,
+		BoundaryBudget: 3,
+		MaxPoints:      8,
+		Inject:         harness.InjectionPlan{StalePeriodNS: 3_000, OOOPeriodNS: 5_000, Count: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 || rep.Failures != 0 {
+		t.Fatalf("crash campaign after fix loop: %d violations, %d failures", rep.Violations, rep.Failures)
+	}
+}

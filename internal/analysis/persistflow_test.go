@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestPersistFlowGolden(t *testing.T)      { runGolden(t, PersistFlow, "persistflowtest") }
+func TestRedundantBarrierGolden(t *testing.T) { runGolden(t, RedundantBarrier, "redundantbarriertest") }
+
+// TestCoarseAnalyzersMissPersistFlowCases is the acceptance check for
+// the per-location engine: every finding in the persistflow fixture —
+// including the store buried two call layers down — is invisible to
+// the PR 3 set-based analyzers, because a single flush clears their
+// whole pending set and a fence wipes it.
+func TestCoarseAnalyzersMissPersistFlowCases(t *testing.T) {
+	l, err := NewLoader(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./internal/analysis/testdata/src/persistflowtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(l.Fset, pkgs, []*Analyzer{SpecPair, BarrierPair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("coarse analyzer sees a persistflow-only case: %s", d)
+	}
+}
+
+// TestDiagnosticsDeterministic pins the -json contract: two fresh
+// loaders over the same fixture set, all analyzers, byte-identical
+// serialized output (the (package, file, line, col, analyzer, message)
+// sort leaves no room for map-iteration or scheduling order).
+func TestDiagnosticsDeterministic(t *testing.T) {
+	root := repoRoot(t)
+	patterns := []string{
+		"./internal/analysis/testdata/src/specpairtest",
+		"./internal/analysis/testdata/src/barrierpairtest",
+		"./internal/analysis/testdata/src/persistflowtest",
+		"./internal/analysis/testdata/src/redundantbarriertest",
+	}
+	var prev []byte
+	for run := 0; run < 2; run++ {
+		l, err := NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs, err := l.Load(patterns...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := RunAnalyzers(l.Fset, pkgs, Analyzers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) == 0 {
+			t.Fatal("fixture set produced no diagnostics")
+		}
+		data, err := json.Marshal(diags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run > 0 && string(data) != string(prev) {
+			t.Fatalf("diagnostic JSON differs between runs:\nrun %d: %s\nrun %d: %s", run-1, prev, run, data)
+		}
+		prev = data
+	}
+}

@@ -1,0 +1,46 @@
+package analysis
+
+// RedundantBarrier is the redundant-barrier optimizer: it re-runs the
+// persist-state abstract interpreter (the same engine as persistflow)
+// and flags operations whose deletion provably changes nothing:
+//
+//   - a flush covering only locations that are already Flushed or
+//     better on every path, with no unknown call in between;
+//   - a fence with no PM store or flush since the previous barrier of
+//     at-least-equal strength on every path — including the
+//     interprocedural case where a callee's summary says it ended
+//     fenced (pf:endfence).
+//
+// Both come with machine-applicable suggested edits (statement
+// deletion) when the call stands alone, consumable via
+// pmemspec-lint -fix / -diff. Claims are deliberately conservative:
+// unknown calls poison fence adjacency and mark locations unstable,
+// any-path callee flushes never feed redundancy, NextUpdate and the
+// spec/strand protocol barriers are never proposed for deletion, and a
+// durability barrier after a mere ordering barrier is an upgrade, not
+// a repeat. The paper's cost model motivates the pass: every stall
+// barrier consumes store-queue entries, so a provably-redundant one is
+// pure overhead (speculation exists to hide exactly these stalls).
+var RedundantBarrier = &Analyzer{
+	Name: "redundantbarrier",
+	Doc:  "flag provably-redundant flushes and fences, with machine-applicable deletion fixes",
+	Run:  runRedundantBarrier,
+}
+
+func runRedundantBarrier(pass *Pass) error {
+	if !pathHasAny(pass.Pkg.Path, "/internal/workload", "/internal/fatomic", "/analysis/testdata") {
+		return nil
+	}
+	decls := funcDecls(pass.Pkg)
+	// Summaries are shared with persistflow; re-exporting is idempotent
+	// and keeps `-c redundantbarrier` self-sufficient.
+	pfSummarize(pass, decls)
+	for _, fd := range decls {
+		if pass.SuppressedAt(fd.decl.Pos()) {
+			continue
+		}
+		w := newPFWalker(pass, pfModeOptimize)
+		w.analyze(fd.decl.Body, signatureOf(fd.obj))
+	}
+	return nil
+}

@@ -5,6 +5,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
+
+	"pmemspec/internal/analysis/dataflow"
 )
 
 // SpecPair enforces the paper's compiler rule (§6) on workload and
@@ -19,11 +22,16 @@ import (
 //
 // A raw spec-assign must be revoked before the enclosing raw unlock —
 // mixing machine-level lock entry with sim-level release (which would
-// skip the revoke) is likewise a violation. TryLock is recognized when
-// its result directly guards the critical section (`if m.TryLock(t)`,
-// `if ok := m.TryLock(t); ok`, and the negated early-exit forms);
-// discarding the result is itself reported, since a won lock would then
-// never be released.
+// skip the revoke) is likewise a violation. TryLock is branch-sensitive
+// through the shared dataflow CFG: the success edge of any condition
+// containing the call (including `ok := m.TryLock(t)` bindings and
+// negated early-exit forms) holds the lock; discarding the result is
+// itself reported, since a won lock would then never be released.
+//
+// The check runs on the dataflow engine's CFG, so deferred releases —
+// `defer t.Unlock(lk)`, `defer t.SpecRevoke()`, and deferred function
+// literals that release — execute in the exit epilogue on every path
+// and balance early returns.
 var SpecPair = &Analyzer{
 	Name: "specpair",
 	Doc:  "check Lock/Unlock and SpecAssign/SpecRevoke balance on all control-flow paths",
@@ -36,7 +44,7 @@ func runSpecPair(pass *Pass) error {
 	}
 	for _, fd := range funcDecls(pass.Pkg) {
 		w := &spWalker{pass: pass, info: pass.Pkg.Info, reported: map[string]bool{}}
-		w.function(fd.decl.Body)
+		w.analyze(fd.decl.Body)
 	}
 	return nil
 }
@@ -84,27 +92,42 @@ const (
 	spMaxDepth  = 16
 )
 
-// spWalker runs the per-function path walk.
-type spWalker struct {
-	pass     *Pass
-	info     *types.Info
-	reported map[string]bool
-	deferred []spEvent // unconditional deferred exits, applied at returns
-	overflow bool
-	loops    []*spLoop
+// spSet is the dataflow state: the set of distinct stacks reaching a
+// program point (path-sensitive within the explosion caps). States are
+// kept sorted by key and deduplicated, so Join and Equal are canonical.
+type spSet struct {
+	states []spState
 }
 
-type spLoop struct {
-	entry  []spState
-	breaks []spState
+func spCanon(states []spState) []spState {
+	sort.SliceStable(states, func(i, j int) bool { return states[i].key() < states[j].key() })
+	out := states[:0]
+	var last string
+	for i, s := range states {
+		k := s.key()
+		if i > 0 && k == last {
+			continue
+		}
+		last = k
+		out = append(out, s)
+	}
+	return out
 }
 
 // spEvent classifies one call's effect.
 type spEvent struct {
-	op   string // "push", "pop", "trylock", "ignored-trylock"
+	op   string // "push", "pop", "trylock"
 	tok  spTok
 	want string // for pop: expected token kind
 	pos  token.Pos
+}
+
+// spWalker runs the per-function analysis: one CFG, one acyclic solve,
+// one reporting pass, plus the per-back-edge loop-balance check.
+type spWalker struct {
+	pass     *Pass
+	info     *types.Info
+	reported map[string]bool
 }
 
 func (w *spWalker) reportf(pos token.Pos, format string, args ...any) {
@@ -117,357 +140,248 @@ func (w *spWalker) reportf(pos token.Pos, format string, args ...any) {
 	w.pass.Reportf(pos, "%s", msg)
 }
 
-// function walks one function or closure body with an empty stack.
-func (w *spWalker) function(body *ast.BlockStmt) {
-	saveDefer, saveOverflow, saveLoops := w.deferred, w.overflow, w.loops
-	w.deferred, w.overflow, w.loops = nil, false, nil
-	out := w.stmts(body.List, []spState{{}})
-	for _, s := range out {
-		w.checkReturn(s, body.Rbrace)
-	}
-	w.deferred, w.overflow, w.loops = saveDefer, saveOverflow, saveLoops
-}
-
-// checkReturn applies deferred exits and reports tokens still open.
-func (w *spWalker) checkReturn(s spState, pos token.Pos) {
-	stack := s.stack
-	for i := len(w.deferred) - 1; i >= 0; i-- {
-		stack = w.applyPop(stack, w.deferred[i])
-	}
-	for _, t := range stack {
-		switch t.kind {
-		case "spec":
-			w.reportf(t.pos, "SpecAssign is not revoked on every path (function can return with the speculation ID still assigned)")
-		default:
-			w.reportf(t.pos, "%s is not released on every path", t.describe())
+// analyze checks one function or closure body.
+func (w *spWalker) analyze(body *ast.BlockStmt) {
+	cfg := dataflow.Build(body)
+	tr := &spTransfer{w: w, bound: w.bindTryLocks(body)}
+	res := dataflow.SolveAcyclic[spSet](cfg, tr)
+	if !tr.overflow {
+		// Report pass: replay every reached block once against its solved
+		// entry state, now emitting diagnostics.
+		rep := &spTransfer{w: w, bound: tr.bound, report: true}
+		for _, blk := range cfg.Blocks {
+			in, ok := res.In[blk]
+			if !ok {
+				continue
+			}
+			dataflow.FlowThrough(blk, in, rep)
 		}
-	}
-	_ = pos
-}
-
-// dedup merges equivalent states and enforces the explosion cap.
-func (w *spWalker) dedup(states []spState) []spState {
-	seen := map[string]bool{}
-	out := states[:0]
-	for _, s := range states {
-		k := s.key()
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		out = append(out, s)
-	}
-	if len(out) > spMaxStates {
-		w.overflow = true
-		out = out[:spMaxStates]
-	}
-	return out
-}
-
-// stmts walks a statement list, returning the fall-through states.
-func (w *spWalker) stmts(list []ast.Stmt, in []spState) []spState {
-	states := in
-	for _, st := range list {
-		if w.overflow {
-			return states
-		}
-		states = w.stmt(st, states)
-	}
-	return states
-}
-
-func (w *spWalker) stmt(st ast.Stmt, in []spState) []spState {
-	switch st := st.(type) {
-	case *ast.ExprStmt:
-		return w.exprs(st.X, in, true)
-	case *ast.AssignStmt:
-		states := in
-		for _, rhs := range st.Rhs {
-			states = w.exprs(rhs, states, false)
-		}
-		return states
-	case *ast.DeclStmt:
-		states := in
-		if gd, ok := st.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, v := range vs.Values {
-						states = w.exprs(v, states, false)
+		// Function exit: everything still on a stack leaks.
+		if exitIn, ok := res.In[cfg.Exit]; ok {
+			for _, s := range exitIn.states {
+				for _, t := range s.stack {
+					switch t.kind {
+					case "spec":
+						w.reportf(t.pos, "SpecAssign is not revoked on every path (function can return with the speculation ID still assigned)")
+					default:
+						w.reportf(t.pos, "%s is not released on every path", t.describe())
 					}
 				}
 			}
 		}
-		return states
-	case *ast.ReturnStmt:
-		states := in
-		for _, r := range st.Results {
-			states = w.exprs(r, states, false)
-		}
-		for _, s := range states {
-			w.checkReturn(s, st.Return)
-		}
-		return nil
-	case *ast.IfStmt:
-		return w.ifStmt(st, in)
-	case *ast.BlockStmt:
-		return w.stmts(st.List, in)
-	case *ast.ForStmt:
-		return w.loop(st.Init, st.Cond, st.Post, st.Body, in, st.Cond == nil)
-	case *ast.RangeStmt:
-		states := w.exprs(st.X, in, false)
-		return w.loop(nil, nil, nil, st.Body, states, false)
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		return w.branches(st, in)
-	case *ast.DeferStmt:
-		if ev, ok := w.classify(st.Call); ok && ev.op == "pop" {
-			w.deferred = append(w.deferred, ev)
-			return in
-		}
-		return w.exprs(st.Call, in, false)
-	case *ast.GoStmt:
-		w.scanLits(st.Call)
-		return in
-	case *ast.LabeledStmt:
-		return w.stmt(st.Stmt, in)
-	case *ast.BranchStmt:
-		switch st.Tok {
-		case token.BREAK:
-			if n := len(w.loops); n > 0 && st.Label == nil {
-				w.loops[n-1].breaks = append(w.loops[n-1].breaks, in...)
+		// Loop balance: the state carried around each back edge must match
+		// a state the loop was entered with — each iteration releases what
+		// it acquires, and releases nothing it did not acquire.
+		for _, be := range cfg.BackEdges {
+			iter, ok := dataflow.EdgeState(res, tr, be.From, be.To)
+			if !ok {
+				continue
 			}
-			return nil
-		case token.CONTINUE:
-			if n := len(w.loops); n > 0 && st.Label == nil {
-				w.loopIterEnd(w.loops[n-1], in, st.Pos())
-			}
-			return nil
-		}
-		return in
-	case *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
-		return in
-	default:
-		return in
-	}
-}
-
-// loop walks a for/range body: the body must leave the stack exactly as
-// it found it (each iteration is balanced); break states join the exit.
-func (w *spWalker) loop(init ast.Stmt, cond ast.Expr, post ast.Stmt, body *ast.BlockStmt, in []spState, infinite bool) []spState {
-	states := in
-	if init != nil {
-		states = w.stmt(init, states)
-	}
-	if cond != nil {
-		states = w.exprs(cond, states, false)
-	}
-	lp := &spLoop{entry: states}
-	w.loops = append(w.loops, lp)
-	bodyOut := w.stmts(body.List, states)
-	if post != nil {
-		bodyOut = w.stmt(post, bodyOut)
-	}
-	w.loopIterEnd(lp, bodyOut, body.Rbrace)
-	w.loops = w.loops[:len(w.loops)-1]
-	var out []spState
-	if !infinite {
-		out = append(out, states...)
-	}
-	out = append(out, lp.breaks...)
-	if len(out) == 0 {
-		// Infinite loop with no break: nothing falls through.
-		return nil
-	}
-	return w.dedup(out)
-}
-
-// loopIterEnd checks that a state reaching the end of a loop iteration
-// matches one of the loop-entry states.
-func (w *spWalker) loopIterEnd(lp *spLoop, states []spState, pos token.Pos) {
-	entry := map[string]bool{}
-	for _, s := range lp.entry {
-		entry[s.key()] = true
-	}
-	for _, s := range states {
-		if entry[s.key()] {
-			continue
-		}
-		for _, t := range s.stack {
-			w.reportf(t.pos, "%s does not balance within the loop body (each iteration must release what it acquires)", t.describe())
-		}
-		if len(s.stack) == 0 {
-			w.reportf(pos, "loop body releases a lock acquired outside the loop")
-		}
-	}
-}
-
-// branches unions the outcomes of switch/select case bodies.
-func (w *spWalker) branches(st ast.Stmt, in []spState) []spState {
-	var bodies [][]ast.Stmt
-	hasDefault := false
-	collect := func(list []ast.Stmt) {
-		for _, c := range list {
-			switch c := c.(type) {
-			case *ast.CaseClause:
-				bodies = append(bodies, c.Body)
-				if c.List == nil {
-					hasDefault = true
+			entry, eok := dataflow.EntryIn(cfg, res, tr, be.To)
+			entryKeys := map[string]bool{}
+			if eok {
+				for _, s := range entry.states {
+					entryKeys[s.key()] = true
 				}
-			case *ast.CommClause:
-				bodies = append(bodies, c.Body)
-				if c.Comm == nil {
-					hasDefault = true
+			}
+			for _, s := range iter.states {
+				if entryKeys[s.key()] {
+					continue
+				}
+				for _, t := range s.stack {
+					w.reportf(t.pos, "%s does not balance within the loop body (each iteration must release what it acquires)", t.describe())
+				}
+				if len(s.stack) == 0 {
+					w.reportf(be.To.End, "loop body releases a lock acquired outside the loop")
 				}
 			}
 		}
 	}
-	switch st := st.(type) {
-	case *ast.SwitchStmt:
-		if st.Init != nil {
-			in = w.stmt(st.Init, in)
-		}
-		if st.Tag != nil {
-			in = w.exprs(st.Tag, in, false)
-		}
-		collect(st.Body.List)
-	case *ast.TypeSwitchStmt:
-		collect(st.Body.List)
-	case *ast.SelectStmt:
-		collect(st.Body.List)
+	// Nested function literals are separate functions with empty stacks
+	// (except deferred literals the CFG inlined into the epilogue, which
+	// never appear as nodes).
+	for _, lit := range tr.lits {
+		w.analyze(lit.Body)
 	}
-	var out []spState
-	for _, b := range bodies {
-		out = append(out, w.stmts(b, in)...)
-	}
-	if !hasDefault || len(bodies) == 0 {
-		out = append(out, in...)
-	}
-	return w.dedup(out)
 }
 
-// ifStmt handles branching, including the TryLock guard forms.
-func (w *spWalker) ifStmt(st *ast.IfStmt, in []spState) []spState {
-	states := in
-	var bound map[string]spEvent // ident name -> trylock event from init
-	if st.Init != nil {
-		if ev, name, ok := w.tryLockInit(st.Init); ok {
-			bound = map[string]spEvent{name: ev}
-		} else {
-			states = w.stmt(st.Init, states)
+// bindTryLocks maps single-assignment locals bound to a TryLock result
+// (`ok := m.TryLock(t)`) to the lock event, so a later branch on the
+// variable is lock-sensitive.
+func (w *spWalker) bindTryLocks(body *ast.BlockStmt) map[types.Object]spEvent {
+	bound := map[types.Object]spEvent{}
+	dead := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
 		}
-	}
-
-	cond, negated := ast.Unparen(st.Cond), false
-	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
-		cond, negated = ast.Unparen(u.X), true
-	}
-	var tryEv spEvent
-	haveTry := false
-	if call, ok := cond.(*ast.CallExpr); ok {
-		if ev, ok := w.classify(call); ok && ev.op == "trylock" {
-			tryEv, haveTry = ev, true
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := w.info.Defs[id]
+			if obj == nil {
+				obj = w.info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if _, seen := bound[obj]; seen || dead[obj] {
+				// Reassigned: the binding is no longer single-valued.
+				delete(bound, obj)
+				dead[obj] = true
+				continue
+			}
+			if len(as.Lhs) != len(as.Rhs) {
+				dead[obj] = true
+				continue
+			}
+			if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+				if ev, ok := w.classify(call); ok && ev.op == "trylock" {
+					bound[obj] = ev
+					continue
+				}
+			}
+			dead[obj] = true
 		}
-	} else if id, ok := cond.(*ast.Ident); ok && bound != nil {
-		if ev, ok := bound[id.Name]; ok {
-			tryEv, haveTry = ev, true
-		}
-	}
-
-	if !haveTry {
-		states = w.exprs(st.Cond, states, false)
-		thenOut := w.stmts(st.Body.List, states)
-		elseOut := states
-		if st.Else != nil {
-			elseOut = w.stmt(st.Else, states)
-		}
-		return w.dedup(append(thenOut, elseOut...))
-	}
-
-	// TryLock guard: the success branch holds the lock.
-	var locked []spState
-	for _, s := range states {
-		locked = append(locked, s.push(tryEv.tok))
-	}
-	thenIn, elseIn := locked, states
-	if negated {
-		thenIn, elseIn = states, locked
-	}
-	thenOut := w.stmts(st.Body.List, thenIn)
-	elseOut := elseIn
-	if st.Else != nil {
-		elseOut = w.stmt(st.Else, elseIn)
-	}
-	return w.dedup(append(thenOut, elseOut...))
+		return true
+	})
+	return bound
 }
 
-// tryLockInit matches `ok := m.TryLock(t)` as an if-init statement.
-func (w *spWalker) tryLockInit(st ast.Stmt) (spEvent, string, bool) {
-	as, ok := st.(*ast.AssignStmt)
-	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
-		return spEvent{}, "", false
-	}
-	id, ok := as.Lhs[0].(*ast.Ident)
-	if !ok {
-		return spEvent{}, "", false
-	}
-	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
-	if !ok {
-		return spEvent{}, "", false
-	}
-	ev, ok2 := w.classify(call)
-	if !ok2 || ev.op != "trylock" {
-		return spEvent{}, "", false
-	}
-	return ev, id.Name, true
+// spTransfer is the dataflow client. During Solve, report is false and
+// Node/Branch are pure; the report pass re-runs them with report set.
+type spTransfer struct {
+	w        *spWalker
+	bound    map[types.Object]spEvent
+	report   bool
+	overflow bool
+	lits     []*ast.FuncLit
+	litSeen  map[*ast.FuncLit]bool
 }
 
-// exprs applies every classified call inside e to the states, in
-// evaluation order. stmtLevel marks a bare ExprStmt, where a discarded
-// TryLock result is reported.
-func (w *spWalker) exprs(e ast.Expr, in []spState, stmtLevel bool) []spState {
-	states := in
-	ast.Inspect(e, func(n ast.Node) bool {
-		if w.overflow {
+func (t *spTransfer) Entry() spSet { return spSet{states: []spState{{}}} }
+
+func (t *spTransfer) Node(n ast.Node, s spSet, _ bool) spSet {
+	if t.overflow {
+		return s
+	}
+	states := s.states
+	ast.Inspect(n, func(x ast.Node) bool {
+		if t.overflow {
 			return false
 		}
-		switch n := n.(type) {
+		switch x := x.(type) {
 		case *ast.FuncLit:
-			w.function(n.Body)
+			t.collectLit(x)
 			return false
 		case *ast.CallExpr:
-			// Arguments evaluate before the call applies; recursion via
-			// Inspect handles nesting adequately for this code shape.
-			if ev, ok := w.classify(n); ok {
-				states = w.apply(states, ev, stmtLevel && ast.Unparen(e) == ast.Expr(n))
-				for _, a := range n.Args {
-					w.scanLits(a)
+			if ev, ok := t.w.classify(x); ok {
+				states = t.apply(states, ev, t.report && isStmtCall(n, x))
+				for _, a := range x.Args {
+					t.scanLits(a)
 				}
 				return false
 			}
 		}
 		return true
 	})
-	return w.dedup(states)
+	return spSet{states: spCanon(states)}
 }
 
-// scanLits analyzes function literals nested in an expression.
-func (w *spWalker) scanLits(e ast.Expr) {
+// isStmtCall reports whether call is the entire expression statement n
+// — the only position where a discarded TryLock result is reportable.
+func isStmtCall(n ast.Node, call *ast.CallExpr) bool {
+	es, ok := n.(*ast.ExprStmt)
+	return ok && ast.Unparen(es.X) == ast.Expr(call)
+}
+
+func (t *spTransfer) collectLit(lit *ast.FuncLit) {
+	if t.report {
+		return // collected during the solve already
+	}
+	if t.litSeen == nil {
+		t.litSeen = map[*ast.FuncLit]bool{}
+	}
+	if !t.litSeen[lit] {
+		t.litSeen[lit] = true
+		t.lits = append(t.lits, lit)
+	}
+}
+
+func (t *spTransfer) scanLits(e ast.Expr) {
 	ast.Inspect(e, func(n ast.Node) bool {
 		if fl, ok := n.(*ast.FuncLit); ok {
-			w.function(fl.Body)
+			t.collectLit(fl)
 			return false
 		}
 		return true
 	})
 }
 
+// Branch pushes the lock token on the success edge of a TryLock-valued
+// condition (the call itself, or a variable bound to one).
+func (t *spTransfer) Branch(cond ast.Expr, outcome bool, s spSet) spSet {
+	if t.overflow || !outcome {
+		return s
+	}
+	ev, ok := t.tryLockCond(cond)
+	if !ok {
+		return s
+	}
+	return spSet{states: spCanon(t.apply(s.states, spEvent{op: "push", tok: ev.tok}, false))}
+}
+
+func (t *spTransfer) tryLockCond(cond ast.Expr) (spEvent, bool) {
+	switch x := ast.Unparen(cond).(type) {
+	case *ast.CallExpr:
+		if ev, ok := t.w.classify(x); ok && ev.op == "trylock" {
+			return ev, true
+		}
+	case *ast.Ident:
+		obj := t.w.info.Uses[x]
+		if obj == nil {
+			obj = t.w.info.Defs[x]
+		}
+		if ev, ok := t.bound[obj]; ok {
+			return ev, true
+		}
+	}
+	return spEvent{}, false
+}
+
+func (t *spTransfer) Join(a, b spSet) spSet {
+	merged := append(append([]spState{}, a.states...), b.states...)
+	merged = spCanon(merged)
+	if len(merged) > spMaxStates {
+		t.overflow = true
+		merged = merged[:spMaxStates]
+	}
+	return spSet{states: merged}
+}
+
+func (t *spTransfer) Equal(a, b spSet) bool {
+	if len(a.states) != len(b.states) {
+		return false
+	}
+	for i := range a.states {
+		if a.states[i].key() != b.states[i].key() {
+			return false
+		}
+	}
+	return true
+}
+
 // apply transforms every state by one event.
-func (w *spWalker) apply(states []spState, ev spEvent, reportIgnored bool) []spState {
+func (t *spTransfer) apply(states []spState, ev spEvent, reportIgnored bool) []spState {
 	switch ev.op {
 	case "push":
 		out := make([]spState, 0, len(states))
 		for _, s := range states {
 			if len(s.stack) >= spMaxDepth {
-				w.overflow = true
+				t.overflow = true
 				return states
 			}
 			out = append(out, s.push(ev.tok))
@@ -476,27 +390,34 @@ func (w *spWalker) apply(states []spState, ev spEvent, reportIgnored bool) []spS
 	case "pop":
 		out := make([]spState, 0, len(states))
 		for _, s := range states {
-			out = append(out, spState{stack: w.applyPop(s.stack, ev)})
+			out = append(out, spState{stack: t.applyPop(s.stack, ev)})
 		}
 		return out
 	case "trylock":
 		if reportIgnored {
-			w.reportf(ev.pos, "result of %s.TryLock is discarded: a won lock would never be released", ev.tok.name)
+			t.w.reportf(ev.pos, "result of %s.TryLock is discarded: a won lock would never be released", ev.tok.name)
 		}
-		// Result consumed in a form the walk cannot track: no state change.
+		// Result consumed in a form the analysis cannot track, or pushed
+		// later by Branch on the guard edge: no state change here.
 		return states
 	}
 	return states
 }
 
-// applyPop pops ev from the stack, reporting discipline violations.
-func (w *spWalker) applyPop(stack []spTok, ev spEvent) []spTok {
+// applyPop pops ev from the stack, reporting discipline violations in
+// report mode.
+func (t *spTransfer) applyPop(stack []spTok, ev spEvent) []spTok {
+	reportf := func(pos token.Pos, format string, args ...any) {
+		if t.report {
+			t.w.reportf(pos, format, args...)
+		}
+	}
 	if len(stack) == 0 {
 		switch ev.want {
 		case "spec":
-			w.reportf(ev.pos, "SpecRevoke without a matching SpecAssign on this path")
+			reportf(ev.pos, "SpecRevoke without a matching SpecAssign on this path")
 		default:
-			w.reportf(ev.pos, "Unlock of %s without a matching Lock on this path", ev.tok.name)
+			reportf(ev.pos, "Unlock of %s without a matching Lock on this path", ev.tok.name)
 		}
 		return stack
 	}
@@ -508,21 +429,21 @@ func (w *spWalker) applyPop(stack []spTok, ev spEvent) []spTok {
 	// intended token (if present) to avoid cascading reports.
 	switch {
 	case ev.want == "lock" && top.kind == "spec":
-		w.reportf(ev.pos, "Unlock of %s before SpecRevoke: the revoke must precede the lock release (§6 compiler rule)", ev.tok.name)
+		reportf(ev.pos, "Unlock of %s before SpecRevoke: the revoke must precede the lock release (§6 compiler rule)", ev.tok.name)
 	case ev.want == "lock" && top.kind == "cs" && top.name == ev.tok.name:
-		w.reportf(ev.pos, "%s was acquired with machine Thread.Lock but released with sim Mutex.Unlock, skipping the SpecRevoke", ev.tok.name)
+		reportf(ev.pos, "%s was acquired with machine Thread.Lock but released with sim Mutex.Unlock, skipping the SpecRevoke", ev.tok.name)
 		return stack[:len(stack)-1]
 	case ev.want == "cs" && top.kind == "lock" && top.name == ev.tok.name:
-		w.reportf(ev.pos, "%s was acquired with sim Mutex.Lock but released with machine Thread.Unlock, which issues an unmatched SpecRevoke", ev.tok.name)
+		reportf(ev.pos, "%s was acquired with sim Mutex.Lock but released with machine Thread.Unlock, which issues an unmatched SpecRevoke", ev.tok.name)
 		return stack[:len(stack)-1]
 	case ev.want == "spec":
-		w.reportf(ev.pos, "SpecRevoke crosses %s: release it first (spec sections must nest innermost)", top.describe())
+		reportf(ev.pos, "SpecRevoke crosses %s: release it first (spec sections must nest innermost)", top.describe())
 	default:
-		w.reportf(ev.pos, "Unlock of %s crosses %s (releases must nest)", ev.tok.name, top.describe())
+		reportf(ev.pos, "Unlock of %s crosses %s (releases must nest)", ev.tok.name, top.describe())
 	}
 	for i := len(stack) - 1; i >= 0; i-- {
-		t := stack[i]
-		if t.kind == ev.want && (ev.want == "spec" || t.name == ev.tok.name) {
+		tk := stack[i]
+		if tk.kind == ev.want && (ev.want == "spec" || tk.name == ev.tok.name) {
 			return append(append([]spTok{}, stack[:i]...), stack[i+1:]...)
 		}
 	}

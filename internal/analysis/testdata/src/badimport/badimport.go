@@ -1,0 +1,9 @@
+// Package badimport imports a module the loader cannot resolve (it is
+// neither under the module root nor in GOROOT/src). The loader tests
+// assert the failure is a graceful diagnostic naming the import, not a
+// panic.
+package badimport
+
+import nomod "github.com/nosuch/nomod"
+
+var _ = nomod.Thing

@@ -67,6 +67,28 @@ func fencedBeforeUnlock(t *machine.Thread, m persist.Model, lk *sim.Mutex, a mem
 	t.Unlock(lk)
 }
 
+// deferredUnlockFenced releases through a defer: the epilogue unlock
+// runs after the flush and barrier, so the commit point is clean on
+// every return path.
+func deferredUnlockFenced(t *machine.Thread, m persist.Model, lk *sim.Mutex, a mem.Addr, bad bool) {
+	t.Lock(lk)
+	defer t.Unlock(lk)
+	t.StoreU64(a, 1)
+	m.Flush(t, a, 8)
+	m.DurableBarrier(t)
+	if bad {
+		return
+	}
+}
+
+// deferredUnlockLeak defers the unlock but never fences the store: the
+// epilogue release leaks it on every path.
+func deferredUnlockLeak(t *machine.Thread, lk *sim.Mutex, a mem.Addr) {
+	t.Lock(lk)
+	defer t.Unlock(lk) // want "not flushed and ordered before lock release"
+	t.StoreU64(a, 1)
+}
+
 func allowedStore(t *machine.Thread, a mem.Addr) {
 	t.StoreU64(a, 1) //lint:allow barrierpair
 }

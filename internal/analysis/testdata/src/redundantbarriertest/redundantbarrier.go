@@ -1,0 +1,119 @@
+// Package redundantbarriertest is the redundantbarrier golden
+// fixture: each // want comment names a substring of the diagnostic
+// the analyzer must report on that line, and the flagged statements
+// carry machine-applicable deletion edits (TestRedundantBarrierFixLoop
+// applies them and re-analyzes).
+package redundantbarriertest
+
+import (
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/persist"
+)
+
+// helperFence issues the barrier on behalf of its callers and ends
+// fenced on every path (summary: pf:endfence).
+func helperFence(t *machine.Thread, m persist.Model) {
+	m.OrderBarrier(t)
+}
+
+func doubleFlush(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	m.Flush(t, a, 8)
+	m.Flush(t, a, 8) // want "redundant flush"
+	m.OrderBarrier(t)
+}
+
+func backToBackFence(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	m.Flush(t, a, 8)
+	m.OrderBarrier(t)
+	m.OrderBarrier(t) // want "redundant fence"
+}
+
+// fenceAfterHelperFence is the interprocedural case: the callee's
+// summary says it ended fenced, so the caller's own barrier is a pure
+// stall.
+func fenceAfterHelperFence(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	m.Flush(t, a, 8)
+	helperFence(t, m)
+	m.OrderBarrier(t) // want "redundant fence"
+}
+
+// durableUpgrade: a durability barrier after a mere ordering barrier
+// waits for persistence, not just ordering — an upgrade, never
+// redundant. Silent.
+func durableUpgrade(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	m.Flush(t, a, 8)
+	m.OrderBarrier(t)
+	m.DurableBarrier(t)
+}
+
+// orderAfterDurable: an ordering barrier adds nothing after a
+// durability barrier with no PM traffic in between.
+func orderAfterDurable(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	m.Flush(t, a, 8)
+	m.DurableBarrier(t)
+	m.OrderBarrier(t) // want "redundant fence"
+}
+
+// nextUpdateKept: NextUpdate closes a failure-atomic update (and on
+// StrandWeaver opens a fresh strand) — never proposed for deletion
+// even when it sits right after another barrier. Silent.
+func nextUpdateKept(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	m.Flush(t, a, 8)
+	m.OrderBarrier(t)
+	m.NextUpdate(t)
+}
+
+// branchFence: the barrier is only redundant on one path, so the join
+// drops the claim. Silent.
+func branchFence(t *machine.Thread, m persist.Model, a mem.Addr, cond bool) {
+	t.StoreU64(a, 1)
+	m.Flush(t, a, 8)
+	if cond {
+		m.OrderBarrier(t)
+	}
+	m.OrderBarrier(t)
+}
+
+// unknownBetween: a call the analysis cannot see may store or flush
+// PM, so fence adjacency does not survive it. Silent.
+func unknownBetween(t *machine.Thread, m persist.Model, a mem.Addr, f func()) {
+	t.StoreU64(a, 1)
+	m.Flush(t, a, 8)
+	m.OrderBarrier(t)
+	f()
+	m.OrderBarrier(t)
+}
+
+// flushAfterUnknown: the unknown call may have re-dirtied a, so the
+// second flush is not provably redundant. Silent.
+func flushAfterUnknown(t *machine.Thread, m persist.Model, a mem.Addr, f func()) {
+	t.StoreU64(a, 1)
+	m.Flush(t, a, 8)
+	f()
+	m.Flush(t, a, 8)
+	m.OrderBarrier(t)
+}
+
+// helperMaybeFlush flushes only on one path: its pf:flush fact is
+// any-path, so callers must not build redundancy claims on it.
+func helperMaybeFlush(t *machine.Thread, m persist.Model, a mem.Addr, cond bool) {
+	if cond {
+		m.Flush(t, a, 8)
+	}
+}
+
+// flushAfterConditionalHelper: silent — deleting the second flush
+// would be wrong on the path where the helper skipped its flush.
+func flushAfterConditionalHelper(t *machine.Thread, m persist.Model, a mem.Addr, cond bool) {
+	t.StoreU64(a, 1)
+	helperMaybeFlush(t, m, a, cond)
+	m.Flush(t, a, 8)
+	m.OrderBarrier(t)
+}

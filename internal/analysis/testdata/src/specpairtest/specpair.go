@@ -22,6 +22,40 @@ func balancedDefer(t *machine.Thread, lk *sim.Mutex, bad bool) {
 	}
 }
 
+// balancedDeferLit releases through a deferred function literal: the
+// literal's body is inlined into the exit epilogue, so it balances the
+// lock on every exit path (including the early return).
+func balancedDeferLit(t *machine.Thread, lk *sim.Mutex, bad bool) {
+	t.Lock(lk)
+	defer func() {
+		t.Unlock(lk)
+	}()
+	if bad {
+		return
+	}
+}
+
+// balancedDeferRevoke relies on LIFO defer order: the revoke runs
+// before the unlock at every exit, satisfying the §6 rule.
+func balancedDeferRevoke(t *machine.Thread, st *sim.Thread, lk *sim.Mutex, bad bool) {
+	lk.Lock(st)
+	defer lk.Unlock(st)
+	t.SpecAssign()
+	defer t.SpecRevoke()
+	if bad {
+		return
+	}
+}
+
+// deferRevokeAfterUnlock registers the defers in the wrong order: at
+// exit the unlock runs first, crossing the still-open spec section.
+func deferRevokeAfterUnlock(t *machine.Thread, st *sim.Thread, lk *sim.Mutex) {
+	lk.Lock(st)
+	t.SpecAssign()
+	defer t.SpecRevoke()
+	defer lk.Unlock(st) // want "revoke must precede the lock release"
+}
+
 func unreleasedOnEarlyReturn(t *machine.Thread, lk *sim.Mutex, bad bool) {
 	t.Lock(lk) // want "is not released on every path"
 	if bad {
