@@ -125,7 +125,10 @@ func Build(body *ast.BlockStmt) *CFG {
 	if b.cur != nil {
 		b.edge(b.cur, b.preExit, Always, nil)
 	}
-	// Resolve forward gotos.
+	// Resolve forward gotos. Every label in a well-typed function was
+	// registered by labeledStmt (plain statements and control constructs
+	// alike), so the preExit fallback only fires on malformed sources
+	// that cannot compile anyway.
 	for _, pg := range b.pending {
 		if t, ok := b.gotos[pg.label]; ok {
 			b.edge(pg.from, t, Always, nil)
@@ -274,6 +277,20 @@ func (b *builder) stmt(s ast.Stmt) {
 
 func (b *builder) labeledStmt(s *ast.LabeledStmt) {
 	name := s.Label.Name
+	// Every label is a goto target, including one naming a control
+	// construct: the labeled statement is routed through a dedicated
+	// head block registered under the label before the statement is
+	// built, so a backward goto (label already seen) jumps straight to
+	// it and a forward goto resolves to it from the pending list. For
+	// constructs the label additionally names the break/continue frame,
+	// which the construct builder registers itself.
+	t := b.newBlock()
+	if b.cur != nil {
+		t.Deferred = b.cur.Deferred
+	}
+	b.jump(t)
+	b.cur = t
+	b.gotos[name] = t
 	switch inner := s.Stmt.(type) {
 	case *ast.ForStmt:
 		b.forStmt(inner, name)
@@ -286,16 +303,8 @@ func (b *builder) labeledStmt(s *ast.LabeledStmt) {
 	case *ast.SelectStmt:
 		b.selectStmt(inner, name)
 	default:
-		// A plain labeled statement: a goto target.
-		t := b.newBlock()
-		b.jump(t)
-		b.cur = t
-		b.gotos[name] = t
 		b.stmt(s.Stmt)
-		return
 	}
-	// Loop/switch labels double as goto targets at the construct head;
-	// the construct builders registered the frame under the label.
 }
 
 func (b *builder) branchStmt(s *ast.BranchStmt) {

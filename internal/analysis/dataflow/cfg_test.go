@@ -328,3 +328,43 @@ func TestEntryInExcludesBackEdges(t *testing.T) {
 		t.Fatalf("EntryIn = %d,%v, want 1,true (the pre-loop call only)", in, ok)
 	}
 }
+
+func TestCFGGotoToLoopLabel(t *testing.T) {
+	// The loop is reachable only through the goto: mis-resolving a
+	// construct label (e.g. to the function exit) would drop the loop
+	// from the graph entirely.
+	cfg := buildFunc(t, "goto loop\nloop:\nfor x() { a() }\nb()")
+	got := strings.Join(callNames(cfg), " ")
+	for _, want := range []string{"x", "a", "b"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in reachable calls %q", want, got)
+		}
+	}
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestCFGGotoBackToLoopLabel(t *testing.T) {
+	// A backward goto to a loop label re-enters the loop
+	// unconditionally: nothing falls through to the exit. A builder
+	// that wires unregistered construct labels to the function exit
+	// fabricates a path that does not exist.
+	cfg := buildFunc(t, "loop:\nfor x() { a() }\ngoto loop")
+	if reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit reachable despite the unconditional backward goto")
+	}
+}
+
+func TestCFGGotoToSwitchLabel(t *testing.T) {
+	cfg := buildFunc(t, "goto sw\nsw:\nswitch x() {\ncase 1:\n\ta()\ndefault:\n\tb()\n}\nc()")
+	got := strings.Join(callNames(cfg), " ")
+	for _, want := range []string{"x", "a", "b", "c"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in reachable calls %q", want, got)
+		}
+	}
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit unreachable")
+	}
+}

@@ -146,20 +146,98 @@ type FlushEffect struct {
 	// DirtyCovered is how many Dirty locations the flush moved to
 	// Flushed.
 	DirtyCovered int
-	// Redundant: the flush covered at least one tracked location, every
-	// covered location was already at Flushed or better, and none was
-	// unstable — deleting the flush provably changes nothing.
+	// Redundant: the flush provably covered at least one tracked
+	// location, every location it provably covers was already at Flushed
+	// or better, none was unstable, and no same-base location's overlap
+	// was indeterminate — deleting the flush provably changes nothing.
 	Redundant bool
 }
 
-// WithFlush flushes every location sharing l's base (a flush covers a
-// range rooted at its address expression).
-func (s PMState) WithFlush(l Loc, pos token.Pos) (PMState, FlushEffect) {
+// offConst parses a canonical offset string as a byte constant. The
+// empty offset is 0; otherwise only sums/differences of decimal
+// literals (the splitAddr rendering of constant offsets) qualify.
+func offConst(off string) (int64, bool) {
+	if off == "" {
+		return 0, true
+	}
+	var total, cur int64
+	sign := int64(1)
+	digits := false
+	for i, c := range off {
+		switch {
+		case c >= '0' && c <= '9':
+			cur = cur*10 + int64(c-'0')
+			digits = true
+		case c == '+' || c == '-':
+			if !digits {
+				if i == 0 && c == '-' {
+					sign = -1
+					continue
+				}
+				return 0, false
+			}
+			total += sign * cur
+			cur, digits = 0, false
+			sign = 1
+			if c == '-' {
+				sign = -1
+			}
+		default:
+			return 0, false // symbolic offset (0x literals stay symbolic too)
+		}
+	}
+	if !digits {
+		return 0, false
+	}
+	return total + sign*cur, true
+}
+
+// WithFlush flushes the byte range [l.Off, l.Off+size) rooted at
+// l.Base; size <= 0 means the length is unknown (a non-constant size
+// operand, a callee's summary flush, or CLWB's single cache block,
+// whose boundaries depend on the base's alignment). Coverage of a
+// same-base location is decided per offset:
+//
+//   - provably inside the range (constant offsets, known size) or at
+//     the exact flush address (equal offset strings): covered — the
+//     location advances and counts toward a redundancy claim;
+//   - provably outside: untouched — it stays Dirty and a later flush
+//     of it is NOT redundant (deleting that flush would lose data);
+//   - indeterminate (symbolic offset on either side, or distinct
+//     offsets under an unknown length): optimistically advanced
+//     Dirty→Flushed so the obligation checks don't raise false
+//     missing-flush reports, but marked Unstable — the optimizer can
+//     never build a redundancy claim on maybe-coverage, and the flush
+//     itself makes no claim either.
+func (s PMState) WithFlush(l Loc, size int64, pos token.Pos) (PMState, FlushEffect) {
 	ns := s.clone()
 	var eff FlushEffect
 	covered, stableClean := 0, true
+	flushOff, flushConst := offConst(l.Off)
 	for k, v := range ns.Locs {
 		if k.Base != l.Base {
+			continue
+		}
+		exact := k.Off == l.Off
+		if !exact && flushConst && size > 0 {
+			if locOff, ok := offConst(k.Off); ok {
+				if locOff < flushOff || locOff >= flushOff+size {
+					continue // provably outside the flushed range
+				}
+				exact = true
+			}
+		}
+		if !exact {
+			// Maybe covered: advance for the obligation checks, poison
+			// for the optimizer.
+			stableClean = false
+			if v.S == PSDirty {
+				v.S = PSFlushed
+				v.WrongEpoch = false
+				eff.DirtyCovered++
+			}
+			v.Unstable = true
+			ns.Locs[k] = v
 			continue
 		}
 		covered++

@@ -33,7 +33,7 @@ func TestStoreFlushFenceProgression(t *testing.T) {
 	if prev != PSBottom || s.Locs[l].S != PSDirty {
 		t.Fatalf("after store: prev=%v state=%v", prev, s.Locs[l].S)
 	}
-	s, eff := s.WithFlush(loc("w.root", ""), 2)
+	s, eff := s.WithFlush(loc("w.root", ""), 8, 2)
 	if eff.DirtyCovered != 1 || eff.Redundant || s.Locs[l].S != PSFlushed {
 		t.Fatalf("after flush: %+v state=%v", eff, s.Locs[l].S)
 	}
@@ -51,7 +51,7 @@ func TestFlushCoversSameBaseOnly(t *testing.T) {
 	s := NewPMState()
 	s, _ = s.WithStore(loc("w.root", "qHead"), 1)
 	s, _ = s.WithStore(loc("dummy", ""), 2)
-	s, eff := s.WithFlush(loc("w.root", ""), 3)
+	s, eff := s.WithFlush(loc("w.root", ""), 8, 3)
 	if eff.DirtyCovered != 1 {
 		t.Fatalf("DirtyCovered = %d, want 1", eff.DirtyCovered)
 	}
@@ -63,13 +63,13 @@ func TestFlushCoversSameBaseOnly(t *testing.T) {
 func TestRedundantFlush(t *testing.T) {
 	s := NewPMState()
 	s, _ = s.WithStore(loc("e", ""), 1)
-	s, _ = s.WithFlush(loc("e", ""), 2)
-	_, eff := s.WithFlush(loc("e", ""), 3)
+	s, _ = s.WithFlush(loc("e", ""), 8, 2)
+	_, eff := s.WithFlush(loc("e", ""), 8, 3)
 	if !eff.Redundant {
 		t.Fatal("second flush of an already-Flushed loc must be redundant")
 	}
 	// A flush covering no tracked loc makes no redundancy claim.
-	_, eff = s.WithFlush(loc("other", ""), 4)
+	_, eff = s.WithFlush(loc("other", ""), 8, 4)
 	if eff.Redundant {
 		t.Fatal("flush of an untracked base must not claim redundancy")
 	}
@@ -78,7 +78,7 @@ func TestRedundantFlush(t *testing.T) {
 func TestRedundantFence(t *testing.T) {
 	s := NewPMState()
 	s, _ = s.WithStore(loc("e", ""), 1)
-	s, _ = s.WithFlush(loc("e", ""), 2)
+	s, _ = s.WithFlush(loc("e", ""), 8, 2)
 	s, red := s.WithFence(3, false)
 	if red {
 		t.Fatal("first fence is not redundant")
@@ -112,7 +112,7 @@ func TestWrongEpochStore(t *testing.T) {
 	s := NewPMState()
 	l := loc("e", "8")
 	s, _ = s.WithStore(l, 1)
-	s, _ = s.WithFlush(loc("e", ""), 2)
+	s, _ = s.WithFlush(loc("e", ""), 16, 2)
 	s2, prev := s.WithStore(l, 3)
 	if prev != PSFlushed {
 		t.Fatalf("store onto Flushed loc: prev=%v, want Flushed (wrong-epoch signal)", prev)
@@ -121,7 +121,7 @@ func TestWrongEpochStore(t *testing.T) {
 		t.Fatal("store onto Flushed loc must be flagged WrongEpoch")
 	}
 	// A covering re-flush clears the hazard.
-	s3, _ := s2.WithFlush(loc("e", ""), 4)
+	s3, _ := s2.WithFlush(loc("e", ""), 16, 4)
 	if s3.Locs[l].WrongEpoch {
 		t.Fatal("re-flush must clear the WrongEpoch flag")
 	}
@@ -136,7 +136,7 @@ func TestWrongEpochStore(t *testing.T) {
 func TestUnknownCallBlocksOptimizerClaims(t *testing.T) {
 	s := NewPMState()
 	s, _ = s.WithStore(loc("e", ""), 1)
-	s, _ = s.WithFlush(loc("e", ""), 2)
+	s, _ = s.WithFlush(loc("e", ""), 8, 2)
 	s, _ = s.WithFence(3, false)
 	s = s.WithUnknownCall()
 	// Fence adjacency is gone.
@@ -145,7 +145,7 @@ func TestUnknownCallBlocksOptimizerClaims(t *testing.T) {
 		t.Fatal("fence after unknown call must not be redundant")
 	}
 	// Flush redundancy is gone (the callee may have dirtied the loc).
-	_, eff := s.WithFlush(loc("e", ""), 5)
+	_, eff := s.WithFlush(loc("e", ""), 8, 5)
 	if eff.Redundant {
 		t.Fatal("flush after unknown call must not be redundant")
 	}
@@ -155,7 +155,7 @@ func TestJoinPMPerLocMax(t *testing.T) {
 	l := loc("e", "")
 	a := NewPMState()
 	a, _ = a.WithStore(l, 1)
-	a, _ = a.WithFlush(l, 2)
+	a, _ = a.WithFlush(l, 8, 2)
 	b := NewPMState()
 	b, _ = b.WithStore(l, 3)
 	j := JoinPM(a, b)
@@ -202,7 +202,7 @@ func TestEqualPM(t *testing.T) {
 	if !EqualPM(a, b) {
 		t.Fatal("identical states must be equal")
 	}
-	b, _ = b.WithFlush(loc("e", ""), 2)
+	b, _ = b.WithFlush(loc("e", ""), 8, 2)
 	if EqualPM(a, b) {
 		t.Fatal("different states must differ")
 	}
@@ -336,5 +336,112 @@ func f(w *W, e uint64) {
 	}
 	if got := ParamIndex(l, sig); got != 1 {
 		t.Fatalf("ParamIndex(e) = %d, want 1", got)
+	}
+}
+
+func TestOffConst(t *testing.T) {
+	cases := []struct {
+		in string
+		v  int64
+		ok bool
+	}{
+		{"", 0, true},
+		{"8", 8, true},
+		{"8+16", 24, true},
+		{"-8", -8, true},
+		{"16-8", 8, true},
+		{"qHead", 0, false},
+		{"i*8", 0, false},
+		{"0x40", 0, false},
+	}
+	for _, c := range cases {
+		v, ok := offConst(c.in)
+		if v != c.v || ok != c.ok {
+			t.Errorf("offConst(%q) = %d,%v, want %d,%v", c.in, v, ok, c.v, c.ok)
+		}
+	}
+}
+
+func TestFlushOffsetSensitivity(t *testing.T) {
+	s := NewPMState()
+	s, _ = s.WithStore(loc("a", ""), 1)
+	s, _ = s.WithStore(loc("a", "64"), 2)
+	// Flush(a, 8) covers [0,8): a+64 is provably outside and must stay
+	// untouched Dirty.
+	s, eff := s.WithFlush(loc("a", ""), 8, 3)
+	if eff.DirtyCovered != 1 {
+		t.Fatalf("DirtyCovered = %d, want 1", eff.DirtyCovered)
+	}
+	if got := s.Locs[loc("a", "64")]; got.S != PSDirty || got.Unstable {
+		t.Fatalf("a+64 = %+v, want untouched Dirty", got)
+	}
+	// The flush of the second range covers real dirt: NOT redundant
+	// (deleting it would lose the a+64 store).
+	s, eff = s.WithFlush(loc("a", "64"), 8, 4)
+	if eff.Redundant || eff.DirtyCovered != 1 {
+		t.Fatalf("flush of a+64: %+v, want non-redundant dirty cover", eff)
+	}
+	// Re-flushing inside an already-flushed constant range IS redundant.
+	_, eff = s.WithFlush(loc("a", "64"), 8, 5)
+	if !eff.Redundant {
+		t.Fatal("re-flush of the covered range must be redundant")
+	}
+}
+
+func TestFlushWiderRangeCoversInnerOffset(t *testing.T) {
+	s := NewPMState()
+	s, _ = s.WithStore(loc("a", "8"), 1)
+	// Flush(a, 16) covers [0,16): the offset-8 store is inside.
+	s, eff := s.WithFlush(loc("a", ""), 16, 2)
+	if eff.DirtyCovered != 1 || s.Locs[loc("a", "8")].S != PSFlushed {
+		t.Fatalf("wide flush: %+v state=%v", eff, s.Locs[loc("a", "8")].S)
+	}
+	// A narrower re-flush at the exact stored offset is redundant.
+	_, eff = s.WithFlush(loc("a", "8"), 8, 3)
+	if !eff.Redundant {
+		t.Fatal("re-flush inside the already-flushed window must be redundant")
+	}
+}
+
+func TestFlushSymbolicOffsetNeverFeedsRedundancy(t *testing.T) {
+	s := NewPMState()
+	s, _ = s.WithStore(loc("a", "i*8"), 1)
+	// Coverage of a loop-variant offset cannot be decided: the location
+	// advances for the obligation checks but is poisoned for the
+	// optimizer, and the flush itself claims nothing.
+	s, eff := s.WithFlush(loc("a", ""), 8, 2)
+	if eff.Redundant {
+		t.Fatal("indeterminate coverage must not make the flush redundant")
+	}
+	got := s.Locs[loc("a", "i*8")]
+	if got.S != PSFlushed || !got.Unstable {
+		t.Fatalf("a+i*8 = %+v, want Flushed and Unstable", got)
+	}
+	// A second base flush still cannot claim redundancy over it.
+	_, eff = s.WithFlush(loc("a", ""), 8, 3)
+	if eff.Redundant {
+		t.Fatal("a redundancy claim must never rest on maybe-coverage")
+	}
+}
+
+func TestFlushUnknownSizeCrossOffsetIsMaybe(t *testing.T) {
+	// CLWB(a) twice at the same address: exact coverage even without a
+	// size operand, so the repeat is redundant.
+	s := NewPMState()
+	s, _ = s.WithStore(loc("a", ""), 1)
+	s, _ = s.WithFlush(loc("a", ""), 0, 2)
+	_, eff := s.WithFlush(loc("a", ""), 0, 3)
+	if !eff.Redundant {
+		t.Fatal("same-address unknown-size re-flush must be redundant")
+	}
+	// A different constant offset under an unknown size may or may not
+	// share the cache block (alignment unknown): maybe-coverage only.
+	s, _ = s.WithStore(loc("a", "64"), 4)
+	s, eff = s.WithFlush(loc("a", ""), 0, 5)
+	if eff.Redundant {
+		t.Fatal("cross-offset coverage under unknown size is indeterminate")
+	}
+	if got := s.Locs[loc("a", "64")]; got.S != PSFlushed || !got.Unstable {
+		t.Fatalf("a+64 = %+v, want Flushed and Unstable under unknown size", got)
 	}
 }

@@ -128,8 +128,10 @@ func wholeLines(src []byte, start, end int) (int, int, bool) {
 }
 
 // Diff renders a minimal unified diff between two versions of a file:
-// one hunk covering the changed region (common prefix and suffix lines
-// elided). Returns "" when the contents are identical.
+// one context-free hunk covering the changed region (common prefix and
+// suffix lines elided), in the same form `diff -U0` emits — `patch`
+// consumes it directly, `git apply` needs --unidiff-zero. Returns ""
+// when the contents are identical.
 func Diff(path string, oldSrc, newSrc []byte) string {
 	if string(oldSrc) == string(newSrc) {
 		return ""
@@ -149,7 +151,18 @@ func Diff(path string, oldSrc, newSrc []byte) string {
 	newMid := newLines[p : len(newLines)-s]
 	var b strings.Builder
 	fmt.Fprintf(&b, "--- a/%s\n+++ b/%s\n", path, path)
-	fmt.Fprintf(&b, "@@ -%d,%d +%d,%d @@\n", p+1, len(oldMid), p+1, len(newMid))
+	// A zero-length range (pure insertion/deletion) anchors at the line
+	// BEFORE the change per unified-diff convention: "-p,0" means
+	// "after old line p", not "at old line p+1" — git apply and patch
+	// reject or misplace the 1-based form.
+	oldStart, newStart := p+1, p+1
+	if len(oldMid) == 0 {
+		oldStart = p
+	}
+	if len(newMid) == 0 {
+		newStart = p
+	}
+	fmt.Fprintf(&b, "@@ -%d,%d +%d,%d @@\n", oldStart, len(oldMid), newStart, len(newMid))
 	for _, l := range oldMid {
 		b.WriteString("-" + strings.TrimSuffix(l, "\n"))
 		b.WriteString("\n")

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDiffZeroLengthRangeHeaders pins the unified-diff convention for
+// pure insertions and deletions: a zero-length range anchors at the
+// line BEFORE the change with count 0 (git apply / patch reject or
+// misplace the 1-based form).
+func TestDiffZeroLengthRangeHeaders(t *testing.T) {
+	// Pure deletion of old line 2: "-2,1", anchored after new line 1.
+	d := Diff("f.go", []byte("a\nb\nc\n"), []byte("a\nc\n"))
+	if !strings.Contains(d, "@@ -2,1 +1,0 @@") {
+		t.Errorf("deletion hunk header wrong:\n%s", d)
+	}
+	// Pure insertion after old line 1: "-1,0", new line 2.
+	d = Diff("f.go", []byte("a\nc\n"), []byte("a\nb\nc\n"))
+	if !strings.Contains(d, "@@ -1,0 +2,1 @@") {
+		t.Errorf("insertion hunk header wrong:\n%s", d)
+	}
+	// Replacement keeps the ordinary 1-based form on both sides.
+	d = Diff("f.go", []byte("a\nb\nc\n"), []byte("a\nx\nc\n"))
+	if !strings.Contains(d, "@@ -2,1 +2,1 @@") {
+		t.Errorf("replacement hunk header wrong:\n%s", d)
+	}
+	// Deletion at the very top of the file anchors at line 0.
+	d = Diff("f.go", []byte("a\nb\n"), []byte("b\n"))
+	if !strings.Contains(d, "@@ -1,1 +0,0 @@") {
+		t.Errorf("top-of-file deletion hunk header wrong:\n%s", d)
+	}
+	if d := Diff("f.go", []byte("same\n"), []byte("same\n")); d != "" {
+		t.Errorf("identical contents must diff empty, got:\n%s", d)
+	}
+}
+
+// TestApplyEditsDeletionSwallowsLine covers the whole-line expansion
+// around a statement deletion.
+func TestApplyEditsDeletionSwallowsLine(t *testing.T) {
+	src := []byte("one\n\tdrop()\ntwo\n")
+	start := strings.Index(string(src), "\tdrop()") + 1 // statement, not its indent
+	edits := []*SuggestedEdit{{File: "f.go", Start: start, End: start + len("drop()")}}
+	out, applied, err := ApplyEdits(src, edits)
+	if err != nil || applied != 1 {
+		t.Fatalf("ApplyEdits: applied=%d err=%v", applied, err)
+	}
+	if string(out) != "one\ntwo\n" {
+		t.Fatalf("deletion must swallow the blank remainder of its line, got %q", out)
+	}
+}

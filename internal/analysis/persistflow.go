@@ -85,59 +85,87 @@ func runPersistFlow(pass *Pass) error {
 	return nil
 }
 
-// pfSummarize solves every function of the package once and exports its
+// pfSummarize solves the package's functions and exports their
 // interprocedural summary facts. Both per-location analyzers call it
 // (exports are idempotent), so each works standalone under -c.
+//
+// Summaries feed on callee facts, so a single source-order walk would
+// miss helpers declared after their callers. Instead the walk iterates
+// until a round finalizes nothing new: a function exports only when
+// every callee it depends on already has facts (an unresolved callee
+// sets anyUnknown and the function retries next round), so each
+// function's fact set is written once, complete, and never revised —
+// the fixpoint equals what a topological order over the intra-package
+// call graph would produce, without building one. Mutual recursion
+// never resolves and stays conservatively unsummarized.
 func pfSummarize(pass *Pass, decls []funcDecl) {
-	for _, fd := range decls {
-		if fd.obj == nil || pass.SuppressedAt(fd.decl.Pos()) {
-			continue // opted out: export no facts either
-		}
-		sig := signatureOf(fd.obj)
-		w := newPFWalker(pass, pfModeSummarize)
-		exit := w.analyze(fd.decl.Body, sig)
-		if w.anyUnknown {
-			continue // opaque to callers: no facts at all
-		}
-		if !w.anyPM {
-			pass.Facts.Export(fd.obj, factPFClean)
-			continue
-		}
-		for _, i := range sortedKeys(w.flushedParams) {
-			if i < pfMaxSummaryParams {
-				pass.Facts.Export(fd.obj, factPFFlush(i))
-			}
-		}
-		if w.flushedRecv {
-			pass.Facts.Export(fd.obj, factPFFlushRecv)
-		}
-		for _, l := range exit.SortedLocs() {
-			v := exit.Locs[l]
-			if v.Unstable {
+	done := make([]bool, len(decls))
+	for {
+		changed := false
+		for di, fd := range decls {
+			if done[di] {
 				continue
 			}
-			pi := dataflow.ParamIndex(l, sig)
-			recv := dataflow.IsReceiverRooted(l, sig)
-			switch v.S {
-			case dataflow.PSDirty:
-				if pi >= 0 && pi < pfMaxSummaryParams {
-					pass.Facts.Export(fd.obj, factPFDirty(pi))
-				} else if recv {
-					pass.Facts.Export(fd.obj, factPFDirtyRecv)
-				}
-			case dataflow.PSFlushed:
-				if pi >= 0 && pi < pfMaxSummaryParams {
-					pass.Facts.Export(fd.obj, factPFFlushed(pi))
-				} else if recv {
-					pass.Facts.Export(fd.obj, factPFFlushedRecv)
-				}
+			if fd.obj == nil || pass.SuppressedAt(fd.decl.Pos()) {
+				done[di] = true // opted out: export no facts either
+				continue
+			}
+			sig := signatureOf(fd.obj)
+			w := newPFWalker(pass, pfModeSummarize)
+			exit := w.analyze(fd.decl.Body, sig)
+			if w.anyUnknown {
+				continue // opaque (so far): retry once more facts land
+			}
+			done[di] = true
+			changed = true
+			pfExport(pass, fd, sig, w, exit)
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// pfExport writes one finalized function's summary facts.
+func pfExport(pass *Pass, fd funcDecl, sig *types.Signature, w *pfWalker, exit dataflow.PMState) {
+	if !w.anyPM {
+		pass.Facts.Export(fd.obj, factPFClean)
+		return
+	}
+	for _, i := range sortedKeys(w.flushedParams) {
+		if i < pfMaxSummaryParams {
+			pass.Facts.Export(fd.obj, factPFFlush(i))
+		}
+	}
+	if w.flushedRecv {
+		pass.Facts.Export(fd.obj, factPFFlushRecv)
+	}
+	for _, l := range exit.SortedLocs() {
+		v := exit.Locs[l]
+		if v.Unstable {
+			continue
+		}
+		pi := dataflow.ParamIndex(l, sig)
+		recv := dataflow.IsReceiverRooted(l, sig)
+		switch v.S {
+		case dataflow.PSDirty:
+			if pi >= 0 && pi < pfMaxSummaryParams {
+				pass.Facts.Export(fd.obj, factPFDirty(pi))
+			} else if recv {
+				pass.Facts.Export(fd.obj, factPFDirtyRecv)
+			}
+		case dataflow.PSFlushed:
+			if pi >= 0 && pi < pfMaxSummaryParams {
+				pass.Facts.Export(fd.obj, factPFFlushed(pi))
+			} else if recv {
+				pass.Facts.Export(fd.obj, factPFFlushedRecv)
 			}
 		}
-		if exit.FenceValid {
-			pass.Facts.Export(fd.obj, factPFEndFence)
-			if exit.FenceDurable {
-				pass.Facts.Export(fd.obj, factPFEndDurable)
-			}
+	}
+	if exit.FenceValid {
+		pass.Facts.Export(fd.obj, factPFEndFence)
+		if exit.FenceDurable {
+			pass.Facts.Export(fd.obj, factPFEndDurable)
 		}
 	}
 }
@@ -427,7 +455,7 @@ func (t *pfTransfer) call(call *ast.CallExpr, top ast.Node, s dataflow.PMState) 
 		}
 		l := w.res.Loc(call.Args[op.AddrArg])
 		w.noteFlush(l)
-		ns, eff := s.WithFlush(l, call.Pos())
+		ns, eff := s.WithFlush(l, flushSize(w.info, call, op), call.Pos())
 		if t.report && w.mode == pfModeOptimize && eff.Redundant && op.Removable {
 			w.reportEdit(call.Pos(), w.pass.deleteStmtEdit(top, call),
 				"redundant flush of %s: every PM location it covers is already flushed or better on all paths (safe to delete)", l.Base)
@@ -578,13 +606,13 @@ func (t *pfTransfer) applySummary(call *ast.CallExpr, fn *types.Func, s dataflow
 
 // summaryFlush applies a callee's pf:flush service: the covered
 // locations are promoted like a local flush but marked unstable — the
-// fact is any-path (the callee may flush conditionally), so the
-// optimizer must not build redundancy claims on it, while the
-// discipline checks may still credit it.
+// fact carries no range and is any-path (the callee may flush
+// conditionally), so the optimizer must not build redundancy claims on
+// it, while the discipline checks may still credit it.
 func (t *pfTransfer) summaryFlush(s dataflow.PMState, l dataflow.Loc, pos token.Pos) dataflow.PMState {
 	t.w.noteFlush(l)
 	t.w.anyFlushFence = true
-	ns, _ := s.WithFlush(l, pos)
+	ns, _ := s.WithFlush(l, 0, pos)
 	for k, v := range ns.Locs {
 		if k.Base == l.Base && !v.Unstable {
 			v.Unstable = true

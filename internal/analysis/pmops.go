@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/types"
 )
 
@@ -50,6 +51,11 @@ type pmOp struct {
 	// store/flush kinds, -1 otherwise (Model.Flush(t, a, n) carries the
 	// address at 1; the Thread store/CLWB methods at 0).
 	AddrArg int
+	// SizeArg is the index in call.Args of the byte-length operand of a
+	// pmFlush call, -1 when the flush has none (CLWB covers the cache
+	// block containing the address, whose bounds depend on alignment).
+	// Only meaningful for pmFlush.
+	SizeArg int
 	// Removable marks barrier/flush calls whose deletion is a legal
 	// suggested edit when they prove redundant. NextUpdate is never
 	// removable (it closes a failure-atomic update — on StrandWeaver it
@@ -82,9 +88,9 @@ func classifyPMOp(fn *types.Func) pmOp {
 		isMethod(fn, "internal/machine", "Thread", "StorePrivateU64"):
 		return pmOp{Kind: pmStorePrivate, AddrArg: 0}
 	case isMethod(fn, "internal/persist", "Model", "Flush"):
-		return pmOp{Kind: pmFlush, AddrArg: 1, Removable: true}
+		return pmOp{Kind: pmFlush, AddrArg: 1, SizeArg: 2, Removable: true}
 	case isMethod(fn, "internal/machine", "Thread", "CLWB"):
-		return pmOp{Kind: pmFlush, AddrArg: 0, Removable: true}
+		return pmOp{Kind: pmFlush, AddrArg: 0, SizeArg: -1, Removable: true}
 	case isMethod(fn, "internal/persist", "Model", "OrderBarrier"):
 		return pmOp{Kind: pmFenceOrder, AddrArg: -1, Removable: true}
 	case isMethod(fn, "internal/persist", "Model", "NextUpdate"):
@@ -124,6 +130,24 @@ func classifyPMOp(fn *types.Func) pmOp {
 		}
 	}
 	return none
+}
+
+// flushSize returns the byte length of a pmFlush call's range when its
+// size operand is a compile-time constant, 0 otherwise (non-constant
+// length, or a CLWB with no size operand at all).
+func flushSize(info *types.Info, call *ast.CallExpr, op pmOp) int64 {
+	if op.SizeArg < 0 || op.SizeArg >= len(call.Args) {
+		return 0
+	}
+	tv, ok := info.Types[call.Args[op.SizeArg]]
+	if !ok || tv.Value == nil {
+		return 0
+	}
+	n, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	if !ok || n < 0 {
+		return 0
+	}
+	return n
 }
 
 // isNonCallExpr reports whether a CallExpr node is not actually a

@@ -148,3 +148,22 @@ func loopFlushAfter(t *machine.Thread, m persist.Model, a mem.Addr, n int) {
 	m.Flush(t, a, 8)
 	m.OrderBarrier(t)
 }
+
+// declaredBeforeHelpers mirrors topLevel with the call chain declared
+// caller-first: package summarization iterates to a fixpoint, so the
+// helpers' facts land even though they appear later in the file.
+func declaredBeforeHelpers(t *machine.Thread, m persist.Model, a mem.Addr) {
+	b := scratch()
+	laterPass(t, m, a, b) // want "still dirty at return"
+}
+
+func laterPass(t *machine.Thread, m persist.Model, a, b mem.Addr) {
+	laterStore(t, m, a, b)
+}
+
+func laterStore(t *machine.Thread, m persist.Model, a, b mem.Addr) {
+	t.StoreU64(a, 1)
+	t.StoreU64(b, 2)
+	m.Flush(t, a, 8)
+	m.OrderBarrier(t)
+}

@@ -117,3 +117,45 @@ func flushAfterConditionalHelper(t *machine.Thread, m persist.Model, a mem.Addr,
 	m.Flush(t, a, 8)
 	m.OrderBarrier(t)
 }
+
+// flushOtherHalf: the two flushes cover disjoint byte ranges of the
+// same base, so neither is redundant — a base-granular coverage model
+// would claim the second one and delete a flush the a+64 store needs.
+// Silent.
+func flushOtherHalf(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	t.StoreU64(a+64, 2)
+	m.Flush(t, a, 8)
+	m.Flush(t, a+64, 8)
+	m.OrderBarrier(t)
+}
+
+// reflushInsideRange: the second flush's range lies inside the span
+// the first flush already covered; redundant.
+func reflushInsideRange(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a+8, 1)
+	m.Flush(t, a, 16)
+	m.Flush(t, a+8, 8) // want "redundant flush"
+	m.OrderBarrier(t)
+}
+
+// clwbCrossOffset: CLWB has no size operand and the two addresses may
+// or may not share a cache block (the base's alignment is unknown), so
+// coverage across offsets is indeterminate and no flush is claimed.
+// Silent.
+func clwbCrossOffset(t *machine.Thread, a mem.Addr) {
+	t.StoreU64(a, 1)
+	t.StoreU64(a+64, 2)
+	t.CLWB(a)
+	t.CLWB(a + 64)
+	t.SFence()
+}
+
+// clwbSameAddr: a repeated CLWB of the very same address rewrites the
+// same cache block; redundant even without a size operand.
+func clwbSameAddr(t *machine.Thread, a mem.Addr) {
+	t.StoreU64(a, 1)
+	t.CLWB(a)
+	t.CLWB(a) // want "redundant flush"
+	t.SFence()
+}
