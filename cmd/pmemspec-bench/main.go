@@ -9,21 +9,29 @@
 // worker count. -bench-out records per-experiment wall-clock to a JSON
 // file so successive revisions have a perf trajectory.
 //
+// -metrics-out writes the deterministic (design, workload) metrics grid;
+// -timeline-out writes recorded event timelines as a Chrome trace
+// (load in Perfetto or about:tracing); -debug-addr serves pprof/expvar.
+//
 // Usage:
 //
 //	pmemspec-bench -experiment fig9 [-ops 500] [-threads 8] [-seed 1] [-parallel 8] [-v]
 //	pmemspec-bench -experiment all -json -bench-out BENCH_baseline.json
+//	pmemspec-bench -experiment fig9 -metrics-out metrics.json -timeline-out trace.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
 
 	"pmemspec/internal/harness"
+	"pmemspec/internal/machine"
+	"pmemspec/internal/metrics"
 )
 
 // benchOut is the wall-clock record -bench-out writes: one entry per
@@ -48,12 +56,34 @@ func main() {
 		verbose    = flag.Bool("v", false, "print per-run progress")
 		asJSON     = flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 		benchFile  = flag.String("bench-out", "", "write per-experiment wall-clock JSON to this file")
+		metricsOut = flag.String("metrics-out", "", "write the (design, workload) metrics grid JSON to this file")
+		tlOut      = flag.String("timeline-out", "", "write recorded event timelines as a Chrome trace to this file")
+		tlCell     = flag.String("timeline-cell", "PMEM-Spec/queue", `record timelines for this "Design/workload" cell ("" = every run; needs -timeline-out)`)
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address while running")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, err := metrics.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmemspec-bench: debug-addr:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pmemspec-bench: pprof/expvar on http://%s/debug/pprof/\n", addr)
+	}
 
 	runner := &harness.Runner{Parallel: *parallel}
 	if *verbose {
 		runner.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	if *metricsOut != "" {
+		runner.Metrics = metrics.NewGrid()
+	}
+	if *tlOut != "" {
+		want := *tlCell
+		runner.Timeline = func(d machine.Design, name string) bool {
+			return want == "" || d.String()+"/"+name == want
+		}
 	}
 
 	emit := func(v any, table func()) error {
@@ -160,4 +190,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pmemspec-bench: wall-clock written to %s (total %.1fs at parallel=%d)\n",
 			*benchFile, record.Total, record.Parallel)
 	}
+	if *metricsOut != "" {
+		if err := writeTo(*metricsOut, runner.Metrics.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "pmemspec-bench: metrics-out:", err)
+			os.Exit(1)
+		}
+	}
+	if *tlOut != "" {
+		if err := writeTo(*tlOut, func(w io.Writer) error {
+			return metrics.WriteTrace(w, runner.Timelines)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "pmemspec-bench: timeline-out:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pmemspec-bench: %d timeline(s) written to %s (load in Perfetto / about:tracing)\n",
+			len(runner.Timelines), *tlOut)
+	}
+}
+
+// writeTo streams one export into a freshly created file.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

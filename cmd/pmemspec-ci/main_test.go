@@ -1,0 +1,66 @@
+package main
+
+import "testing"
+
+func record(exp map[string]float64) benchRecord {
+	return benchRecord{Parallel: 1, NumCPU: 1, Threads: 8, Ops: 400, Seed: 1, Experiments: exp}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	base := record(map[string]float64{"fig9": 10, "fig10": 100})
+	cur := record(map[string]float64{"fig9": 11.4, "fig10": 90})
+	rows, regressions := compare(base, cur, 0.15)
+	if regressions != 0 {
+		t.Fatalf("got %d regressions, want 0: %+v", regressions, rows)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := record(map[string]float64{"fig9": 10, "fig10": 100})
+	cur := record(map[string]float64{"fig9": 11.6, "fig10": 90})
+	rows, regressions := compare(base, cur, 0.15)
+	if regressions != 1 {
+		t.Fatalf("got %d regressions, want 1: %+v", regressions, rows)
+	}
+	for _, r := range rows {
+		if r.Experiment == "fig9" && !r.Regressed {
+			t.Fatal("fig9 at +16% should regress at ±15%")
+		}
+		if r.Experiment == "fig10" && r.Regressed {
+			t.Fatal("fig10 speedup must never regress (one-sided gate)")
+		}
+	}
+}
+
+func TestCompareUnpairedExperimentsSkip(t *testing.T) {
+	base := record(map[string]float64{"fig9": 10, "old": 5})
+	cur := record(map[string]float64{"fig9": 10, "new": 7})
+	rows, regressions := compare(base, cur, 0.15)
+	if regressions != 0 {
+		t.Fatalf("unpaired experiments must not fail the gate: %+v", rows)
+	}
+	notes := map[string]string{}
+	for _, r := range rows {
+		notes[r.Experiment] = r.Note
+	}
+	if notes["old"] == "" || notes["new"] == "" {
+		t.Fatalf("unpaired experiments should carry a note: %v", notes)
+	}
+}
+
+func TestConfigMismatch(t *testing.T) {
+	a := record(map[string]float64{"fig9": 1})
+	b := a
+	b.Threads = 4
+	if configMismatch(a, b) == "" {
+		t.Fatal("thread-count mismatch must be refused")
+	}
+	b = a
+	b.Seed = 2
+	if configMismatch(a, b) == "" {
+		t.Fatal("seed mismatch must be refused")
+	}
+	if configMismatch(a, a) != "" {
+		t.Fatal("identical configs must compare")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"pmemspec/internal/fatomic"
 	"pmemspec/internal/harness"
 	"pmemspec/internal/machine"
+	"pmemspec/internal/metrics"
 	"pmemspec/internal/workload"
 )
 
@@ -53,9 +54,20 @@ func main() {
 		eager      = flag.Bool("eager", false, "eager recovery mode (abort at first runtime op after a signal)")
 		report     = flag.String("report", "", "write the JSON campaign report to this file")
 		jsonOut    = flag.Bool("json", false, "write the JSON campaign report to stdout instead of the summary")
+		metricsOut = flag.String("metrics-out", "", "write the (design, workload) metrics grid JSON to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address while running")
 		verbose    = flag.Bool("v", false, "per-trial progress on stderr")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, err := metrics.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmemspec-crash: debug-addr:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pmemspec-crash: pprof/expvar on http://%s/debug/pprof/\n", addr)
+	}
 
 	cfg := harness.CampaignConfig{
 		Params:         workload.Params{Threads: *threads, Ops: *ops, DataSize: 64, Seed: *seed},
@@ -97,12 +109,28 @@ func main() {
 	if *verbose {
 		runner.Progress = func(label string) { fmt.Fprintln(os.Stderr, "  run:", label) }
 	}
+	if *metricsOut != "" {
+		runner.Metrics = metrics.NewGrid()
+	}
 	rep, err := runner.RunCampaign(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmemspec-crash:", err)
 		os.Exit(1)
 	}
 
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = runner.Metrics.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmemspec-crash: metrics-out:", err)
+			os.Exit(1)
+		}
+	}
 	if *report != "" {
 		if err := writeJSON(*report, rep); err != nil {
 			fmt.Fprintln(os.Stderr, "pmemspec-crash:", err)

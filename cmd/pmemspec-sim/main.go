@@ -10,11 +10,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"pmemspec/internal/harness"
 	"pmemspec/internal/machine"
+	"pmemspec/internal/metrics"
 	"pmemspec/internal/workload"
 )
 
@@ -43,6 +45,8 @@ func main() {
 		dataSize   = flag.Int("datasize", 0, "item payload bytes (0 = paper default: 64, 1024 for memcached)")
 		scale      = flag.Int("scale", 0, "structure scale override (0 = workload default)")
 		seed       = flag.Int64("seed", 1, "workload RNG seed")
+		metricsOut = flag.String("metrics-out", "", "write the run's metrics snapshot JSON to this file")
+		tlOut      = flag.String("timeline-out", "", "record the run's event timeline and write a Chrome trace to this file")
 	)
 	flag.Parse()
 
@@ -64,10 +68,30 @@ func main() {
 		p.DataSize = *dataSize
 	}
 
-	res, err := harness.Run(design, w, p)
+	var opts []harness.Option
+	if *tlOut != "" {
+		opts = append(opts, harness.WithTimeline())
+	}
+	res, err := harness.Run(design, w, p, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmemspec-sim:", err)
 		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		if err := exportFile(*metricsOut, res.Metrics.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "pmemspec-sim: metrics-out:", err)
+			os.Exit(1)
+		}
+	}
+	if *tlOut != "" {
+		name := res.Design.String() + "/" + res.Workload
+		err := exportFile(*tlOut, func(w io.Writer) error {
+			return metrics.WriteTrace(w, []metrics.NamedTimeline{{Name: name, TL: res.Timeline}})
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmemspec-sim: timeline-out:", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("design       %s\n", res.Design)
@@ -89,4 +113,17 @@ func main() {
 	fmt.Printf("runtime      fases=%d aborts=%d suppressed-faults=%d undone-entries=%d\n",
 		r.FASEs, r.Aborts, r.FaultsSuppressed, r.UndoneEntries)
 	fmt.Println("verification OK")
+}
+
+// exportFile streams one export into a freshly created file.
+func exportFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

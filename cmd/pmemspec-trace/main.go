@@ -21,12 +21,14 @@ import (
 
 	"pmemspec/internal/machine"
 	"pmemspec/internal/mem"
+	"pmemspec/internal/metrics"
 	"pmemspec/internal/trace"
 )
 
-func buildMachine(d machine.Design, threads int) (*machine.Machine, error) {
+func buildMachine(d machine.Design, threads int, timeline bool) (*machine.Machine, error) {
 	cfg := machine.DefaultConfig(d, threads)
 	cfg.MemBytes = 32 << 20
+	cfg.Timeline = timeline
 	return machine.New(cfg)
 }
 
@@ -64,7 +66,7 @@ func diffOne(seed int64, threads, ops int) error {
 	var ref []byte
 	var refDesign machine.Design
 	for _, d := range machine.Designs {
-		m, err := buildMachine(d, threads)
+		m, err := buildMachine(d, threads, false)
 		if err != nil {
 			return err
 		}
@@ -99,6 +101,7 @@ func main() {
 		inFile  = flag.String("in", "", "trace file to replay")
 		outFile = flag.String("out", "", "trace file to write (gen)")
 		design  = flag.String("design", "pmemspec", "design for replay mode")
+		tlOut   = flag.String("timeline-out", "", "replay mode: record the event timeline and write a Chrome trace to this file")
 	)
 	flag.Parse()
 
@@ -150,13 +153,26 @@ func main() {
 		default:
 			fail(fmt.Errorf("unknown design %q", *design))
 		}
-		m, err := buildMachine(d, len(p.Threads))
+		m, err := buildMachine(d, len(p.Threads), *tlOut != "")
 		if err != nil {
 			fail(err)
 		}
 		makespan, err := p.Replay(m)
 		if err != nil {
 			fail(err)
+		}
+		if *tlOut != "" {
+			f, err := os.Create(*tlOut)
+			if err == nil {
+				name := d.String() + "/" + *inFile
+				err = metrics.WriteTrace(f, []metrics.NamedTimeline{{Name: name, TL: m.Timeline()}})
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fail(err)
+			}
 		}
 		st := m.Stats()
 		fmt.Printf("%s: makespan %v | loads %d stores %d pm-fetches %d | misspeculations %d\n",

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"pmemspec/internal/mem"
+	"pmemspec/internal/metrics"
 	"pmemspec/internal/sim"
 )
 
@@ -110,6 +111,11 @@ type Stats struct {
 	WriteBacks, Reads, Persists uint64
 	// TrackedReads counts reads that transitioned an entry to Speculated.
 	TrackedReads uint64
+	// ToEvict and ToSpeculated count automaton state transitions *into*
+	// the Evict and Speculated states (re-arms that keep the state are
+	// not transitions); Deallocs counts entries released by persists or
+	// handled misspeculations (expiry releases are Expirations).
+	ToEvict, ToSpeculated, Deallocs uint64
 	// PeakLive is the maximum number of simultaneously live entries
 	// observed (may exceed capacity conceptually only via overflow
 	// accounting; live entries are always ≤ capacity).
@@ -164,6 +170,11 @@ type Buffer struct {
 	// buffer full; until is the time the stall ends (oldest entry's
 	// expiry). The machine layer pauses all cores until then.
 	OnOverflow func(until sim.Time)
+
+	// TL, when set, receives state-transition instants on lane Lane
+	// (nil-safe: disabled tracing costs one nil check per transition).
+	TL   *metrics.Timeline
+	Lane int
 }
 
 // NewBuffer returns a speculation buffer with the given configuration.
@@ -259,12 +270,18 @@ func (b *Buffer) OnWriteBack(now sim.Time, a mem.Addr) {
 	b.sweep(now)
 	blk := mem.BlockAlign(a)
 	if e := b.find(blk); e != nil {
+		if e.State != LoadEvict {
+			b.Stats.ToEvict++
+			b.TL.InstantArg(now, b.Lane, "specbuf", "evict_armed", "block", int64(blk))
+		}
 		e.State = LoadEvict
 		e.Inserted = now
 		return
 	}
 	e := b.allocate(now, blk)
 	e.State = LoadEvict
+	b.Stats.ToEvict++
+	b.TL.InstantArg(now, b.Lane, "specbuf", "evict_armed", "block", int64(blk))
 }
 
 // OnRead records a PM load from the regular path and reports whether the
@@ -278,15 +295,13 @@ func (b *Buffer) OnRead(now sim.Time, a mem.Addr) bool {
 	b.sweep(now)
 	blk := mem.BlockAlign(a)
 	if e := b.find(blk); e != nil {
-		if e.State == LoadEvict || e.State == LoadSpeculated {
+		if e.State == LoadEvict || e.State == LoadSpeculated || b.cfg.FetchBased {
+			if e.State != LoadSpeculated {
+				b.Stats.ToSpeculated++
+				b.TL.InstantArg(now, b.Lane, "specbuf", "speculated", "block", int64(blk))
+			}
 			e.State = LoadSpeculated
 			e.Inserted = now // the window (re)starts at the load (§5.1.2)
-			b.Stats.TrackedReads++
-			return true
-		}
-		if b.cfg.FetchBased {
-			e.State = LoadSpeculated
-			e.Inserted = now
 			b.Stats.TrackedReads++
 			return true
 		}
@@ -295,6 +310,8 @@ func (b *Buffer) OnRead(now sim.Time, a mem.Addr) bool {
 	if b.cfg.FetchBased {
 		e := b.allocate(now, blk)
 		e.State = LoadSpeculated
+		b.Stats.ToSpeculated++
+		b.TL.InstantArg(now, b.Lane, "specbuf", "speculated", "block", int64(blk))
 		b.Stats.TrackedReads++
 		return true
 	}
@@ -370,6 +387,7 @@ func (b *Buffer) OnPersist(now sim.Time, a mem.Addr, specID uint64, pendingUntil
 	}
 
 	for _, m := range out {
+		b.TL.InstantArg(m.At, b.Lane, "specbuf", m.Kind.String()+"_misspec", "block", int64(m.Addr))
 		if b.OnMisspec != nil {
 			b.OnMisspec(m)
 		}
@@ -389,7 +407,26 @@ func (b *Buffer) remove(blk mem.Addr) {
 	for i := range b.entries {
 		if b.entries[i].Addr == blk {
 			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			b.Stats.Deallocs++
 			return
 		}
 	}
+}
+
+// Publish copies the buffer's end-of-run statistics into the registry
+// (accumulating across controllers).
+func (b *Buffer) Publish(r *metrics.Registry) {
+	s := &b.Stats
+	r.Counter("specbuf", "load_misspecs").Add(s.LoadMisspecs)
+	r.Counter("specbuf", "store_misspecs").Add(s.StoreMisspecs)
+	r.Counter("specbuf", "expirations").Add(s.Expirations)
+	r.Counter("specbuf", "overflows").Add(s.Overflows)
+	r.Counter("specbuf", "writebacks").Add(s.WriteBacks)
+	r.Counter("specbuf", "reads").Add(s.Reads)
+	r.Counter("specbuf", "persists").Add(s.Persists)
+	r.Counter("specbuf", "tracked_reads").Add(s.TrackedReads)
+	r.Counter("specbuf", "to_evict").Add(s.ToEvict)
+	r.Counter("specbuf", "to_speculated").Add(s.ToSpeculated)
+	r.Counter("specbuf", "deallocs").Add(s.Deallocs)
+	r.Gauge("specbuf", "peak_live").Observe(int64(s.PeakLive))
 }

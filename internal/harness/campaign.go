@@ -242,7 +242,7 @@ func (r *Runner) RunCampaign(cfg CampaignConfig) (CampaignReport, error) {
 			specs = append(specs, spec(c, NoCrash))
 		}
 	}
-	outs := (&Runner{Parallel: r.Parallel, Progress: r.Progress}).RunTrials(specs)
+	outs := r.RunTrials(specs)
 
 	rep := CampaignReport{
 		Threads:   cfg.Params.Threads,

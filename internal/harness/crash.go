@@ -8,6 +8,7 @@ import (
 	"pmemspec/internal/fatomic"
 	"pmemspec/internal/machine"
 	"pmemspec/internal/mem"
+	"pmemspec/internal/metrics"
 	"pmemspec/internal/osint"
 	"pmemspec/internal/persist"
 	"pmemspec/internal/sim"
@@ -37,6 +38,9 @@ type CrashOutcome struct {
 	Injected  InjectionStats // synthetic misspeculation events raised by the injector
 	VerifyErr error          // non-nil: a crash-consistency violation
 	Err       error          // non-nil: the trial itself failed to run (machine error, panic)
+	// Metrics is the trial's observability snapshot (set whenever the
+	// machine ran, even if the trial crashed or failed verification).
+	Metrics metrics.Snapshot `json:"-"`
 }
 
 // TrialSpec describes one campaign trial: a (design, workload) cell, a
@@ -144,6 +148,7 @@ func runTrial(spec TrialSpec, w workload.Workload, bounds *Boundaries) (CrashOut
 	}
 	err = m.Run()
 	out.Runtime = rt.Stats
+	out.Metrics = runMetrics(m, rt, os)
 	switch {
 	case errors.Is(err, machine.ErrCrashed):
 		// The crash event always fires (possibly after all workers
@@ -386,6 +391,9 @@ func (r *Runner) RunTrials(specs []TrialSpec) []CrashOutcome {
 				outs[i].Label = specs[i].Point.Label
 			}
 			outs[i].Err = results[i].Err
+		}
+		if r.Metrics != nil {
+			r.Metrics.Add(outs[i].Design.String(), outs[i].Workload, outs[i].Metrics)
 		}
 	}
 	return outs

@@ -6,6 +6,7 @@ import (
 	"pmemspec/internal/fatomic"
 	"pmemspec/internal/machine"
 	"pmemspec/internal/mem"
+	"pmemspec/internal/metrics"
 	"pmemspec/internal/osint"
 	"pmemspec/internal/persist"
 	"pmemspec/internal/sim"
@@ -36,10 +37,25 @@ func run(design machine.Design, w workload.Workload, p workload.Params, mode fat
 type Runner struct {
 	Parallel int
 	Progress func(string)
+
+	// Metrics, when non-nil, accumulates every run's observability
+	// snapshot into the (design, workload) grid. Merging happens on the
+	// dispatching goroutine in job-index order, so the grid is
+	// byte-identical at any Parallel setting.
+	Metrics *metrics.Grid
+
+	// Timeline, when non-nil, selects which runs record an event
+	// timeline; recorded timelines land in Timelines (index order),
+	// named "Design/workload".
+	Timeline  func(machine.Design, string) bool
+	Timelines []metrics.NamedTimeline
 }
 
 // benchJob builds the job for one (design, workload, params) run.
-func benchJob(label string, d machine.Design, name string, p workload.Params, opts ...Option) Job[Result] {
+func (r *Runner) benchJob(label string, d machine.Design, name string, p workload.Params, opts ...Option) Job[Result] {
+	if r.Timeline != nil && r.Timeline(d, name) {
+		opts = append(opts, WithTimeline())
+	}
 	return Job[Result]{Label: label, Run: func() (Result, error) {
 		w, err := workload.ByName(name)
 		if err != nil {
@@ -47,6 +63,23 @@ func benchJob(label string, d machine.Design, name string, p workload.Params, op
 		}
 		return Run(d, w, p, opts...)
 	}}
+}
+
+// collect folds a completed batch's per-run metrics and timelines into
+// the runner, walking job-index order to keep the outputs deterministic.
+func (r *Runner) collect(results []JobResult[Result]) {
+	for i := range results {
+		res := results[i].Result
+		if r.Metrics != nil {
+			r.Metrics.Add(res.Design.String(), res.Workload, res.Metrics)
+		}
+		if res.Timeline != nil {
+			r.Timelines = append(r.Timelines, metrics.NamedTimeline{
+				Name: res.Design.String() + "/" + res.Workload,
+				TL:   res.Timeline,
+			})
+		}
+	}
 }
 
 // Fig9Row is one benchmark's throughput under each design, normalized to
@@ -70,7 +103,7 @@ func (r *Runner) Fig9(threads, ops int, seed int64) ([]Fig9Row, error) {
 	jobs := make([]Job[Result], 0, len(names)*len(designs))
 	for _, name := range names {
 		for _, d := range designs {
-			jobs = append(jobs, benchJob(fmt.Sprintf("fig9: %s / %s", name, d),
+			jobs = append(jobs, r.benchJob(fmt.Sprintf("fig9: %s / %s", name, d),
 				d, name, params(name, threads, ops, seed)))
 		}
 	}
@@ -78,6 +111,7 @@ func (r *Runner) Fig9(threads, ops int, seed int64) ([]Fig9Row, error) {
 	if err := firstError(results); err != nil {
 		return nil, err
 	}
+	r.collect(results)
 	var rows []Fig9Row
 	for wi, name := range names {
 		row := Fig9Row{
@@ -126,7 +160,7 @@ func (r *Runner) Fig10(coreCounts []int, ops int, seed int64) (map[int][]Fig9Row
 	for _, cores := range coreCounts {
 		for _, name := range names {
 			for _, d := range designs {
-				jobs = append(jobs, benchJob(fmt.Sprintf("%d cores: fig9: %s / %s", cores, name, d),
+				jobs = append(jobs, r.benchJob(fmt.Sprintf("%d cores: fig9: %s / %s", cores, name, d),
 					d, name, params(name, cores, ops, seed)))
 			}
 		}
@@ -135,6 +169,7 @@ func (r *Runner) Fig10(coreCounts []int, ops int, seed int64) (map[int][]Fig9Row
 	if err := firstError(results); err != nil {
 		return nil, err
 	}
+	r.collect(results)
 	out := map[int][]Fig9Row{}
 	i := 0
 	for _, cores := range coreCounts {
@@ -189,7 +224,7 @@ func (r *Runner) Fig11(threads, ops int, seed int64) ([]Fig11Point, error) {
 				// configuration: a value store well past the LLC.
 				p.Scale = 32768
 			}
-			jobs = append(jobs, benchJob(fmt.Sprintf("fig11: %s / %d entries", name, size),
+			jobs = append(jobs, r.benchJob(fmt.Sprintf("fig11: %s / %d entries", name, size),
 				machine.PMEMSpec, name, p, WithSpecBufEntries(size)))
 		}
 	}
@@ -197,6 +232,7 @@ func (r *Runner) Fig11(threads, ops int, seed int64) ([]Fig11Point, error) {
 	if err := firstError(results); err != nil {
 		return nil, err
 	}
+	r.collect(results)
 	perSize := make(map[int][]float64)
 	overflows := make(map[int]uint64)
 	for wi := range names {
@@ -244,7 +280,7 @@ func (r *Runner) Fig12(threads, ops int, seed int64) ([]Fig12Point, error) {
 
 	var jobs []Job[Result]
 	for _, name := range names {
-		jobs = append(jobs, benchJob(fmt.Sprintf("fig12: baseline %s", name),
+		jobs = append(jobs, r.benchJob(fmt.Sprintf("fig12: baseline %s", name),
 			machine.IntelX86, name, params(name, threads, ops, seed)))
 	}
 	for _, lat := range latencies {
@@ -260,7 +296,7 @@ func (r *Runner) Fig12(threads, ops int, seed int64) ([]Fig12Point, error) {
 						c.PBufDrainLag = sim.NS(lat) - c.WritebackLatency
 					}
 				}
-				jobs = append(jobs, benchJob(fmt.Sprintf("fig12: %s / %dns / %s", d, lat, name),
+				jobs = append(jobs, r.benchJob(fmt.Sprintf("fig12: %s / %dns / %s", d, lat, name),
 					d, name, params(name, threads, ops, seed), opt))
 			}
 		}
@@ -269,6 +305,7 @@ func (r *Runner) Fig12(threads, ops int, seed int64) ([]Fig12Point, error) {
 	if err := firstError(results); err != nil {
 		return nil, err
 	}
+	r.collect(results)
 	base := map[string]float64{}
 	for wi, name := range names {
 		base[name] = results[wi].Result.Throughput
@@ -327,7 +364,7 @@ func (r *Runner) MisspecStudy(threads, ops int, seed int64) (MisspecResult, erro
 	names := workload.Names()
 	var jobs []Job[Result]
 	for _, name := range names {
-		jobs = append(jobs, benchJob(fmt.Sprintf("misspec: %s", name),
+		jobs = append(jobs, r.benchJob(fmt.Sprintf("misspec: %s", name),
 			machine.PMEMSpec, name, params(name, threads, ops, seed)))
 	}
 	synDefault, jobDefault := syntheticJob(ops, seed, 20)
@@ -339,6 +376,7 @@ func (r *Runner) MisspecStudy(threads, ops int, seed int64) (MisspecResult, erro
 	if err := firstError(results); err != nil {
 		return out, err
 	}
+	r.collect(results)
 	for wi, name := range names {
 		out.PerBenchmark[name] = uint64(len(results[wi].Result.MStats.Misspeculations))
 	}
@@ -434,6 +472,7 @@ func (r *Runner) DetectionAblation(threads, ops int, seed int64) ([2]AblationRes
 	if err := firstError(results); err != nil {
 		return out, err
 	}
+	r.collect(results)
 	for i := range results {
 		res := results[i].Result
 		fp := len(res.MStats.Misspeculations) - int(res.MStats.StaleFetches)
@@ -475,5 +514,11 @@ func runCustom(design machine.Design, w workload.Workload, p workload.Params, mo
 	rt := fatomic.New(m, persist.ForDesign(design), os, mode)
 	heap := mem.NewHeap(m.Space(), fatomic.HeapReserve(p.Threads))
 	env := &workload.Env{M: m, RT: rt, Heap: heap, P: p}
-	return execute(m, rt, env, w, p)
+	res, err := execute(m, rt, env, w, p)
+	if err != nil {
+		return res, err
+	}
+	res.Metrics = runMetrics(m, rt, os)
+	res.Timeline = m.Timeline()
+	return res, nil
 }

@@ -13,6 +13,8 @@ import (
 
 	"pmemspec/internal/fatomic"
 	"pmemspec/internal/machine"
+	"pmemspec/internal/metrics"
+	"pmemspec/internal/osint"
 	"pmemspec/internal/sim"
 	"pmemspec/internal/workload"
 )
@@ -27,6 +29,12 @@ type Result struct {
 	Throughput float64  // committed FASEs per simulated second
 	MStats     machine.Stats
 	RStats     fatomic.Stats
+	// Metrics is the run's merged observability snapshot (machine
+	// components + runtime + OS relay). Timeline is non-nil only when
+	// the run was configured with WithTimeline. Both are excluded from
+	// the Result's JSON: the grid/trace exports serialize them.
+	Metrics  metrics.Snapshot  `json:"-"`
+	Timeline *metrics.Timeline `json:"-"`
 }
 
 // Option tweaks the machine configuration before a run.
@@ -55,6 +63,12 @@ func WithSmallLLC(bytes, ways int) Option {
 		c.LLCBytes = bytes
 		c.LLCWays = ways
 	}
+}
+
+// WithTimeline enables the machine's event-timeline recorder; the run's
+// Result then carries the recorded timeline.
+func WithTimeline() Option {
+	return func(c *machine.Config) { c.Timeline = true }
 }
 
 // Run executes workload w on a fresh machine of the given design with
@@ -114,6 +128,31 @@ func execute(m *machine.Machine, rt *fatomic.Runtime, env *workload.Env, w workl
 		return res, fmt.Errorf("harness: %s/%s verification: %w", m.Config().Design, w.Name(), err)
 	}
 	return res, nil
+}
+
+// runMetrics assembles one run's merged observability snapshot: the
+// machine's component publish (memoized in the machine) plus the
+// failure-atomic runtime's counters and, when wired, the OS relay's.
+func runMetrics(m *machine.Machine, rt *fatomic.Runtime, os *osint.OS) metrics.Snapshot {
+	reg := metrics.NewRegistry()
+	publishRuntime(reg, rt.Stats)
+	if os != nil {
+		os.Publish(reg)
+	}
+	return metrics.Merge(m.MetricsSnapshot(), reg.Snapshot())
+}
+
+// publishRuntime copies the runtime's end-of-run counters into the
+// registry under component "fatomic".
+func publishRuntime(r *metrics.Registry, s fatomic.Stats) {
+	r.Counter("fatomic", "fases").Add(s.FASEs)
+	r.Counter("fatomic", "aborts").Add(s.Aborts)
+	r.Counter("fatomic", "faults_suppressed").Add(s.FaultsSuppressed)
+	r.Counter("fatomic", "misspec_signals").Add(s.MisspecSignals)
+	r.Counter("fatomic", "load_signals").Add(s.LoadSignals)
+	r.Counter("fatomic", "store_signals").Add(s.StoreSignals)
+	r.Counter("fatomic", "stage_retries").Add(s.StageRetries)
+	r.Counter("fatomic", "undone_entries").Add(s.UndoneEntries)
 }
 
 // params builds the paper-style parameters for a benchmark: 64 B items,

@@ -176,7 +176,7 @@ func TestConcurrentRunsShareNothing(t *testing.T) {
 	}
 	jobs := make([]Job[Result], 8)
 	for i := range jobs {
-		jobs[i] = benchJob("clone", machine.PMEMSpec, "queue", params("queue", 2, 25, 3))
+		jobs[i] = (&Runner{}).benchJob("clone", machine.PMEMSpec, "queue", params("queue", 2, 25, 3))
 	}
 	for _, out := range RunAll(jobs, len(jobs), nil) {
 		if out.Err != nil {

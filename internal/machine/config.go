@@ -126,6 +126,13 @@ type Config struct {
 
 	// MemBytes is the simulated PM region size.
 	MemBytes uint64
+
+	// Timeline enables the event-timeline recorder: barrier spans, lock
+	// handoffs, spec-ID assigns/revokes and speculation-buffer state
+	// transitions are recorded against the simulated clock, retrievable
+	// via Machine.Timeline. Off by default: recording allocates per
+	// event, which the big experiment grids don't want.
+	Timeline bool
 }
 
 // DefaultConfig returns the Table 3 configuration for a design and core

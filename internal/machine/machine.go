@@ -7,6 +7,7 @@ import (
 	"pmemspec/internal/cache"
 	"pmemspec/internal/core"
 	"pmemspec/internal/mem"
+	"pmemspec/internal/metrics"
 	"pmemspec/internal/pmc"
 	"pmemspec/internal/ppath"
 	"pmemspec/internal/sim"
@@ -34,6 +35,10 @@ type Stats struct {
 	PBufStallCycles            sim.Time
 	BarrierStallCycles         sim.Time
 	SpecOverflowPauses         uint64
+	// Lock and speculation-register traffic (observability layer).
+	LockAcquires, LockHandoffs uint64 // handoffs = acquisitions of a held lock
+	TryLockFails               uint64
+	SpecAssigns, SpecRevokes   uint64
 }
 
 // Machine is one simulated multicore system configured as one of the
@@ -84,6 +89,16 @@ type Machine struct {
 	drainObserver func(core int, at sim.Time)
 
 	stats Stats
+
+	// Observability: the metrics registry holds the machine's live
+	// instruments (occupancy histograms) and, at MetricsSnapshot time,
+	// the published end-of-run component stats. tl is nil unless
+	// Config.Timeline; barriersPerCore counts durability-barrier
+	// completions per core.
+	reg             *metrics.Registry
+	tl              *metrics.Timeline
+	barriersPerCore []uint64
+	metricsSnap     metrics.Snapshot
 }
 
 // New builds a machine for the given configuration.
@@ -92,17 +107,24 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg:        cfg,
-		kernel:     sim.NewKernel(),
-		space:      mem.NewSpace(cfg.MemBytes),
-		hier:       cache.NewHierarchy(cfg.Cores, cfg.L1Bytes, cfg.L1Ways, cfg.LLCBytes, cfg.LLCWays),
-		nextSpecID: 1,
+		cfg:             cfg,
+		kernel:          sim.NewKernel(),
+		space:           mem.NewSpace(cfg.MemBytes),
+		hier:            cache.NewHierarchy(cfg.Cores, cfg.L1Bytes, cfg.L1Ways, cfg.LLCBytes, cfg.LLCWays),
+		nextSpecID:      1,
+		reg:             metrics.NewRegistry(),
+		barriersPerCore: make([]uint64, cfg.Cores),
+	}
+	if cfg.Timeline {
+		m.tl = metrics.NewTimeline()
 	}
 	nctrl := cfg.NumControllers()
 	for i := 0; i < nctrl; i++ {
 		c := pmc.NewController(cfg.PMC)
 		m.ctrls = append(m.ctrls, c)
-		m.wpqs = append(m.wpqs, pmc.NewWPQ(c, cfg.WPQEntries))
+		q := pmc.NewWPQ(c, cfg.WPQEntries)
+		q.OccHist = m.reg.Histogram("wpq", "occupancy", occupancyBounds(cfg.WPQEntries))
+		m.wpqs = append(m.wpqs, q)
 	}
 
 	switch cfg.Design {
@@ -126,6 +148,8 @@ func New(cfg Config) (*Machine, error) {
 			})
 			b.OnMisspec = onMisspec
 			b.OnOverflow = onOverflow
+			b.TL = m.tl
+			b.Lane = metrics.LaneSpec + i
 			m.specBufs = append(m.specBufs, b)
 		}
 		npaths := nctrl
@@ -135,7 +159,9 @@ func New(cfg Config) (*Machine, error) {
 			npaths = 1
 		}
 		for i := 0; i < npaths; i++ {
-			m.pathSets = append(m.pathSets, ppath.New(m.kernel, cfg.Cores, cfg.Path, m.persistArrived))
+			ps := ppath.New(m.kernel, cfg.Cores, cfg.Path, m.persistArrived)
+			ps.OccHist = m.reg.Histogram("ppath", "outstanding", occupancyBounds(64))
+			m.pathSets = append(m.pathSets, ps)
 		}
 	case Strand:
 		onDrain := func(a mem.Addr, d []byte, at sim.Time) {
@@ -302,8 +328,10 @@ func (m *Machine) SetMisspecHandler(h func(core.Misspeculation)) { m.misspecHand
 // it to collect persist boundaries; nil disables.
 func (m *Machine) SetDrainObserver(f func(core int, at sim.Time)) { m.drainObserver = f }
 
-// notifyDrain reports a completed durability barrier to the observer.
+// notifyDrain reports a completed durability barrier to the observer and
+// counts it against the core's barrier tally.
 func (m *Machine) notifyDrain(core int, at sim.Time) {
+	m.barriersPerCore[core]++
 	if m.drainObserver != nil {
 		m.drainObserver(core, at)
 	}

@@ -401,6 +401,7 @@ func (t *Thread) SFence() {
 		}
 	}
 	m.stats.BarrierStallCycles += t.sim.Clock() - start
+	m.tl.Span(start, t.sim.Clock(), t.coreID, "barrier", "sfence")
 	m.notifyDrain(t.coreID, t.sim.Clock())
 }
 
@@ -432,6 +433,7 @@ func (t *Thread) DFence() {
 		}
 	}
 	m.stats.BarrierStallCycles += t.sim.Clock() - start
+	m.tl.Span(start, t.sim.Clock(), t.coreID, "barrier", "dfence")
 	m.notifyDrain(t.coreID, t.sim.Clock())
 }
 
@@ -470,6 +472,7 @@ func (t *Thread) JoinStrand() {
 		t.sim.AdvanceTo(d)
 	}
 	m.stats.BarrierStallCycles += t.sim.Clock() - start
+	m.tl.Span(start, t.sim.Clock(), t.coreID, "barrier", "join_strand")
 	t.strand = 0
 	m.notifyDrain(t.coreID, t.sim.Clock())
 }
@@ -497,6 +500,7 @@ func (t *Thread) SpecBarrier() {
 		t.sim.AdvanceTo(d)
 	}
 	m.stats.BarrierStallCycles += t.sim.Clock() - start
+	m.tl.Span(start, t.sim.Clock(), t.coreID, "barrier", "spec_barrier")
 	m.notifyDrain(t.coreID, t.sim.Clock())
 }
 
@@ -509,6 +513,8 @@ func (t *Thread) SpecAssign() {
 	t.specStack = append(t.specStack, t.specID)
 	t.specID = t.m.nextSpecID
 	t.m.nextSpecID++
+	t.m.stats.SpecAssigns++
+	t.m.tl.InstantArg(t.sim.Clock(), t.coreID, "spec", "spec_assign", "spec_id", int64(t.specID))
 }
 
 // SpecRevoke leaves a critical section, restoring the previous
@@ -516,12 +522,15 @@ func (t *Thread) SpecAssign() {
 // sections).
 func (t *Thread) SpecRevoke() {
 	t.sim.Advance(issueCost)
+	revoked := t.specID
 	if n := len(t.specStack); n > 0 {
 		t.specID = t.specStack[n-1]
 		t.specStack = t.specStack[:n-1]
 	} else {
 		t.specID = 0
 	}
+	t.m.stats.SpecRevokes++
+	t.m.tl.InstantArg(t.sim.Clock(), t.coreID, "spec", "spec_revoke", "spec_id", int64(revoked))
 }
 
 // SpecID returns the thread's current speculation ID (tests).
@@ -559,7 +568,13 @@ func (t *Thread) RestoreSpecContext(ctx SpecContext) {
 // compiler-inserted spec-assign; IntelX86's locked RMW drains the store
 // queue; DPO's barriers additionally order the persist buffer.
 func (t *Thread) Lock(l *sim.Mutex) {
+	t.m.stats.LockAcquires++
+	if l.Holder() != nil {
+		t.m.stats.LockHandoffs++
+	}
+	start := t.sim.Clock()
 	l.Lock(t.sim)
+	t.m.tl.Span(start, t.sim.Clock(), t.coreID, "lock", "lock_acquire")
 	t.lockAcquired()
 }
 
@@ -569,8 +584,10 @@ func (t *Thread) Lock(l *sim.Mutex) {
 // designs); on failure the thread's state is untouched.
 func (t *Thread) TryLock(l *sim.Mutex) bool {
 	if !l.TryLock(t.sim) {
+		t.m.stats.TryLockFails++
 		return false
 	}
+	t.m.stats.LockAcquires++
 	t.lockAcquired()
 	return true
 }

@@ -1,0 +1,33 @@
+// ServeDebug exposes the Go runtime's pprof and expvar endpoints for
+// the long multi-minute experiment sweeps. This is host-side
+// observability — wall-clock profiles of the simulator process itself —
+// and deliberately lives outside the deterministic surface: nothing it
+// serves feeds back into simulation output.
+package metrics
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+)
+
+// ServeDebug binds addr (e.g. "localhost:6060") and serves
+// /debug/pprof/* and /debug/vars on it in a background goroutine. The
+// bind happens synchronously so address errors surface to the caller;
+// the returned string is the resolved listen address ("" on error).
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	// Touch expvar so its /debug/vars handler registration is linked in
+	// even if no vars are published.
+	_ = expvar.Get("cmdline")
+	go func() {
+		// The listener lives for the process; Serve only returns on
+		// close, and its error has nowhere useful to go.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,370 @@
+// Package metrics is the simulator's deterministic observability layer:
+// a registry of named counters, high-water gauges and histograms that the
+// hot layers (pmc, ppath, machine, osint) publish into, plus an event
+// timeline stamped with the *simulated* clock (timeline.go).
+//
+// Determinism is the design constraint: every value is derived from the
+// simulation (whose dispatch order is a total order), never from wall
+// time, and every serialization walks a stable sort order — so a metrics
+// snapshot is byte-identical run to run at any host worker-pool width.
+// Instruments are deliberately allocation-light: a bound *Counter is one
+// pointer dereference per update, and all mutators are nil-safe so
+// uninstrumented components pay a single nil check.
+//
+// The registry is not host-concurrency-safe. Each simulated machine owns
+// one registry and the simulation kernel serializes all updates; the
+// experiment harness merges the per-run snapshots index-keyed after the
+// worker-pool barrier.
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Counter is a monotonically growing event count.
+type Counter struct{ v uint64 }
+
+// Add increments the counter by n. Safe on a nil receiver (no-op).
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Set overwrites the counter — the publish path for components that
+// already aggregate their own stats and export them once per run.
+func (c *Counter) Set(v uint64) {
+	if c != nil {
+		c.v = v
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge tracks the high-water mark of an instantaneous quantity (queue
+// occupancy, live buffer entries). Merging two gauges takes the max.
+type Gauge struct{ v int64 }
+
+// Observe raises the gauge to v if v is a new maximum. Nil-safe.
+func (g *Gauge) Observe(v int64) {
+	if g != nil && v > g.v {
+		g.v = v
+	}
+}
+
+// Value returns the high-water mark (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bound distribution: counts[i] tallies observations
+// ≤ bounds[i], and the final bucket is the implicit +Inf overflow.
+type Histogram struct {
+	bounds []int64
+	counts []uint64
+	sum    int64
+	n      uint64
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.sum += v
+	h.n++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// key identifies one metric within a registry.
+type key struct{ component, name string }
+
+// Registry is one run's metric namespace, keyed by (component, name).
+// Get-or-create accessors return bound instruments for hot-path use; all
+// accessors on a nil registry return nil instruments, whose mutators
+// no-op.
+type Registry struct {
+	counters map[key]*Counter
+	gauges   map[key]*Gauge
+	hists    map[key]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[key]*Counter),
+		gauges:   make(map[key]*Gauge),
+		hists:    make(map[key]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it at zero if needed.
+func (r *Registry) Counter(component, name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := key{component, name}
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the named high-water gauge, creating it if needed.
+func (r *Registry) Gauge(component, name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := key{component, name}
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending upper bounds if needed. A second registration reuses the
+// existing histogram (its original bounds win).
+func (r *Registry) Histogram(component, name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := key{component, name}
+	h, ok := r.hists[k]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]int64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// Bucket is one histogram bucket in a snapshot: the count of
+// observations ≤ Le. The overflow bucket carries Inf=true.
+type Bucket struct {
+	Le    int64  `json:"le"`
+	Inf   bool   `json:"inf,omitempty"`
+	Count uint64 `json:"count"`
+}
+
+// Metric is one serialized instrument. Exactly one of the value groups
+// is populated, selected by Kind: "counter" (Value), "gauge" (Max), or
+// "histogram" (Count/Sum/Buckets).
+type Metric struct {
+	Component string   `json:"component"`
+	Name      string   `json:"name"`
+	Kind      string   `json:"kind"`
+	Value     uint64   `json:"value,omitempty"`
+	Max       int64    `json:"max,omitempty"`
+	Count     uint64   `json:"count,omitempty"`
+	Sum       int64    `json:"sum,omitempty"`
+	Buckets   []Bucket `json:"buckets,omitempty"`
+}
+
+// less orders metrics on the total (component, name, kind) key — the
+// stable sort order every snapshot and merge walks.
+func (m Metric) less(o Metric) bool {
+	if m.Component != o.Component {
+		return m.Component < o.Component
+	}
+	if m.Name != o.Name {
+		return m.Name < o.Name
+	}
+	return m.Kind < o.Kind
+}
+
+// sameKey reports whether two metrics serialize the same instrument.
+func (m Metric) sameKey(o Metric) bool {
+	return m.Component == o.Component && m.Name == o.Name && m.Kind == o.Kind
+}
+
+// Snapshot is a registry's serialized state, stable-sorted by
+// (component, name, kind) so identical registries marshal to identical
+// bytes regardless of construction or iteration order.
+type Snapshot []Metric
+
+// Snapshot serializes the registry. Map iteration order never reaches
+// the output: entries are collected, then sorted on the total key.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return nil
+	}
+	out := make(Snapshot, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for k, c := range r.counters {
+		out = append(out, Metric{Component: k.component, Name: k.name, Kind: "counter", Value: c.v})
+	}
+	for k, g := range r.gauges {
+		out = append(out, Metric{Component: k.component, Name: k.name, Kind: "gauge", Max: g.v})
+	}
+	for k, h := range r.hists {
+		m := Metric{Component: k.component, Name: k.name, Kind: "histogram", Count: h.n, Sum: h.sum}
+		for i, b := range h.bounds {
+			m.Buckets = append(m.Buckets, Bucket{Le: b, Count: h.counts[i]})
+		}
+		m.Buckets = append(m.Buckets, Bucket{Inf: true, Count: h.counts[len(h.bounds)]})
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
+	return out
+}
+
+// Merge folds src into dst: counters and histogram buckets sum, gauges
+// take the max. The result is stable-sorted; inputs need not share keys.
+// Histograms with differing bucket shapes keep dst's shape and add the
+// overlapping prefix (components always register identical bounds, so
+// this is a guard, not a feature).
+func Merge(dst, src Snapshot) Snapshot {
+	all := make(Snapshot, 0, len(dst)+len(src))
+	all = append(all, dst...)
+	all = append(all, src...)
+	sort.SliceStable(all, func(i, j int) bool { return all[i].less(all[j]) })
+	out := all[:0]
+	for _, m := range all {
+		if len(out) == 0 || !out[len(out)-1].sameKey(m) {
+			// Deep-copy buckets so merging never aliases an input.
+			m.Buckets = append([]Bucket(nil), m.Buckets...)
+			out = append(out, m)
+			continue
+		}
+		prev := &out[len(out)-1]
+		switch m.Kind {
+		case "counter":
+			prev.Value += m.Value
+		case "gauge":
+			if m.Max > prev.Max {
+				prev.Max = m.Max
+			}
+		case "histogram":
+			prev.Count += m.Count
+			prev.Sum += m.Sum
+			for i := range prev.Buckets {
+				if i < len(m.Buckets) {
+					prev.Buckets[i].Count += m.Buckets[i].Count
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Get returns the metric with the given key, if present.
+func (s Snapshot) Get(component, name string) (Metric, bool) {
+	for _, m := range s {
+		if m.Component == component && m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// WriteJSON writes the snapshot as indented JSON with a trailing newline.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Grid aggregates per-run snapshots across an experiment sweep, keyed by
+// (design, workload) — the paper's cell identity. Adding is commutative
+// (counter sums, gauge maxes), so a grid filled from an index-keyed
+// result slice is identical at any worker-pool width.
+type Grid struct {
+	cells map[cellKey]Snapshot
+}
+
+type cellKey struct{ design, workload string }
+
+// NewGrid returns an empty grid.
+func NewGrid() *Grid { return &Grid{cells: make(map[cellKey]Snapshot)} }
+
+// Add merges one run's snapshot into its (design, workload) cell.
+func (g *Grid) Add(design, workload string, s Snapshot) {
+	if g == nil || len(s) == 0 {
+		return
+	}
+	k := cellKey{design, workload}
+	g.cells[k] = Merge(g.cells[k], s)
+}
+
+// Cell returns the merged snapshot of one (design, workload) cell.
+func (g *Grid) Cell(design, workload string) Snapshot {
+	if g == nil {
+		return nil
+	}
+	return g.cells[cellKey{design, workload}]
+}
+
+// GridCell is one serialized grid cell.
+type GridCell struct {
+	Design   string   `json:"design"`
+	Workload string   `json:"workload"`
+	Metrics  Snapshot `json:"metrics"`
+}
+
+// Cells returns the grid's cells sorted by (design, workload).
+func (g *Grid) Cells() []GridCell {
+	if g == nil {
+		return nil
+	}
+	keys := make([]cellKey, 0, len(g.cells))
+	for k := range g.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].design != keys[j].design {
+			return keys[i].design < keys[j].design
+		}
+		return keys[i].workload < keys[j].workload
+	})
+	out := make([]GridCell, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, GridCell{Design: k.design, Workload: k.workload, Metrics: g.cells[k]})
+	}
+	return out
+}
+
+// WriteJSON writes the grid as indented JSON with a trailing newline:
+// {"cells": [...]} in stable cell order. The file deliberately carries
+// no host context (worker count, CPU count, wall time) so it is
+// byte-identical at any -parallel width.
+func (g *Grid) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(struct {
+		Cells []GridCell `json:"cells"`
+	}{Cells: g.Cells()}, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,188 @@
+// Timeline records discrete simulation events — spans and instants on
+// named lanes — stamped with the simulated clock, and serializes them in
+// the Chrome trace-event format so a single run can be inspected in
+// about:tracing or Perfetto. Cycles convert to trace microseconds at the
+// simulator's fixed 2 GHz (sim.CyclesPerNS), so the viewer's time axis
+// reads in real units while staying fully deterministic.
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"pmemspec/internal/sim"
+)
+
+// Event is one timeline entry. Ph follows the Chrome trace-event phase
+// convention: 'X' is a complete span (At..At+Dur), 'i' an instant.
+type Event struct {
+	At   sim.Time
+	Dur  sim.Time
+	Lane int
+	Ph   byte
+	Name string
+	Cat  string
+	// Optional single argument, shown in the viewer's detail pane.
+	ArgName string
+	Arg     int64
+	HasArg  bool
+}
+
+// Lane numbering convention shared by the instrumented components: core
+// and thread activity uses the core ID directly; hardware structures
+// offset by component so lanes never collide.
+const (
+	LaneWPQ  = 100 // + controller index
+	LaneSpec = 200 // + core index
+	LaneOS   = 300
+)
+
+// Timeline accumulates events for one simulated machine. A nil timeline
+// is the disabled state: all recorders no-op, so instrumentation sites
+// cost one nil check when tracing is off.
+type Timeline struct {
+	events []Event
+}
+
+// NewTimeline returns an empty, enabled timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Instant records a zero-duration event on a lane.
+func (t *Timeline) Instant(at sim.Time, lane int, cat, name string) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{At: at, Lane: lane, Ph: 'i', Cat: cat, Name: name})
+}
+
+// InstantArg records an instant carrying one named argument (for
+// example the block address that triggered a misspeculation abort).
+func (t *Timeline) InstantArg(at sim.Time, lane int, cat, name, argName string, arg int64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{
+		At: at, Lane: lane, Ph: 'i', Cat: cat, Name: name,
+		ArgName: argName, Arg: arg, HasArg: true,
+	})
+}
+
+// Span records a complete event covering [from, to]. Zero-length spans
+// are kept — a barrier that didn't stall is still a barrier.
+func (t *Timeline) Span(from, to sim.Time, lane int, cat, name string) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{At: from, Dur: to - from, Lane: lane, Ph: 'X', Cat: cat, Name: name})
+}
+
+// SpanArg records a complete event with one named argument.
+func (t *Timeline) SpanArg(from, to sim.Time, lane int, cat, name, argName string, arg int64) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{
+		At: from, Dur: to - from, Lane: lane, Ph: 'X', Cat: cat, Name: name,
+		ArgName: argName, Arg: arg, HasArg: true,
+	})
+}
+
+// Len returns the number of recorded events (0 on nil).
+func (t *Timeline) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded events in recording order.
+func (t *Timeline) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// NamedTimeline pairs a timeline with the run it came from, so a trace
+// file can hold several runs as separate trace processes.
+type NamedTimeline struct {
+	Name string
+	TL   *Timeline
+}
+
+// traceEvent is the Chrome trace-event JSON shape. ts and dur are in
+// microseconds; args is at most one key, and encoding/json marshals map
+// keys sorted, so output bytes are deterministic.
+type traceEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat,omitempty"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"`
+	Dur  *float64         `json:"dur,omitempty"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	S    string           `json:"s,omitempty"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// usec converts simulated cycles to trace microseconds.
+func usec(t sim.Time) float64 {
+	return float64(t) / (1000 * sim.CyclesPerNS)
+}
+
+// WriteTrace serializes the runs as one Chrome trace-event file. Each
+// run becomes a trace process (pid = run index) named by a metadata
+// event; lanes become threads. Events are emitted in (time, lane,
+// recording order) so the file is byte-stable for a given simulation.
+func WriteTrace(w io.Writer, runs []NamedTimeline) error {
+	type doc struct {
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		TraceEvents     []traceEvent `json:"traceEvents"`
+	}
+	out := doc{DisplayTimeUnit: "ns"}
+	for pid, run := range runs {
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]int64{"sort_index": int64(pid)},
+		})
+		// The trace format names processes via a string arg, but our
+		// args map is int64-typed for determinism; encode the run name
+		// in a thread-less metadata-free way instead: a zero-ts instant
+		// on lane 0 carrying the name as the event name.
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: "run:" + run.Name, Cat: "meta", Ph: "i", Ts: 0, Pid: pid, Tid: 0, S: "g",
+		})
+		evs := append([]Event(nil), run.TL.Events()...)
+		sort.SliceStable(evs, func(i, j int) bool {
+			if evs[i].At != evs[j].At {
+				return evs[i].At < evs[j].At
+			}
+			return evs[i].Lane < evs[j].Lane
+		})
+		for _, e := range evs {
+			te := traceEvent{
+				Name: e.Name, Cat: e.Cat, Ph: string(e.Ph),
+				Ts: usec(e.At), Pid: pid, Tid: e.Lane,
+			}
+			if e.Ph == 'X' {
+				d := usec(e.Dur)
+				te.Dur = &d
+			}
+			if e.Ph == 'i' {
+				te.S = "t"
+			}
+			if e.HasArg {
+				te.Args = map[string]int64{e.ArgName: e.Arg}
+			}
+			out.TraceEvents = append(out.TraceEvents, te)
+		}
+	}
+	data, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

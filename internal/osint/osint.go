@@ -15,6 +15,7 @@ import (
 	"pmemspec/internal/core"
 	"pmemspec/internal/machine"
 	"pmemspec/internal/mem"
+	"pmemspec/internal/metrics"
 )
 
 // Handler receives relayed misspeculation events (the "signal" of
@@ -44,6 +45,14 @@ type OS struct {
 	// counts the synthetic interrupts raised through Inject (fault
 	// injection), a subset of Interrupts.
 	Interrupts, Unclaimed, Injected uint64
+	// LoadInterrupts and StoreInterrupts break Interrupts down by the
+	// misspeculation kind that raised them.
+	LoadInterrupts, StoreInterrupts uint64
+
+	// tl is the machine's event timeline (nil when recording is off):
+	// every relayed abort lands on the OS lane with its triggering block
+	// address.
+	tl *metrics.Timeline
 }
 
 // DesignatedSpaceOffset is where, within the PM region, the OS reserves
@@ -53,7 +62,7 @@ const DesignatedSpaceOffset = 0
 // New attaches an OS to the machine: it installs the misspeculation
 // interrupt handler and reserves the designated space at the base of PM.
 func New(m *machine.Machine) *OS {
-	os := &OS{m: m, designated: m.Space().Base() + DesignatedSpaceOffset}
+	os := &OS{m: m, designated: m.Space().Base() + DesignatedSpaceOffset, tl: m.Timeline()}
 	m.SetMisspecHandler(func(ms core.Misspeculation) { os.interrupt(ms) })
 	return os
 }
@@ -77,6 +86,12 @@ func (o *OS) Inject(ms core.Misspeculation) bool {
 // the reverse map found a process to relay the event to.
 func (o *OS) interrupt(ms core.Misspeculation) bool {
 	o.Interrupts++
+	if ms.Kind == core.LoadMisspec {
+		o.LoadInterrupts++
+	} else {
+		o.StoreInterrupts++
+	}
+	o.tl.InstantArg(ms.At, metrics.LaneOS, "misspec", ms.Kind.String()+"_abort", "block", int64(ms.Addr))
 	if o.Observer != nil {
 		o.Observer(ms)
 	}
@@ -92,4 +107,13 @@ func (o *OS) interrupt(ms core.Misspeculation) bool {
 	}
 	o.Unclaimed++
 	return false
+}
+
+// Publish copies the relay's end-of-run counters into the registry.
+func (o *OS) Publish(r *metrics.Registry) {
+	r.Counter("osint", "interrupts").Add(o.Interrupts)
+	r.Counter("osint", "unclaimed").Add(o.Unclaimed)
+	r.Counter("osint", "injected").Add(o.Injected)
+	r.Counter("osint", "load_interrupts").Add(o.LoadInterrupts)
+	r.Counter("osint", "store_interrupts").Add(o.StoreInterrupts)
 }

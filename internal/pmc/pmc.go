@@ -10,6 +10,7 @@ package pmc
 import (
 	"fmt"
 
+	"pmemspec/internal/metrics"
 	"pmemspec/internal/sim"
 )
 
@@ -100,6 +101,15 @@ func (c *Controller) Write(now sim.Time) sim.Time {
 	c.writeFree[bank] = done
 	c.Stats.Writes++
 	return done
+}
+
+// Publish copies the controller's end-of-run traffic statistics into the
+// registry (accumulating across controllers).
+func (c *Controller) Publish(r *metrics.Registry) {
+	r.Counter("pm", "reads").Add(c.Stats.Reads)
+	r.Counter("pm", "writes").Add(c.Stats.Writes)
+	r.Counter("pm", "read_queue_delay_cycles").Add(uint64(c.Stats.ReadQueueDelay))
+	r.Counter("pm", "write_queue_delay_cycles").Add(uint64(c.Stats.WriteQueueDelay))
 }
 
 func earliest(banks []sim.Time) int {

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"pmemspec/internal/mem"
+	"pmemspec/internal/metrics"
 	"pmemspec/internal/sim"
 )
 
@@ -33,6 +34,13 @@ type WPQ struct {
 	// Stats
 	Accepts, Coalesced, FullStalls uint64
 	StallTime                      sim.Time
+	// PeakOccupancy is the largest number of simultaneously pending
+	// entries observed.
+	PeakOccupancy int
+
+	// OccHist, when set, observes the queue occupancy after every
+	// admission (nil-safe: unset costs one nil check per accept).
+	OccHist *metrics.Histogram
 
 	// OnAdmit, when set, observes every admission (including coalesced
 	// ones) with its admission time — the instant the write becomes
@@ -84,6 +92,10 @@ func (w *WPQ) Accept(now sim.Time, blk mem.Addr) (admit, mediaDone sim.Time) {
 	w.completions = append(w.completions, mediaDone)
 	w.blocks[blk] = mediaDone
 	w.Accepts++
+	if len(w.completions) > w.PeakOccupancy {
+		w.PeakOccupancy = len(w.completions)
+	}
+	w.OccHist.Observe(int64(len(w.completions)))
 	if len(w.blocks) > 8192 {
 		w.pruneBlocks(now)
 	}
@@ -115,4 +127,14 @@ func (w *WPQ) pruneBlocks(now sim.Time) {
 			delete(w.blocks, b)
 		}
 	}
+}
+
+// Publish copies the queue's end-of-run statistics into the registry,
+// accumulating (so multiple controllers' queues sum into one component).
+func (w *WPQ) Publish(r *metrics.Registry) {
+	r.Counter("wpq", "accepts").Add(w.Accepts)
+	r.Counter("wpq", "coalesced").Add(w.Coalesced)
+	r.Counter("wpq", "full_stalls").Add(w.FullStalls)
+	r.Counter("wpq", "stall_cycles").Add(uint64(w.StallTime))
+	r.Gauge("wpq", "peak_occupancy").Observe(int64(w.PeakOccupancy))
 }

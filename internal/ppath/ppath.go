@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"pmemspec/internal/mem"
+	"pmemspec/internal/metrics"
 	"pmemspec/internal/sim"
 )
 
@@ -69,6 +70,17 @@ type Paths struct {
 
 	// Sent and Delivered count messages (statistics).
 	Sent, Delivered uint64
+	// PeakOutstanding is the largest per-core in-flight count observed —
+	// the FIFO occupancy high-water mark.
+	PeakOutstanding int
+	// SlotStallCycles accumulates the extra transit delay messages took
+	// because the ring-bus slot gap pushed their arrival past the idle
+	// latency.
+	SlotStallCycles sim.Time
+
+	// OccHist, when set, observes a core's in-flight count after every
+	// send (nil-safe).
+	OccHist *metrics.Histogram
 }
 
 // New creates persist-paths for ncores cores. deliver is invoked (in
@@ -97,11 +109,16 @@ func (p *Paths) Send(core int, a mem.Addr, data []byte, specID uint64, now sim.T
 	}
 	arrive := now + p.cfg.Latency
 	if min := p.lastArrive[core] + p.cfg.SlotGap; arrive < min {
+		p.SlotStallCycles += min - arrive
 		arrive = min
 	}
 	p.lastArrive[core] = arrive
 	p.outstanding[core]++
 	p.Sent++
+	if p.outstanding[core] > p.PeakOutstanding {
+		p.PeakOutstanding = p.outstanding[core]
+	}
+	p.OccHist.Observe(int64(p.outstanding[core]))
 	msg := Message{Core: core, Addr: a, SpecID: specID, SentAt: now, Arrive: arrive}
 	msg.Len = copy(msg.Data[:], data)
 	p.kernel.Schedule(arrive, func() {
@@ -120,6 +137,15 @@ func (p *Paths) DrainTime(core int) sim.Time { return p.lastArrive[core] }
 
 // Outstanding returns the number of core's messages still in flight.
 func (p *Paths) Outstanding(core int) int { return p.outstanding[core] }
+
+// Publish copies the fabric's end-of-run statistics into the registry
+// (accumulating across fabrics in the multi-controller configurations).
+func (p *Paths) Publish(r *metrics.Registry) {
+	r.Counter("ppath", "sent").Add(p.Sent)
+	r.Counter("ppath", "delivered").Add(p.Delivered)
+	r.Counter("ppath", "slot_stall_cycles").Add(uint64(p.SlotStallCycles))
+	r.Gauge("ppath", "peak_outstanding").Observe(int64(p.PeakOutstanding))
+}
 
 // InFlightAnywhere reports whether any core has messages in flight
 // (used by crash injection: messages not yet at the controller are lost).

@@ -74,6 +74,9 @@ func (m *Mutex) Unlock(t *Thread) {
 // Holder returns the current owner, or nil if the mutex is free.
 func (m *Mutex) Holder() *Thread { return m.owner }
 
+// Waiting returns the number of threads queued on the mutex.
+func (m *Mutex) Waiting() int { return len(m.waiters) }
+
 // Barrier lets a fixed party of threads rendezvous: each Wait blocks
 // until all n threads have arrived, then all resume at the latest
 // arrival time.
