@@ -27,11 +27,13 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"pmemspec/internal/harness"
 	"pmemspec/internal/machine"
 	"pmemspec/internal/metrics"
+	"pmemspec/internal/sim"
 )
 
 // benchOut is the wall-clock record -bench-out writes: one entry per
@@ -42,6 +44,7 @@ type benchOut struct {
 	Threads     int                `json:"threads"`
 	Ops         int                `json:"ops"`
 	Seed        int64              `json:"seed"`
+	ExecCore    string             `json:"exec_core"` // "step" or "handshake"
 	Experiments map[string]float64 `json:"experiments_seconds"`
 	Total       float64            `json:"total_seconds"`
 }
@@ -60,8 +63,36 @@ func main() {
 		tlOut      = flag.String("timeline-out", "", "write recorded event timelines as a Chrome trace to this file")
 		tlCell     = flag.String("timeline-cell", "PMEM-Spec/queue", `record timelines for this "Design/workload" cell ("" = every run; needs -timeline-out)`)
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address while running")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProf    = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmemspec-bench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pmemspec-bench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pmemspec-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "pmemspec-bench: memprofile:", err)
+			}
+		}()
+	}
 
 	if *debugAddr != "" {
 		addr, err := metrics.ServeDebug(*debugAddr)
@@ -161,6 +192,7 @@ func main() {
 		Threads:     *threads,
 		Ops:         *ops,
 		Seed:        *seed,
+		ExecCore:    sim.DefaultExecCore.String(),
 		Experiments: map[string]float64{},
 	}
 	if record.Parallel <= 0 {

@@ -9,8 +9,12 @@
 //	pmemspec-ci bench-cmp -baseline BENCH_baseline.json -current /tmp/bench.json [-tolerance 0.15]
 //
 // The comparison is one-sided: speedups never fail the gate. Records
-// from mismatched configurations (threads/ops/seed) are refused, since
-// their wall-clocks are not comparable.
+// from mismatched configurations (threads/ops/seed/exec_core) are
+// refused, since their wall-clocks are not comparable — and so are
+// records that predate exec_core stamping: a baseline whose execution
+// core is unknown cannot be told apart from one measured on the legacy
+// handshake core, which is several times slower. Regenerate stale
+// baselines with the current pmemspec-bench.
 package main
 
 import (
@@ -28,6 +32,7 @@ type benchRecord struct {
 	Threads     int                `json:"threads"`
 	Ops         int                `json:"ops"`
 	Seed        int64              `json:"seed"`
+	ExecCore    string             `json:"exec_core"`
 	Experiments map[string]float64 `json:"experiments_seconds"`
 	Total       float64            `json:"total_seconds"`
 }
@@ -93,6 +98,8 @@ func configMismatch(base, cur benchRecord) string {
 		return fmt.Sprintf("ops %d vs %d", base.Ops, cur.Ops)
 	case base.Seed != cur.Seed:
 		return fmt.Sprintf("seed %d vs %d", base.Seed, cur.Seed)
+	case base.ExecCore != cur.ExecCore:
+		return fmt.Sprintf("exec_core %q vs %q", base.ExecCore, cur.ExecCore)
 	}
 	return ""
 }
@@ -108,6 +115,9 @@ func readRecord(path string) (benchRecord, error) {
 	}
 	if len(r.Experiments) == 0 {
 		return r, fmt.Errorf("%s: no experiments_seconds", path)
+	}
+	if r.ExecCore == "" {
+		return r, fmt.Errorf("%s: no exec_core: the record predates execution-core stamping and its wall-clocks are not comparable; regenerate it with the current pmemspec-bench", path)
 	}
 	return r, nil
 }

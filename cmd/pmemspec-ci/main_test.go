@@ -1,9 +1,14 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func record(exp map[string]float64) benchRecord {
-	return benchRecord{Parallel: 1, NumCPU: 1, Threads: 8, Ops: 400, Seed: 1, Experiments: exp}
+	return benchRecord{Parallel: 1, NumCPU: 1, Threads: 8, Ops: 400, Seed: 1, ExecCore: "step", Experiments: exp}
 }
 
 func TestCompareWithinTolerance(t *testing.T) {
@@ -62,5 +67,25 @@ func TestConfigMismatch(t *testing.T) {
 	}
 	if configMismatch(a, a) != "" {
 		t.Fatal("identical configs must compare")
+	}
+	b = a
+	b.ExecCore = "handshake"
+	if why := configMismatch(a, b); !strings.Contains(why, "exec_core") {
+		t.Fatalf("exec-core mismatch must be refused, got %q", why)
+	}
+}
+
+func TestReadRecordRefusesStaleBaseline(t *testing.T) {
+	// A record without exec_core predates core stamping: its wall-clocks
+	// may have been measured on the handshake core and must be refused
+	// rather than silently compared.
+	path := filepath.Join(t.TempDir(), "stale.json")
+	stale := `{"parallel":1,"num_cpu":1,"threads":8,"ops":400,"seed":1,` +
+		`"experiments_seconds":{"fig9":10},"total_seconds":10}`
+	if err := os.WriteFile(path, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readRecord(path); err == nil || !strings.Contains(err.Error(), "exec_core") {
+		t.Fatalf("readRecord(stale) = %v, want exec_core refusal", err)
 	}
 }

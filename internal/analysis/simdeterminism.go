@@ -23,11 +23,24 @@ import (
 //     sanctioned pattern — collect keys, sort, then iterate the
 //     slice — passes.
 //
+// A fourth class is banned in simulated-thread code (the sim kernel and
+// the layers whose code runs inside simulated threads: machine,
+// workload, pmc, ppath, persist): host concurrency. The step execution
+// core resumes thread bodies inline on the kernel's goroutine, so a
+// `go` statement, a channel handshake (send, receive, make(chan)), or
+// any per-op round trip through the Go scheduler both breaks the
+// inline-dispatch model and reintroduces the host-scheduler costs the
+// step core exists to remove. Simulated concurrency belongs in
+// Kernel.Spawn / events / Block+Wake. The legacy handshake vehicle in
+// sim/coro.go — whose whole point is a goroutine per thread — opts its
+// functions out with //lint:allow simdeterminism on the declaration;
+// the harness's host-side worker pool is outside the gated path set.
+//
 // Intentional wall-clock use (e.g. measuring host elapsed time in
 // pmemspec-bench) is annotated with //lint:allow simdeterminism.
 var SimDeterminism = &Analyzer{
 	Name: "simdeterminism",
-	Doc:  "forbid wall-clock, global RNG, and order-sensitive map iteration in simulator and report code",
+	Doc:  "forbid wall-clock, global RNG, order-sensitive map iteration, and host concurrency in simulator code",
 	Run:  runSimDeterminism,
 }
 
@@ -45,23 +58,68 @@ var sdBannedRand = map[string]bool{
 }
 
 func runSimDeterminism(pass *Pass) error {
-	if !pathHasAny(pass.Pkg.Path, "/internal/sim", "/internal/harness", "/internal/trace", "/cmd/", "/analysis/testdata") {
+	base := pathHasAny(pass.Pkg.Path, "/internal/sim", "/internal/harness", "/internal/trace", "/cmd/", "/analysis/testdata")
+	// Simulated-thread code: everything the kernel steps inline. The
+	// harness is deliberately absent — its worker pool is host-side
+	// parallelism over whole experiments, not per-op simulator traffic.
+	threadCode := pathHasAny(pass.Pkg.Path, "/internal/sim", "/internal/machine", "/internal/workload",
+		"/internal/pmc", "/internal/ppath", "/internal/persist", "/analysis/testdata")
+	if !base && !threadCode {
 		return nil
 	}
 	info := pass.Pkg.Info
 	for _, fd := range funcDecls(pass.Pkg) {
 		body := fd.decl.Body
+		// A declaration-level allow opts the whole function out of the
+		// host-concurrency ban (the legacy handshake vehicle).
+		conc := threadCode && !pass.SuppressedAt(fd.decl.Pos())
 		ast.Inspect(body, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				sdCheckCall(pass, info, n)
-			case *ast.RangeStmt:
-				sdCheckRange(pass, info, n, body)
+			if base {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					sdCheckCall(pass, info, n)
+				case *ast.RangeStmt:
+					sdCheckRange(pass, info, n, body)
+				}
+			}
+			if conc {
+				sdCheckHostConcurrency(pass, info, n)
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// sdCheckHostConcurrency flags host-concurrency constructs in
+// simulated-thread code: goroutine spawns and channel handshakes. Each
+// one is a per-op round trip through the Go scheduler that the step
+// execution core exists to eliminate (and a nondeterminism hazard once
+// more than one goroutine touches simulator state).
+func sdCheckHostConcurrency(pass *Pass, info *types.Info, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.GoStmt:
+		pass.Reportf(n.Pos(), "go statement spawns a host goroutine in simulated-thread code; the step core resumes bodies inline — model concurrency with Kernel.Spawn and events")
+	case *ast.SendStmt:
+		pass.Reportf(n.Pos(), "channel send in simulated-thread code is a host-scheduler handshake per operation; use Block/Wake or kernel events")
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			pass.Reportf(n.Pos(), "channel receive in simulated-thread code is a host-scheduler handshake per operation; use Block/Wake or kernel events")
+		}
+	case *ast.CallExpr:
+		fun, ok := ast.Unparen(n.Fun).(*ast.Ident)
+		if !ok || fun.Name != "make" || len(n.Args) == 0 {
+			return
+		}
+		if _, isBuiltin := info.Uses[fun].(*types.Builtin); !isBuiltin {
+			return
+		}
+		if tv, ok := info.Types[n.Args[0]]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				pass.Reportf(n.Pos(), "make(chan) in simulated-thread code sets up a host handshake; simulated threads communicate through Block/Wake and kernel events")
+			}
+		}
+	}
 }
 
 func sdCheckCall(pass *Pass, info *types.Info, call *ast.CallExpr) {

@@ -73,3 +73,24 @@ func keyedWrite(dst, src map[string]int) {
 		dst[k] = v * 2
 	}
 }
+
+func hostGoroutine(work func()) {
+	go work() // want "go statement spawns a host goroutine"
+}
+
+func channelHandshake(n int) int {
+	ch := make(chan int, 1) // want "make(chan) in simulated-thread code"
+	ch <- n                 // want "channel send in simulated-thread code"
+	return <-ch             // want "channel receive in simulated-thread code"
+}
+
+//lint:allow simdeterminism handshake vehicle fixture: declaration-level opt-out
+func allowedHandshake(n int) int {
+	ch := make(chan int, 1)
+	go func() { ch <- n }()
+	return <-ch
+}
+
+func makeNotChan(n int) []int {
+	return make([]int, n)
+}

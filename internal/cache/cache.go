@@ -24,12 +24,12 @@ import (
 	"pmemspec/internal/mem"
 )
 
-// Line is one cache line's metadata.
+// Line is one cache line's metadata. LRU timestamps live in the cache's
+// packed uses array, not here, so the victim scan stays on 8-byte words.
 type Line struct {
-	addr    mem.Addr // block-aligned tag; meaningful only if valid
-	valid   bool
-	dirty   bool
-	lastUse uint64
+	addr  mem.Addr // block-aligned tag; meaningful only if valid
+	valid bool
+	dirty bool
 	// divergent, when non-nil, holds the line's actual contents where
 	// they differ from the architectural image (stale fetch).
 	divergent *[mem.BlockSize]byte
@@ -66,9 +66,19 @@ type Stats struct {
 }
 
 // Cache is one set-associative cache with LRU replacement.
+//
+// Tags are kept in a packed parallel array: the hit scan — the hottest
+// loop in the whole simulator (a 16-way LLC probe touches every way) —
+// then walks 8-byte words instead of 40-byte Line structs. A slot's tag
+// is its line's block address when valid and invalidTag otherwise; block
+// addresses are 64-byte aligned, so invalidTag (all ones) can never
+// collide with one.
 type Cache struct {
 	name     string
-	sets     [][]Line
+	tags     []uint64
+	uses     []uint64 // packed per-way LRU timestamps (parallel to tags)
+	lines    []Line
+	ways     int
 	setMask  uint64
 	setShift uint
 	counter  uint64
@@ -76,6 +86,8 @@ type Cache struct {
 	// Stats is the cache's activity counters.
 	Stats Stats
 }
+
+const invalidTag = ^uint64(0)
 
 // New creates a cache of sizeBytes capacity and the given associativity.
 // sizeBytes must be a multiple of ways×BlockSize with a power-of-two set
@@ -88,42 +100,44 @@ func New(name string, sizeBytes, ways int) *Cache {
 	if nsets&(nsets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two", nsets))
 	}
-	sets := make([][]Line, nsets)
-	backing := make([]Line, nsets*ways)
-	for i := range sets {
-		sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
-	}
-	shift := uint(6) // log2(BlockSize)
-	return &Cache{
+	c := &Cache{
 		name:     name,
-		sets:     sets,
+		tags:     make([]uint64, nsets*ways),
+		uses:     make([]uint64, nsets*ways),
+		lines:    make([]Line, nsets*ways),
+		ways:     ways,
 		setMask:  uint64(nsets - 1),
-		setShift: shift,
+		setShift: 6, // log2(BlockSize)
 	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	return c
 }
 
 // Sets returns the number of sets (used by the synthetic conflict-evict
 // workload to build same-set address sequences).
-func (c *Cache) Sets() int { return len(c.sets) }
+func (c *Cache) Sets() int { return len(c.lines) / c.ways }
 
 // Ways returns the associativity.
-func (c *Cache) Ways() int { return len(c.sets[0]) }
+func (c *Cache) Ways() int { return c.ways }
 
-func (c *Cache) set(a mem.Addr) []Line {
-	return c.sets[(uint64(a)>>c.setShift)&c.setMask]
+// setBase returns the index of a's set's first way.
+func (c *Cache) setBase(a mem.Addr) uint64 {
+	return (uint64(a) >> c.setShift & c.setMask) * uint64(c.ways)
 }
 
 // Lookup returns the line holding a's block and refreshes its LRU
 // position, or nil on miss. It updates hit/miss statistics.
 func (c *Cache) Lookup(a mem.Addr) *Line {
 	blk := mem.BlockAlign(a)
-	set := c.set(blk)
-	for i := range set {
-		if set[i].valid && set[i].addr == blk {
+	base := c.setBase(blk)
+	for i, t := range c.tags[base : base+uint64(c.ways)] {
+		if t == uint64(blk) {
 			c.counter++
-			set[i].lastUse = c.counter
+			c.uses[base+uint64(i)] = c.counter
 			c.Stats.Hits++
-			return &set[i]
+			return &c.lines[base+uint64(i)]
 		}
 	}
 	c.Stats.Misses++
@@ -133,73 +147,85 @@ func (c *Cache) Lookup(a mem.Addr) *Line {
 // Peek returns the line holding a's block without touching LRU or stats.
 func (c *Cache) Peek(a mem.Addr) *Line {
 	blk := mem.BlockAlign(a)
-	set := c.set(blk)
-	for i := range set {
-		if set[i].valid && set[i].addr == blk {
-			return &set[i]
+	base := c.setBase(blk)
+	for i, t := range c.tags[base : base+uint64(c.ways)] {
+		if t == uint64(blk) {
+			return &c.lines[base+uint64(i)]
 		}
 	}
 	return nil
 }
 
 // Insert fills a's block into the cache, returning the filled line and,
-// if a valid line had to be displaced, its description. Inserting an
-// already-present block refreshes it in place (no eviction).
-func (c *Cache) Insert(a mem.Addr) (*Line, *Evicted) {
+// if a valid line had to be displaced, its description (evicted reports
+// whether ev is meaningful — the description is returned by value so the
+// per-access hot path allocates nothing). Inserting an already-present
+// block refreshes it in place (no eviction).
+func (c *Cache) Insert(a mem.Addr) (line *Line, ev Evicted, evicted bool) {
 	blk := mem.BlockAlign(a)
-	set := c.set(blk)
-	var invalid, lru *Line
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.addr == blk {
+	base := c.setBase(blk)
+	invalid, lruIdx := -1, -1
+	var lruUse uint64
+	for i, t := range c.tags[base : base+uint64(c.ways)] {
+		if t == uint64(blk) {
 			c.counter++
-			l.lastUse = c.counter
-			return l, nil
+			c.uses[base+uint64(i)] = c.counter
+			return &c.lines[base+uint64(i)], Evicted{}, false
 		}
-		if !l.valid {
-			if invalid == nil {
-				invalid = l
+		if t == invalidTag {
+			if invalid < 0 {
+				invalid = int(base) + i
 			}
 			continue
 		}
-		if lru == nil || l.lastUse < lru.lastUse {
-			lru = l
+		if u := c.uses[base+uint64(i)]; lruIdx < 0 || u < lruUse {
+			lruIdx = int(base) + i
+			lruUse = u
 		}
 	}
 	victim := invalid
-	if victim == nil {
-		victim = lru
+	if victim < 0 {
+		victim = lruIdx
 	}
-	var ev *Evicted
-	if victim.valid {
-		ev = &Evicted{Addr: victim.addr, Dirty: victim.dirty, Divergent: victim.divergent}
+	v := &c.lines[victim]
+	if v.valid {
+		ev = Evicted{Addr: v.addr, Dirty: v.dirty, Divergent: v.divergent}
+		evicted = true
 		c.Stats.Evictions++
-		if victim.dirty {
+		if v.dirty {
 			c.Stats.DirtyEvictions++
 		}
 	}
 	c.counter++
-	*victim = Line{addr: blk, valid: true, lastUse: c.counter}
-	return victim, ev
+	*v = Line{addr: blk, valid: true}
+	c.tags[victim] = uint64(blk)
+	c.uses[victim] = c.counter
+	return v, ev, evicted
 }
 
-// Invalidate removes a's block if present, returning its description.
-func (c *Cache) Invalidate(a mem.Addr) *Evicted {
-	l := c.Peek(a)
-	if l == nil {
-		return nil
+// Invalidate removes a's block if present, returning its description by
+// value (ok reports presence).
+func (c *Cache) Invalidate(a mem.Addr) (ev Evicted, ok bool) {
+	blk := mem.BlockAlign(a)
+	base := c.setBase(blk)
+	for i, t := range c.tags[base : base+uint64(c.ways)] {
+		if t == uint64(blk) {
+			l := &c.lines[base+uint64(i)]
+			ev = Evicted{Addr: l.addr, Dirty: l.dirty, Divergent: l.divergent}
+			*l = Line{}
+			c.tags[base+uint64(i)] = invalidTag
+			return ev, true
+		}
 	}
-	ev := &Evicted{Addr: l.addr, Dirty: l.dirty, Divergent: l.divergent}
-	*l = Line{}
-	return ev
+	return Evicted{}, false
 }
 
 // Flush clears the entire cache without reporting evictions (used to
 // model the volatile state loss at a crash).
 func (c *Cache) Flush() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = Line{}
-		}
+	clear(c.lines)
+	clear(c.uses)
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 }

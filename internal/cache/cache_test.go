@@ -56,9 +56,9 @@ func TestCacheLRUEviction(t *testing.T) {
 	c.Insert(0x000)                   // A
 	c.Insert(0x040)                   // B
 	c.Lookup(0x000)                   // touch A
-	_, ev := c.Insert(0x080)          // C evicts B
-	if ev == nil || ev.Addr != 0x040 {
-		t.Fatalf("evicted %+v, want block 0x40", ev)
+	_, ev, evicted := c.Insert(0x080) // C evicts B
+	if !evicted || ev.Addr != 0x040 {
+		t.Fatalf("evicted %v %+v, want block 0x40", evicted, ev)
 	}
 	if c.Peek(0x000) == nil || c.Peek(0x080) == nil {
 		t.Error("A or C missing after eviction")
@@ -67,13 +67,13 @@ func TestCacheLRUEviction(t *testing.T) {
 
 func TestCacheDirtyEvictionReported(t *testing.T) {
 	c := New("t", 2*mem.BlockSize, 2)
-	l, _ := c.Insert(0x000)
+	l, _, _ := c.Insert(0x000)
 	l.MarkDirty()
 	c.Insert(0x040)
 	c.Lookup(0x040) // make 0x000 LRU
-	_, ev := c.Insert(0x080)
-	if ev == nil || !ev.Dirty || ev.Addr != 0x000 {
-		t.Fatalf("evicted %+v, want dirty block 0x0", ev)
+	_, ev, evicted := c.Insert(0x080)
+	if !evicted || !ev.Dirty || ev.Addr != 0x000 {
+		t.Fatalf("evicted %v %+v, want dirty block 0x0", evicted, ev)
 	}
 	if c.Stats.DirtyEvictions != 1 {
 		t.Errorf("dirty evictions = %d", c.Stats.DirtyEvictions)
@@ -84,24 +84,24 @@ func TestCacheReinsertRefreshes(t *testing.T) {
 	c := New("t", 2*mem.BlockSize, 2)
 	c.Insert(0x000)
 	c.Insert(0x040)
-	if _, ev := c.Insert(0x000); ev != nil {
+	if _, _, evicted := c.Insert(0x000); evicted {
 		t.Error("reinserting a present block must not evict")
 	}
 }
 
 func TestCacheInvalidate(t *testing.T) {
 	c := New("t", 1024, 2)
-	l, _ := c.Insert(0x200)
+	l, _, _ := c.Insert(0x200)
 	l.MarkDirty()
-	ev := c.Invalidate(0x200)
-	if ev == nil || !ev.Dirty {
+	ev, ok := c.Invalidate(0x200)
+	if !ok || !ev.Dirty {
 		t.Fatal("invalidate lost dirty state")
 	}
 	if c.Peek(0x200) != nil {
 		t.Error("block still present after invalidate")
 	}
-	if c.Invalidate(0x200) != nil {
-		t.Error("second invalidate should be nil")
+	if _, ok := c.Invalidate(0x200); ok {
+		t.Error("second invalidate should report absence")
 	}
 }
 
@@ -135,7 +135,7 @@ func TestCacheCapacityProperty(t *testing.T) {
 }
 
 func TestHierarchyLoadLevels(t *testing.T) {
-	h := NewHierarchy(2, 1024, 2, 4096, 4)
+	h := NewHierarchy(2, 1024, 2, 4096, 4, 0, 1<<16)
 	a := mem.Addr(0x1000)
 	// Cold: memory.
 	if res := h.Load(0, a); res.Level != LevelMemory {
@@ -157,7 +157,7 @@ func TestHierarchyLoadLevels(t *testing.T) {
 }
 
 func TestHierarchyStoreInvalidatesSharers(t *testing.T) {
-	h := NewHierarchy(2, 1024, 2, 4096, 4)
+	h := NewHierarchy(2, 1024, 2, 4096, 4, 0, 1<<16)
 	a := mem.Addr(0x2000)
 	h.FillFromMemory(0, a, nil)
 	h.Load(1, a) // both L1s share the block
@@ -177,7 +177,7 @@ func TestHierarchyStoreInvalidatesSharers(t *testing.T) {
 }
 
 func TestHierarchyStoreMissWriteAllocate(t *testing.T) {
-	h := NewHierarchy(1, 1024, 2, 4096, 4)
+	h := NewHierarchy(1, 1024, 2, 4096, 4, 0, 1<<16)
 	a := mem.Addr(0x3000)
 	res := h.Store(0, a)
 	if res.Level != LevelMemory {
@@ -193,7 +193,7 @@ func TestHierarchyStoreMissWriteAllocate(t *testing.T) {
 
 func TestHierarchyDirtyL1EvictionFoldsIntoLLC(t *testing.T) {
 	// L1: 2 blocks, 1 way → same-set conflicts are easy.
-	h := NewHierarchy(1, 2*mem.BlockSize, 1, 64*mem.BlockSize, 4)
+	h := NewHierarchy(1, 2*mem.BlockSize, 1, 64*mem.BlockSize, 4, 0, 1<<16)
 	a := mem.Addr(0x0000) // set 0
 	b := mem.Addr(0x0080) // set 0 (L1 has 2 sets: bit 6 selects)
 	h.FillFromMemory(0, a, nil)
@@ -211,7 +211,7 @@ func TestHierarchyDirtyL1EvictionFoldsIntoLLC(t *testing.T) {
 
 func TestHierarchyLLCEvictionReportedAndL1Invalidated(t *testing.T) {
 	// LLC: 4 blocks, 1 way, so 4 sets; same-set blocks are 4*64=256 apart.
-	h := NewHierarchy(1, 16*mem.BlockSize, 2, 4*mem.BlockSize, 1)
+	h := NewHierarchy(1, 16*mem.BlockSize, 2, 4*mem.BlockSize, 1, 0, 1<<16)
 	a := mem.Addr(0x0000)
 	b := mem.Addr(0x0100) // same LLC set as a
 	h.FillFromMemory(0, a, nil)
@@ -233,7 +233,7 @@ func TestHierarchyLLCEvictionReportedAndL1Invalidated(t *testing.T) {
 }
 
 func TestHierarchyDivergentPropagation(t *testing.T) {
-	h := NewHierarchy(2, 1024, 2, 4096, 4)
+	h := NewHierarchy(2, 1024, 2, 4096, 4, 0, 1<<16)
 	a := mem.Addr(0x4000)
 	stale := &[mem.BlockSize]byte{1, 2, 3}
 	h.FillFromMemory(0, a, stale)
@@ -248,7 +248,7 @@ func TestHierarchyDivergentPropagation(t *testing.T) {
 }
 
 func TestHierarchyCleanBlock(t *testing.T) {
-	h := NewHierarchy(1, 1024, 2, 4096, 4)
+	h := NewHierarchy(1, 1024, 2, 4096, 4, 0, 1<<16)
 	a := mem.Addr(0x5000)
 	h.FillFromMemory(0, a, nil)
 	h.Store(0, a)
@@ -263,7 +263,7 @@ func TestHierarchyCleanBlock(t *testing.T) {
 }
 
 func TestHierarchyFlushAll(t *testing.T) {
-	h := NewHierarchy(2, 1024, 2, 4096, 4)
+	h := NewHierarchy(2, 1024, 2, 4096, 4, 0, 1<<16)
 	h.FillFromMemory(0, 0x1000, nil)
 	h.FillFromMemory(1, 0x2000, nil)
 	h.FlushAll()
@@ -278,7 +278,7 @@ func TestHierarchyFlushAll(t *testing.T) {
 func TestHierarchyInclusionProperty(t *testing.T) {
 	// Property: any block present in an L1 is present in the LLC.
 	f := func(ops []uint16) bool {
-		h := NewHierarchy(2, 4*mem.BlockSize, 2, 16*mem.BlockSize, 2)
+		h := NewHierarchy(2, 4*mem.BlockSize, 2, 16*mem.BlockSize, 2, 0, 1<<16)
 		for _, raw := range ops {
 			core := int(raw>>15) & 1
 			a := mem.Addr(raw&0x0FFF) &^ 63

@@ -52,28 +52,43 @@ type AccessResult struct {
 type Hierarchy struct {
 	l1s []*Cache
 	llc *Cache
-	// sharers maps a block to the bitmap of L1s currently holding it
-	// (cores ≤ 64, per the paper's largest configuration).
-	sharers map[mem.Addr]uint64
+	// sharers holds, per memory block, the bitmap of L1s currently
+	// holding it (cores ≤ 64, per the paper's largest configuration) —
+	// a flat array over the simulated region, so the per-access sharer
+	// lookup is an index instead of a map probe.
+	sharers []uint64
+	base    mem.Addr
 
 	// InvalidationsSent counts cross-core invalidations (statistics).
 	InvalidationsSent uint64
 }
 
 // NewHierarchy builds ncores private L1s of l1Bytes/l1Ways each and a
-// shared LLC of llcBytes/llcWays.
-func NewHierarchy(ncores, l1Bytes, l1Ways, llcBytes, llcWays int) *Hierarchy {
+// shared LLC of llcBytes/llcWays serving the memory region
+// [base, base+memBytes).
+func NewHierarchy(ncores, l1Bytes, l1Ways, llcBytes, llcWays int, base mem.Addr, memBytes uint64) *Hierarchy {
 	if ncores < 1 || ncores > 64 {
 		panic(fmt.Sprintf("cache: ncores %d out of range [1,64]", ncores))
 	}
+	nblocks := (memBytes + mem.BlockSize - 1) / mem.BlockSize
 	h := &Hierarchy{
 		llc:     New("LLC", llcBytes, llcWays),
-		sharers: make(map[mem.Addr]uint64),
+		sharers: make([]uint64, nblocks),
+		base:    base,
 	}
 	for i := 0; i < ncores; i++ {
 		h.l1s = append(h.l1s, New(fmt.Sprintf("L1-%d", i), l1Bytes, l1Ways))
 	}
 	return h
+}
+
+// sharerIdx maps a block-aligned address into the sharer table.
+func (h *Hierarchy) sharerIdx(blk mem.Addr) uint64 {
+	i := uint64(blk-h.base) / mem.BlockSize
+	if blk < h.base || i >= uint64(len(h.sharers)) {
+		panic(fmt.Sprintf("cache: address %#x outside region [%#x,+%d blocks)", uint64(blk), uint64(h.base), len(h.sharers)))
+	}
+	return i
 }
 
 // L1 returns core's private L1 (for statistics and tests).
@@ -112,10 +127,10 @@ func (h *Hierarchy) Load(core int, a mem.Addr) AccessResult {
 func (h *Hierarchy) FillFromMemory(core int, a mem.Addr, divergent *[mem.BlockSize]byte) AccessResult {
 	blk := mem.BlockAlign(a)
 	var res AccessResult
-	llcLine, ev := h.llc.Insert(blk)
+	llcLine, ev, evicted := h.llc.Insert(blk)
 	llcLine.divergent = divergent
-	if ev != nil {
-		h.evictFromLLC(*ev, &res)
+	if evicted {
+		h.evictFromLLC(ev, &res)
 	}
 	res.Level = LevelMemory
 	res.Line = h.fillL1(core, blk, divergent, &res)
@@ -161,10 +176,10 @@ func (h *Hierarchy) CompleteStore(core int, a mem.Addr) {
 // fillL1 installs blk into core's L1, folding any displaced dirty line
 // back into the LLC (which is inclusive, so the block is present there).
 func (h *Hierarchy) fillL1(core int, blk mem.Addr, divergent *[mem.BlockSize]byte, res *AccessResult) *Line {
-	line, ev := h.l1s[core].Insert(blk)
+	line, ev, evicted := h.l1s[core].Insert(blk)
 	line.divergent = divergent
-	h.sharers[blk] |= 1 << uint(core)
-	if ev != nil {
+	h.sharers[h.sharerIdx(blk)] |= 1 << uint(core)
+	if evicted {
 		h.clearSharer(core, ev.Addr)
 		if ev.Dirty || ev.Divergent != nil {
 			// Inclusive LLC: the displaced block folds back into its LLC
@@ -187,7 +202,8 @@ func (h *Hierarchy) fillL1(core int, blk mem.Addr, divergent *[mem.BlockSize]byt
 // dirtiness into the LLC copy (ownership transfers through the shared
 // cache in this simplified protocol).
 func (h *Hierarchy) invalidateOthers(core int, blk mem.Addr) {
-	bm := h.sharers[blk] &^ (1 << uint(core))
+	si := h.sharerIdx(blk)
+	bm := h.sharers[si] &^ (1 << uint(core))
 	if bm == 0 {
 		return
 	}
@@ -196,7 +212,7 @@ func (h *Hierarchy) invalidateOthers(core int, blk mem.Addr) {
 			continue
 		}
 		bm &^= 1 << uint(c)
-		if ev := h.l1s[c].Invalidate(blk); ev != nil {
+		if ev, ok := h.l1s[c].Invalidate(blk); ok {
 			h.InvalidationsSent++
 			if ev.Dirty || ev.Divergent != nil {
 				if ll := h.llc.Peek(blk); ll != nil {
@@ -210,19 +226,20 @@ func (h *Hierarchy) invalidateOthers(core int, blk mem.Addr) {
 			}
 		}
 	}
-	h.sharers[blk] = h.sharers[blk] & (1 << uint(core))
+	h.sharers[si] &= 1 << uint(core)
 }
 
 // evictFromLLC handles an LLC victim: invalidate all L1 copies (inclusive
 // hierarchy), merge their dirtiness, and report the final eviction.
 func (h *Hierarchy) evictFromLLC(ev Evicted, res *AccessResult) {
-	bm := h.sharers[ev.Addr]
+	si := h.sharerIdx(ev.Addr)
+	bm := h.sharers[si]
 	for c := 0; bm != 0; c++ {
 		if bm&(1<<uint(c)) == 0 {
 			continue
 		}
 		bm &^= 1 << uint(c)
-		if l1ev := h.l1s[c].Invalidate(ev.Addr); l1ev != nil {
+		if l1ev, ok := h.l1s[c].Invalidate(ev.Addr); ok {
 			h.InvalidationsSent++
 			if l1ev.Dirty {
 				ev.Dirty = true
@@ -232,19 +249,12 @@ func (h *Hierarchy) evictFromLLC(ev Evicted, res *AccessResult) {
 			}
 		}
 	}
-	delete(h.sharers, ev.Addr)
+	h.sharers[si] = 0
 	res.LLCEvicted = append(res.LLCEvicted, ev)
 }
 
 func (h *Hierarchy) clearSharer(core int, blk mem.Addr) {
-	if bm, ok := h.sharers[blk]; ok {
-		bm &^= 1 << uint(core)
-		if bm == 0 {
-			delete(h.sharers, blk)
-		} else {
-			h.sharers[blk] = bm
-		}
-	}
+	h.sharers[h.sharerIdx(blk)] &^= 1 << uint(core)
 }
 
 // FindBlock reports where a block currently resides: the owning L1 line
@@ -253,7 +263,7 @@ func (h *Hierarchy) FindBlock(core int, a mem.Addr) (l1 *Line, llc *Line) {
 	blk := mem.BlockAlign(a)
 	if l := h.l1s[core].Peek(blk); l != nil {
 		l1 = l
-	} else if bm := h.sharers[blk]; bm != 0 {
+	} else if bm := h.sharers[h.sharerIdx(blk)]; bm != 0 {
 		for c := 0; c < len(h.l1s); c++ {
 			if bm&(1<<uint(c)) != 0 {
 				if l := h.l1s[c].Peek(blk); l != nil {
@@ -272,7 +282,7 @@ func (h *Hierarchy) FindBlock(core int, a mem.Addr) (l1 *Line, llc *Line) {
 // not invalidate).
 func (h *Hierarchy) CleanBlock(a mem.Addr) {
 	blk := mem.BlockAlign(a)
-	if bm := h.sharers[blk]; bm != 0 {
+	if bm := h.sharers[h.sharerIdx(blk)]; bm != 0 {
 		for c := 0; bm != 0; c++ {
 			if bm&(1<<uint(c)) == 0 {
 				continue
@@ -299,5 +309,5 @@ func (h *Hierarchy) FlushAll() {
 		c.Flush()
 	}
 	h.llc.Flush()
-	h.sharers = make(map[mem.Addr]uint64)
+	clear(h.sharers)
 }

@@ -72,9 +72,26 @@ type Machine struct {
 	// core: HOPS's coherence-based inter-thread dependency tracking
 	// (sticky-M). A conflicting access from another core inherits the
 	// pending drain time as a dependency its next dfence must respect.
-	hopsPending map[mem.Addr]hopsDep
+	// Flat array over the PM region, indexed by block; the live flag and
+	// hopsLive* fields reproduce the bounded tracking-table semantics
+	// exactly: past 8192 live entries, stale ones are dropped, and a
+	// dropped entry no longer confers a dependency even to a core whose
+	// (lagging) clock still precedes its admission.
+	hopsPending   []hopsDep
+	hopsLiveList  []uint32
+	hopsLiveCount int
 	// hopsDepHorizon is each core's inherited dependency drain horizon.
 	hopsDepHorizon []sim.Time
+
+	// Pooled-event handler queues for the per-operation deferred actions
+	// that used to allocate a closure each (see the types at the bottom
+	// of this file). Entries are keyed by their event time; same-time
+	// events fire in schedule order, so first-match pop in append order
+	// reproduces the closure-per-event behavior exactly.
+	persistApplies persistApplyQueue
+	wbArrivals     wbArrivalQueue
+	pmWrites       pmWriteQueue
+	wbNotices      wbNoticeQueue
 
 	threads []*Thread
 
@@ -110,11 +127,15 @@ func New(cfg Config) (*Machine, error) {
 		cfg:             cfg,
 		kernel:          sim.NewKernel(),
 		space:           mem.NewSpace(cfg.MemBytes),
-		hier:            cache.NewHierarchy(cfg.Cores, cfg.L1Bytes, cfg.L1Ways, cfg.LLCBytes, cfg.LLCWays),
+		hier:            cache.NewHierarchy(cfg.Cores, cfg.L1Bytes, cfg.L1Ways, cfg.LLCBytes, cfg.LLCWays, mem.DefaultBase, cfg.MemBytes),
 		nextSpecID:      1,
 		reg:             metrics.NewRegistry(),
 		barriersPerCore: make([]uint64, cfg.Cores),
 	}
+	m.persistApplies.m = m
+	m.wbArrivals.m = m
+	m.pmWrites.m = m
+	m.wbNotices.m = m
 	if cfg.Timeline {
 		m.tl = metrics.NewTimeline()
 	}
@@ -122,7 +143,7 @@ func New(cfg Config) (*Machine, error) {
 	for i := 0; i < nctrl; i++ {
 		c := pmc.NewController(cfg.PMC)
 		m.ctrls = append(m.ctrls, c)
-		q := pmc.NewWPQ(c, cfg.WPQEntries)
+		q := pmc.NewWPQ(c, cfg.WPQEntries, mem.DefaultBase, cfg.MemBytes)
 		q.OccHist = m.reg.Histogram("wpq", "occupancy", occupancyBounds(cfg.WPQEntries))
 		m.wpqs = append(m.wpqs, q)
 	}
@@ -181,7 +202,7 @@ func New(cfg Config) (*Machine, error) {
 		}
 		if cfg.Design == HOPS {
 			m.bloom = pmc.NewBloom(cfg.BloomBuckets, cfg.BloomLookupCost)
-			m.hopsPending = make(map[mem.Addr]hopsDep)
+			m.hopsPending = make([]hopsDep, (cfg.MemBytes+mem.BlockSize-1)/mem.BlockSize)
 			m.hopsDepHorizon = make([]sim.Time, cfg.Cores)
 		}
 		onDrain := func(a mem.Addr, d []byte, at sim.Time) {
@@ -199,35 +220,61 @@ func New(cfg Config) (*Machine, error) {
 	return m, nil
 }
 
-// hopsDep records the newest pending persist to a block.
+// hopsDep records the newest pending persist to a block. live marks the
+// slot as tracked; inList dedups hopsLiveList appends (an entry can die
+// on a touch and come back on a later store while its index still sits
+// in the list).
 type hopsDep struct {
-	core  int
-	admit sim.Time
+	admit  sim.Time
+	core   int32
+	live   bool
+	inList bool
 }
 
 // hopsTouch implements HOPS's inter-thread dependency tracking: core
 // touching blk (load or store) at `now` inherits any other core's
 // pending persist to the block as a dependency; a store additionally
-// publishes its own pending admission.
+// publishes its own pending admission. An entry whose admission has
+// passed is simply no longer pending (no eager pruning needed with the
+// flat table).
 func (m *Machine) hopsTouch(core int, blk mem.Addr, now sim.Time, storeAdmit sim.Time, isStore bool) {
 	if m.hopsPending == nil {
 		return
 	}
-	if d, ok := m.hopsPending[blk]; ok {
+	d := &m.hopsPending[uint64(blk-mem.DefaultBase)/mem.BlockSize]
+	if d.live {
 		if d.admit <= now {
-			delete(m.hopsPending, blk)
-		} else if d.core != core && d.admit > m.hopsDepHorizon[core] {
+			d.live = false
+			m.hopsLiveCount--
+		} else if int(d.core) != core && d.admit > m.hopsDepHorizon[core] {
 			m.hopsDepHorizon[core] = d.admit
 		}
 	}
 	if isStore {
-		m.hopsPending[blk] = hopsDep{core: core, admit: storeAdmit}
-		if len(m.hopsPending) > 8192 {
-			for b, d := range m.hopsPending {
-				if d.admit <= now {
-					delete(m.hopsPending, b)
+		if !d.live {
+			d.live = true
+			m.hopsLiveCount++
+			if !d.inList {
+				d.inList = true
+				m.hopsLiveList = append(m.hopsLiveList, uint32(uint64(blk-mem.DefaultBase)/mem.BlockSize))
+			}
+		}
+		d.core, d.admit = int32(core), storeAdmit
+		if m.hopsLiveCount > 8192 {
+			kept := m.hopsLiveList[:0]
+			for _, bi := range m.hopsLiveList {
+				e := &m.hopsPending[bi]
+				switch {
+				case !e.live:
+					e.inList = false
+				case e.admit <= now:
+					e.live, e.inList = false, false
+				default:
+					kept = append(kept, bi)
 				}
 			}
+			m.hopsLiveList = kept
+			m.hopsLiveCount = len(kept)
 		}
 	}
 }
@@ -261,15 +308,21 @@ func (m *Machine) persistArrived(msg ppath.Message) {
 	if admit > m.coreAdmit[msg.Core] {
 		m.coreAdmit[msg.Core] = admit
 	}
-	apply := func() {
-		m.space.PersistBytes(msg.Addr, msg.Payload())
-		m.specBufs[idx].OnPersist(admit, msg.Addr, msg.SpecID, mediaDone)
-	}
 	if admit > msg.Arrive {
-		m.kernel.Schedule(admit, apply)
-	} else {
-		apply()
+		// Back-pressured: the durable application happens at admission.
+		m.persistApplies.entries = append(m.persistApplies.entries,
+			pendingPersist{admit: admit, mediaDone: mediaDone, msg: msg})
+		m.kernel.ScheduleHandler(admit, &m.persistApplies, uint64(admit))
+		return
 	}
+	m.applyPersist(admit, mediaDone, &msg)
+}
+
+// applyPersist makes an admitted persist-path store durable and lets the
+// owning controller's speculation buffer observe it.
+func (m *Machine) applyPersist(admit, mediaDone sim.Time, msg *ppath.Message) {
+	m.space.PersistBytes(msg.Addr, msg.Payload())
+	m.specBufs[m.ctrlIndex(msg.Addr)].OnPersist(admit, msg.Addr, msg.SpecID, mediaDone)
 }
 
 // Accessors.
@@ -283,6 +336,14 @@ func (m *Machine) Kernel() *sim.Kernel { return m.kernel }
 
 // Space returns the simulated PM region.
 func (m *Machine) Space() *mem.Space { return m.space }
+
+// Release returns the machine's large recyclable buffers (the two PM
+// images) to their pools. Call it only after the run's results have been
+// extracted; the machine must not be used afterwards.
+func (m *Machine) Release() {
+	m.space.Release()
+	m.space = nil
+}
 
 // Hierarchy returns the cache hierarchy (tests, diagnostics).
 func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
@@ -417,29 +478,139 @@ func (m *Machine) handleLLCEvictions(now sim.Time, evs []cache.Evicted) {
 			// the coherent block now; it becomes durable at WPQ
 			// admission.
 			m.stats.DirtyWritebacksToPM++
-			snap := m.space.Arch.ReadBlock(ev.Addr)
-			addr := ev.Addr
-			wpq := m.wpqs[m.ctrlIndex(addr)]
-			m.kernel.Schedule(now+m.cfg.WritebackLatency, func() {
-				admit, _ := wpq.Accept(now+m.cfg.WritebackLatency, addr)
-				if admit > now+m.cfg.WritebackLatency {
-					m.kernel.Schedule(admit, func() { m.space.PM.WriteBlock(addr, snap) })
-				} else {
-					m.space.PM.WriteBlock(addr, snap)
-				}
-			})
+			at := now + m.cfg.WritebackLatency
+			bw := blockWrite{at: at, addr: ev.Addr}
+			bw.snap = m.space.Arch.ReadBlock(ev.Addr)
+			m.wbArrivals.entries = append(m.wbArrivals.entries, bw)
+			m.kernel.ScheduleHandler(at, &m.wbArrivals, uint64(at))
 		case PMEMSpec:
 			// Data dropped silently, but the owning controller receives
 			// the WriteBack notification that arms load-misspeculation
 			// monitoring (§5.1.4).
 			m.stats.DroppedDirtyWritebacks++
-			addr := ev.Addr
-			buf := m.specBufs[m.ctrlIndex(addr)]
 			at := now + m.cfg.WritebackLatency
-			m.kernel.Schedule(at, func() { buf.OnWriteBack(at, addr) })
+			m.wbNotices.entries = append(m.wbNotices.entries, wbNotice{at: at, addr: ev.Addr})
+			m.kernel.ScheduleHandler(at, &m.wbNotices, uint64(at))
 		default: // HOPS, DPO
 			// Dropped silently; the persist buffers carry persistence.
 			m.stats.DroppedDirtyWritebacks++
 		}
 	}
+}
+
+// pendingPersist is a persist-path store whose WPQ admission was pushed
+// past its arrival by back-pressure; applied by persistApplyQueue at the
+// admission instant.
+type pendingPersist struct {
+	admit     sim.Time
+	mediaDone sim.Time
+	msg       ppath.Message
+}
+
+// persistApplyQueue applies back-pressured persist-path stores at their
+// admission time (sim.Handler; arg echoes the admission).
+type persistApplyQueue struct {
+	m       *Machine
+	entries []pendingPersist
+}
+
+func (q *persistApplyQueue) OnEvent(at sim.Time, arg uint64) {
+	admit := sim.Time(arg)
+	for i := range q.entries {
+		if q.entries[i].admit == admit {
+			e := q.entries[i]
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			q.m.applyPersist(e.admit, e.mediaDone, &e.msg)
+			return
+		}
+	}
+	panic("machine: persist apply event with no matching entry")
+}
+
+// blockWrite is one dirty block on its way to PM: an eviction writeback
+// travelling to the controller (wbArrivalQueue, keyed by arrival) or an
+// admitted write awaiting its durability instant (pmWriteQueue, keyed by
+// admission). The snapshot is taken when the block leaves the coherent
+// domain.
+type blockWrite struct {
+	at   sim.Time
+	addr mem.Addr
+	snap [mem.BlockSize]byte
+}
+
+// wbArrivalQueue lands eviction writebacks at the PM controller: the
+// write is admitted to the owning WPQ and the persisted image updated at
+// the admission instant.
+type wbArrivalQueue struct {
+	m       *Machine
+	entries []blockWrite
+}
+
+func (q *wbArrivalQueue) OnEvent(at sim.Time, arg uint64) {
+	key := sim.Time(arg)
+	m := q.m
+	for i := range q.entries {
+		if q.entries[i].at == key {
+			e := q.entries[i]
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			admit, _ := m.wpqs[m.ctrlIndex(e.addr)].Accept(e.at, e.addr)
+			if admit > e.at {
+				e.at = admit
+				m.pmWrites.entries = append(m.pmWrites.entries, e)
+				m.kernel.ScheduleHandler(admit, &m.pmWrites, uint64(admit))
+			} else {
+				m.space.PM.WriteBlock(e.addr, e.snap)
+			}
+			return
+		}
+	}
+	panic("machine: writeback arrival event with no matching entry")
+}
+
+// pmWriteQueue applies admitted block writes to the persisted image at
+// their admission instant (eviction writebacks under back-pressure, and
+// CLWB flushes).
+type pmWriteQueue struct {
+	m       *Machine
+	entries []blockWrite
+}
+
+func (q *pmWriteQueue) OnEvent(at sim.Time, arg uint64) {
+	key := sim.Time(arg)
+	for i := range q.entries {
+		if q.entries[i].at == key {
+			e := q.entries[i]
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			q.m.space.PM.WriteBlock(e.addr, e.snap)
+			return
+		}
+	}
+	panic("machine: PM write event with no matching entry")
+}
+
+// wbNotice is a PMEM-Spec WriteBack notification in flight to its
+// controller.
+type wbNotice struct {
+	at   sim.Time
+	addr mem.Addr
+}
+
+// wbNoticeQueue delivers WriteBack notifications to the owning
+// controller's speculation buffer.
+type wbNoticeQueue struct {
+	m       *Machine
+	entries []wbNotice
+}
+
+func (q *wbNoticeQueue) OnEvent(at sim.Time, arg uint64) {
+	key := sim.Time(arg)
+	for i := range q.entries {
+		if q.entries[i].at == key {
+			e := q.entries[i]
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			q.m.specBufs[q.m.ctrlIndex(e.addr)].OnWriteBack(e.at, e.addr)
+			return
+		}
+	}
+	panic("machine: writeback notice event with no matching entry")
 }

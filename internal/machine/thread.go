@@ -90,6 +90,13 @@ type Thread struct {
 	// strand is StrandWeaver's current-strand register (0 = default
 	// strand until the first NewStrand).
 	strand uint64
+
+	// Per-thread PM-fetch slot: a thread blocks on its fetch, so at most
+	// one is outstanding and the service event (Thread.OnEvent) needs no
+	// per-fetch allocation.
+	fetchAddr      mem.Addr
+	fetchDivergent *[mem.BlockSize]byte
+	fetchDone      bool
 }
 
 // Core returns the core the thread is pinned to.
@@ -205,45 +212,62 @@ func (t *Thread) readLine(line *cache.Line, a mem.Addr, p []byte) {
 func (t *Thread) fetchFromPM(issued sim.Time, a mem.Addr) *cache.Line {
 	m := t.m
 	m.stats.PMFetches++
-	idx := m.ctrlIndex(a)
 	arrival := issued + m.cfg.L1Latency + m.cfg.LLCLatency + t.stickyPenalty()
-
-	type fetchResult struct {
-		divergent *[mem.BlockSize]byte
-		ready     sim.Time
+	t.fetchAddr = a
+	t.fetchDivergent = nil
+	t.fetchDone = false
+	if t.sim.TryInlineEvent(arrival) {
+		// Nothing can be dispatched before the fetch reaches the
+		// controller: service it inline, skipping the event round-trip
+		// and the two coroutine switches of Block/Wake.
+		t.sim.FinishInlineEvent(t.fetchArrive(arrival))
+	} else {
+		m.kernel.ScheduleHandler(arrival, t, 0)
+		t.sim.Block("pm-fetch")
 	}
-	var fr fetchResult
-	done := false
-	m.kernel.Schedule(arrival, func() {
-		at := arrival
-		if m.bloom != nil {
-			// HOPS: every PM load consults the bloom filter; conflicts
-			// postpone the read until the pending persists drain.
-			at = m.bloom.Check(a, arrival+m.bloom.LookupCost)
-		}
-		if m.specBufs != nil {
-			m.specBufs[idx].OnRead(at, a)
-		}
-		// Snapshot the data the media will return: the persisted image
-		// as of the read's service time. Under PMEM-Spec this may be
-		// stale — that is the speculation.
-		if m.cfg.Design == PMEMSpec {
-			if blk := m.space.StaleBlock(a); blk != nil {
-				m.stats.StaleFetches++
-				fr.divergent = blk
-			}
-		}
-		fr.ready = m.ctrls[idx].Read(at) + m.cfg.WritebackLatency
-		done = true
-		t.sim.Wake(fr.ready)
-	})
-	t.sim.Block("pm-fetch")
-	if !done {
+	if !t.fetchDone {
 		panic("machine: fetch wake without completion")
 	}
-	res := m.hier.FillFromMemory(t.coreID, a, fr.divergent)
+	res := m.hier.FillFromMemory(t.coreID, a, t.fetchDivergent)
 	m.handleLLCEvictions(t.sim.Clock(), res.LLCEvicted)
 	return res.Line
+}
+
+// OnEvent services the thread's outstanding PM fetch at its controller
+// arrival time (sim.Handler; the fetch slot carries the request).
+func (t *Thread) OnEvent(arrival sim.Time, _ uint64) {
+	t.sim.Wake(t.fetchArrive(arrival))
+}
+
+// fetchArrive is the fetch's controller-side service, shared by the
+// event path (OnEvent) and the inline fast path: detection structures
+// observe the read, the media data is snapshotted, and the returned time
+// is when the fill reaches the core.
+func (t *Thread) fetchArrive(arrival sim.Time) (ready sim.Time) {
+	m := t.m
+	a := t.fetchAddr
+	idx := m.ctrlIndex(a)
+	at := arrival
+	if m.bloom != nil {
+		// HOPS: every PM load consults the bloom filter; conflicts
+		// postpone the read until the pending persists drain.
+		at = m.bloom.Check(a, arrival+m.bloom.LookupCost)
+	}
+	if m.specBufs != nil {
+		m.specBufs[idx].OnRead(at, a)
+	}
+	// Snapshot the data the media will return: the persisted image
+	// as of the read's service time. Under PMEM-Spec this may be
+	// stale — that is the speculation.
+	if m.cfg.Design == PMEMSpec {
+		if blk := m.space.StaleBlock(a); blk != nil {
+			m.stats.StaleFetches++
+			t.fetchDivergent = blk
+		}
+	}
+	ready = m.ctrls[idx].Read(at) + m.cfg.WritebackLatency
+	t.fetchDone = true
+	return ready
 }
 
 // Store writes p to PM. Writes larger than 8 bytes are split into
@@ -374,11 +398,13 @@ func (t *Thread) CLWB(a mem.Addr) {
 		return
 	}
 	now := t.sim.Clock()
-	snap := m.space.Arch.ReadBlock(a)
 	addr := mem.BlockAlign(a)
 	arrive := now + m.cfg.WritebackLatency
 	admit, _ := m.wpqs[m.ctrlIndex(addr)].Accept(arrive, addr)
-	m.kernel.Schedule(admit, func() { m.space.PM.WriteBlock(addr, snap) })
+	bw := blockWrite{at: admit, addr: addr}
+	bw.snap = m.space.Arch.ReadBlock(a)
+	m.pmWrites.entries = append(m.pmWrites.entries, bw)
+	m.kernel.ScheduleHandler(admit, &m.pmWrites, uint64(admit))
 	m.hier.CleanBlock(a)
 	t.sq.push(admit)
 }

@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // BlockSize is the cache-block size in bytes (Table 3: 64 B blocks).
@@ -36,11 +37,53 @@ func SameBlock(a, b Addr) bool { return BlockAlign(a) == BlockAlign(b) }
 type Image struct {
 	base Addr
 	data []byte
+	// hwm is one past the highest byte ever written — the dirty prefix.
+	// Everything at or beyond hwm is still zero, so a recycled image only
+	// has to clear [0, hwm) instead of its full (typically 64 MB) length.
+	hwm uint64
 }
+
+// imagePool recycles the large backing arrays between runs. Zeroing a
+// fresh multi-megabyte image per (design, workload) grid cell was ~10%
+// of fig10 wall-clock; recycled images clear only their dirty prefix.
+// Small images (tests) bypass the pool.
+var imagePool sync.Pool
+
+const imagePoolMin = 1 << 20
 
 // NewImage creates a zeroed image covering [base, base+size).
 func NewImage(base Addr, size uint64) *Image {
+	if im := pooledImage(size); im != nil {
+		im.base = base
+		clear(im.data[:im.hwm])
+		im.hwm = 0
+		return im
+	}
 	return &Image{base: base, data: make([]byte, size)}
+}
+
+// pooledImage returns a recycled image of exactly the requested size, or
+// nil. Its dirty prefix [0, hwm) has NOT been cleared — NewImage zeroes
+// it, Clone overwrites the whole array anyway.
+func pooledImage(size uint64) *Image {
+	if size < imagePoolMin {
+		return nil
+	}
+	if v := imagePool.Get(); v != nil {
+		if im := v.(*Image); uint64(len(im.data)) == size {
+			return im
+		}
+		// Wrong size: drop it and let the GC reclaim the array.
+	}
+	return nil
+}
+
+// Release returns the image's backing array to the recycle pool. The
+// image must not be used afterwards.
+func (im *Image) Release() {
+	if uint64(len(im.data)) >= imagePoolMin {
+		imagePool.Put(im)
+	}
 }
 
 // Base returns the first address covered by the image.
@@ -75,6 +118,14 @@ func (im *Image) ReadU64(a Addr) uint64 {
 func (im *Image) WriteU64(a Addr, v uint64) {
 	i := im.index(a, 8)
 	binary.LittleEndian.PutUint64(im.data[i:], v)
+	im.dirty(i + 8)
+}
+
+// dirty extends the written prefix to cover [0, end).
+func (im *Image) dirty(end uint64) {
+	if end > im.hwm {
+		im.hwm = end
+	}
 }
 
 // Read copies len(p) bytes starting at a into p.
@@ -87,6 +138,7 @@ func (im *Image) Read(a Addr, p []byte) {
 func (im *Image) Write(a Addr, p []byte) {
 	i := im.index(a, len(p))
 	copy(im.data[i:], p)
+	im.dirty(i + uint64(len(p)))
 }
 
 // ReadBlock returns a copy of the cache block containing a.
@@ -103,16 +155,23 @@ func (im *Image) WriteBlock(a Addr, b [BlockSize]byte) {
 
 // Clone returns a deep copy of the image (for crash snapshots).
 func (im *Image) Clone() *Image {
-	c := &Image{base: im.base, data: make([]byte, len(im.data))}
-	copy(c.data, im.data)
+	c := pooledImage(uint64(len(im.data)))
+	if c == nil {
+		c = &Image{data: make([]byte, len(im.data))}
+	}
+	c.base = im.base
+	copy(c.data, im.data) // full-length copy: no pre-clearing needed
+	c.hwm = im.hwm
 	return c
 }
 
 // BlockSlice returns the image's backing bytes for the cache block
 // containing a, aliasing the image storage (no copy). Callers must not
-// retain the slice across image writes; it exists for the simulator's
-// per-access hot paths, where the block-sized value copies of
-// ReadBlock/WriteBlock dominated.
+// retain the slice across image writes, and must treat it as read-only:
+// mutations have to go through Write/WriteU64/WriteBlock so the dirty
+// prefix used by image recycling stays accurate. It exists for the
+// simulator's per-access hot paths, where the block-sized value copies
+// of ReadBlock/WriteBlock dominated.
 func (im *Image) BlockSlice(a Addr) []byte {
 	b := BlockAlign(a)
 	i := im.index(b, BlockSize)
@@ -123,6 +182,7 @@ func (im *Image) BlockSlice(a Addr) []byte {
 // images must cover the block.
 func (im *Image) CopyBlockFrom(src *Image, a Addr) {
 	copy(im.BlockSlice(a), src.BlockSlice(a))
+	im.dirty(uint64(BlockAlign(a)-im.base) + BlockSize)
 }
 
 // Space is the simulated PM region: an architectural image plus the
@@ -143,6 +203,14 @@ func NewSpace(size uint64) *Space {
 		Arch: NewImage(DefaultBase, size),
 		PM:   NewImage(DefaultBase, size),
 	}
+}
+
+// Release returns both images' backing arrays to the recycle pool. The
+// space (and anything aliasing its images) must not be used afterwards.
+func (s *Space) Release() {
+	s.Arch.Release()
+	s.PM.Release()
+	s.Arch, s.PM = nil, nil
 }
 
 // Base returns the first PM address.

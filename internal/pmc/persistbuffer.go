@@ -38,8 +38,11 @@ type PersistBuffer struct {
 	prevEpochsAdmit sim.Time
 	// curEpochAdmit is the latest admission within the open epoch.
 	curEpochAdmit sim.Time
-	// outstanding holds admission times of entries still in the buffer.
-	outstanding []sim.Time
+	// entries holds the stores still in the buffer, payload inline, in
+	// append order. Drain events find their entry by admission time
+	// (first match = append order = event order for equal times), so no
+	// per-store closure or payload copy is allocated.
+	entries []pbEntry
 
 	// onDrain is invoked (event context) when an entry is admitted to
 	// the WPQ: the payload is durable there.
@@ -91,18 +94,27 @@ func NewPersistBuffer(k *sim.Kernel, wpq *WPQ, core, capacity int, transfer sim.
 	}
 }
 
+// pbEntry is one buffered store: admission time plus the payload held
+// inline (stores are ≤ 8 bytes after store-queue splitting).
+type pbEntry struct {
+	admit sim.Time
+	addr  mem.Addr
+	n     uint8
+	data  [8]byte
+}
+
 // Full reports whether the buffer has no free entry.
-func (b *PersistBuffer) Full() bool { return len(b.outstanding) >= b.capacity }
+func (b *PersistBuffer) Full() bool { return len(b.entries) >= b.capacity }
 
 // NextFree returns the earliest time an in-flight entry drains — when a
 // stalled store may retry. Only meaningful while entries are pending.
 func (b *PersistBuffer) NextFree() sim.Time {
-	if len(b.outstanding) == 0 {
+	if len(b.entries) == 0 {
 		return 0
 	}
-	min := b.outstanding[0]
-	for _, v := range b.outstanding[1:] {
-		if v < min {
+	min := b.entries[0].admit
+	for i := 1; i < len(b.entries); i++ {
+		if v := b.entries[i].admit; v < min {
 			min = v
 		}
 	}
@@ -142,22 +154,36 @@ func (b *PersistBuffer) Append(now sim.Time, addr mem.Addr, data []byte) sim.Tim
 	if admit > b.curEpochAdmit {
 		b.curEpochAdmit = admit
 	}
-	b.outstanding = append(b.outstanding, admit)
-	d := make([]byte, len(data))
-	copy(d, data)
-	b.kernel.Schedule(admit, func() {
-		for i, v := range b.outstanding {
-			if v == admit {
-				b.outstanding = append(b.outstanding[:i], b.outstanding[i+1:]...)
-				break
-			}
-		}
-		b.Drains++
-		if b.onDrain != nil {
-			b.onDrain(addr, d, admit)
-		}
-	})
+	e := pbEntry{admit: admit, addr: addr}
+	e.n = uint8(copy(e.data[:], data))
+	if int(e.n) != len(data) {
+		panic("pmc: persist-buffer payload exceeds one store")
+	}
+	b.entries = append(b.entries, e)
+	b.kernel.ScheduleHandler(admit, b, uint64(admit))
 	return admit
+}
+
+// OnEvent drains the oldest entry admitted at the event time
+// (sim.Handler; arg echoes the admission time). Admissions within one
+// buffer are not monotonic (epoch ordering can admit a later store
+// earlier), so the drain is keyed rather than FIFO; first match in
+// append order equals the legacy closure-per-store behavior because
+// same-time events fire in schedule order.
+func (b *PersistBuffer) OnEvent(at sim.Time, arg uint64) {
+	admit := sim.Time(arg)
+	for i := range b.entries {
+		if b.entries[i].admit == admit {
+			b.Drains++
+			if b.onDrain != nil {
+				e := &b.entries[i]
+				b.onDrain(e.addr, e.data[:e.n], admit)
+			}
+			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			return
+		}
+	}
+	panic("pmc: persist-buffer drain event with no matching entry")
 }
 
 // OFence closes the current epoch (HOPS ofence): subsequent entries are
@@ -180,7 +206,7 @@ func (b *PersistBuffer) DrainTime() sim.Time {
 }
 
 // Pending returns the number of entries still in the buffer.
-func (b *PersistBuffer) Pending() int { return len(b.outstanding) }
+func (b *PersistBuffer) Pending() int { return len(b.entries) }
 
 // Epoch returns the current (open) epoch number.
 func (b *PersistBuffer) Epoch() uint64 { return b.epoch }

@@ -138,7 +138,7 @@ func TestBloomFalsePositivePossible(t *testing.T) {
 func newTestBufferEnv(strict bool, capacity int) (*sim.Kernel, *Controller, *PersistBuffer, *[]mem.Addr) {
 	k := sim.NewKernel()
 	ctrl := NewController(DefaultConfig())
-	wpq := NewWPQ(ctrl, 64)
+	wpq := NewWPQ(ctrl, 64, 0, 1<<16)
 	drained := &[]mem.Addr{}
 	var ser *Serializer
 	if strict {
@@ -153,7 +153,7 @@ func newTestBufferEnv(strict bool, capacity int) (*sim.Kernel, *Controller, *Per
 func TestPersistBufferDrainDeliversPayload(t *testing.T) {
 	k := sim.NewKernel()
 	ctrl := NewController(DefaultConfig())
-	wpq := NewWPQ(ctrl, 64)
+	wpq := NewWPQ(ctrl, 64, 0, 1<<16)
 	var gotAddr mem.Addr
 	var gotData []byte
 	var gotAt sim.Time
@@ -249,7 +249,7 @@ func TestPersistBufferPayloadCopied(t *testing.T) {
 	k := sim.NewKernel()
 	ctrl := NewController(DefaultConfig())
 	var got []byte
-	buf := NewPersistBuffer(k, NewWPQ(ctrl, 64), 0, 8, sim.NS(20), nil, func(a mem.Addr, d []byte, at sim.Time) {
+	buf := NewPersistBuffer(k, NewWPQ(ctrl, 64, 0, 1<<16), 0, 8, sim.NS(20), nil, func(a mem.Addr, d []byte, at sim.Time) {
 		got = d
 	})
 	payload := []byte{9, 9}

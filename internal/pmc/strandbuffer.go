@@ -32,8 +32,9 @@ type StrandBuffer struct {
 	// allAdmit is the latest admission across every strand (JoinStrand
 	// waits for it).
 	allAdmit sim.Time
-	// outstanding holds admission times of entries still in the buffer.
-	outstanding []sim.Time
+	// entries holds the stores still in the buffer, payload inline,
+	// keyed by admission time like PersistBuffer.entries.
+	entries []pbEntry
 
 	onDrain func(addr mem.Addr, data []byte, at sim.Time)
 
@@ -84,17 +85,17 @@ func (b *StrandBuffer) PersistBarrier(strand uint64) {
 }
 
 // Full reports whether the buffer has no free entry.
-func (b *StrandBuffer) Full() bool { return len(b.outstanding) >= b.capacity }
+func (b *StrandBuffer) Full() bool { return len(b.entries) >= b.capacity }
 
 // NextFree returns the earliest in-flight admission (retry time while
 // Full).
 func (b *StrandBuffer) NextFree() sim.Time {
-	if len(b.outstanding) == 0 {
+	if len(b.entries) == 0 {
 		return 0
 	}
-	min := b.outstanding[0]
-	for _, v := range b.outstanding[1:] {
-		if v < min {
+	min := b.entries[0].admit
+	for i := 1; i < len(b.entries); i++ {
+		if v := b.entries[i].admit; v < min {
 			min = v
 		}
 	}
@@ -124,22 +125,33 @@ func (b *StrandBuffer) Append(now sim.Time, strand uint64, addr mem.Addr, data [
 	if admit > b.allAdmit {
 		b.allAdmit = admit
 	}
-	b.outstanding = append(b.outstanding, admit)
-	d := make([]byte, len(data))
-	copy(d, data)
-	b.kernel.Schedule(admit, func() {
-		for i, v := range b.outstanding {
-			if v == admit {
-				b.outstanding = append(b.outstanding[:i], b.outstanding[i+1:]...)
-				break
-			}
-		}
-		b.Drains++
-		if b.onDrain != nil {
-			b.onDrain(addr, d, admit)
-		}
-	})
+	e := pbEntry{admit: admit, addr: addr}
+	e.n = uint8(copy(e.data[:], data))
+	if int(e.n) != len(data) {
+		panic("pmc: strand-buffer payload exceeds one store")
+	}
+	b.entries = append(b.entries, e)
+	b.kernel.ScheduleHandler(admit, b, uint64(admit))
 	return admit
+}
+
+// OnEvent drains the oldest entry admitted at the event time
+// (sim.Handler; arg echoes the admission time — see
+// PersistBuffer.OnEvent for why the drain is keyed).
+func (b *StrandBuffer) OnEvent(at sim.Time, arg uint64) {
+	admit := sim.Time(arg)
+	for i := range b.entries {
+		if b.entries[i].admit == admit {
+			b.Drains++
+			if b.onDrain != nil {
+				e := &b.entries[i]
+				b.onDrain(e.addr, e.data[:e.n], admit)
+			}
+			b.entries = append(b.entries[:i], b.entries[i+1:]...)
+			return
+		}
+	}
+	panic("pmc: strand-buffer drain event with no matching entry")
 }
 
 // JoinTime returns the time by which every strand's entries so far are
@@ -153,4 +165,4 @@ func (b *StrandBuffer) JoinTime() sim.Time {
 }
 
 // Pending returns the number of in-flight entries.
-func (b *StrandBuffer) Pending() int { return len(b.outstanding) }
+func (b *StrandBuffer) Pending() int { return len(b.entries) }

@@ -10,7 +10,7 @@ import (
 func newStrandEnv(capacity int) (*sim.Kernel, *StrandBuffer, *[]mem.Addr) {
 	k := sim.NewKernel()
 	ctrl := NewController(DefaultConfig())
-	wpq := NewWPQ(ctrl, 64)
+	wpq := NewWPQ(ctrl, 64, 0, 1<<16)
 	drained := &[]mem.Addr{}
 	sb := NewStrandBuffer(k, wpq, 0, capacity, sim.NS(20), func(a mem.Addr, d []byte, at sim.Time) {
 		*drained = append(*drained, a)

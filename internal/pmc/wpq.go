@@ -1,7 +1,7 @@
 package pmc
 
 import (
-	"sort"
+	"fmt"
 
 	"pmemspec/internal/mem"
 	"pmemspec/internal/metrics"
@@ -27,9 +27,23 @@ type WPQ struct {
 	ctrl *Controller
 	// completions holds the media completion times of entries currently
 	// occupying the queue (pruned lazily against the query time).
+	// minDone caches their minimum (sim.Forever when empty) so the
+	// common no-entry-retired case skips the compaction scan.
 	completions []sim.Time
-	// blocks maps a pending block to its media completion (coalescing).
-	blocks map[mem.Addr]sim.Time
+	minDone     sim.Time
+	// blocks holds, per PM block, the media completion of its pending
+	// entry (coalescing) — a flat array indexed by block number, so the
+	// per-store lookup is a shift instead of a map probe. Zero means "no
+	// live entry" (media completions are always positive). Together with
+	// liveList this reproduces the bounded tracking-table semantics
+	// exactly: once more than 8192 entries are live, stale ones are
+	// dropped (reset to zero), and a dropped entry cannot coalesce even
+	// for a lagging caller whose `now` still precedes its completion
+	// (Accept tolerates small time inversions, so that case is reachable
+	// and observable).
+	blocks   []sim.Time
+	liveList []uint32
+	base     mem.Addr
 
 	// Stats
 	Accepts, Coalesced, FullStalls uint64
@@ -50,12 +64,24 @@ type WPQ struct {
 }
 
 // NewWPQ creates a write-pending queue of the given capacity in front of
-// ctrl's media write banks.
-func NewWPQ(ctrl *Controller, capacity int) *WPQ {
+// ctrl's media write banks. The queue serves the PM region
+// [base, base+memBytes): its per-block coalescing table is a flat array
+// over that window.
+func NewWPQ(ctrl *Controller, capacity int, base mem.Addr, memBytes uint64) *WPQ {
 	if capacity < 1 {
 		panic("pmc: WPQ capacity must be ≥ 1")
 	}
-	return &WPQ{cap: capacity, ctrl: ctrl, blocks: make(map[mem.Addr]sim.Time)}
+	nblocks := (memBytes + mem.BlockSize - 1) / mem.BlockSize
+	return &WPQ{cap: capacity, ctrl: ctrl, blocks: make([]sim.Time, nblocks), base: base, minDone: sim.Forever}
+}
+
+// blockIndex maps a block-aligned address into the coalescing table.
+func (w *WPQ) blockIndex(blk mem.Addr) uint64 {
+	i := uint64(blk-w.base) / mem.BlockSize
+	if blk < w.base || i >= uint64(len(w.blocks)) {
+		panic(fmt.Sprintf("pmc: WPQ address %#x outside region [%#x,+%d blocks)", uint64(blk), uint64(w.base), len(w.blocks)))
+	}
+	return i
 }
 
 // Accept admits a write to blk arriving at the controller at time `now`.
@@ -65,8 +91,9 @@ func NewWPQ(ctrl *Controller, capacity int) *WPQ {
 // small inversions.
 func (w *WPQ) Accept(now sim.Time, blk mem.Addr) (admit, mediaDone sim.Time) {
 	blk = mem.BlockAlign(blk)
+	bi := w.blockIndex(blk)
 	w.prune(now)
-	if done, ok := w.blocks[blk]; ok && done > now {
+	if done := w.blocks[bi]; done > now {
 		// Coalesce with the pending entry: durable immediately, no new
 		// media write.
 		w.Coalesced++
@@ -77,10 +104,17 @@ func (w *WPQ) Accept(now sim.Time, blk mem.Addr) (admit, mediaDone sim.Time) {
 	}
 	admit = now
 	if len(w.completions) >= w.cap {
-		// Wait until enough media writes retire to free a slot.
+		// Wait until enough media writes retire to free a slot. The
+		// queue never exceeds its capacity (each Accept prunes before
+		// appending one entry), so the slot that frees first is simply
+		// the minimum completion — kth-smallest selection is the
+		// general case only if need > 1, which cannot happen here.
 		need := len(w.completions) - w.cap + 1
-		sort.Slice(w.completions, func(i, j int) bool { return w.completions[i] < w.completions[j] })
-		admit = w.completions[need-1]
+		if need == 1 {
+			admit = w.minDone
+		} else {
+			admit = kthSmallest(w.completions, need)
+		}
 		if admit < now {
 			admit = now
 		}
@@ -90,19 +124,66 @@ func (w *WPQ) Accept(now sim.Time, blk mem.Addr) (admit, mediaDone sim.Time) {
 	}
 	mediaDone = w.ctrl.Write(admit)
 	w.completions = append(w.completions, mediaDone)
-	w.blocks[blk] = mediaDone
+	if mediaDone < w.minDone {
+		w.minDone = mediaDone
+	}
+	if w.blocks[bi] == 0 {
+		w.liveList = append(w.liveList, uint32(bi))
+	}
+	w.blocks[bi] = mediaDone
 	w.Accepts++
 	if len(w.completions) > w.PeakOccupancy {
 		w.PeakOccupancy = len(w.completions)
 	}
 	w.OccHist.Observe(int64(len(w.completions)))
-	if len(w.blocks) > 8192 {
+	if len(w.liveList) > 8192 {
 		w.pruneBlocks(now)
 	}
 	if w.OnAdmit != nil {
 		w.OnAdmit(admit, blk)
 	}
 	return admit, mediaDone
+}
+
+// pruneBlocks bounds the coalescing table's live set: entries whose media
+// completion has passed are dropped and become ineligible to coalesce
+// with, even for a slightly-lagging later Accept.
+func (w *WPQ) pruneBlocks(now sim.Time) {
+	kept := w.liveList[:0]
+	for _, bi := range w.liveList {
+		if w.blocks[bi] <= now {
+			w.blocks[bi] = 0
+		} else {
+			kept = append(kept, bi)
+		}
+	}
+	w.liveList = kept
+}
+
+// kthSmallest returns the k-th smallest element of s (k ≥ 1). k is 1 on
+// every reachable path (see Accept); the general branch is a defensive
+// O(k·n) selection.
+func kthSmallest(s []sim.Time, k int) sim.Time {
+	if k == 1 {
+		min := s[0]
+		for _, c := range s[1:] {
+			if c < min {
+				min = c
+			}
+		}
+		return min
+	}
+	picked := sim.Time(-1 << 62)
+	for ; k > 0; k-- {
+		best := sim.Forever
+		for _, c := range s {
+			if c > picked && c < best {
+				best = c
+			}
+		}
+		picked = best
+	}
+	return picked
 }
 
 // Occupancy returns the number of entries pending at time now.
@@ -112,21 +193,21 @@ func (w *WPQ) Occupancy(now sim.Time) int {
 }
 
 func (w *WPQ) prune(now sim.Time) {
+	if w.minDone > now {
+		return // nothing has retired since the last prune
+	}
 	kept := w.completions[:0]
+	min := sim.Forever
 	for _, c := range w.completions {
 		if c > now {
 			kept = append(kept, c)
+			if c < min {
+				min = c
+			}
 		}
 	}
 	w.completions = kept
-}
-
-func (w *WPQ) pruneBlocks(now sim.Time) {
-	for b, c := range w.blocks {
-		if c <= now {
-			delete(w.blocks, b)
-		}
-	}
+	w.minDone = min
 }
 
 // Publish copies the queue's end-of-run statistics into the registry,

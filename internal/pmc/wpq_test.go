@@ -7,7 +7,7 @@ import (
 )
 
 func TestWPQAdmissionImmediateWhenNotFull(t *testing.T) {
-	w := NewWPQ(NewController(DefaultConfig()), 64)
+	w := NewWPQ(NewController(DefaultConfig()), 64, 0, 1<<16)
 	admit, done := w.Accept(100, 0x1000)
 	if admit != 100 {
 		t.Errorf("admit = %v, want 100 (ADR: durable at arrival)", admit)
@@ -18,7 +18,7 @@ func TestWPQAdmissionImmediateWhenNotFull(t *testing.T) {
 }
 
 func TestWPQCoalescesSameBlock(t *testing.T) {
-	w := NewWPQ(NewController(DefaultConfig()), 64)
+	w := NewWPQ(NewController(DefaultConfig()), 64, 0, 1<<16)
 	_, done1 := w.Accept(100, 0x1000)
 	admit2, done2 := w.Accept(110, 0x1008) // same block, different offset
 	if admit2 != 110 || done2 != done1 {
@@ -38,7 +38,7 @@ func TestWPQCoalescesSameBlock(t *testing.T) {
 func TestWPQFullBackpressure(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.WriteBanks = 1 // serialize media to make completions predictable
-	w := NewWPQ(NewController(cfg), 2)
+	w := NewWPQ(NewController(cfg), 2, 0, 1<<16)
 	a1, d1 := w.Accept(0, 0x0000) // media done 188
 	a2, _ := w.Accept(0, 0x0040)  // media done 376
 	if a1 != 0 || a2 != 0 {
@@ -55,7 +55,7 @@ func TestWPQFullBackpressure(t *testing.T) {
 }
 
 func TestWPQOccupancyDrains(t *testing.T) {
-	w := NewWPQ(NewController(DefaultConfig()), 64)
+	w := NewWPQ(NewController(DefaultConfig()), 64, 0, 1<<16)
 	_, done := w.Accept(0, 0x0000)
 	w.Accept(0, 0x0040)
 	if got := w.Occupancy(1); got != 2 {

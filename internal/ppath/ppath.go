@@ -67,6 +67,12 @@ type Paths struct {
 	// scheduled; FIFO order forces successors to arrive after it.
 	lastArrive  []sim.Time
 	outstanding []int
+	// inflight holds each core's in-flight messages in send order. Per-
+	// core arrivals are monotonically non-decreasing (FIFO path), so the
+	// arrival event for a core always delivers that core's ring head —
+	// which is what lets Send use a pooled handler event instead of
+	// allocating a closure per store.
+	inflight []msgRing
 
 	// Sent and Delivered count messages (statistics).
 	Sent, Delivered uint64
@@ -95,7 +101,32 @@ func New(k *sim.Kernel, ncores int, cfg Config, deliver func(Message)) *Paths {
 		deliver:     deliver,
 		lastArrive:  make([]sim.Time, ncores),
 		outstanding: make([]int, ncores),
+		inflight:    make([]msgRing, ncores),
 	}
+}
+
+// msgRing is a FIFO of in-flight messages: a slice with a head cursor,
+// reset when drained and compacted when the dead prefix dominates, so
+// steady-state sends reuse the same backing array.
+type msgRing struct {
+	buf  []Message
+	head int
+}
+
+func (r *msgRing) push(m Message) { r.buf = append(r.buf, m) }
+
+func (r *msgRing) pop() Message {
+	m := r.buf[r.head]
+	r.head++
+	if r.head == len(r.buf) {
+		r.buf = r.buf[:0]
+		r.head = 0
+	} else if r.head >= 64 && r.head*2 >= len(r.buf) {
+		n := copy(r.buf, r.buf[r.head:])
+		r.buf = r.buf[:n]
+		r.head = 0
+	}
+	return m
 }
 
 // Config returns the path configuration.
@@ -121,12 +152,19 @@ func (p *Paths) Send(core int, a mem.Addr, data []byte, specID uint64, now sim.T
 	p.OccHist.Observe(int64(p.outstanding[core]))
 	msg := Message{Core: core, Addr: a, SpecID: specID, SentAt: now, Arrive: arrive}
 	msg.Len = copy(msg.Data[:], data)
-	p.kernel.Schedule(arrive, func() {
-		p.outstanding[core]--
-		p.Delivered++
-		p.deliver(msg)
-	})
+	p.inflight[core].push(msg)
+	p.kernel.ScheduleHandler(arrive, p, uint64(core))
 	return arrive
+}
+
+// OnEvent delivers the head message of a core's path at its arrival
+// time (sim.Handler; arg is the core).
+func (p *Paths) OnEvent(at sim.Time, arg uint64) {
+	core := int(arg)
+	msg := p.inflight[core].pop()
+	p.outstanding[core]--
+	p.Delivered++
+	p.deliver(msg)
 }
 
 // DrainTime returns the time by which every message core has sent so far

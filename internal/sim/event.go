@@ -1,16 +1,18 @@
 package sim
 
-import "container/heap"
-
 // Event is a scheduled callback. Events fire in (At, sequence) order,
-// strictly before any thread whose clock is ≥ At is resumed.
+// strictly before any thread whose clock is ≥ At is resumed. An event
+// carries either fn (Schedule) or h/arg (ScheduleHandler — pooled,
+// non-cancellable).
 type Event struct {
-	At Time
-	fn func()
+	At  Time
+	fn  func()
+	h   Handler
+	arg uint64
 
 	k         *Kernel
 	seq       uint64
-	index     int // heap index, -1 when not queued
+	queued    bool // currently in the event heap
 	cancelled bool
 }
 
@@ -24,7 +26,7 @@ func (e *Event) Cancel() {
 	}
 	e.cancelled = true
 	e.fn = nil // release the callback's captures immediately
-	if e.k == nil || e.index < 0 {
+	if e.k == nil || !e.queued {
 		return
 	}
 	e.k.cancelled++
@@ -36,45 +38,100 @@ func (e *Event) Cancel() {
 // Cancelled reports whether Cancel was called on the event.
 func (e *Event) Cancelled() bool { return e.cancelled }
 
-// eventQueue is a min-heap of events ordered by (At, seq).
-type eventQueue []*Event
+// eventEntry is one heap slot: the (At, seq) sort key is stored inline
+// so comparisons never dereference the Event.
+type eventEntry struct {
+	at  Time
+	seq uint64
+	e   *Event
+}
 
-func (q eventQueue) Len() int { return len(q) }
+// eventQueue is a 4-ary min-heap of events ordered by (At, seq),
+// hand-rolled for the same reason as readyQueue: pushes and pops are
+// per-message on the persist-path hot loops, and both the
+// container/heap interface indirection and per-comparison pointer
+// chasing showed up in the Fig 10 profiles. (At, seq) is a strict total
+// order — seq is unique — so the pop sequence is independent of heap
+// shape and arity.
+type eventQueue []eventEntry
 
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].At != q[j].At {
-		return q[i].At < q[j].At
+func (q eventQueue) less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
+// swap is a pure value exchange: events do not track their heap slot
+// (membership is the boolean queued flag), so sift operations never
+// dereference an Event.
+func (q eventQueue) swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+func (q eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
 }
 
-func (q *eventQueue) Pop() any {
+func (q eventQueue) down(i int) {
+	n := len(q)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if q.less(j, m) {
+				m = j
+			}
+		}
+		if !q.less(m, i) {
+			break
+		}
+		q.swap(i, m)
+		i = m
+	}
+}
+
+func (q *eventQueue) push(e *Event) {
+	e.queued = true
+	*q = append(*q, eventEntry{at: e.At, seq: e.seq, e: e})
+	q.up(len(*q) - 1)
+}
+
+func (q *eventQueue) pop() *Event {
 	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
+	n := len(old) - 1
+	old.swap(0, n)
+	e := old[n].e
+	old[n] = eventEntry{}
+	e.queued = false
+	*q = old[:n]
+	(*q).down(0)
 	return e
+}
+
+func (q eventQueue) init() {
+	for i := (len(q) - 2) / 4; i >= 0; i-- {
+		q.down(i)
+	}
 }
 
 func (q eventQueue) peek() *Event {
 	if len(q) == 0 {
 		return nil
 	}
-	return q[0]
+	return q[0].e
 }
-
-var _ heap.Interface = (*eventQueue)(nil)

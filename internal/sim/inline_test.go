@@ -1,0 +1,258 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// selfService is the pm-fetch pattern: a thread needs an event at a
+// future time that services the thread itself and is followed by Block.
+// inline=true uses the TryInlineEvent fast path with the schedule+Block
+// fallback; inline=false always takes the fallback. Both must produce
+// the same schedule.
+type selfService struct {
+	t     *Thread
+	trace *[]string
+	tag   string
+}
+
+func (s *selfService) OnEvent(at Time, arg uint64) {
+	*s.trace = append(*s.trace, fmt.Sprintf("%s:ev@%d", s.tag, at))
+	s.t.Wake(at + Time(arg)) // arg = post-event service latency
+}
+
+func (s *selfService) roundTrip(at Time, service uint64, inline bool) {
+	if inline && s.t.TryInlineEvent(at) {
+		*s.trace = append(*s.trace, fmt.Sprintf("%s:ev@%d", s.tag, at))
+		s.t.FinishInlineEvent(at + Time(service))
+		return
+	}
+	s.t.Kernel().ScheduleHandler(at, s, service)
+	s.t.Block("self-service")
+}
+
+// runSelfServicePair runs the same two-thread scenario on the inline
+// path and on the schedule+Block path and returns both traces. Threads
+// interleave plain advances with self-service round trips so the
+// inline attempt sometimes succeeds and sometimes must fall back
+// (another thread due earlier).
+func runSelfServicePair(t *testing.T, inline bool) string {
+	t.Helper()
+	k := NewKernel()
+	var trace []string
+	for n := 0; n < 2; n++ {
+		tag := fmt.Sprintf("t%d", n)
+		stride := Time(3 + 2*n) // unequal strides force fallbacks
+		k.Spawn(tag, Time(n), func(th *Thread) {
+			s := &selfService{t: th, trace: &trace, tag: tag}
+			for i := 0; i < 6; i++ {
+				trace = append(trace, fmt.Sprintf("%s:run@%d", tag, th.Clock()))
+				th.Advance(stride)
+				s.roundTrip(th.Clock()+stride, 2, inline)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return strings.Join(trace, " ")
+}
+
+func TestInlineEventMatchesBlockingSchedule(t *testing.T) {
+	blocking := runSelfServicePair(t, false)
+	inlined := runSelfServicePair(t, true)
+	if blocking != inlined {
+		t.Errorf("schedules diverge:\nblocking: %s\ninlined:  %s", blocking, inlined)
+	}
+}
+
+func TestInlineEventRefusedWhenEventDue(t *testing.T) {
+	k := NewKernel()
+	var sawEvent bool
+	k.Spawn("w", 0, func(th *Thread) {
+		k.Schedule(5, func() { sawEvent = true })
+		if th.TryInlineEvent(10) {
+			t.Error("TryInlineEvent(10) succeeded with an event queued at 5")
+		}
+		if th.Clock() != 0 {
+			t.Errorf("failed TryInlineEvent moved clock to %d", th.Clock())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawEvent {
+		t.Error("queued event never fired")
+	}
+}
+
+func TestInlineEventRefusedWhenEarlierThread(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("early", 4, func(th *Thread) { th.Advance(100) })
+	k.Spawn("w", 0, func(th *Thread) {
+		if th.TryInlineEvent(10) {
+			t.Error("TryInlineEvent(10) succeeded with a runnable thread at 4")
+		}
+		if th.Clock() != 0 {
+			t.Errorf("failed TryInlineEvent moved clock to %d", th.Clock())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInlineEventEqualClockThreadDoesNotDisqualify(t *testing.T) {
+	// Events tie-break ahead of threads: a runnable thread at exactly
+	// `at` — even one with a smaller id — would run after the event, so
+	// the inline attempt must succeed, and FinishInlineEvent must still
+	// hand control to that thread before t proceeds past the wake time.
+	k := NewKernel()
+	var trace []string
+	k.Spawn("a", 10, func(th *Thread) {
+		trace = append(trace, fmt.Sprintf("a@%d", th.Clock()))
+	})
+	k.Spawn("b", 0, func(th *Thread) {
+		th.Advance(1)
+		if !th.TryInlineEvent(10) {
+			t.Error("TryInlineEvent(10) failed; only other runnable thread is at exactly 10")
+			k.ScheduleHandler(10, &selfService{t: th, trace: &trace, tag: "b"}, 2)
+			th.Block("fallback")
+			return
+		}
+		trace = append(trace, fmt.Sprintf("b:ev@%d", k.Now()))
+		th.FinishInlineEvent(12)
+		trace = append(trace, fmt.Sprintf("b:resume@%d", th.Clock()))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "b:ev@10 a@10 b:resume@12"
+	if got := strings.Join(trace, " "); got != want {
+		t.Errorf("trace = %q, want %q", got, want)
+	}
+}
+
+func TestFinishInlineEventYieldsToDueEvent(t *testing.T) {
+	// An event scheduled during the inline handler, due before the wake
+	// time, must fire before the thread resumes — exactly as if the
+	// thread had been blocked across that window.
+	k := NewKernel()
+	var trace []string
+	k.Spawn("w", 0, func(th *Thread) {
+		if !th.TryInlineEvent(10) {
+			t.Fatal("TryInlineEvent(10) failed on an otherwise empty kernel")
+		}
+		trace = append(trace, fmt.Sprintf("ev@%d", k.Now()))
+		k.Schedule(15, func() { trace = append(trace, fmt.Sprintf("mid@%d", k.Now())) })
+		th.FinishInlineEvent(20)
+		trace = append(trace, fmt.Sprintf("resume@%d", th.Clock()))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "ev@10 mid@15 resume@20"
+	if got := strings.Join(trace, " "); got != want {
+		t.Errorf("trace = %q, want %q", got, want)
+	}
+}
+
+func TestStopFirstReasonWinsFromInlineResumedThread(t *testing.T) {
+	// A thread that just completed an inline event calls Stop; the
+	// abandoned thread's unwinding defer issues a second Stop that must
+	// not overwrite the reason, and the stopping thread keeps running to
+	// its next yield (its defers run).
+	k := NewKernel()
+	first := errors.New("first")
+	var deferRan, afterStop bool
+	k.Spawn("stopper", 0, func(th *Thread) {
+		defer func() { deferRan = true }()
+		if !th.TryInlineEvent(5) {
+			t.Fatal("TryInlineEvent(5) failed with the only other thread due later")
+		}
+		th.FinishInlineEvent(6)
+		k.Stop(first)
+		afterStop = true // stopping thread continues to its next yield
+	})
+	k.Spawn("other", 7, func(th *Thread) {
+		defer k.Stop(errors.New("second")) // runs while unwinding after abandonment
+		th.Advance(100)
+	})
+	if err := k.Run(); err != first {
+		t.Errorf("Run() = %v, want the first stop reason", err)
+	}
+	if !afterStop {
+		t.Error("stopping thread did not continue past Stop to its next yield")
+	}
+	if !deferRan {
+		t.Error("stopping thread's defer did not run")
+	}
+}
+
+func TestEventCompactionDuringInlineStepping(t *testing.T) {
+	// Cancel-heavy load while a thread uses the inline path: bulk
+	// compaction rebuilds the heap under the thread's feet, and the
+	// surviving events must still gate TryInlineEvent and fire in order.
+	k := NewKernel()
+	var fired []Time
+	k.Spawn("w", 0, func(th *Thread) {
+		var events []*Event
+		for i := 0; i < 256; i++ {
+			at := Time(100 + i)
+			events = append(events, k.Schedule(at, func() { fired = append(fired, at) }))
+		}
+		for i, e := range events {
+			if i%4 != 0 {
+				e.Cancel() // 3/4 cancelled: triggers bulk compaction
+			}
+		}
+		if th.TryInlineEvent(200) {
+			t.Error("TryInlineEvent(200) succeeded with live events queued from 100")
+		}
+		// The earliest survivor is at 100; inlining strictly before it
+		// must succeed even right after a compaction.
+		if !th.TryInlineEvent(50) {
+			t.Error("TryInlineEvent(50) failed with earliest live event at 100")
+		} else {
+			th.FinishInlineEvent(60)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 64 {
+		t.Fatalf("fired %d events, want 64", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] <= fired[i-1] {
+			t.Fatal("events fired out of order after compaction during inline stepping")
+		}
+	}
+}
+
+func TestDeadlockDiagnosticsWithInlinePath(t *testing.T) {
+	// Blocked threads do not gate the inline path (only runnable ones
+	// do), and a thread that blocks after inline servicing must surface
+	// in the deadlock report like any other block.
+	k := NewKernel()
+	k.Spawn("early", 0, func(th *Thread) { th.Block("forever") })
+	k.Spawn("w", 1, func(th *Thread) {
+		if !th.TryInlineEvent(10) {
+			t.Error("TryInlineEvent(10) failed; the only other thread is blocked and cannot be due first")
+		} else {
+			th.FinishInlineEvent(12)
+		}
+		th.Block("stranded")
+	})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("Run() = nil, want deadlock error")
+	}
+	for _, want := range []string{"forever", "stranded"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("deadlock error %q does not mention %q", err, want)
+		}
+	}
+}

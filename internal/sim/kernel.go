@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,19 +16,21 @@ import (
 // goroutines (the experiment harness's parallel runner relies on this).
 type Kernel struct {
 	events    eventQueue
-	cancelled int // cancelled events still occupying the queue
+	eventPool []*Event // recycled ScheduleHandler events
+	cancelled int      // cancelled events still occupying the queue
 	seq       uint64
 	threads   []*Thread
 	ready     readyQueue // min-heap of runnable threads by (clock, id)
 	now       Time       // timestamp of the most recently dispatched entity
+	core      ExecCore
 	running   bool
 	stopped   bool // a stop reason has been recorded; later ones are ignored
 	stopErr   error
 }
 
-// NewKernel returns an empty kernel at time zero.
+// NewKernel returns an empty kernel at time zero using DefaultExecCore.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	return &Kernel{core: DefaultExecCore}
 }
 
 // Now returns the timestamp of the most recently dispatched thread step or
@@ -41,10 +42,38 @@ func (k *Kernel) Now() Time { return k.now }
 // possible, still in deterministic order. The returned Event may be
 // cancelled before it fires.
 func (k *Kernel) Schedule(at Time, fn func()) *Event {
-	e := &Event{At: at, fn: fn, k: k, seq: k.seq, index: -1}
+	e := &Event{At: at, fn: fn, k: k, seq: k.seq}
 	k.seq++
-	heap.Push(&k.events, e)
+	k.events.push(e)
 	return e
+}
+
+// Handler receives callbacks from events scheduled with ScheduleHandler.
+// arg carries the per-event payload (an admit time, a queue index, …);
+// richer payloads live in the handler's own pending structures, keyed by
+// (at, arg).
+type Handler interface {
+	OnEvent(at Time, arg uint64)
+}
+
+// ScheduleHandler registers h.OnEvent(at, arg) to run at the absolute
+// time at. It is the allocation-free sibling of Schedule for hot paths:
+// the Event is drawn from a pool and recycled after firing, so — unlike
+// Schedule — no handle is returned and the event cannot be cancelled.
+// Ordering is identical to Schedule (shared (At, seq) sequence).
+func (k *Kernel) ScheduleHandler(at Time, h Handler, arg uint64) {
+	var e *Event
+	if n := len(k.eventPool); n > 0 {
+		e = k.eventPool[n-1]
+		k.eventPool[n-1] = nil
+		k.eventPool = k.eventPool[:n-1]
+		e.At, e.seq, e.cancelled = at, k.seq, false
+	} else {
+		e = &Event{At: at, k: k, seq: k.seq}
+	}
+	e.h, e.arg = h, arg
+	k.seq++
+	k.events.push(e)
 }
 
 // compactEvents rebuilds the event queue without its cancelled entries.
@@ -53,25 +82,49 @@ func (k *Kernel) Schedule(at Time, fn func()) *Event {
 // triggers a rebuild once they outnumber the live events.
 func (k *Kernel) compactEvents() {
 	live := k.events[:0]
-	for _, e := range k.events {
-		if e.cancelled {
-			e.index = -1
+	for _, en := range k.events {
+		if en.e.cancelled {
+			en.e.queued = false
 			continue
 		}
-		live = append(live, e)
+		live = append(live, en)
 	}
 	for i := len(live); i < len(k.events); i++ {
-		k.events[i] = nil
+		k.events[i] = eventEntry{}
 	}
 	k.events = live
-	heap.Init(&k.events)
+	k.events.init()
 	k.cancelled = 0
 }
 
 // Spawn creates a simulated thread that will execute body when Run is
 // called. Threads are dispatched lowest-clock first (ties broken by
-// creation order). startAt sets the thread's initial clock.
+// creation order). startAt sets the thread's initial clock. The body runs
+// on the kernel's execution core: as an inline-stepped pull-coroutine by
+// default, or on the legacy goroutine handshake under CoreHandshake.
 func (k *Kernel) Spawn(name string, startAt Time, body func(t *Thread)) *Thread {
+	t := k.newThread(name, startAt)
+	if k.core == CoreHandshake {
+		c := newHandshakeCoro(t, body)
+		t.coro, t.yielder = c, c
+	} else {
+		c := newGoCoro(t, body)
+		t.coro, t.yielder = c, c
+	}
+	return t
+}
+
+// SpawnCoro creates a simulated thread from an explicit Coro state
+// machine: the kernel calls c.Step directly, with no coroutine or
+// goroutine behind it — frame and program counter are whatever c's
+// fields encode. See the Coro contract for what Step may do.
+func (k *Kernel) SpawnCoro(name string, startAt Time, c Coro) *Thread {
+	t := k.newThread(name, startAt)
+	t.coro = c
+	return t
+}
+
+func (k *Kernel) newThread(name string, startAt Time) *Thread {
 	t := &Thread{
 		id:         len(k.threads),
 		name:       name,
@@ -79,37 +132,9 @@ func (k *Kernel) Spawn(name string, startAt Time, body func(t *Thread)) *Thread 
 		state:      threadReady,
 		readyIndex: -1,
 		kernel:     k,
-		resume:     make(chan struct{}),
-		yield:      make(chan struct{}),
 	}
 	k.threads = append(k.threads, t)
-	heap.Push(&k.ready, t)
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(errKernelStopped); !ok {
-					// A real panic in simulated-thread code: surface it as
-					// the run's error (with the payload) instead of
-					// deadlocking the host on the yield handshake.
-					k.running = false
-					if !k.stopped {
-						k.stopped = true
-						k.stopErr = fmt.Errorf("sim: thread %q panicked: %v", t.name, r)
-					}
-				}
-			}
-			t.state = threadDone
-			if t.readyIndex >= 0 {
-				heap.Remove(&k.ready, t.readyIndex)
-			}
-			t.yield <- struct{}{}
-		}()
-		<-t.resume
-		if t.abandoned {
-			panic(errKernelStopped{})
-		}
-		body(t)
-	}()
+	k.ready.push(t)
 	return t
 }
 
@@ -119,8 +144,8 @@ func (k *Kernel) Threads() []*Thread { return k.threads }
 // Stop aborts the run: after the currently dispatched entity yields, Run
 // returns err (which may be nil). The first stop reason wins — later
 // Stop calls and thread panics cannot overwrite it. Remaining threads are
-// abandoned; their goroutines are unblocked and exit via a panic that Run
-// swallows.
+// abandoned: their coroutines are aborted and unwind via a panic the
+// vehicle epilogue swallows.
 func (k *Kernel) Stop(err error) {
 	k.running = false
 	if !k.stopped {
@@ -147,13 +172,21 @@ func (k *Kernel) Run() error {
 		e := k.nextEvent()
 		switch {
 		case e != nil && (t == nil || e.At <= t.clock):
-			heap.Pop(&k.events)
+			k.events.pop()
 			k.now = e.At
-			e.fn()
+			if e.h != nil {
+				h, arg := e.h, e.arg
+				k.recycleEvent(e)
+				h.OnEvent(k.now, arg)
+			} else {
+				e.fn()
+			}
 		case t != nil:
 			k.now = t.clock
-			t.resume <- struct{}{}
-			<-t.yield
+			if eff := t.coro.Step(t); eff.Kind == EffectDone {
+				t.state = threadDone
+				k.readyRemove(t)
+			}
 		default:
 			if k.anyLive() {
 				k.running = false
@@ -170,6 +203,12 @@ func (k *Kernel) Run() error {
 	return k.stopErr
 }
 
+// recycleEvent returns a fired ScheduleHandler event to the pool.
+func (k *Kernel) recycleEvent(e *Event) {
+	e.h, e.arg = nil, 0
+	k.eventPool = append(k.eventPool, e)
+}
+
 // nextEvent returns the earliest live event, discarding cancelled ones.
 func (k *Kernel) nextEvent() *Event {
 	for {
@@ -178,7 +217,7 @@ func (k *Kernel) nextEvent() *Event {
 			return nil
 		}
 		if e.cancelled {
-			heap.Pop(&k.events)
+			k.events.pop()
 			k.cancelled--
 			continue
 		}
@@ -206,18 +245,17 @@ func (k *Kernel) deadlockError() error {
 	return fmt.Errorf("sim: deadlock, no runnable threads or events; blocked: [%s]", strings.Join(blocked, ", "))
 }
 
-// releaseAbandoned unblocks goroutines of threads that never finished
-// (after a Stop or deadlock) so they do not leak. Their next resume
-// panics with errKernelStopped, which Thread.checkpoint converts into a
-// goroutine exit.
+// releaseAbandoned aborts the coroutines of threads that never finished
+// (after a Stop or deadlock) so they do not leak: blocking-style bodies
+// unwind through their defers via the errKernelStopped sentinel.
 func (k *Kernel) releaseAbandoned() {
 	for _, t := range k.threads {
 		if t.state == threadDone {
 			continue
 		}
-		t.abandoned = true
-		t.resume <- struct{}{}
-		<-t.yield
+		t.coro.Abort(t)
+		t.state = threadDone
+		k.readyRemove(t)
 	}
 }
 
@@ -237,20 +275,20 @@ func (k *Kernel) mustYield(t *Thread, c Time) bool {
 
 // readyAdd marks t runnable in the scheduler index.
 func (k *Kernel) readyAdd(t *Thread) {
-	heap.Push(&k.ready, t)
+	k.ready.push(t)
 }
 
 // readyRemove drops t from the scheduler index (block, completion).
 func (k *Kernel) readyRemove(t *Thread) {
 	if t.readyIndex >= 0 {
-		heap.Remove(&k.ready, t.readyIndex)
+		k.ready.remove(t.readyIndex)
 	}
 }
 
 // readyFix restores heap order after t's clock moved while runnable.
 func (k *Kernel) readyFix(t *Thread) {
 	if t.readyIndex >= 0 {
-		heap.Fix(&k.ready, t.readyIndex)
+		k.ready.fix(t.readyIndex)
 	}
 }
 
@@ -268,44 +306,94 @@ func (k *Kernel) PauseAll(until Time) {
 	}
 	// Clocks moved wholesale; rebuild the ready index in one pass rather
 	// than sifting entries one by one.
-	heap.Init(&k.ready)
+	k.ready.init()
 }
 
 // readyQueue is a min-heap of runnable threads ordered by (clock, id) —
 // the dispatch order. Each thread carries its heap index so block/unblock
-// and clock advances are O(log n) instead of the former O(n) scan per
-// dispatch (which dominated the Fig 10 64-core panels).
+// and clock advances are O(log n) instead of an O(n) scan per dispatch.
+// The heap is hand-rolled (no container/heap interface indirection):
+// sift operations on the Fig 10 hot path are direct slice code.
 type readyQueue []*Thread
 
-func (q readyQueue) Len() int { return len(q) }
-
-func (q readyQueue) Less(i, j int) bool {
+func (q readyQueue) less(i, j int) bool {
 	if q[i].clock != q[j].clock {
 		return q[i].clock < q[j].clock
 	}
 	return q[i].id < q[j].id
 }
 
-func (q readyQueue) Swap(i, j int) {
+func (q readyQueue) swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
 	q[i].readyIndex = i
 	q[j].readyIndex = j
 }
 
-func (q *readyQueue) Push(x any) {
-	t := x.(*Thread)
-	t.readyIndex = len(*q)
-	*q = append(*q, t)
+func (q readyQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
 }
 
-func (q *readyQueue) Pop() any {
+// down sifts i toward the leaves; it reports whether i moved.
+func (q readyQueue) down(i int) bool {
+	start := i
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			break
+		}
+		q.swap(i, m)
+		i = m
+	}
+	return i > start
+}
+
+func (q *readyQueue) push(t *Thread) {
+	t.readyIndex = len(*q)
+	*q = append(*q, t)
+	q.up(t.readyIndex)
+}
+
+func (q *readyQueue) remove(i int) {
 	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.readyIndex = -1
-	*q = old[:n-1]
-	return t
+	n := len(old) - 1
+	if i != n {
+		old.swap(i, n)
+	}
+	old[n].readyIndex = -1
+	old[n] = nil
+	*q = old[:n]
+	if i != n {
+		if !(*q).down(i) {
+			(*q).up(i)
+		}
+	}
+}
+
+func (q readyQueue) fix(i int) {
+	if !q.down(i) {
+		q.up(i)
+	}
+}
+
+func (q readyQueue) init() {
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
 }
 
 func (q readyQueue) peek() *Thread {
@@ -314,5 +402,3 @@ func (q readyQueue) peek() *Thread {
 	}
 	return q[0]
 }
-
-var _ heap.Interface = (*readyQueue)(nil)

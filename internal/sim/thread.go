@@ -21,9 +21,8 @@ type Thread struct {
 	readyIndex  int // position in the kernel's ready heap, -1 when absent
 	blockReason string
 	kernel      *Kernel
-	resume      chan struct{}
-	yield       chan struct{}
-	abandoned   bool
+	coro        Coro
+	yielder     bodyYielder // non-nil iff coro runs a blocking-style body
 }
 
 // ID returns the thread's index in kernel creation order.
@@ -41,13 +40,8 @@ func (t *Thread) Kernel() *Kernel { return t.kernel }
 // Advance moves the thread's clock forward by d cycles, yielding to the
 // kernel if any event or lower-clock thread must run first. d must be ≥ 0.
 func (t *Thread) Advance(d Time) {
-	if d < 0 {
-		panic(fmt.Sprintf("sim: Advance(%d) with negative duration", d))
-	}
-	t.clock += d
-	t.kernel.readyFix(t)
-	if t.kernel.mustYield(t, t.clock) {
-		t.checkpoint()
+	if t.StepAdvance(d) {
+		t.checkpoint(Effect{Kind: EffectAdvance})
 	}
 }
 
@@ -61,15 +55,90 @@ func (t *Thread) AdvanceTo(at Time) {
 
 // Yield unconditionally hands control back to the kernel, letting due
 // events and lower-clock threads run.
-func (t *Thread) Yield() { t.checkpoint() }
+func (t *Thread) Yield() { t.checkpoint(Effect{Kind: EffectAdvance}) }
 
 // Block suspends the thread until another simulation entity calls Wake.
 // reason is reported in deadlock diagnostics.
 func (t *Thread) Block(reason string) {
+	t.StepBlock(reason)
+	t.checkpoint(Effect{Kind: EffectBlock})
+}
+
+// StepAdvance moves the clock forward by d cycles and restores the ready
+// heap, without yielding. It reports whether the thread must now yield
+// (an event or lower-clock thread is due). Blocking-style bodies use
+// Advance, which yields automatically; explicit Coro state machines call
+// StepAdvance from Step and return EffectAdvance themselves.
+func (t *Thread) StepAdvance(d Time) bool {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Advance(%d) with negative duration", d))
+	}
+	t.clock += d
+	t.kernel.readyFix(t)
+	return t.kernel.mustYield(t, t.clock)
+}
+
+// StepBlock marks the thread blocked and removes it from the ready heap,
+// without yielding. Explicit Coro state machines call it from Step and
+// return EffectBlock; blocking-style bodies use Block.
+func (t *Thread) StepBlock(reason string) {
 	t.state = threadBlocked
 	t.blockReason = reason
 	t.kernel.readyRemove(t)
-	t.checkpoint()
+}
+
+// TryInlineEvent reports whether an event the running thread t is about
+// to schedule at time `at` — one that services t itself and would be
+// followed by Block — can instead run inline: true when no queued event
+// fires at or before `at` and no runnable thread has clock strictly
+// before `at`, i.e. had t blocked, the kernel could dispatch nothing
+// before that event (threads at exactly `at` do not disqualify it:
+// events tie-break ahead of threads, so the event would fire first
+// anyway). On success the kernel's clock moves to `at` exactly as if
+// the event had fired; the caller must run its handler body immediately
+// and then call FinishInlineEvent with the time it would have passed to
+// Wake. On failure nothing changes and the caller schedules + blocks as
+// usual. Only blocking-style bodies may use this (explicit Coro state
+// machines yield by returning effects).
+func (t *Thread) TryInlineEvent(at Time) bool {
+	k := t.kernel
+	if at < t.clock {
+		return false
+	}
+	if e := k.nextEvent(); e != nil && e.At <= at {
+		return false
+	}
+	// Bump t to `at` first so the heap root is the earliest of the
+	// OTHER runnable threads (or t itself): root.clock == at then means
+	// nothing is due strictly before the event.
+	saved := t.clock
+	t.clock = at
+	k.readyFix(t)
+	if k.ready.peek().clock >= at {
+		k.now = at
+		return true
+	}
+	t.clock = saved
+	k.readyFix(t)
+	return false
+}
+
+// FinishInlineEvent completes an event inlined via TryInlineEvent: the
+// thread's clock moves to `ready` (the Wake time the handler computed)
+// and, if the kernel must dispatch something else first — an event due
+// at or before `ready`, or a runnable thread preceding (ready, t.id) —
+// the thread yields so global dispatch order is preserved exactly.
+func (t *Thread) FinishInlineEvent(ready Time) {
+	k := t.kernel
+	if ready > t.clock {
+		t.clock = ready
+	}
+	k.readyFix(t)
+	if e := k.nextEvent(); (e != nil && e.At <= t.clock) || k.ready.peek() != t {
+		t.checkpoint(Effect{Kind: EffectAdvance})
+		return
+	}
+	k.now = t.clock
 }
 
 // Wake makes a blocked thread runnable again with its clock advanced to
@@ -87,15 +156,14 @@ func (t *Thread) Wake(at Time) {
 	t.kernel.readyAdd(t)
 }
 
-// checkpoint yields to the kernel and waits to be resumed. If the kernel
-// abandoned the thread (Stop/deadlock), the goroutine unwinds.
-func (t *Thread) checkpoint() {
-	t.yield <- struct{}{}
-	<-t.resume
-	if t.abandoned {
-		// Unwind the thread body; the goroutine wrapper installed by
-		// Kernel.Spawn recovers this sentinel and completes the final
-		// yield handshake.
+// checkpoint suspends the body until the kernel resumes it. If the
+// kernel abandoned the thread (Stop/deadlock), the body unwinds via the
+// errKernelStopped sentinel, which the vehicle's epilogue recovers.
+func (t *Thread) checkpoint(eff Effect) {
+	if t.yielder == nil {
+		panic(fmt.Sprintf("sim: thread %q: blocking primitive called from an explicit Coro.Step; use StepAdvance/StepBlock and return the effect", t.name))
+	}
+	if !t.yielder.yieldToKernel(eff) {
 		panic(errKernelStopped{})
 	}
 }
