@@ -66,10 +66,13 @@ if ! awk -v c="$coverage" -v f="$floor" 'BEGIN { exit !(c+0 >= f+0) }'; then
 	exit 1
 fi
 
-echo "== go test -race $short ./internal/harness/... ./internal/sim/... =="
+echo "== go test -race $short ./internal/harness/... ./internal/sim/... ./internal/serve/... =="
 # -timeout raised above the go default: the race detector is ~10x and
 # the harness sweeps are minutes-long even unraced on small hosts.
-go test -race -timeout 60m $short ./internal/harness/... ./internal/sim/...
+# internal/serve joins the race pass because it is the other place
+# host-level concurrency lives (HTTP handlers racing the job
+# dispatchers and the result cache).
+go test -race -timeout 60m $short ./internal/harness/... ./internal/sim/... ./internal/serve/...
 
 echo "== crash campaign (all designs, boundary-aligned, injection) =="
 # A small end-to-end fault-injection campaign: every design × every
@@ -122,5 +125,15 @@ echo "== bench-cmp small-grid perf gate =="
 # widely; tighten it (e.g. 0.15) when comparing on the baseline host.
 go run ./cmd/pmemspec-ci bench-cmp -baseline BENCH_baseline_small.json \
 	-current /tmp/pmemspec-bench-small.json -tolerance "${BENCH_TOL:-0.5}"
+
+echo "== serve smoke (daemon over HTTP vs direct harness) =="
+# End-to-end exercise of the service layer: boot pmemspec-serve on an
+# ephemeral port, run a small grid twice over HTTP (the second pass must
+# be all cache hits with byte-identical results), cross-check one cell
+# against a direct in-process harness run, and SIGTERM-drain to a clean
+# exit. Cheap enough for the QUICK budget: four tiny cells simulated
+# once.
+go build -o /tmp/pmemspec-serve ./cmd/pmemspec-serve
+go run ./cmd/pmemspec-ci serve-smoke -daemon /tmp/pmemspec-serve -ops 30
 
 echo "ci.sh: all checks passed"

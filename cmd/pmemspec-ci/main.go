@@ -44,13 +44,16 @@ type cmpRow struct {
 	CurS       float64
 	Delta      float64 // (cur-base)/base
 	Regressed  bool
-	Note       string // non-empty: the row is informational (missing pair)
+	Note       string // non-empty: unpaired/unusable row; Regressed marks it fatal
 }
 
 // compare pairs the two records experiment by experiment. A current
-// experiment slower than baseline*(1+tol) regresses; experiments present
-// on only one side are reported but never fail the gate (the grids may
-// legitimately diverge across revisions).
+// experiment slower than baseline*(1+tol) regresses. An experiment
+// present in the baseline but missing from the current run fails the
+// gate: a deleted or renamed experiment must force a baseline
+// regeneration, not sail through unmeasured. Experiments only in the
+// current run are informational (new experiments gate once they land in
+// the baseline).
 func compare(base, cur benchRecord, tol float64) ([]cmpRow, int) {
 	names := map[string]bool{}
 	for n := range base.Experiments {
@@ -74,7 +77,9 @@ func compare(base, cur benchRecord, tol float64) ([]cmpRow, int) {
 		case !inBase:
 			rows = append(rows, cmpRow{Experiment: n, CurS: c, Note: "not in baseline"})
 		case !inCur:
-			rows = append(rows, cmpRow{Experiment: n, BaseS: b, Note: "not in current run"})
+			rows = append(rows, cmpRow{Experiment: n, BaseS: b, Regressed: true,
+				Note: "MISSING from current run — regenerate the baseline if the experiment was removed"})
+			regressions++
 		case b <= 0:
 			rows = append(rows, cmpRow{Experiment: n, BaseS: b, CurS: c, Note: "non-positive baseline"})
 		default:
@@ -157,7 +162,11 @@ func benchCmp(args []string) int {
 	fmt.Printf("%-10s %10s %10s %8s  %s\n", "experiment", "base(s)", "cur(s)", "delta", "verdict")
 	for _, r := range rows {
 		if r.Note != "" {
-			fmt.Printf("%-10s %10.2f %10.2f %8s  SKIP (%s)\n", r.Experiment, r.BaseS, r.CurS, "-", r.Note)
+			verdict := "SKIP"
+			if r.Regressed {
+				verdict = "FAIL"
+			}
+			fmt.Printf("%-10s %10.2f %10.2f %8s  %s (%s)\n", r.Experiment, r.BaseS, r.CurS, "-", verdict, r.Note)
 			continue
 		}
 		verdict := "ok"
@@ -176,14 +185,16 @@ func benchCmp(args []string) int {
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: pmemspec-ci bench-cmp [flags]")
+		fmt.Fprintln(os.Stderr, "usage: pmemspec-ci bench-cmp|serve-smoke [flags]")
 		os.Exit(2)
 	}
 	switch os.Args[1] {
 	case "bench-cmp":
 		os.Exit(benchCmp(os.Args[2:]))
+	case "serve-smoke":
+		os.Exit(serveSmoke(os.Args[2:]))
 	default:
-		fmt.Fprintf(os.Stderr, "pmemspec-ci: unknown subcommand %q (want bench-cmp)\n", os.Args[1])
+		fmt.Fprintf(os.Stderr, "pmemspec-ci: unknown subcommand %q (want bench-cmp or serve-smoke)\n", os.Args[1])
 		os.Exit(2)
 	}
 }

@@ -38,18 +38,39 @@ func TestCompareFlagsRegression(t *testing.T) {
 }
 
 func TestCompareUnpairedExperimentsSkip(t *testing.T) {
-	base := record(map[string]float64{"fig9": 10, "old": 5})
+	base := record(map[string]float64{"fig9": 10})
 	cur := record(map[string]float64{"fig9": 10, "new": 7})
 	rows, regressions := compare(base, cur, 0.15)
 	if regressions != 0 {
-		t.Fatalf("unpaired experiments must not fail the gate: %+v", rows)
+		t.Fatalf("an experiment only in the current run must not fail the gate: %+v", rows)
 	}
 	notes := map[string]string{}
 	for _, r := range rows {
 		notes[r.Experiment] = r.Note
 	}
-	if notes["old"] == "" || notes["new"] == "" {
-		t.Fatalf("unpaired experiments should carry a note: %v", notes)
+	if notes["new"] == "" {
+		t.Fatalf("unpaired experiment should carry a note: %v", notes)
+	}
+}
+
+func TestCompareFailsOnRowMissingFromCurrent(t *testing.T) {
+	// A baseline experiment absent from the current run must fail the
+	// gate: historically a deleted/renamed experiment sailed through the
+	// perf gate as a SKIP row.
+	base := record(map[string]float64{"fig9": 10, "old": 5})
+	cur := record(map[string]float64{"fig9": 10})
+	rows, regressions := compare(base, cur, 0.15)
+	if regressions != 1 {
+		t.Fatalf("got %d regressions, want 1 for the missing row: %+v", regressions, rows)
+	}
+	for _, r := range rows {
+		if r.Experiment == "old" {
+			if !r.Regressed || r.Note == "" {
+				t.Fatalf("missing row must be a noted failure: %+v", r)
+			}
+		} else if r.Regressed {
+			t.Fatalf("paired row wrongly regressed: %+v", r)
+		}
 	}
 }
 

@@ -1,0 +1,259 @@
+// serve-smoke: end-to-end exercise of the pmemspec-serve daemon. It
+// boots the daemon binary on an ephemeral port, submits a small grid
+// twice over HTTP, and checks the service contract ci.sh cares about:
+// the second submission is served entirely from cache with byte-
+// identical results, the numbers agree with a direct in-process
+// harness run, and SIGTERM drains to a clean exit.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"pmemspec/internal/harness"
+	"pmemspec/internal/machine"
+	"pmemspec/internal/serve"
+	"pmemspec/internal/workload"
+)
+
+// smokeGrid is the grid under test: two designs × two workloads, small
+// enough for the QUICK ci budget.
+func smokeGrid(ops int) serve.GridSpec {
+	return serve.GridSpec{
+		Designs:   []string{"IntelX86", "PMEM-Spec"},
+		Workloads: []string{"queue", "tatp"},
+		Seeds:     []int64{1},
+		Configs:   []serve.CellConfig{{Threads: 2, Ops: ops}},
+	}
+}
+
+func serveSmoke(args []string) int {
+	fs := flag.NewFlagSet("serve-smoke", flag.ExitOnError)
+	var (
+		daemon = fs.String("daemon", "", "path to the pmemspec-serve binary (required)")
+		ops    = fs.Int("ops", 30, "operations per thread in the smoke grid")
+	)
+	fs.Parse(args)
+	if *daemon == "" {
+		fmt.Fprintln(os.Stderr, "pmemspec-ci: serve-smoke: -daemon is required")
+		return 2
+	}
+	if err := runServeSmoke(*daemon, *ops); err != nil {
+		fmt.Fprintln(os.Stderr, "pmemspec-ci: serve-smoke:", err)
+		return 1
+	}
+	fmt.Println("serve-smoke: ok")
+	return 0
+}
+
+func runServeSmoke(daemon string, ops int) error {
+	cmd := exec.Command(daemon, "-addr", "127.0.0.1:0", "-workers", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start daemon: %w", err)
+	}
+	// On any failure path, make sure the daemon dies with us.
+	defer cmd.Process.Kill()
+
+	// Readiness: the daemon prints its resolved listen address as its
+	// first stdout line.
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("daemon produced no readiness line: %w", err)
+	}
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		return fmt.Errorf("unexpected readiness line %q", line)
+	}
+	addr := strings.Fields(line[i+len(marker):])[0]
+	base := "http://" + addr
+	// Consume the rest of stdout so the daemon never blocks on a full
+	// pipe.
+	go io.Copy(io.Discard, stdout)
+
+	// First submission: everything simulates.
+	st1, err := smokeJob(base, smokeGrid(ops))
+	if err != nil {
+		return fmt.Errorf("first grid: %w", err)
+	}
+	if st1.State != "done" || st1.Simulated != st1.Cells {
+		return fmt.Errorf("first grid: state=%s simulated=%d/%d (error %q)",
+			st1.State, st1.Simulated, st1.Cells, st1.Error)
+	}
+	results1 := map[string][]byte{}
+	for _, cell := range st1.Results {
+		data, err := httpGet(base + "/v1/results/" + cell.Key)
+		if err != nil {
+			return err
+		}
+		results1[cell.Key] = data
+	}
+
+	// Second submission: zero simulation, byte-identical results.
+	st2, err := smokeJob(base, smokeGrid(ops))
+	if err != nil {
+		return fmt.Errorf("second grid: %w", err)
+	}
+	if st2.CacheHits != st2.Cells || st2.Simulated != 0 {
+		return fmt.Errorf("second grid not fully cached: hits=%d simulated=%d cells=%d",
+			st2.CacheHits, st2.Simulated, st2.Cells)
+	}
+	for _, cell := range st2.Results {
+		data, err := httpGet(base + "/v1/results/" + cell.Key)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(data, results1[cell.Key]) {
+			return fmt.Errorf("cell %s: resubmission bytes differ", cell.Key)
+		}
+	}
+
+	// Cross-check one cell against a direct in-process harness run: the
+	// daemon must report exactly what the simulator reports.
+	if err := crossCheck(st1, results1, ops); err != nil {
+		return err
+	}
+
+	// SIGTERM drains to exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal: %w", err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			return fmt.Errorf("daemon exited non-zero after SIGTERM: %w", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("daemon did not exit within 30s of SIGTERM")
+	}
+	return nil
+}
+
+// smokeStatus mirrors the serve job-status JSON fields the smoke needs.
+type smokeStatus struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Cells     int    `json:"cells"`
+	CacheHits int    `json:"cache_hits"`
+	Simulated int    `json:"simulated"`
+	Error     string `json:"error"`
+	Results   []struct {
+		Key  string     `json:"key"`
+		Cell serve.Cell `json:"cell"`
+	} `json:"results"`
+}
+
+// smokeJob submits a grid and polls it to completion.
+func smokeJob(base string, spec serve.GridSpec) (smokeStatus, error) {
+	var st smokeStatus
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return st, err
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return st, err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return st, fmt.Errorf("submit: %d: %s", resp.StatusCode, data)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil {
+		return st, err
+	}
+	// Bounded polling with attempt counting — the smoke must not hang
+	// ci.sh if the daemon wedges.
+	for attempt := 0; attempt < 1200; attempt++ {
+		data, err := httpGet(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			return st, err
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			return st, err
+		}
+		if st.State != "running" {
+			return st, nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return st, fmt.Errorf("job %s still running after poll budget", sub.ID)
+}
+
+// crossCheck reruns the grid's first cell directly through the harness
+// and compares the daemon's numbers against the simulator's.
+func crossCheck(st smokeStatus, results map[string][]byte, ops int) error {
+	if len(st.Results) == 0 {
+		return fmt.Errorf("no cells to cross-check")
+	}
+	cell := st.Results[0].Cell
+	var got serve.CellResult
+	if err := json.Unmarshal(results[st.Results[0].Key], &got); err != nil {
+		return fmt.Errorf("decode cell result: %w", err)
+	}
+	var design machine.Design
+	found := false
+	for _, d := range machine.AllDesigns {
+		if d.String() == cell.Design {
+			design, found = d, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("daemon reported unknown design %q", cell.Design)
+	}
+	w, err := workload.ByName(cell.Workload)
+	if err != nil {
+		return err
+	}
+	direct, err := harness.Run(design, w, workload.Params{
+		Threads:  cell.Config.Threads,
+		Ops:      cell.Config.Ops,
+		DataSize: cell.Config.DataSize,
+		Seed:     cell.Seed,
+	})
+	if err != nil {
+		return fmt.Errorf("direct run: %w", err)
+	}
+	if direct.Committed != got.Committed || direct.KernelTime != got.KernelTime {
+		return fmt.Errorf("daemon diverges from direct harness run: committed %d vs %d, kernel %v vs %v",
+			got.Committed, direct.Committed, got.KernelTime, direct.KernelTime)
+	}
+	return nil
+}
+
+// httpGet fetches a URL and returns the body, failing on non-200.
+func httpGet(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, data)
+	}
+	return data, nil
+}

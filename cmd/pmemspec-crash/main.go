@@ -61,11 +61,14 @@ func main() {
 	flag.Parse()
 
 	if *debugAddr != "" {
-		addr, err := metrics.ServeDebug(*debugAddr)
+		// A bind failure is fatal: the user asked for the endpoint, and
+		// running the whole campaign without it would silently drop it.
+		addr, closer, err := metrics.ServeDebug(*debugAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pmemspec-crash: debug-addr:", err)
 			os.Exit(1)
 		}
+		defer closer.Close()
 		fmt.Fprintf(os.Stderr, "pmemspec-crash: pprof/expvar on http://%s/debug/pprof/\n", addr)
 	}
 

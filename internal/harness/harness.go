@@ -71,6 +71,17 @@ func WithTimeline() Option {
 	return func(c *machine.Config) { c.Timeline = true }
 }
 
+// WithCancel wires cooperative cancellation into the run: cancel is
+// polled from a kernel watcher event every ~50 µs of simulated time,
+// and when it reports true the run stops and returns
+// machine.ErrCanceled. The callback may read cross-goroutine state
+// (an atomic flag, a context's Err); the serve layer uses this for
+// per-job timeouts and client cancellation. Uncancelled runs produce
+// byte-identical results with or without the option.
+func WithCancel(cancel func() bool) Option {
+	return func(c *machine.Config) { c.Cancel = cancel }
+}
+
 // Run executes workload w on a fresh machine of the given design with
 // lazy misspeculation recovery.
 func Run(design machine.Design, w workload.Workload, p workload.Params, opts ...Option) (Result, error) {

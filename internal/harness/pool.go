@@ -106,3 +106,53 @@ func firstError[T any](rs []JobResult[T]) error {
 	}
 	return nil
 }
+
+// Pool is the long-lived counterpart to RunAll for services that submit
+// jobs continuously instead of in one batch: a fixed set of host workers
+// pulling from an unbuffered channel. Submission blocks until a worker
+// is free, which is the pool's backpressure signal — callers that need a
+// bounded queue (the serve layer) put their own admission control in
+// front. Jobs run through the same panic-capturing runJob as RunAll.
+type Pool[T any] struct {
+	tasks chan poolTask[T]
+	wg    sync.WaitGroup
+}
+
+type poolTask[T any] struct {
+	job Job[T]
+	// done receives the job's outcome on the worker goroutine.
+	done func(JobResult[T])
+}
+
+// NewPool starts a pool of `workers` host goroutines (≤ 0: GOMAXPROCS).
+func NewPool[T any](workers int) *Pool[T] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool[T]{tasks: make(chan poolTask[T])}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for t := range p.tasks {
+				t.done(runJob(&t.job))
+			}
+		}()
+	}
+	return p
+}
+
+// Submit hands one job to the pool, blocking until a worker accepts it.
+// done is invoked on the worker goroutine with the job's outcome (panics
+// captured as errors, like RunAll); it must be safe to call from any
+// goroutine. Submit must not be called after Close.
+func (p *Pool[T]) Submit(job Job[T], done func(JobResult[T])) {
+	p.tasks <- poolTask[T]{job: job, done: done}
+}
+
+// Close stops the workers after the already-accepted jobs finish and
+// waits for them to exit. The pool must not be used afterwards.
+func (p *Pool[T]) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}

@@ -1,9 +1,13 @@
 package harness
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"reflect"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -186,5 +190,75 @@ func TestConcurrentRunsShareNothing(t *testing.T) {
 			t.Errorf("concurrent run diverged: %v/%d vs %v/%d",
 				out.Result.KernelTime, out.Result.Committed, ref.KernelTime, ref.Committed)
 		}
+	}
+}
+
+// TestPoolRunsSubmittedJobs: the long-lived pool executes every
+// submitted job exactly once with panics captured, and Close drains.
+func TestPoolRunsSubmittedJobs(t *testing.T) {
+	p := NewPool[int](4)
+	const n = 100
+	results := make([]JobResult[int], n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		job := Job[int]{Label: fmt.Sprintf("job%d", i), Run: func() (int, error) {
+			if i == 13 {
+				panic("boom")
+			}
+			return i * i, nil
+		}}
+		go p.Submit(job, func(r JobResult[int]) {
+			results[i] = r
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	p.Close()
+	for i, r := range results {
+		if i == 13 {
+			if r.Err == nil || !strings.Contains(r.Err.Error(), "panicked") {
+				t.Fatalf("job 13: panic not captured: %v", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil || r.Result != i*i {
+			t.Fatalf("job %d = (%d, %v), want (%d, nil)", i, r.Result, r.Err, i*i)
+		}
+	}
+}
+
+// TestRunWithCancel: a run whose Cancel callback fires stops with
+// machine.ErrCanceled, and an armed-but-never-firing Cancel leaves the
+// result byte-identical to a run without one (the watcher events carry
+// no simulation effects).
+func TestRunWithCancel(t *testing.T) {
+	w, err := workload.ByName("queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.DefaultParams(2)
+	_, err = Run(machine.PMEMSpec, w, p, WithCancel(func() bool { return true }))
+	if !errors.Is(err, machine.ErrCanceled) {
+		t.Fatalf("Run with firing cancel = %v, want ErrCanceled", err)
+	}
+
+	plain, err := Run(machine.PMEMSpec, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := workload.ByName("queue")
+	armed, err := Run(machine.PMEMSpec, w2, p, WithCancel(func() bool { return false }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Committed != armed.Committed || plain.KernelTime != armed.KernelTime {
+		t.Fatalf("armed cancel perturbed the run: %+v vs %+v", plain, armed)
+	}
+	pj, _ := json.Marshal(plain.Metrics)
+	aj, _ := json.Marshal(armed.Metrics)
+	if !bytes.Equal(pj, aj) {
+		t.Fatal("armed cancel perturbed the metrics snapshot")
 	}
 }

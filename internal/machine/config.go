@@ -133,7 +133,25 @@ type Config struct {
 	// via Machine.Timeline. Off by default: recording allocates per
 	// event, which the big experiment grids don't want.
 	Timeline bool
+
+	// Cancel, when non-nil, is polled by a self-rescheduling kernel
+	// event every CancelPollCycles of simulated time; when it returns
+	// true the kernel stops and Run returns ErrCanceled. The callback
+	// runs on the simulation goroutine but may read state written by
+	// other host goroutines (an atomic flag, a context's Err) — this is
+	// how a long-running service stops an in-flight run it no longer
+	// wants. The watcher events carry no simulation effects, so results
+	// of uncancelled runs are byte-identical with and without a Cancel.
+	Cancel func() bool
+	// CancelPollCycles is the watcher period (0: DefaultCancelPoll).
+	CancelPollCycles sim.Time
 }
+
+// DefaultCancelPoll is the default cancellation-poll period: 50 µs of
+// simulated time, a few thousand polls over even the largest figure
+// runs — cheap, yet responsive enough that a canceled cell stops long
+// before its timeout doubles.
+const DefaultCancelPoll = sim.Time(100_000)
 
 // DefaultConfig returns the Table 3 configuration for a design and core
 // count.

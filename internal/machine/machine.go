@@ -18,6 +18,12 @@ import (
 // state: every write admitted to the WPQ before the crash instant.
 var ErrCrashed = errors.New("machine: power failure injected")
 
+// ErrCanceled is returned by Run when the configured Cancel callback
+// reported cancellation (per-job timeouts and client-gone cancellation
+// in the serve layer). The run's partial results are meaningless; the
+// machine should simply be released.
+var ErrCanceled = errors.New("machine: run canceled")
+
 // Stats aggregates machine-level activity for one run.
 type Stats struct {
 	Loads, Stores              uint64
@@ -216,6 +222,27 @@ func New(cfg Config) (*Machine, error) {
 			m.pbufs = append(m.pbufs, pmc.NewPersistBuffer(
 				m.kernel, m.wpqs[0], i, cfg.PersistBufEntries, transfer, ser, onDrain))
 		}
+	}
+	if cfg.Cancel != nil {
+		poll := cfg.CancelPollCycles
+		if poll <= 0 {
+			poll = DefaultCancelPoll
+		}
+		// Self-rescheduling watcher: the poll runs on the kernel
+		// goroutine, so Stop is race-free; the event itself has no
+		// simulation effects and leaves uncancelled results unchanged.
+		var watch func()
+		watch = func() {
+			if cfg.Cancel() {
+				m.kernel.Stop(ErrCanceled)
+				return
+			}
+			if !m.kernel.AnyLive() {
+				return // simulation over: don't keep the event queue alive
+			}
+			m.kernel.Schedule(m.kernel.Now()+poll, watch)
+		}
+		m.kernel.Schedule(poll, watch)
 	}
 	return m, nil
 }

@@ -79,10 +79,20 @@ func pooledImage(size uint64) *Image {
 }
 
 // Release returns the image's backing array to the recycle pool. The
-// image must not be used afterwards.
+// image must not be used afterwards: its backing slice is detached, so
+// later accesses panic instead of silently aliasing a recycled array.
+// Release is idempotent — a second call is a no-op, never a second pool
+// insertion (which would hand the same array to two future images).
 func (im *Image) Release() {
-	if uint64(len(im.data)) >= imagePoolMin {
-		imagePool.Put(im)
+	d := im.data
+	if d == nil {
+		return // already released
+	}
+	im.data = nil
+	if uint64(len(d)) >= imagePoolMin {
+		// Pool a fresh wrapper rather than im itself: the caller still
+		// holds im, and a pooled object must have exactly one owner.
+		imagePool.Put(&Image{data: d, hwm: im.hwm})
 	}
 }
 
@@ -207,7 +217,11 @@ func NewSpace(size uint64) *Space {
 
 // Release returns both images' backing arrays to the recycle pool. The
 // space (and anything aliasing its images) must not be used afterwards.
+// Like Image.Release it is idempotent: a second call is a no-op.
 func (s *Space) Release() {
+	if s.Arch == nil && s.PM == nil {
+		return // already released
+	}
 	s.Arch.Release()
 	s.PM.Release()
 	s.Arch, s.PM = nil, nil

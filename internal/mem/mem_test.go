@@ -290,3 +290,36 @@ func TestStaleBlock(t *testing.T) {
 		t.Error("StaleBlock copy aliases an image")
 	}
 }
+
+func TestImageReleaseIdempotent(t *testing.T) {
+	size := uint64(imagePoolMin)
+	im := NewImage(DefaultBase, size)
+	im.WriteU64(DefaultBase, 7)
+	im.Release()
+	// A second Release must be a no-op — the historical bug put the same
+	// backing array into the pool twice, so two later images aliased it.
+	im.Release()
+	a := NewImage(DefaultBase, size)
+	b := NewImage(DefaultBase, size)
+	a.WriteU64(DefaultBase, 1)
+	if got := b.ReadU64(DefaultBase); got != 0 {
+		t.Fatalf("images allocated after a double release share a backing array (read %d)", got)
+	}
+	// The released image has no storage: use-after-release must fail
+	// loudly instead of mutating whatever image recycled the array.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write through a released image did not panic")
+		}
+	}()
+	im.WriteU64(DefaultBase, 9)
+}
+
+func TestSpaceReleaseIdempotent(t *testing.T) {
+	s := NewSpace(1 << 20)
+	s.Release()
+	s.Release() // must not nil-deref the already-released images
+	if s.Arch != nil || s.PM != nil {
+		t.Fatal("released space still holds images")
+	}
+}

@@ -7,27 +7,53 @@ package metrics
 
 import (
 	"expvar"
+	"io"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+	"time"
 )
 
 // ServeDebug binds addr (e.g. "localhost:6060") and serves
 // /debug/pprof/* and /debug/vars on it in a background goroutine. The
 // bind happens synchronously so address errors surface to the caller;
 // the returned string is the resolved listen address ("" on error).
-func ServeDebug(addr string) (string, error) {
+// Closing the returned io.Closer shuts the listener and its connections
+// down, so short-lived embedders (tests, the serve daemon's drain path)
+// do not leak the socket for the rest of the process lifetime.
+func ServeDebug(addr string) (string, io.Closer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	// Touch expvar so its /debug/vars handler registration is linked in
 	// even if no vars are published.
 	_ = expvar.Get("cmdline")
+	srv := &http.Server{
+		Handler: http.DefaultServeMux,
+		// A client that connects and never sends a request header must
+		// not pin a connection goroutine forever.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	go func() {
-		// The listener lives for the process; Serve only returns on
-		// close, and its error has nowhere useful to go.
-		_ = http.Serve(ln, nil)
+		// Serve returns on Close; its error has nowhere useful to go.
+		_ = srv.Serve(ln)
 	}()
-	return ln.Addr().String(), nil
+	return ln.Addr().String(), &debugCloser{srv: srv, ln: ln}, nil
+}
+
+// debugCloser shuts the endpoint down. It closes the raw listener as
+// well as the server: Server.Close only closes listeners Serve has
+// already registered, and the Serve goroutine may not have run yet when
+// a short-lived embedder closes — the extra Close makes the port free
+// synchronously either way.
+type debugCloser struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+func (c *debugCloser) Close() error {
+	err := c.srv.Close()
+	_ = c.ln.Close() // idempotent; error is "already closed" in the common case
+	return err
 }

@@ -137,7 +137,12 @@ func (w *WPQ) Accept(now sim.Time, blk mem.Addr) (admit, mediaDone sim.Time) {
 	}
 	w.OccHist.Observe(int64(len(w.completions)))
 	if len(w.liveList) > 8192 {
-		w.pruneBlocks(now)
+		// Prune against admit, not now: on the full-queue stall path
+		// admission advanced to admit > now, and entries already retired
+		// by admit must become ineligible to coalesce — otherwise a
+		// lagging store (Accept tolerates small time inversions) could
+		// coalesce with an entry the stall already drained.
+		w.pruneBlocks(admit)
 	}
 	if w.OnAdmit != nil {
 		w.OnAdmit(admit, blk)

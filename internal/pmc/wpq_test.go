@@ -3,6 +3,7 @@ package pmc
 import (
 	"testing"
 
+	"pmemspec/internal/mem"
 	"pmemspec/internal/sim"
 )
 
@@ -63,5 +64,39 @@ func TestWPQOccupancyDrains(t *testing.T) {
 	}
 	if got := w.Occupancy(done + sim.NS(94)); got != 0 {
 		t.Errorf("occupancy after retirement = %d, want 0", got)
+	}
+}
+
+func TestWPQStallPathPrunesAgainstAdmit(t *testing.T) {
+	// Regression: on the full-queue stall path admission advances to
+	// admit > now, and the bounded coalescing table must be pruned
+	// against admit — an entry whose media write already retired by the
+	// admission instant is drained and must not coalesce a lagging
+	// store, even though the caller's `now` still precedes its
+	// completion (Accept tolerates small time inversions).
+	w := NewWPQ(NewController(DefaultConfig()), 1, 0, 1<<20)
+	// Fill the coalescing table past its 8192-entry bound with distinct
+	// blocks. Capacity 1 makes every accept after the first stall, so
+	// admission times race far ahead of the callers' now=0.
+	var lastAdmit sim.Time
+	for i := 0; i < 8194; i++ {
+		lastAdmit, _ = w.Accept(0, mem.Addr(i*mem.BlockSize))
+	}
+	if w.Coalesced != 0 {
+		t.Fatalf("distinct blocks coalesced %d times", w.Coalesced)
+	}
+	if lastAdmit == 0 {
+		t.Fatal("fill never stalled; the stall path is not being exercised")
+	}
+	// Lagging store to block 0: its entry's media write completed ages
+	// before the current admission point, so it must be a fresh
+	// admission (stalled behind the one pending entry), not a coalesce
+	// with drained state.
+	admit, _ := w.Accept(0, 0)
+	if w.Coalesced != 0 {
+		t.Fatalf("lagging store coalesced with an entry already retired by the admission point (admit=%v)", admit)
+	}
+	if admit <= lastAdmit {
+		t.Fatalf("probe admit = %v, want a stall past the previous admission %v", admit, lastAdmit)
 	}
 }

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// resultCache is the content-addressed store behind /v1/results: encoded
+// CellResult bytes keyed by Cell.Key(). Entries are immutable — the key
+// hashes the full input including the code version, so there is no
+// invalidation, only eviction. In memory it is an LRU bounded by byte
+// size; when a spill directory is configured, evicted (and stored)
+// entries persist to disk and misses fall back there, so a restarted
+// daemon keeps its history.
+//
+// The cache is safe for concurrent use. Disk I/O failures are treated
+// as misses/no-ops: the cache is an accelerator, never a correctness
+// dependency.
+type resultCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element
+	dir      string // "" = memory only
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// newResultCache builds a cache bounded to maxBytes of encoded results
+// (≤ 0 selects a 64 MiB default). dir, when non-empty, enables the disk
+// tier; it is created if missing.
+func newResultCache(maxBytes int64, dir string) (*resultCache, error) {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: cache dir: %w", err)
+		}
+	}
+	return &resultCache{
+		maxBytes: maxBytes,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+		dir:      dir,
+	}, nil
+}
+
+// Get returns the stored bytes for key, or nil. A memory hit promotes
+// the entry; a disk hit re-admits it to the memory tier.
+func (c *resultCache) Get(key string) []byte {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		data := el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		return data
+	}
+	c.mu.Unlock()
+	// Fall back to disk outside the lock: file reads must not serialize
+	// the memory tier.
+	if c.dir != "" {
+		if data, err := os.ReadFile(c.diskPath(key)); err == nil {
+			c.admit(key, data)
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+			return data
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil
+}
+
+// Put stores the encoded result. Storing the same key twice is a no-op
+// (entries are immutable by construction).
+func (c *resultCache) Put(key string, data []byte) {
+	c.admit(key, data)
+	if c.dir != "" {
+		c.spill(key, data)
+	}
+}
+
+// admit inserts into the memory tier and evicts LRU entries past the
+// byte budget. Oversized singletons (entry > budget) are not cached in
+// memory; the disk tier still takes them via Put.
+func (c *resultCache) admit(key string, data []byte) {
+	if int64(len(data)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
+	c.curBytes += int64(len(data))
+	for c.curBytes > c.maxBytes {
+		el := c.order.Back()
+		if el == nil {
+			break
+		}
+		ent := c.order.Remove(el).(*cacheEntry)
+		delete(c.entries, ent.key)
+		c.curBytes -= int64(len(ent.data))
+		c.evictions++
+	}
+}
+
+// spill writes the entry to the disk tier with a temp-file rename so a
+// crashed daemon never leaves a torn result behind.
+func (c *resultCache) spill(key string, data []byte) {
+	path := c.diskPath(key)
+	if _, err := os.Stat(path); err == nil {
+		return // content-addressed: already identical
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// diskPath maps a key to its spill file. Keys are hex SHA-256, so they
+// are filesystem-safe by construction.
+func (c *resultCache) diskPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// cacheStats is a point-in-time counter snapshot for /v1/metrics.
+type cacheStats struct {
+	Entries   int
+	Bytes     int64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+func (c *resultCache) Stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Entries:   len(c.entries),
+		Bytes:     c.curBytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := newResultCache(100, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("x"), 40)
+	c.Put("a", val)
+	c.Put("b", val)
+	c.Get("a") // promote a over b
+	c.Put("c", val)
+	if c.Get("b") != nil {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if c.Get("a") == nil || c.Get("c") == nil {
+		t.Error("a and c should survive")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes != 80 {
+		t.Errorf("bytes = %d, want 80", st.Bytes)
+	}
+}
+
+func TestCachePutIdempotent(t *testing.T) {
+	c, _ := newResultCache(1000, "")
+	c.Put("k", []byte("payload"))
+	c.Put("k", []byte("payload"))
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 7 {
+		t.Errorf("double Put double-counted: %+v", st)
+	}
+}
+
+func TestCacheOversizedEntrySkipsMemory(t *testing.T) {
+	c, _ := newResultCache(10, "")
+	c.Put("big", bytes.Repeat([]byte("x"), 64))
+	if st := c.Stats(); st.Entries != 0 {
+		t.Errorf("oversized entry admitted to memory tier: %+v", st)
+	}
+}
+
+func TestCacheDiskSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := newResultCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("deadbeef", []byte(`{"v":1}`))
+
+	// A fresh cache over the same directory — a restarted daemon —
+	// serves the entry from disk and re-admits it to memory.
+	c2, err := newResultCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c2.Get("deadbeef")
+	if !bytes.Equal(got, []byte(`{"v":1}`)) {
+		t.Fatalf("disk fallback = %q", got)
+	}
+	if st := c2.Stats(); st.Entries != 1 || st.Hits != 1 {
+		t.Errorf("disk hit not re-admitted/counted: %+v", st)
+	}
+}
+
+func TestCacheEvictionKeepsDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := newResultCache(100, dir)
+	val := bytes.Repeat([]byte("y"), 60)
+	c.Put("one", val)
+	c.Put("two", val) // evicts "one" from memory; disk copy remains
+	if got := c.Get("one"); !bytes.Equal(got, val) {
+		t.Fatal("evicted entry lost despite disk tier")
+	}
+	if _, err := filepath.Glob(filepath.Join(dir, "*.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c, _ := newResultCache(1<<10, "")
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%16)
+				if i%2 == 0 {
+					c.Put(k, []byte(k))
+				} else if got := c.Get(k); got != nil && string(got) != k {
+					t.Errorf("corrupt read: key %s = %q", k, got)
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,453 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testServer builds a daemon + httptest front end and tears both down.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// smallGrid is the test workload: 2 designs × 2 workloads, tiny ops.
+func smallGrid() GridSpec {
+	return GridSpec{
+		Designs:   []string{"IntelX86", "PMEM-Spec"},
+		Workloads: []string{"queue", "tatp"},
+		Seeds:     []int64{1},
+		Configs:   []CellConfig{{Threads: 2, Ops: 20}},
+	}
+}
+
+func submit(t *testing.T, base string, spec GridSpec) submitResponse {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: %d: %s", resp.StatusCode, b)
+	}
+	var sr submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// waitJob polls until the job leaves the running state.
+func waitJob(t *testing.T, base, id string) jobStatus {
+	t.Helper()
+	for i := 0; i < 600; i++ {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st jobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.terminal() {
+			return st
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return jobStatus{}
+}
+
+func fetchResult(t *testing.T, base, key string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/results/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result %s: %d", key, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestServeDeterminismAndCache is the ISSUE acceptance test: the same
+// grid submitted twice returns byte-identical per-cell results, and the
+// second submission is served entirely from cache — cache_hits equals
+// the cell count and nothing is simulated.
+func TestServeDeterminismAndCache(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 4})
+
+	first := submit(t, ts.URL, smallGrid())
+	st1 := waitJob(t, ts.URL, first.ID)
+	if st1.State != "done" {
+		t.Fatalf("first job: %+v", st1)
+	}
+	if st1.Simulated != st1.Cells {
+		t.Fatalf("first job simulated %d of %d cells", st1.Simulated, st1.Cells)
+	}
+	bytes1 := make(map[string][]byte)
+	for _, cs := range st1.Results {
+		bytes1[cs.Key] = fetchResult(t, ts.URL, cs.Key)
+	}
+
+	second := submit(t, ts.URL, smallGrid())
+	st2 := waitJob(t, ts.URL, second.ID)
+	if st2.State != "done" {
+		t.Fatalf("second job: %+v", st2)
+	}
+	if st2.CacheHits != st2.Cells || st2.Simulated != 0 {
+		t.Fatalf("second job not fully cached: hits=%d simulated=%d cells=%d",
+			st2.CacheHits, st2.Simulated, st2.Cells)
+	}
+	for _, cs := range st2.Results {
+		got := fetchResult(t, ts.URL, cs.Key)
+		want, ok := bytes1[cs.Key]
+		if !ok {
+			t.Fatalf("second run produced new key %s", cs.Key)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cell %s bytes differ between submissions", cs.Key)
+		}
+	}
+}
+
+// TestServeNormalizedSpecSharesCache: a spec with elided defaults and a
+// spec spelling the same defaults explicitly address the same cells.
+func TestServeNormalizedSpecSharesCache(t *testing.T) {
+	elided := GridSpec{Designs: []string{"IntelX86"}, Workloads: []string{"queue"},
+		Configs: []CellConfig{{Threads: 2, Ops: 20}}}
+	explicit := GridSpec{Designs: []string{"IntelX86"}, Workloads: []string{"queue"},
+		Seeds: []int64{1}, Configs: []CellConfig{{Threads: 2, Ops: 20, DataSize: 64}}}
+	_, ts := testServer(t, Config{Workers: 2})
+	a := waitJob(t, ts.URL, submit(t, ts.URL, elided).ID)
+	b := waitJob(t, ts.URL, submit(t, ts.URL, explicit).ID)
+	if a.Results[0].Key != b.Results[0].Key {
+		t.Fatalf("equivalent specs hashed differently:\n%s\n%s", a.Results[0].Key, b.Results[0].Key)
+	}
+	if b.CacheHits != 1 {
+		t.Fatalf("explicit-spec resubmission missed the cache: %+v", b)
+	}
+}
+
+// TestServeBackpressure: a submission that would overflow the queue
+// bound gets 429 + Retry-After without wedging the in-flight job.
+func TestServeBackpressure(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1, QueueCells: 4})
+
+	inflight := submit(t, ts.URL, smallGrid()) // 4 cells: fills the bound
+
+	over, _ := json.Marshal(smallGrid())
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(over))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		// The first job may already have drained on a fast machine —
+		// that is a pass for "no wedging" but vacuous for the 429, so
+		// require the rejection: the 4-cell grid at 1 worker cannot
+		// finish before a same-millisecond second POST.
+		t.Fatalf("over-bound submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	st := waitJob(t, ts.URL, inflight.ID)
+	if st.State != "done" {
+		t.Fatalf("in-flight job wedged by rejected submission: %+v", st)
+	}
+
+	// Capacity freed: the same grid now admits (and is fully cached).
+	again := waitJob(t, ts.URL, submit(t, ts.URL, smallGrid()).ID)
+	if again.State != "done" {
+		t.Fatalf("post-drain submission failed: %+v", again)
+	}
+}
+
+// TestServeShutdownDrains: Shutdown with a generous deadline lets the
+// in-flight job finish, refuses new work with 503, and leaks no
+// goroutines.
+func TestServeShutdownDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, err := NewServer(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := submit(t, ts.URL, GridSpec{
+		Designs: []string{"PMEM-Spec"}, Workloads: []string{"queue"},
+		Configs: []CellConfig{{Threads: 2, Ops: 20}},
+	}).ID
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Draining refuses new jobs.
+	body, _ := json.Marshal(smallGrid())
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503", resp.StatusCode)
+	}
+
+	// The in-flight job completed rather than being dropped.
+	st := waitJob(t, ts.URL, id)
+	if st.State != "done" {
+		t.Fatalf("in-flight job after drain: %+v", st)
+	}
+
+	ts.Close()
+	// Goroutine accounting settles asynchronously (httptest conn
+	// teardown); poll with tolerance instead of a single sample.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after drain", before, runtime.NumGoroutine())
+}
+
+// TestServeShutdownCancelsOnDeadline: a Shutdown whose context expires
+// cancels the in-flight job's cells via the kernel watcher instead of
+// hanging. Long-running cells (high ops) make the window reliable.
+func TestServeShutdownCancelsOnDeadline(t *testing.T) {
+	s, err := NewServer(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id := submit(t, ts.URL, GridSpec{
+		Designs: []string{"IntelX86", "PMEM-Spec"}, Workloads: []string{"hashmap"},
+		Configs: []CellConfig{{Threads: 4, Ops: 4000}},
+	}).ID
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err = s.Shutdown(ctx)
+	if err == nil {
+		t.Log("job drained inside the deadline; cancellation window missed (machine too fast) — still verifying terminal state")
+	}
+	st := waitJob(t, ts.URL, id)
+	if !st.terminal() {
+		t.Fatalf("job not terminal after forced shutdown: %+v", st)
+	}
+}
+
+// TestServeStreamNDJSON: ?stream=1 yields one JSON row per state change
+// and terminates when the job does.
+func TestServeStreamNDJSON(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	id := submit(t, ts.URL, GridSpec{
+		Designs: []string{"IntelX86"}, Workloads: []string{"queue", "tatp"},
+		Configs: []CellConfig{{Threads: 2, Ops: 20}},
+	}).ID
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "?stream=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	terminal := map[string]cellState{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var row cellStatus
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad NDJSON row %q: %v", sc.Text(), err)
+		}
+		switch row.State {
+		case cellDone, cellCached, cellFailed, cellCancelled:
+			terminal[row.Key] = row.State
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(terminal) != 2 {
+		t.Fatalf("stream ended with %d terminal cells, want 2: %v", len(terminal), terminal)
+	}
+}
+
+// TestServeResultTraceFormat: a timeline-enabled cell serves a Chrome
+// trace under ?format=trace; a plain cell 404s there.
+func TestServeResultTraceFormat(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	st := waitJob(t, ts.URL, submit(t, ts.URL, GridSpec{
+		Designs: []string{"PMEM-Spec"}, Workloads: []string{"queue"},
+		Configs: []CellConfig{{Threads: 2, Ops: 20, Timeline: true}, {Threads: 2, Ops: 20}},
+	}).ID)
+	if st.State != "done" {
+		t.Fatalf("job: %+v", st)
+	}
+	var withTL, without string
+	for _, cs := range st.Results {
+		if cs.Cell.Config.Timeline {
+			withTL = cs.Key
+		} else {
+			without = cs.Key
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/results/" + withTL + "?format=trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(trace), "traceEvents") {
+		t.Fatalf("trace fetch: %d %.80s", resp.StatusCode, trace)
+	}
+	resp, err = http.Get(ts.URL + "/v1/results/" + without + "?format=trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("traceless cell served a trace: %d", resp.StatusCode)
+	}
+}
+
+// TestServeBadSpecs: malformed grids are rejected up front with 400.
+func TestServeBadSpecs(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	for _, body := range []string{
+		`{"workloads":["queue"]}`,                                // no designs
+		`{"designs":["IntelX86"]}`,                               // no workloads
+		`{"designs":["Pentium"],"workloads":["queue"]}`,          // unknown design
+		`{"designs":["IntelX86"],"workloads":["fortnite"]}`,      // unknown workload
+		`{"designs":["IntelX86"],"workloads":["queue"],"x":1}`,   // unknown field
+		`{"designs":["IntelX86"],"workloads":["queue"],"seeds":`, // truncated
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %s → %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestServeMetricsEndpoint: /v1/metrics exposes the serve counters as a
+// stable metrics snapshot.
+func TestServeMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2})
+	waitJob(t, ts.URL, submit(t, ts.URL, GridSpec{
+		Designs: []string{"IntelX86"}, Workloads: []string{"queue"},
+		Configs: []CellConfig{{Threads: 2, Ops: 20}},
+	}).ID)
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var snap []struct {
+		Component string `json:"component"`
+		Name      string `json:"name"`
+		Value     uint64 `json:"value"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics not a snapshot: %v\n%s", err, data)
+	}
+	got := map[string]uint64{}
+	for _, m := range snap {
+		got[m.Component+"/"+m.Name] = m.Value
+	}
+	if got["serve/jobs_accepted"] != 1 {
+		t.Errorf("jobs_accepted = %d, want 1", got["serve/jobs_accepted"])
+	}
+	if got["serve/cells_total"] != 1 {
+		t.Errorf("cells_total = %d, want 1", got["serve/cells_total"])
+	}
+	if got["serve_cache/misses"] == 0 {
+		t.Error("cache misses not counted")
+	}
+}
+
+// TestCellKeyVersioned: the cell key covers the code-version stamp.
+func TestCellKeyVersioned(t *testing.T) {
+	c := Cell{Design: "IntelX86", Workload: "queue", Seed: 1,
+		Config: CellConfig{Threads: 2, Ops: 20, DataSize: 64}}
+	k1 := c.Key()
+	old := codeVersion
+	codeVersion = old + ",test-bump"
+	k2 := c.Key()
+	codeVersion = old
+	if k1 == k2 {
+		t.Fatal("cell key ignores the code version")
+	}
+	if k1 != c.Key() {
+		t.Fatal("cell key unstable for identical inputs")
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key %q is not hex sha256", k1)
+	}
+}
+
+// TestGridSpecCellCap: a grid beyond the per-job cap is rejected before
+// admission.
+func TestGridSpecCellCap(t *testing.T) {
+	seeds := make([]int64, maxCellsPerJob+1)
+	for i := range seeds {
+		seeds[i] = int64(i)
+	}
+	_, err := (GridSpec{Designs: []string{"IntelX86"}, Workloads: []string{"queue"}, Seeds: seeds}).Cells()
+	if err == nil {
+		t.Fatal("oversized grid accepted")
+	}
+	if !strings.Contains(err.Error(), fmt.Sprint(maxCellsPerJob)) {
+		t.Errorf("cap error does not name the cap: %v", err)
+	}
+}

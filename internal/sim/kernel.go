@@ -234,6 +234,13 @@ func (k *Kernel) anyLive() bool {
 	return false
 }
 
+// AnyLive reports whether any spawned thread has not yet finished.
+// Self-rescheduling watcher events (the machine's cancellation poll)
+// use it to stop re-arming once the simulation proper is over — a
+// perpetual event would keep the queue non-empty and Run would never
+// return.
+func (k *Kernel) AnyLive() bool { return k.anyLive() }
+
 func (k *Kernel) deadlockError() error {
 	var blocked []string
 	for _, t := range k.threads {
