@@ -126,6 +126,29 @@ echo "== bench-cmp small-grid perf gate =="
 go run ./cmd/pmemspec-ci bench-cmp -baseline BENCH_baseline_small.json \
 	-current /tmp/pmemspec-bench-small.json -tolerance "${BENCH_TOL:-0.5}"
 
+if [ "${QUICK:-0}" != "1" ]; then
+	echo "== opt-loop (optimize -> simulate -> verify, budgeted) =="
+	# The closed optimization loop on the planted naive workloads: the
+	# optimization analyzers' edits must apply cleanly to a sandboxed
+	# module copy, the copy must re-analyze clean, the edited workloads
+	# must survive the crash campaign, and the -json report must match
+	# the schema with at least one positive simulated saving. The stage
+	# rebuilds the module inside sandboxes (via the shared build cache),
+	# so it runs in the nightly full pass, within a wall-clock budget.
+	OPT_BUDGET_S=${OPT_BUDGET_S:-600}
+	go build -o /tmp/pmemspec-opt ./cmd/pmemspec-opt
+	opt_start=$(date +%s)
+	/tmp/pmemspec-opt -workloads naivelog,naivescan -designs IntelX86,DPO \
+		-json . > /tmp/pmemspec-opt-report.json
+	opt_elapsed=$(( $(date +%s) - opt_start ))
+	echo "pmemspec-opt: ${opt_elapsed}s (budget ${OPT_BUDGET_S}s)"
+	if [ "$opt_elapsed" -gt "$OPT_BUDGET_S" ]; then
+		echo "pmemspec-opt exceeded its ${OPT_BUDGET_S}s wall-clock budget"
+		exit 1
+	fi
+	go run ./cmd/pmemspec-ci opt-check -report /tmp/pmemspec-opt-report.json
+fi
+
 echo "== serve smoke (daemon over HTTP vs direct harness) =="
 # End-to-end exercise of the service layer: boot pmemspec-serve on an
 # ephemeral port, run a small grid twice over HTTP (the second pass must

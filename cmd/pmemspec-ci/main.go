@@ -185,7 +185,7 @@ func benchCmp(args []string) int {
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: pmemspec-ci bench-cmp|serve-smoke [flags]")
+		fmt.Fprintln(os.Stderr, "usage: pmemspec-ci bench-cmp|serve-smoke|opt-check [flags]")
 		os.Exit(2)
 	}
 	switch os.Args[1] {
@@ -193,8 +193,10 @@ func main() {
 		os.Exit(benchCmp(os.Args[2:]))
 	case "serve-smoke":
 		os.Exit(serveSmoke(os.Args[2:]))
+	case "opt-check":
+		os.Exit(optCheck(os.Args[2:]))
 	default:
-		fmt.Fprintf(os.Stderr, "pmemspec-ci: unknown subcommand %q (want bench-cmp or serve-smoke)\n", os.Args[1])
+		fmt.Fprintf(os.Stderr, "pmemspec-ci: unknown subcommand %q (want bench-cmp, serve-smoke or opt-check)\n", os.Args[1])
 		os.Exit(2)
 	}
 }

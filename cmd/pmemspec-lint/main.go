@@ -53,12 +53,19 @@ func main() {
 		for _, a := range analysis.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(os.Stderr, "\nOptimization analyzers (select explicitly with -c; not in the default set):\n")
+		for _, a := range analysis.OptAnalyzers() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range analysis.Analyzers() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range analysis.OptAnalyzers() {
+			fmt.Printf("%-16s %s (opt; -c only)\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -91,12 +98,42 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags, err := analysis.RunAnalyzers(loader.Fset, pkgs, analyzers)
+	diags, stats, err := analysis.RunAnalyzersTimed(loader.Fset, pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmemspec-lint:", err)
 		os.Exit(2)
 	}
 	elapsed := time.Since(start) //lint:allow simdeterminism CLI wall-clock stat, not simulator state
+
+	edits := analysis.CollectEdits(diags)
+	nEdits := 0
+	for _, es := range edits {
+		nEdits += len(es)
+	}
+	// Fix mode runs before output so skipped edits can be both reported
+	// on stderr and annotated into the -json entries.
+	if *fix || *diff {
+		skipped, err := runFix(root, edits, *fix && !*diff, *diff)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmemspec-lint:", err)
+			os.Exit(2)
+		}
+		if len(skipped) > 0 {
+			byEdit := map[*analysis.SuggestedEdit]int{}
+			for i := range diags {
+				if diags[i].Edit != nil {
+					byEdit[diags[i].Edit] = i
+				}
+			}
+			for _, e := range skipped {
+				if i, ok := byEdit[e]; ok {
+					diags[i].EditSkipped = true
+					fmt.Fprintf(os.Stderr, "pmemspec-lint: skipped edit (overlapping group): %s %s:%d\n",
+						diags[i].Analyzer, diags[i].File, diags[i].Line)
+				}
+			}
+		}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -114,17 +151,7 @@ func main() {
 		}
 	}
 
-	edits := analysis.CollectEdits(diags)
-	nEdits := 0
-	for _, es := range edits {
-		nEdits += len(es)
-	}
-	if *fix || *diff {
-		if err := runFix(root, edits, *fix && !*diff, *diff); err != nil {
-			fmt.Fprintln(os.Stderr, "pmemspec-lint:", err)
-			os.Exit(2)
-		}
-	}
+	fmt.Fprintf(os.Stderr, "pmemspec-lint: %s\n", analysis.FormatStats(stats))
 	fmt.Fprintf(os.Stderr, "pmemspec-lint: %d diagnostics, %d applicable edits in %d files, %d packages in %.2fs\n",
 		len(diags), nEdits, len(edits), len(pkgs), elapsed.Seconds())
 	if len(diags) > 0 {
@@ -135,22 +162,25 @@ func main() {
 // runFix applies or renders the collected edits. With apply unset the
 // files are left untouched (-diff alone previews; -fix -diff is the
 // check mode, which still exits nonzero through the caller because the
-// underlying diagnostics remain).
-func runFix(root string, edits map[string][]*analysis.SuggestedEdit, apply, showDiff bool) error {
+// underlying diagnostics remain). It returns the primary edits that
+// were dropped because their group overlapped an earlier-applied one.
+func runFix(root string, edits map[string][]*analysis.SuggestedEdit, apply, showDiff bool) ([]*analysis.SuggestedEdit, error) {
 	files := make([]string, 0, len(edits))
 	for f := range edits {
 		files = append(files, f)
 	}
 	sort.Strings(files)
+	var allSkipped []*analysis.SuggestedEdit
 	for _, file := range files {
 		src, err := os.ReadFile(file)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		out, applied, err := analysis.ApplyEdits(src, edits[file])
+		out, applied, skipped, err := analysis.ApplyEditsDetailed(src, edits[file])
 		if err != nil {
-			return fmt.Errorf("%s: %w", file, err)
+			return nil, fmt.Errorf("%s: %w", file, err)
 		}
+		allSkipped = append(allSkipped, skipped...)
 		if showDiff {
 			name := file
 			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
@@ -160,15 +190,19 @@ func runFix(root string, edits map[string][]*analysis.SuggestedEdit, apply, show
 		}
 		if apply {
 			if err := os.WriteFile(file, out, 0o644); err != nil {
-				return err
+				return nil, err
 			}
-			fmt.Fprintf(os.Stderr, "pmemspec-lint: %s: applied %d of %d edits\n", file, applied, len(edits[file]))
+			fmt.Fprintf(os.Stderr, "pmemspec-lint: %s: applied %d of %d edits (%d skipped by overlap)\n",
+				file, len(applied), len(edits[file]), len(skipped))
 		}
 	}
-	return nil
+	return allSkipped, nil
 }
 
-// selectAnalyzers filters the shipped analyzers by the -c flag.
+// selectAnalyzers filters the shipped analyzers by the -c flag. The
+// optimization analyzers are addressable by name but never part of the
+// default (no -c) set — their findings are rewrite opportunities, not
+// discipline violations, so a clean default run stays meaningful.
 func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
 	all := analysis.Analyzers()
 	if names == "" {
@@ -176,6 +210,9 @@ func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
 	}
 	byName := map[string]*analysis.Analyzer{}
 	for _, a := range all {
+		byName[a.Name] = a
+	}
+	for _, a := range analysis.OptAnalyzers() {
 		byName[a.Name] = a
 	}
 	var out []*analysis.Analyzer

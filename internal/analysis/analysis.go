@@ -38,6 +38,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, in vet coordinates.
@@ -52,6 +53,10 @@ type Diagnostic struct {
 	// Edit is a machine-applicable fix, when the analyzer can offer one
 	// (pmemspec-lint -fix applies it).
 	Edit *SuggestedEdit `json:"edit,omitempty"`
+	// EditSkipped is set by fix mode when the edit was dropped because
+	// its group overlapped an earlier-applied one; the opt driver uses
+	// it to account for unapplied suggestions.
+	EditSkipped bool `json:"edit_skipped,omitempty"`
 }
 
 func (d Diagnostic) String() string {
@@ -70,6 +75,16 @@ type Analyzer struct {
 // within each package.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{SpecPair, BarrierPair, PersistFlow, RedundantBarrier, SimDeterminism, PoolCapture}
+}
+
+// OptAnalyzers lists the optimization suite: analyzers whose findings
+// are performance suggestions rather than discipline violations. They
+// are not part of the default set (a clean tree is allowed to contain
+// naive-but-correct persist code); pmemspec-lint selects them by name
+// via -c and pmemspec-opt drives them through the
+// optimize→simulate→verify loop.
+func OptAnalyzers() []*Analyzer {
+	return []*Analyzer{FlushCoalesce, FenceHoist, EpochMerge}
 }
 
 // FactStore carries analyzer-computed facts about objects across
@@ -178,18 +193,35 @@ func allowDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int]
 	return out
 }
 
+// AnalyzerStat is one analyzer's cumulative wall-clock across every
+// package of a run — the attribution line for LINT_BUDGET_S
+// regressions. Stats go to stderr only, never into -json (wall-clock
+// would break byte-identical output).
+type AnalyzerStat struct {
+	Name    string
+	Elapsed time.Duration
+}
+
 // RunAnalyzers runs the analyzers over the packages (already in
 // dependency order, as Loader.Load returns them) and returns the
 // surviving diagnostics sorted by position.
 func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersTimed(fset, pkgs, analyzers)
+	return diags, err
+}
+
+// RunAnalyzersTimed is RunAnalyzers plus per-analyzer wall-clock
+// stats, in the analyzers' given order.
+func RunAnalyzersTimed(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerStat, error) {
 	facts := NewFactStore()
 	var diags []Diagnostic
+	elapsed := make([]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		if !pkg.InModule {
 			continue
 		}
 		allow := allowDirectives(fset, pkg.Files)
-		for _, a := range analyzers {
+		for ai, a := range analyzers {
 			pass := &Pass{
 				Fset:     fset,
 				Pkg:      pkg,
@@ -198,13 +230,29 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (
 				allow:    allow,
 				sink:     &diags,
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[ai] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
 	sortDiagnostics(diags)
-	return diags, nil
+	stats := make([]AnalyzerStat, len(analyzers))
+	for ai, a := range analyzers {
+		stats[ai] = AnalyzerStat{Name: a.Name, Elapsed: elapsed[ai]}
+	}
+	return diags, stats, nil
+}
+
+// FormatStats renders one per-analyzer wall-clock stats line.
+func FormatStats(stats []AnalyzerStat) string {
+	parts := make([]string, len(stats))
+	for i, s := range stats {
+		parts[i] = fmt.Sprintf("%s=%dms", s.Name, s.Elapsed.Milliseconds())
+	}
+	return "analyzer wall-clock: " + strings.Join(parts, " ")
 }
 
 // sortDiagnostics orders findings by (package, file, line, column,

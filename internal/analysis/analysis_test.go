@@ -115,6 +115,9 @@ func TestSpecPairGolden(t *testing.T)       { runGolden(t, SpecPair, "specpairte
 func TestBarrierPairGolden(t *testing.T)    { runGolden(t, BarrierPair, "barrierpairtest") }
 func TestSimDeterminismGolden(t *testing.T) { runGolden(t, SimDeterminism, "simdeterminismtest") }
 func TestPoolCaptureGolden(t *testing.T)    { runGolden(t, PoolCapture, "poolcapturetest") }
+func TestFlushCoalesceGolden(t *testing.T)  { runGolden(t, FlushCoalesce, "flushcoalescetest") }
+func TestFenceHoistGolden(t *testing.T)     { runGolden(t, FenceHoist, "fencehoisttest") }
+func TestEpochMergeGolden(t *testing.T)     { runGolden(t, EpochMerge, "epochmergetest") }
 
 // TestRepoLintsClean is the repository's own gate: the full module must
 // produce zero diagnostics under all analyzers.
@@ -153,6 +156,52 @@ func TestLoaderResolvesModuleAndStdlib(t *testing.T) {
 	}
 	if pkgs[0].Types == nil || pkgs[0].Types.Scope().Lookup("Workload") == nil {
 		t.Fatal("workload package did not type-check (Workload not found in scope)")
+	}
+}
+
+// TestLoaderDepCacheShared covers the cross-loader dependency cache:
+// non-module packages type-checked by one loader are reused verbatim
+// by the next (the opt driver builds a fresh loader per re-analysis,
+// and only the module should be re-checked).
+func TestLoaderDepCacheShared(t *testing.T) {
+	root := repoRoot(t)
+	l1, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l1.Load("./internal/workload"); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.Load("./internal/workload"); err != nil {
+		t.Fatal(err)
+	}
+	if l1.Fset != l2.Fset {
+		t.Fatal("loaders do not share the dependency FileSet")
+	}
+	shared := 0
+	for path, p1 := range l1.pkgs {
+		if p1 == nil || p1.InModule {
+			continue
+		}
+		if p2 := l2.pkgs[path]; p2 != p1 {
+			t.Errorf("dependency %s re-checked instead of reused", path)
+		} else {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no dependency packages were shared between loaders")
+	}
+	for path, p := range l2.pkgs {
+		if p != nil && p.InModule {
+			if cached := depCache.pkgs[path]; cached != nil {
+				t.Errorf("module package %s leaked into the dependency cache", path)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,129 @@
+package dataflow
+
+import "go/token"
+
+// EpochState is the abstract state of the epoch-merge analysis: it
+// tracks whether a deletable ordering fence (the "pending" fence) has
+// executed with nothing since that would make its deletion observable.
+// A later fence of at-least-equal strength then witnesses the pending
+// one — all ordering constraints the pending fence imposed are implied
+// by the witness, because no flush happened in between — and the
+// pending fence becomes a merge candidate.
+//
+// Soundness bookkeeping is pessimistic: any event that ends the
+// pending fence's epoch other than a witness (an intervening flush, a
+// lock transfer, an unknown call, a protocol barrier, a return)
+// "dooms" the fence, and a doomed fence is never reported even if some
+// other path witnessed it. Joins where the two paths disagree on the
+// pending fence doom both candidates. Dooms only grow (the set is a
+// monotone lattice component), so the fixpoint terminates.
+type EpochState struct {
+	// Pending reports that a deletable ordering fence executed and its
+	// epoch is still open; PendingPos anchors it.
+	Pending    bool
+	PendingPos token.Pos
+	// SawPM reports that at least one PM store executed since the
+	// pending fence on EVERY path (and-joined): the requirement that
+	// keeps epoch-merge claims disjoint from redundantbarrier's
+	// back-to-back-fence claims.
+	SawPM bool
+	// Doomed accumulates fence positions whose deletion some path
+	// proved unsafe.
+	Doomed map[token.Pos]bool
+}
+
+// NewEpochState returns the function-entry state.
+func NewEpochState() EpochState {
+	return EpochState{Doomed: map[token.Pos]bool{}}
+}
+
+func (s EpochState) clone() EpochState {
+	ns := s
+	ns.Doomed = make(map[token.Pos]bool, len(s.Doomed))
+	for k := range s.Doomed {
+		ns.Doomed[k] = true
+	}
+	return ns
+}
+
+// StartEpoch opens a new pending epoch at a deletable ordering fence.
+// An already-pending fence is left un-doomed: with nothing between the
+// two fences the earlier one is redundantbarrier's claim, and with
+// stores between them the caller records a witness first.
+func (s EpochState) StartEpoch(pos token.Pos) EpochState {
+	ns := s.clone()
+	ns.Pending, ns.PendingPos, ns.SawPM = true, pos, false
+	return ns
+}
+
+// WithPMStore records a PM store inside the pending epoch.
+func (s EpochState) WithPMStore() EpochState {
+	if !s.Pending || s.SawPM {
+		return s
+	}
+	ns := s.clone()
+	ns.SawPM = true
+	return ns
+}
+
+// Witness closes the pending epoch at a later fence that implies its
+// ordering. ok reports that a merge candidate (the pending fence) was
+// open with stores since on every path.
+func (s EpochState) Witness() (EpochState, token.Pos, bool) {
+	ok := s.Pending && s.SawPM
+	pos := s.PendingPos
+	ns := s.clone()
+	ns.Pending, ns.SawPM = false, false
+	return ns, pos, ok
+}
+
+// Kill ends the pending epoch unsafely: the pending fence (if any) is
+// doomed and never reported.
+func (s EpochState) Kill() EpochState {
+	ns := s.clone()
+	if ns.Pending {
+		ns.Doomed[ns.PendingPos] = true
+	}
+	ns.Pending, ns.SawPM = false, false
+	return ns
+}
+
+// JoinEpoch merges two paths: the pending fence survives only when
+// both sides agree on it (SawPM and-joins); disagreement dooms both
+// sides' candidates. Doomed sets union.
+func JoinEpoch(a, b EpochState) EpochState {
+	out := EpochState{Doomed: make(map[token.Pos]bool, len(a.Doomed)+len(b.Doomed))}
+	for k := range a.Doomed {
+		out.Doomed[k] = true
+	}
+	for k := range b.Doomed {
+		out.Doomed[k] = true
+	}
+	if a.Pending && b.Pending && a.PendingPos == b.PendingPos {
+		out.Pending, out.PendingPos = true, a.PendingPos
+		out.SawPM = a.SawPM && b.SawPM
+		return out
+	}
+	if a.Pending {
+		out.Doomed[a.PendingPos] = true
+	}
+	if b.Pending {
+		out.Doomed[b.PendingPos] = true
+	}
+	return out
+}
+
+// EqualEpoch is the fixpoint test.
+func EqualEpoch(a, b EpochState) bool {
+	if a.Pending != b.Pending || a.SawPM != b.SawPM ||
+		(a.Pending && a.PendingPos != b.PendingPos) ||
+		len(a.Doomed) != len(b.Doomed) {
+		return false
+	}
+	for k := range a.Doomed {
+		if !b.Doomed[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,74 @@
+package dataflow
+
+import "go/token"
+
+// Loop is one natural loop of the CFG: the head block targeted by one
+// or more back edges, plus every block on a cycle through it. Loops
+// sharing a head (a `for` whose body both falls through and
+// `continue`s) are merged into one Loop.
+type Loop struct {
+	Head *Block
+	// Blocks is the loop body (head included): every block that can
+	// reach a back-edge source without passing through the head.
+	Blocks map[*Block]bool
+}
+
+// Contains reports whether the block executes inside the loop.
+func (l *Loop) Contains(b *Block) bool { return l.Blocks[b] }
+
+// Preds returns the predecessor lists of every block, in successor
+// declaration order (deterministic).
+func (c *CFG) Preds() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(c.Blocks))
+	for _, b := range c.Blocks {
+		for _, e := range b.Succs {
+			preds[e.To] = append(preds[e.To], b)
+		}
+	}
+	return preds
+}
+
+// Loops computes the natural loop of every back edge, merged by head,
+// in back-edge discovery order (deterministic). The standard
+// construction: for a back edge n→h, the loop is h plus all blocks
+// that reach n against the flow without passing through h.
+func (c *CFG) Loops() []*Loop {
+	if len(c.BackEdges) == 0 {
+		return nil
+	}
+	preds := c.Preds()
+	byHead := map[*Block]*Loop{}
+	var out []*Loop
+	for _, be := range c.BackEdges {
+		lp := byHead[be.To]
+		if lp == nil {
+			lp = &Loop{Head: be.To, Blocks: map[*Block]bool{be.To: true}}
+			byHead[be.To] = lp
+			out = append(out, lp)
+		}
+		stack := []*Block{be.From}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if lp.Blocks[b] {
+				continue
+			}
+			lp.Blocks[b] = true
+			stack = append(stack, preds[b]...)
+		}
+	}
+	return out
+}
+
+// FindLoop maps a loop statement back to its natural loop: the builder
+// stamps each head block with the loop body's closing brace (End), so
+// the ForStmt/RangeStmt whose Body.Rbrace matches identifies the loop.
+// Returns nil when the statement's body never loops (unreachable code).
+func FindLoop(loops []*Loop, bodyEnd token.Pos) *Loop {
+	for _, lp := range loops {
+		if lp.Head.LoopHead && lp.Head.End == bodyEnd {
+			return lp
+		}
+	}
+	return nil
+}

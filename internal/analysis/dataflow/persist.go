@@ -153,10 +153,10 @@ type FlushEffect struct {
 	Redundant bool
 }
 
-// offConst parses a canonical offset string as a byte constant. The
+// OffConst parses a canonical offset string as a byte constant. The
 // empty offset is 0; otherwise only sums/differences of decimal
 // literals (the splitAddr rendering of constant offsets) qualify.
-func offConst(off string) (int64, bool) {
+func OffConst(off string) (int64, bool) {
 	if off == "" {
 		return 0, true
 	}
@@ -213,14 +213,14 @@ func (s PMState) WithFlush(l Loc, size int64, pos token.Pos) (PMState, FlushEffe
 	ns := s.clone()
 	var eff FlushEffect
 	covered, stableClean := 0, true
-	flushOff, flushConst := offConst(l.Off)
+	flushOff, flushConst := OffConst(l.Off)
 	for k, v := range ns.Locs {
 		if k.Base != l.Base {
 			continue
 		}
 		exact := k.Off == l.Off
 		if !exact && flushConst && size > 0 {
-			if locOff, ok := offConst(k.Off); ok {
+			if locOff, ok := OffConst(k.Off); ok {
 				if locOff < flushOff || locOff >= flushOff+size {
 					continue // provably outside the flushed range
 				}

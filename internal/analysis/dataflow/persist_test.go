@@ -355,9 +355,9 @@ func TestOffConst(t *testing.T) {
 		{"0x40", 0, false},
 	}
 	for _, c := range cases {
-		v, ok := offConst(c.in)
+		v, ok := OffConst(c.in)
 		if v != c.v || ok != c.ok {
-			t.Errorf("offConst(%q) = %d,%v, want %d,%v", c.in, v, ok, c.v, c.ok)
+			t.Errorf("OffConst(%q) = %d,%v, want %d,%v", c.in, v, ok, c.v, c.ok)
 		}
 	}
 }

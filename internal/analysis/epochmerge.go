@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"pmemspec/internal/analysis/dataflow"
+)
+
+// EpochMerge is the epoch-merging optimizer: two back-to-back ordering
+// epochs — a deletable ordering barrier, PM stores but NO flush, then a
+// second barrier of at-least-equal strength — merge into the second
+// barrier alone. On the flush-annotated designs (IntelX86, DPO) an
+// ordering fence constrains only explicit flushes: with no flush
+// between the pair, the first fence partitions the identical flush set
+// as the second and its deletion changes no crash-reachable state,
+// only removes a drain stall. PMEM-Spec never ordered anything, so the
+// merge is trivially neutral there — which is the paper's thesis
+// viewed from the optimizer's seat: the strict designs pay for fences
+// that careful analysis (or PMEM-Spec's speculation hardware) proves
+// unnecessary.
+//
+// The claim is intentionally NOT portable to the store-buffered epoch
+// designs (HOPS, StrandWeaver), where every PM store is a persist and
+// the fence between two store groups really does order them; deleting
+// it lets the second group's persists drain before the first's.
+// pmemspec-opt therefore restricts this optimization's
+// simulate-and-verify loop to the flush-epoch designs, and the crash
+// campaign is the oracle — "Lost in Interpretation"'s rule that a
+// transformation is only as sound as its re-validation.
+//
+// Interprocedurally, calls summarized pf:clean are transparent;
+// anything else between the pair (a flush, a lock transfer, a
+// speculation op, a protocol barrier, an opaque or PM-active callee, a
+// return) dooms the candidate on that path, and a doomed fence is
+// never reported even if another path witnessed it. Requiring at
+// least one PM store between the pair keeps the claim disjoint from
+// redundantbarrier's back-to-back-fence deletion.
+var EpochMerge = &Analyzer{
+	Name: "epochmerge",
+	Doc:  "merge back-to-back ordering epochs with no intervening flush into one barrier (flush-epoch designs)",
+	Run:  runEpochMerge,
+}
+
+func runEpochMerge(pass *Pass) error {
+	if !pathHasAny(pass.Pkg.Path, "/internal/workload", "/internal/fatomic", "/analysis/testdata") {
+		return nil
+	}
+	decls := funcDecls(pass.Pkg)
+	pfSummarize(pass, decls)
+	for _, fd := range decls {
+		if pass.SuppressedAt(fd.decl.Pos()) {
+			continue
+		}
+		emAnalyze(pass, fd.decl.Body)
+	}
+	return nil
+}
+
+// emFence records the deletion anchor of one deletable ordering fence.
+type emFence struct {
+	top  ast.Node
+	call *ast.CallExpr
+}
+
+// emAnalyze solves one body with the epoch lattice, replays it to
+// collect witnesses and anchors, and reports the survivors.
+func emAnalyze(pass *Pass, body *ast.BlockStmt) {
+	w := &emWalker{
+		pass:    pass,
+		fences:  map[token.Pos]emFence{},
+		witness: map[token.Pos]int{},
+	}
+	cfg := dataflow.Build(body)
+	tr := &emTransfer{w: w}
+	res := dataflow.Solve[dataflow.EpochState](cfg, tr)
+	rep := &emTransfer{w: w, report: true}
+	for _, blk := range cfg.Blocks {
+		in, ok := res.In[blk]
+		if !ok {
+			continue
+		}
+		dataflow.FlowThrough(blk, in, rep)
+	}
+	// Dooms propagate monotonically through the solve, so the union of
+	// every block's In state holds every path's dooms; a fence still
+	// pending at exit imposes its ordering on the caller's continuation
+	// and is doomed too.
+	doomed := map[token.Pos]bool{}
+	for _, blk := range cfg.Blocks {
+		in, ok := res.In[blk]
+		if !ok {
+			continue
+		}
+		for p := range in.Doomed {
+			doomed[p] = true
+		}
+	}
+	if exit, ok := res.In[cfg.Exit]; ok {
+		for p := range exit.Doomed {
+			doomed[p] = true
+		}
+		if exit.Pending {
+			doomed[exit.PendingPos] = true
+		}
+	}
+	var cands []token.Pos
+	for p := range w.witness {
+		if !doomed[p] {
+			cands = append(cands, p)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	for _, p := range cands {
+		f, ok := w.fences[p]
+		if !ok {
+			continue
+		}
+		w.pass.ReportEdit(p, w.pass.deleteStmtEdit(f.top, f.call),
+			"back-to-back ordering epochs merge: the barrier at line %d orders the same flush set (no flush in between on any path), so this fence is deletable on flush-epoch designs",
+			w.witness[p])
+	}
+	// Nested literals are separate frames with their own epochs.
+	for _, lit := range tr.lits {
+		emAnalyze(pass, lit.Body)
+	}
+}
+
+type emWalker struct {
+	pass *Pass
+	// fences maps each deletable ordering fence position seen during the
+	// replay to its deletion anchor.
+	fences map[token.Pos]emFence
+	// witness maps a merge candidate (the earlier fence's position) to
+	// the witnessing barrier's line.
+	witness map[token.Pos]int
+}
+
+// emTransfer is the dataflow client for the epoch lattice.
+type emTransfer struct {
+	w      *emWalker
+	report bool
+	lits   []*ast.FuncLit
+	seen   map[*ast.FuncLit]bool
+}
+
+func (t *emTransfer) Entry() dataflow.EpochState { return dataflow.NewEpochState() }
+
+func (t *emTransfer) Node(n ast.Node, s dataflow.EpochState, _ bool) dataflow.EpochState {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			if !t.report {
+				if t.seen == nil {
+					t.seen = map[*ast.FuncLit]bool{}
+				}
+				if !t.seen[x] {
+					t.seen[x] = true
+					t.lits = append(t.lits, x)
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			s = t.call(x, n, s)
+		}
+		return true
+	})
+	if _, isRet := n.(*ast.ReturnStmt); isRet {
+		s = s.Kill()
+	}
+	return s
+}
+
+func (t *emTransfer) Branch(_ ast.Expr, _ bool, s dataflow.EpochState) dataflow.EpochState {
+	return s
+}
+func (t *emTransfer) Join(a, b dataflow.EpochState) dataflow.EpochState {
+	return dataflow.JoinEpoch(a, b)
+}
+func (t *emTransfer) Equal(a, b dataflow.EpochState) bool { return dataflow.EqualEpoch(a, b) }
+
+// call interprets one call under the epoch lattice.
+func (t *emTransfer) call(call *ast.CallExpr, top ast.Node, s dataflow.EpochState) dataflow.EpochState {
+	w := t.w
+	info := w.pass.Pkg.Info
+	if isNonCallExpr(info, call) {
+		return s
+	}
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return s.Kill()
+	}
+	op := classifyPMOp(fn)
+	switch op.Kind {
+	case pmPure:
+		return s
+
+	case pmStoreSpec, pmStorePrivate:
+		return s.WithPMStore()
+
+	case pmFlush:
+		// A flush between the pair is exactly the event an ordering
+		// fence exists to order: the candidate dies.
+		return s.Kill()
+
+	case pmFenceOrder:
+		if !op.Removable {
+			return s.Kill() // protocol barrier (NextUpdate, PersistBarrier)
+		}
+		ns, pos, ok := s.Witness()
+		if t.report {
+			if ok {
+				w.recordWitness(pos, call)
+			}
+			if es, isEs := top.(*ast.ExprStmt); isEs && ast.Unparen(es.X) == call {
+				w.fences[call.Pos()] = emFence{top: top, call: call}
+			}
+		}
+		return ns.StartEpoch(call.Pos())
+
+	case pmFenceDurable:
+		if !op.Removable {
+			return s.Kill() // SpecBarrier / JoinStrand: protocol, not a witness
+		}
+		// A durability barrier witnesses a pending ordering fence (it is
+		// strictly stronger) but never becomes pending itself.
+		ns, pos, ok := s.Witness()
+		if t.report && ok {
+			w.recordWitness(pos, call)
+		}
+		return ns
+	}
+
+	// Lock family, spec ops, and module calls: pf:clean callees are
+	// transparent, everything else dooms the candidate.
+	if op.Kind == pmOther && w.pass.Facts.Has(fn, factPFClean) {
+		return s
+	}
+	return s.Kill()
+}
+
+// recordWitness keeps the first (lowest-line) witness per candidate for
+// deterministic messages.
+func (w *emWalker) recordWitness(pos token.Pos, witness *ast.CallExpr) {
+	line := w.pass.Fset.Position(witness.Pos()).Line
+	if prev, ok := w.witness[pos]; !ok || line < prev {
+		w.witness[pos] = line
+	}
+}

@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"pmemspec/internal/analysis/dataflow"
+)
+
+// FenceHoist is the loop-invariant fence optimizer: an ordering
+// barrier executed on every iteration of a loop whose body performs no
+// PM persist work (no store, at most one adjacent loop-invariant
+// flush, no lock transfer, no opaque call) hoists to a single barrier
+// after the loop. Per-iteration fences in such a loop order nothing —
+// the set of persists issued before each of them is identical — so one
+// fence after the loop imposes exactly the same ordering on every
+// design: the flush-annotated machines (IntelX86, DPO) save one
+// store-queue drain stall per iteration, HOPS saves empty-epoch
+// closes, and PMEM-Spec was never paying anyway. A zero-iteration loop
+// gains one fence, which is always sound.
+//
+// Refusals (the loop-carried-dirty rule and friends): any PM store in
+// the loop makes each iteration's fence order that iteration's persist
+// against the next — hoisting would merge the epochs — so stores
+// refuse; so do flushes (except the single adjacent invariant pair),
+// durability barriers (delaying durability is observable), lock
+// transfers, speculation ops, protocol barriers, opaque calls,
+// returns, gotos, labeled branches, defers, and function literals
+// (all of which can leave the loop without reaching the hoisted
+// fence). The fence must be a direct statement of the loop body —
+// conditional fences stay put.
+var FenceHoist = &Analyzer{
+	Name: "fencehoist",
+	Doc:  "hoist loop-invariant fences and flush+fence pairs out of persist-free loop bodies",
+	Run:  runFenceHoist,
+}
+
+func runFenceHoist(pass *Pass) error {
+	if !pathHasAny(pass.Pkg.Path, "/internal/workload", "/internal/fatomic", "/analysis/testdata") {
+		return nil
+	}
+	decls := funcDecls(pass.Pkg)
+	pfSummarize(pass, decls)
+	for _, fd := range decls {
+		if pass.SuppressedAt(fd.decl.Pos()) {
+			continue
+		}
+		cfg := dataflow.Build(fd.decl.Body)
+		loops := cfg.Loops()
+		if len(loops) == 0 {
+			continue
+		}
+		ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false // separate frame; its loops are not in this CFG
+			case *ast.ForStmt:
+				body = n.Body
+			case *ast.RangeStmt:
+				body = n.Body
+			default:
+				return true
+			}
+			if lp := dataflow.FindLoop(loops, body.Rbrace); lp != nil {
+				fhLoop(pass, n.(ast.Stmt), body, lp)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fhLoop decides one loop. loopStmt is the ForStmt/RangeStmt, body its
+// block, lp its natural loop in the CFG.
+func fhLoop(pass *Pass, loopStmt ast.Stmt, body *ast.BlockStmt, lp *dataflow.Loop) {
+	info := pass.Pkg.Info
+	// Syntactic refusals: constructs that can leave the body without
+	// falling out of the loop normally, or hide effects.
+	bad := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit, *ast.GoStmt, *ast.ReturnStmt, *ast.SelectStmt:
+			bad = true
+		case *ast.BranchStmt:
+			if n.Tok == token.GOTO || n.Label != nil {
+				bad = true
+			}
+		}
+		return !bad
+	})
+	if bad {
+		return
+	}
+
+	// Semantic scan over the natural loop's blocks (covers the loop
+	// condition and post statement, which sit outside body's AST).
+	var blocks []*dataflow.Block
+	for b := range lp.Blocks {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Index < blocks[j].Index })
+	var fences, flushes []*ast.CallExpr
+	for _, b := range blocks {
+		for _, node := range b.Nodes {
+			ok := true
+			ast.Inspect(node, func(x ast.Node) bool {
+				call, isCall := x.(*ast.CallExpr)
+				if !isCall {
+					return ok
+				}
+				if isNonCallExpr(info, call) {
+					return ok
+				}
+				fn := calleeOf(info, call)
+				if fn == nil {
+					ok = false
+					return false
+				}
+				switch op := classifyPMOp(fn); op.Kind {
+				case pmPure:
+				case pmFlush:
+					flushes = append(flushes, call)
+				case pmFenceOrder:
+					if !op.Removable {
+						ok = false // protocol barrier (NextUpdate, PersistBarrier)
+					} else {
+						fences = append(fences, call)
+					}
+				case pmOther:
+					if !pass.Facts.Has(fn, factPFClean) {
+						ok = false
+					}
+				default:
+					// Stores (the loop-carried-dirty rule), durability
+					// barriers, locks, spec ops: refuse.
+					ok = false
+				}
+				return ok
+			})
+			if !ok {
+				return
+			}
+		}
+	}
+	if len(fences) != 1 || len(flushes) > 1 {
+		return
+	}
+	fence := fences[0]
+	fenceIdx := fhStmtIndex(body.List, fence)
+	if fenceIdx < 0 {
+		return // not a direct statement of the loop body
+	}
+	fenceStmt := body.List[fenceIdx].(*ast.ExprStmt)
+
+	var flushStmt *ast.ExprStmt
+	if len(flushes) == 1 {
+		// The pair form: a loop-invariant flush immediately before the
+		// fence hoists with it; any other flush placement refuses.
+		idx := fhStmtIndex(body.List, flushes[0])
+		if idx != fenceIdx-1 {
+			return
+		}
+		flushStmt = body.List[idx].(*ast.ExprStmt)
+		if !fhInvariant(info, loopStmt, flushes[0]) {
+			return
+		}
+	}
+	if !fhInvariant(info, loopStmt, fence) {
+		return
+	}
+
+	// Build the atomic edit group: delete the in-loop statement(s),
+	// insert the same text after the loop.
+	fset := pass.Fset
+	indent := strings.Repeat("\t", fset.Position(loopStmt.Pos()).Column-1)
+	text := "\n" + indent + renderNode(fset, fenceStmt)
+	what := "fence"
+	if flushStmt != nil {
+		text = "\n" + indent + renderNode(fset, flushStmt) + text
+		what = "flush+fence pair"
+	}
+	sp, ep := fset.Position(fenceStmt.Pos()), fset.Position(fenceStmt.End())
+	edit := &SuggestedEdit{
+		File:      sp.Filename,
+		Start:     sp.Offset,
+		End:       ep.Offset,
+		StartLine: sp.Line,
+		EndLine:   ep.Line,
+	}
+	if flushStmt != nil {
+		s, e := fset.Position(flushStmt.Pos()), fset.Position(flushStmt.End())
+		edit.Also = append(edit.Also, &SuggestedEdit{
+			File:      s.Filename,
+			Start:     s.Offset,
+			End:       e.Offset,
+			StartLine: s.Line,
+			EndLine:   e.Line,
+		})
+	}
+	ip := fset.Position(loopStmt.End())
+	edit.Also = append(edit.Also, &SuggestedEdit{
+		File:      ip.Filename,
+		Start:     ip.Offset,
+		End:       ip.Offset,
+		StartLine: ip.Line,
+		EndLine:   ip.Line,
+		NewText:   text,
+	})
+	pass.ReportEdit(fence.Pos(), edit,
+		"loop-invariant %s hoists out of the loop body: no PM persist inside the loop, so one barrier after it orders the same persists", what)
+}
+
+// fhStmtIndex finds the body-list index of the ExprStmt wrapping call,
+// or -1 when the call is nested deeper.
+func fhStmtIndex(list []ast.Stmt, call *ast.CallExpr) int {
+	for i, st := range list {
+		if es, ok := st.(*ast.ExprStmt); ok && ast.Unparen(es.X) == call {
+			return i
+		}
+	}
+	return -1
+}
+
+// fhInvariant reports that every identifier the call reads resolves to
+// an object declared outside the loop statement (init clause included)
+// and never assigned anywhere inside it (post clause included) —
+// moving the call past the loop cannot change its operands.
+func fhInvariant(info *types.Info, loop ast.Stmt, call *ast.CallExpr) bool {
+	var objs []types.Object
+	ast.Inspect(call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+		return true
+	})
+	for _, obj := range objs {
+		if p := obj.Pos(); p >= loop.Pos() && p < loop.End() {
+			return false // declared inside the loop
+		}
+	}
+	mutated := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		var targets []ast.Expr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			targets = n.Lhs
+		case *ast.IncDecStmt:
+			targets = []ast.Expr{n.X}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				targets = []ast.Expr{n.X}
+			}
+		case *ast.RangeStmt:
+			targets = []ast.Expr{n.Key, n.Value}
+		}
+		for _, tgt := range targets {
+			if tgt == nil {
+				continue
+			}
+			id, ok := ast.Unparen(tgt).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			tobj := info.Uses[id]
+			if tobj == nil {
+				tobj = info.Defs[id]
+			}
+			for _, obj := range objs {
+				if tobj != nil && tobj == obj {
+					mutated = true
+				}
+			}
+		}
+		return !mutated
+	})
+	return !mutated
+}

@@ -23,6 +23,13 @@ type SuggestedEdit struct {
 	StartLine int    `json:"start_line"`
 	EndLine   int    `json:"end_line"`
 	NewText   string `json:"new_text"`
+	// Also carries companion edits that must apply atomically with
+	// this one — a fence hoist is a deletion inside the loop plus an
+	// insertion after it, and applying either half alone would change
+	// semantics. Companions live in the same file as the primary edit
+	// and carry no diagnostics of their own; if any member of the
+	// group cannot apply, the whole group is skipped.
+	Also []*SuggestedEdit `json:"also,omitempty"`
 }
 
 // ReportEdit records a diagnostic carrying a suggested edit (which may
@@ -75,34 +82,103 @@ func CollectEdits(diags []Diagnostic) map[string][]*SuggestedEdit {
 	return out
 }
 
-// ApplyEdits applies edits to one file's contents. Edits are applied
-// last-to-first; a deletion whose line remainder is blank swallows the
-// whole line. Overlapping edits fall back to their exact spans, and an
-// edit that still overlaps a later one is skipped (reported in the
-// returned count as not applied).
+// ApplyEdits applies edits to one file's contents and reports how many
+// of them (edit groups: a primary edit plus its Also companions counts
+// once) were applied. Compatibility wrapper over ApplyEditsDetailed.
 func ApplyEdits(src []byte, edits []*SuggestedEdit) (out []byte, applied int, err error) {
-	sorted := append([]*SuggestedEdit{}, edits...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start > sorted[j].Start })
-	out = append([]byte{}, src...)
-	lowWater := len(src) + 1 // start of the last-applied region
-	for _, e := range sorted {
-		if e.Start < 0 || e.End > len(src) || e.Start > e.End {
-			return nil, applied, fmt.Errorf("analysis: edit %d:%d out of range for %d-byte file", e.Start, e.End, len(src))
+	out, ap, _, err := ApplyEditsDetailed(src, edits)
+	return out, len(ap), err
+}
+
+// groupMember pairs one edit (primary or companion) with its group.
+type groupMember struct {
+	e     *SuggestedEdit
+	group int
+}
+
+// ApplyEditsDetailed applies edits to one file's contents. Each edit
+// and its Also companions form an atomic group: either every member
+// applies or the whole group is skipped. Members are applied
+// last-to-first; a deletion whose line remainder is blank swallows the
+// whole line. A group any member of which overlaps an already-applied
+// region is skipped, the overlap re-simulated from scratch (a dropped
+// group frees its ranges), and the primary edits of skipped groups are
+// returned so callers can account for unapplied suggestions instead of
+// silently dropping them.
+func ApplyEditsDetailed(src []byte, edits []*SuggestedEdit) (out []byte, applied, skipped []*SuggestedEdit, err error) {
+	var members []groupMember
+	for g, e := range edits {
+		for _, m := range append([]*SuggestedEdit{e}, e.Also...) {
+			if m.Start < 0 || m.End > len(src) || m.Start > m.End {
+				return nil, nil, nil, fmt.Errorf("analysis: edit %d:%d out of range for %d-byte file", m.Start, m.End, len(src))
+			}
+			members = append(members, groupMember{e: m, group: g})
 		}
+	}
+	sort.SliceStable(members, func(i, j int) bool {
+		a, b := members[i].e, members[j].e
+		if a.Start != b.Start {
+			return a.Start > b.Start
+		}
+		if a.End != b.End {
+			return a.End > b.End
+		}
+		return a.NewText < b.NewText
+	})
+
+	// span resolves one member's effective range under the current low
+	// water mark (whole-line expansion for deletions).
+	span := func(e *SuggestedEdit, lowWater int) (int, int) {
 		start, end := e.Start, e.End
-		if e.NewText == "" {
+		if e.NewText == "" && start != end {
 			if ws, we, ok := wholeLines(src, start, end); ok && we <= lowWater {
 				start, end = ws, we
 			}
 		}
-		if end > lowWater {
-			continue // overlaps an already-applied edit: skip
-		}
-		out = append(out[:start], append([]byte(e.NewText), out[end:]...)...)
-		lowWater = start
-		applied++
+		return start, end
 	}
-	return out, applied, nil
+
+	// Conflict fixpoint: drop the first group that overlaps, then
+	// re-simulate — a dropped group's ranges no longer block others.
+	dropped := make([]bool, len(edits))
+	for {
+		lowWater := len(src) + 1
+		newDrop := -1
+		for _, m := range members {
+			if dropped[m.group] {
+				continue
+			}
+			start, end := span(m.e, lowWater)
+			if end > lowWater {
+				newDrop = m.group
+				break
+			}
+			lowWater = start
+		}
+		if newDrop < 0 {
+			break
+		}
+		dropped[newDrop] = true
+	}
+
+	out = append([]byte{}, src...)
+	lowWater := len(src) + 1
+	for _, m := range members {
+		if dropped[m.group] {
+			continue
+		}
+		start, end := span(m.e, lowWater)
+		out = append(out[:start], append([]byte(m.e.NewText), out[end:]...)...)
+		lowWater = start
+	}
+	for g, e := range edits {
+		if dropped[g] {
+			skipped = append(skipped, e)
+		} else {
+			applied = append(applied, e)
+		}
+	}
+	return out, applied, skipped, nil
 }
 
 // wholeLines expands [start, end) to cover its full source lines

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"sort"
+
+	"pmemspec/internal/analysis/dataflow"
+)
+
+// FlushCoalesce is the flush-coalescing optimizer: consecutive
+// Model.Flush statements of the same base whose constant byte ranges
+// form one contiguous interval collapse into a single covering flush.
+// On the flush-annotated designs (IntelX86, DPO) every Flush issues one
+// CLWB per touched cache block, so eight 8-byte flushes of one 64-byte
+// record cost eight store-queue slots and eight issue latencies where
+// one line-width flush costs one; on the buffered designs Flush is a
+// no-op and the merge is trivially neutral — the PMEM-Spec cost
+// asymmetry in miniature.
+//
+// The claim is deliberately narrow. A run must be consecutive
+// statements in one statement list, calling the same Flush method on
+// the same receiver with the same thread argument, each with a
+// resolver-canonical base, constant offset, and constant positive
+// size; the sorted intervals must be gap-free. The merge is refused
+// whenever the abstract persist state recorded at the first flush
+// (persistflow's observe replay) shows any same-base location with a
+// symbolic offset or an Unstable state inside the union — exactly the
+// trichotomy WithFlush uses, because maybe-coverage must never feed an
+// edit. Runs where one member already covers the whole union are
+// redundantbarrier's claim, not a coalesce.
+var FlushCoalesce = &Analyzer{
+	Name: "flushcoalesce",
+	Doc:  "merge adjacent same-epoch constant-range flushes into one cache-line-width flush",
+	Run:  runFlushCoalesce,
+}
+
+func runFlushCoalesce(pass *Pass) error {
+	if !pathHasAny(pass.Pkg.Path, "/internal/workload", "/internal/fatomic", "/analysis/testdata") {
+		return nil
+	}
+	decls := funcDecls(pass.Pkg)
+	pfSummarize(pass, decls)
+	for _, fd := range decls {
+		if pass.SuppressedAt(fd.decl.Pos()) {
+			continue
+		}
+		w := newPFWalker(pass, pfModeObserve)
+		w.flushPre = map[token.Pos]dataflow.PMState{}
+		w.analyze(fd.decl.Body, signatureOf(fd.obj))
+		fc := &fcScanner{pass: pass, res: w.res, pre: w.flushPre}
+		ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				fc.scan(n.List)
+			case *ast.CaseClause:
+				fc.scan(n.Body)
+			case *ast.CommClause:
+				fc.scan(n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fcFlush is one coalescable-shaped flush statement: a standalone
+// Model.Flush call with canonical base, constant offset, and constant
+// positive size.
+type fcFlush struct {
+	stmt      *ast.ExprStmt
+	call      *ast.CallExpr
+	key       string // fun text + thread arg text + canonical base
+	base      string
+	off, size int64
+	addr      ast.Expr // the address operand (for rendering the merge)
+}
+
+type fcScanner struct {
+	pass *Pass
+	res  *dataflow.Resolver
+	pre  map[token.Pos]dataflow.PMState
+}
+
+// parse classifies one statement, returning nil unless it is a
+// coalescable-shaped flush.
+func (fc *fcScanner) parse(st ast.Stmt) *fcFlush {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	op := classifyPMOp(calleeOf(fc.pass.Pkg.Info, call))
+	// CLWB is excluded: its covered range depends on the address's
+	// block alignment, which the canonical offset cannot prove.
+	if op.Kind != pmFlush || !op.Removable || op.SizeArg < 0 ||
+		op.AddrArg >= len(call.Args) || op.SizeArg >= len(call.Args) {
+		return nil
+	}
+	size := flushSize(fc.pass.Pkg.Info, call, op)
+	if size <= 0 {
+		return nil
+	}
+	l := fc.res.Loc(call.Args[op.AddrArg])
+	off, ok := dataflow.OffConst(l.Off)
+	if !ok || l.Base == "" {
+		return nil
+	}
+	return &fcFlush{
+		stmt: es,
+		call: call,
+		key:  exprString(call.Fun) + "\x00" + exprString(call.Args[0]) + "\x00" + l.Base,
+		base: l.Base,
+		off:  off,
+		size: size,
+		addr: call.Args[op.AddrArg],
+	}
+}
+
+// scan finds maximal runs of consecutive same-key flushes in one
+// statement list and reports each contiguous group of ≥ 2.
+func (fc *fcScanner) scan(list []ast.Stmt) {
+	for i := 0; i < len(list); {
+		first := fc.parse(list[i])
+		if first == nil {
+			i++
+			continue
+		}
+		run := []*fcFlush{first}
+		j := i + 1
+		for ; j < len(list); j++ {
+			next := fc.parse(list[j])
+			if next == nil || next.key != first.key {
+				break
+			}
+			run = append(run, next)
+		}
+		if len(run) >= 2 {
+			fc.report(run)
+		}
+		i = j
+	}
+}
+
+// report splits one run into interval-contiguous groups and emits a
+// merge suggestion per group that survives the refusal rules.
+func (fc *fcScanner) report(run []*fcFlush) {
+	byOff := append([]*fcFlush{}, run...)
+	sort.SliceStable(byOff, func(i, j int) bool { return byOff[i].off < byOff[j].off })
+	for gs := 0; gs < len(byOff); {
+		ge := gs + 1
+		end := byOff[gs].off + byOff[gs].size
+		for ; ge < len(byOff) && byOff[ge].off <= end; ge++ {
+			if e := byOff[ge].off + byOff[ge].size; e > end {
+				end = e
+			}
+		}
+		fc.reportGroup(byOff[gs:ge], byOff[gs].off, end)
+		gs = ge
+	}
+}
+
+func (fc *fcScanner) reportGroup(grp []*fcFlush, start, end int64) {
+	if len(grp) < 2 {
+		return
+	}
+	for _, f := range grp {
+		if f.off == start && f.off+f.size == end {
+			// One member already covers the union: the others are
+			// redundant flushes (redundantbarrier's claim), not a merge.
+			return
+		}
+	}
+	// Anchor at the group's first statement in source order; the merged
+	// flush replaces it and the other members are deleted with it.
+	bySrc := append([]*fcFlush{}, grp...)
+	sort.SliceStable(bySrc, func(i, j int) bool { return bySrc[i].stmt.Pos() < bySrc[j].stmt.Pos() })
+	anchor := bySrc[0]
+	pre, ok := fc.pre[anchor.call.Pos()]
+	if !ok {
+		return // no recorded state (nested literal / unreached): refuse
+	}
+	// Refusal trichotomy, mirroring WithFlush: a same-base location with
+	// a symbolic offset might be inside the union (indeterminate), and an
+	// Unstable location inside it must not feed an edit.
+	for _, l := range pre.SortedLocs() {
+		if l.Base != anchor.base {
+			continue
+		}
+		off, okOff := dataflow.OffConst(l.Off)
+		if !okOff {
+			return
+		}
+		if off >= start && off < end &&
+			(pre.Locs[l].Unstable || pre.Locs[l].S == dataflow.PSTop) {
+			return
+		}
+	}
+	minAddr := grp[0] // grp is sorted by offset; grp[0] holds the lowest address
+	fun, thread := renderNode(fc.pass.Fset, anchor.call.Fun), renderNode(fc.pass.Fset, anchor.call.Args[0])
+	merged := fmt.Sprintf("%s(%s, %s, %d)", fun, thread, renderNode(fc.pass.Fset, minAddr.addr), end-start)
+	sp, ep := fc.pass.Fset.Position(anchor.stmt.Pos()), fc.pass.Fset.Position(anchor.stmt.End())
+	edit := &SuggestedEdit{
+		File:      sp.Filename,
+		Start:     sp.Offset,
+		End:       ep.Offset,
+		StartLine: sp.Line,
+		EndLine:   ep.Line,
+		NewText:   merged,
+	}
+	for _, f := range bySrc[1:] {
+		s, e := fc.pass.Fset.Position(f.stmt.Pos()), fc.pass.Fset.Position(f.stmt.End())
+		edit.Also = append(edit.Also, &SuggestedEdit{
+			File:      s.Filename,
+			Start:     s.Offset,
+			End:       e.Offset,
+			StartLine: s.Line,
+			EndLine:   e.Line,
+		})
+	}
+	fc.pass.ReportEdit(anchor.call.Pos(), edit,
+		"%d contiguous flushes of %s coalesce into one %d-byte flush (same coverage, one cache-line pass)",
+		len(grp), anchor.base, end-start)
+}
+
+// renderNode prints one AST node back to source text.
+func renderNode(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

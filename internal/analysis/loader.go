@@ -11,7 +11,22 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// depCache shares type-checked non-module packages (in practice: the
+// stdlib) across Loader instances within one process. Dependencies are
+// immutable for the life of an invocation and checked signatures-only,
+// so the second and later loaders — the opt driver re-analyzes edited
+// trees with fresh loaders — skip the stdlib entirely. All loaders
+// share one FileSet so cached positions stay consistent; module
+// packages are never cached (their sources are exactly what fix loops
+// rewrite between loads).
+var depCache = struct {
+	mu   sync.Mutex
+	fset *token.FileSet
+	pkgs map[string]*Package
+}{fset: token.NewFileSet(), pkgs: map[string]*Package{}}
 
 // Package is one type-checked package: the unit analyzers operate on.
 type Package struct {
@@ -60,7 +75,7 @@ func NewLoader(moduleDir string) (*Loader, error) {
 	ctx := build.Default
 	ctx.CgoEnabled = false // pure-Go file selection everywhere
 	return &Loader{
-		Fset:       token.NewFileSet(),
+		Fset:       depCache.fset,
 		ctx:        ctx,
 		modulePath: modPath,
 		moduleDir:  abs,
@@ -219,6 +234,16 @@ func (l *Loader) load(path string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !inModule {
+		depCache.mu.Lock()
+		cached := depCache.pkgs[path]
+		depCache.mu.Unlock()
+		if cached != nil {
+			l.pkgs[path] = cached
+			l.order = append(l.order, cached)
+			return cached, nil
+		}
+	}
 	bp, err := l.ctx.ImportDir(dir, 0)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: %s: %w", path, err)
@@ -259,6 +284,11 @@ func (l *Loader) load(path string) (*Package, error) {
 	pkg := &Package{Path: path, Dir: dir, InModule: inModule, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = pkg
 	l.order = append(l.order, pkg)
+	if !inModule {
+		depCache.mu.Lock()
+		depCache.pkgs[path] = pkg
+		depCache.mu.Unlock()
+	}
 	return pkg, nil
 }
 

@@ -197,6 +197,10 @@ const (
 	pfModeDiscipline
 	// pfModeOptimize: redundantbarrier's redundancy claims.
 	pfModeOptimize
+	// pfModeObserve: no reports at all — the walker only records
+	// per-flush-site pre-states into flushPre for flushcoalesce's
+	// refusal oracle.
+	pfModeObserve
 )
 
 // pfWalker analyzes one function declaration (and its nested literals)
@@ -223,6 +227,14 @@ type pfWalker struct {
 	anyUnknownSink *bool
 	flushedParams  map[int]bool
 	flushedRecv    bool
+
+	// flushPre, when non-nil, collects the abstract state immediately
+	// BEFORE each flush call reached during the replay (keyed by call
+	// position) — flushcoalesce consults it to refuse merges over
+	// Unstable or symbolically-offset same-base locations. Flushes
+	// inside nested literals run under a fresh walker and are not
+	// recorded, so coalescing conservatively refuses there.
+	flushPre map[token.Pos]dataflow.PMState
 
 	reported map[token.Pos]bool
 }
@@ -455,6 +467,9 @@ func (t *pfTransfer) call(call *ast.CallExpr, top ast.Node, s dataflow.PMState) 
 		}
 		l := w.res.Loc(call.Args[op.AddrArg])
 		w.noteFlush(l)
+		if t.report && w.flushPre != nil {
+			w.flushPre[call.Pos()] = s
+		}
 		ns, eff := s.WithFlush(l, flushSize(w.info, call, op), call.Pos())
 		if t.report && w.mode == pfModeOptimize && eff.Redundant && op.Removable {
 			w.reportEdit(call.Pos(), w.pass.deleteStmtEdit(top, call),

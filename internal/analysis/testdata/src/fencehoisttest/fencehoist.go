@@ -1,0 +1,141 @@
+// Package fencehoisttest is the fencehoist golden fixture: each
+// // want comment names a substring of the diagnostic the analyzer
+// must report on that line; the refusal cases (loop-carried dirty
+// stores, conditional fences, durability barriers, variant operands,
+// escaping control flow) are verified by their silence.
+package fencehoisttest
+
+import (
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/persist"
+)
+
+// hook is an opaque call target.
+var hook func(*machine.Thread)
+
+// scanLoop: the naive reader fences after every load; nothing in the
+// body persists, so one fence after the loop orders the same set.
+func scanLoop(t *machine.Thread, m persist.Model, a mem.Addr, n int) uint64 {
+	sum := uint64(0)
+	for k := 0; k < n; k++ {
+		sum += t.LoadU64(a)
+		m.OrderBarrier(t) // want "hoist"
+	}
+	return sum
+}
+
+// pairLoop: a loop-invariant flush immediately before the fence
+// hoists with it as one atomic pair.
+func pairLoop(t *machine.Thread, m persist.Model, a mem.Addr, n int) uint64 {
+	sum := uint64(0)
+	for k := 0; k < n; k++ {
+		sum += t.LoadU64(a)
+		m.Flush(t, a, 8)
+		m.OrderBarrier(t) // want "hoist"
+	}
+	return sum
+}
+
+// rangeLoop: range loops hoist the same way.
+func rangeLoop(t *machine.Thread, m persist.Model, n int) {
+	for range make([]int, n) {
+		t.Work(10)
+		m.OrderBarrier(t) // want "hoist"
+	}
+}
+
+// storeRefused is the loop-carried-dirty rule: each iteration's fence
+// orders that iteration's persist before the next iteration's store —
+// hoisting would merge every epoch into one. Silent.
+func storeRefused(t *machine.Thread, m persist.Model, a mem.Addr, n int) {
+	for k := 0; k < n; k++ {
+		t.StoreU64(a, uint64(k))
+		m.Flush(t, a, 8)
+		m.OrderBarrier(t)
+	}
+}
+
+// condFenceRefused: a fence that only some iterations execute is not a
+// direct loop statement and stays put. Silent.
+func condFenceRefused(t *machine.Thread, m persist.Model, a mem.Addr, n int) uint64 {
+	sum := uint64(0)
+	for k := 0; k < n; k++ {
+		sum += t.LoadU64(a)
+		if k == 0 {
+			m.OrderBarrier(t)
+		}
+	}
+	return sum
+}
+
+// durableRefused: delaying a durability barrier to after the loop is
+// observable (the thread would no longer stall per iteration before
+// durability). Silent.
+func durableRefused(t *machine.Thread, m persist.Model, a mem.Addr, n int) uint64 {
+	sum := uint64(0)
+	for k := 0; k < n; k++ {
+		sum += t.LoadU64(a)
+		m.DurableBarrier(t)
+	}
+	return sum
+}
+
+// variantFlushRefused: the flush's address depends on the loop
+// variable — not invariant, no pair hoist. Silent.
+func variantFlushRefused(t *machine.Thread, m persist.Model, a mem.Addr, n int) uint64 {
+	sum := uint64(0)
+	for k := 0; k < n; k++ {
+		sum += t.LoadU64(a)
+		m.Flush(t, a+mem.Addr(k)*8, 8)
+		m.OrderBarrier(t)
+	}
+	return sum
+}
+
+// opaqueCallRefused: a call with unseeable effects may persist. Silent.
+func opaqueCallRefused(t *machine.Thread, m persist.Model, n int) {
+	for k := 0; k < n; k++ {
+		hook(t)
+		m.OrderBarrier(t)
+	}
+}
+
+// returnRefused: a return inside the body leaves the loop without
+// reaching the hoisted fence. Silent.
+func returnRefused(t *machine.Thread, m persist.Model, a mem.Addr, n int) uint64 {
+	for k := 0; k < n; k++ {
+		if t.LoadU64(a) == 0 {
+			return 0
+		}
+		m.OrderBarrier(t)
+	}
+	return 1
+}
+
+// labeledBreakRefused: a labeled break bypasses the insertion point.
+// Silent.
+func labeledBreakRefused(t *machine.Thread, m persist.Model, a mem.Addr, n int) {
+outer:
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			if t.LoadU64(a) == uint64(j) {
+				break outer
+			}
+		}
+		m.OrderBarrier(t)
+	}
+}
+
+// twoFencesRefused: two fences per iteration is not the
+// one-invariant-fence shape (and is redundantbarrier's business
+// anyway). Silent.
+func twoFencesRefused(t *machine.Thread, m persist.Model, a mem.Addr, n int) uint64 {
+	sum := uint64(0)
+	for k := 0; k < n; k++ {
+		sum += t.LoadU64(a)
+		m.OrderBarrier(t)
+		m.OrderBarrier(t)
+	}
+	return sum
+}

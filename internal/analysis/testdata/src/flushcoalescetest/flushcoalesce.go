@@ -1,0 +1,132 @@
+// Package flushcoalescetest is the flushcoalesce golden fixture: each
+// // want comment names a substring of the diagnostic the analyzer
+// must report on that line; lines without one must stay silent —
+// the refusal cases (gaps, unstable locations, symbolic offsets,
+// already-covering members) are verified by that silence.
+package flushcoalescetest
+
+import (
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/persist"
+)
+
+// hook is an opaque call target: calls through it have unseeable
+// effects and poison the abstract state.
+var hook func(*machine.Thread)
+
+// pairMerge: two adjacent 8-byte flushes covering one contiguous
+// 16-byte range merge into one flush.
+func pairMerge(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	t.StoreU64(a+8, 2)
+	m.Flush(t, a, 8) // want "coalesce"
+	m.Flush(t, a+8, 8)
+	m.OrderBarrier(t)
+	m.DurableBarrier(t)
+}
+
+// recordMerge: the motivating shape — eight word flushes of one
+// 64-byte record collapse to a single line-width flush.
+func recordMerge(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	t.StoreU64(a+8, 2)
+	t.StoreU64(a+16, 3)
+	t.StoreU64(a+24, 4)
+	m.Flush(t, a, 8) // want "coalesce"
+	m.Flush(t, a+8, 8)
+	m.Flush(t, a+16, 8)
+	m.Flush(t, a+24, 8)
+	m.OrderBarrier(t)
+	m.DurableBarrier(t)
+}
+
+// outOfOrderMerge: source order need not match address order; the
+// merged flush anchors at the first statement but starts at the
+// lowest address.
+func outOfOrderMerge(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	t.StoreU64(a+8, 2)
+	m.Flush(t, a+8, 8) // want "coalesce"
+	m.Flush(t, a, 8)
+	m.OrderBarrier(t)
+	m.DurableBarrier(t)
+}
+
+// gapRefused: [0,8) and [16,24) leave a hole — merging would flush
+// bytes the program never asked to persist in this epoch. Silent.
+func gapRefused(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	t.StoreU64(a+16, 2)
+	m.Flush(t, a, 8)
+	m.Flush(t, a+16, 8)
+	m.OrderBarrier(t)
+	m.DurableBarrier(t)
+}
+
+// unstableRefused: the opaque call between the stores and the flushes
+// marks every tracked location Unstable, and no edit may rest on an
+// unstable state. Silent.
+func unstableRefused(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	t.StoreU64(a+8, 2)
+	hook(t)
+	m.Flush(t, a, 8)
+	m.Flush(t, a+8, 8)
+	m.OrderBarrier(t)
+	m.DurableBarrier(t)
+}
+
+// symbolicRefused: a same-base store at a symbolic offset might land
+// inside the union — indeterminate coverage refuses the merge. Silent.
+func symbolicRefused(t *machine.Thread, m persist.Model, a mem.Addr, off mem.Addr) {
+	t.StoreU64(a+off, 1)
+	m.Flush(t, a, 8)
+	m.Flush(t, a+8, 8)
+	m.OrderBarrier(t)
+	m.DurableBarrier(t)
+}
+
+// coveredRefused: the first flush already spans the union, so the
+// second is a redundant flush (redundantbarrier's claim), not a
+// coalesce. Silent.
+func coveredRefused(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	t.StoreU64(a+8, 2)
+	m.Flush(t, a, 16)
+	m.Flush(t, a+8, 8)
+	m.OrderBarrier(t)
+	m.DurableBarrier(t)
+}
+
+// differentBaseRefused: flushes of unrelated bases never form a run.
+// Silent.
+func differentBaseRefused(t *machine.Thread, m persist.Model, a, b mem.Addr) {
+	t.StoreU64(a, 1)
+	t.StoreU64(b, 2)
+	m.Flush(t, a, 8)
+	m.Flush(t, b, 8)
+	m.OrderBarrier(t)
+	m.DurableBarrier(t)
+}
+
+// nonConstSizeRefused: a flush whose length is not a compile-time
+// constant has no provable interval. Silent.
+func nonConstSizeRefused(t *machine.Thread, m persist.Model, a mem.Addr, n int) {
+	t.StoreU64(a, 1)
+	m.Flush(t, a, n)
+	m.Flush(t, a+8, 8)
+	m.OrderBarrier(t)
+	m.DurableBarrier(t)
+}
+
+// interveningStmtRefused: a non-flush statement between the flushes
+// breaks the run — only strictly consecutive flushes coalesce. Silent.
+func interveningStmtRefused(t *machine.Thread, m persist.Model, a mem.Addr) {
+	t.StoreU64(a, 1)
+	m.Flush(t, a, 8)
+	t.StoreU64(a+8, 2)
+	m.Flush(t, a+8, 8)
+	m.OrderBarrier(t)
+	m.DurableBarrier(t)
+}

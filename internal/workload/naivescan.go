@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+
+	"pmemspec/internal/fatomic"
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+)
+
+// NaiveScan is a deliberately unoptimized publish-then-scan kernel:
+// each operation durably publishes the thread's own version slot, then
+// validates the whole slot array with a fence after every probe —
+// re-flushing a loop-invariant progress cursor each time. The scan
+// body performs no PM store, so the per-iteration flush+fence pair is
+// loop-invariant and hoists to a single pair after the loop (the
+// fencehoist claim); on the flush-annotated designs that removes one
+// store-queue drain stall per probe. The kernel is correct on every
+// design before and after the rewrite.
+type NaiveScan struct {
+	threads int
+	ops     int
+	slots   mem.Addr // one version slot per thread, one block apart
+	cursor  mem.Addr // scan progress marker (one word)
+}
+
+// NewNaiveScan returns the benchmark.
+func NewNaiveScan() *NaiveScan { return &NaiveScan{} }
+
+// Name implements Workload.
+func (w *NaiveScan) Name() string { return "naivescan" }
+
+// Description implements Workload.
+func (w *NaiveScan) Description() string {
+	return "Unoptimized publish-then-scan (fence per probe in a persist-free loop)"
+}
+
+// MemBytes implements Workload.
+func (w *NaiveScan) MemBytes(p Params) uint64 {
+	return fatomic.HeapReserve(p.Threads) + uint64(p.Threads+1)*mem.BlockSize + 8<<20
+}
+
+// Setup implements Workload: zero every slot and the cursor.
+func (w *NaiveScan) Setup(e *Env, t *machine.Thread) {
+	w.threads = e.P.Threads
+	w.ops = e.P.Ops
+	w.slots = e.Heap.AllocBlock(uint64(w.threads) * mem.BlockSize)
+	w.cursor = e.Heap.AllocBlock(mem.BlockSize)
+	for tid := 0; tid < w.threads; tid++ {
+		t.StoreU64(w.slotAddr(tid), 0)
+		setupFlush(e, t, w.slotAddr(tid), 8)
+	}
+	t.StoreU64(w.cursor, 0)
+	setupFlush(e, t, w.cursor, 8)
+	setupCommit(e, t)
+}
+
+func (w *NaiveScan) slotAddr(tid int) mem.Addr {
+	return w.slots + mem.Addr(tid)*mem.BlockSize
+}
+
+// Run implements Workload: durably publish, then fence-per-probe scan.
+func (w *NaiveScan) Run(e *Env, t *machine.Thread, tid int) {
+	m := e.RT.Model()
+	slot := w.slotAddr(tid)
+	total := uint64(0)
+	for op := 0; op < e.P.Ops; op++ {
+		t.StoreU64(slot, uint64(op+1))
+		m.Flush(t, slot, 8)
+		m.DurableBarrier(t)
+		t.StoreU64(w.cursor, uint64(op))
+		for k := 0; k < w.threads; k++ {
+			total += t.LoadU64(w.slotAddr(k))
+			m.Flush(t, w.cursor, 8)
+			m.OrderBarrier(t)
+		}
+		t.Work(10) // think time between rounds
+	}
+	_ = total
+	// Make the final cursor value durable on every path (a
+	// zero-iteration scan leaves it dirty otherwise).
+	m.Flush(t, w.cursor, 8)
+	m.DurableBarrier(t)
+}
+
+// Verify implements Workload: every slot must hold a value its owner
+// could have published (a monotone counter, at most Ops), and the
+// cursor must be a round index. After a crash completedOps is unknown
+// (0) and these bounds are the whole invariant.
+func (w *NaiveScan) Verify(img *mem.Image, completedOps uint64) error {
+	buf := make([]byte, 8)
+	for tid := 0; tid < w.threads; tid++ {
+		img.Read(w.slotAddr(tid), buf)
+		if v := getU64(buf); v > uint64(w.ops) {
+			return fmt.Errorf("naivescan: slot %d holds version %d, beyond the %d ops its owner ran", tid, v, w.ops)
+		}
+	}
+	img.Read(w.cursor, buf)
+	if v := getU64(buf); w.ops > 0 && v >= uint64(w.ops) {
+		return fmt.Errorf("naivescan: cursor %d out of range (ops %d)", v, w.ops)
+	}
+	return nil
+}

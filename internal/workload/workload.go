@@ -126,6 +126,10 @@ func ByName(name string) (Workload, error) {
 		return NewTPCCMix(), nil
 	case "tatp-mix":
 		return NewTATPMix(), nil
+	case "naivelog":
+		return NewNaiveLog(), nil
+	case "naivescan":
+		return NewNaiveScan(), nil
 	}
 	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
 }
