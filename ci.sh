@@ -149,6 +149,34 @@ if [ "${QUICK:-0}" != "1" ]; then
 	go run ./cmd/pmemspec-ci opt-check -report /tmp/pmemspec-opt-report.json
 fi
 
+echo "== litmus campaign (persist-order lattice vs simulator, budgeted) =="
+# Differential validation of the static persist-order lattice: every
+# corpus pattern is folded to a per-design ORDERED/UNORDERED verdict and
+# executed under boundary-aligned crash points; a recovered image that
+# contradicts an ORDERED claim fails the stage. QUICK runs a
+# deterministic corpus subsample with capped crash points per cell; the
+# full (nightly) pass sweeps all patterns and gates on the full corpus
+# floor. The binary is built outside the timed window so the budget
+# measures simulation, not compilation.
+LITMUS_BUDGET_S=${LITMUS_BUDGET_S:-900}
+go build -o /tmp/pmemspec-litmus ./cmd/pmemspec-litmus
+litmus_start=$(date +%s)
+if [ "${QUICK:-0}" = "1" ]; then
+	/tmp/pmemspec-litmus -quick -report /tmp/pmemspec-litmus.json
+	litmus_min_patterns=8
+else
+	/tmp/pmemspec-litmus -points 12 -report /tmp/pmemspec-litmus.json
+	litmus_min_patterns=40
+fi
+litmus_elapsed=$(( $(date +%s) - litmus_start ))
+echo "pmemspec-litmus: ${litmus_elapsed}s (budget ${LITMUS_BUDGET_S}s)"
+if [ "$litmus_elapsed" -gt "$LITMUS_BUDGET_S" ]; then
+	echo "pmemspec-litmus exceeded its ${LITMUS_BUDGET_S}s wall-clock budget"
+	exit 1
+fi
+go run ./cmd/pmemspec-ci litmus-check -report /tmp/pmemspec-litmus.json \
+	-min-patterns "$litmus_min_patterns"
+
 echo "== serve smoke (daemon over HTTP vs direct harness) =="
 # End-to-end exercise of the service layer: boot pmemspec-serve on an
 # ephemeral port, run a small grid twice over HTTP (the second pass must

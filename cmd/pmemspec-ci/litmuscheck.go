@@ -1,0 +1,102 @@
+// litmus-check: schema and gate validation of a pmemspec-litmus -json
+// report. ci.sh runs the litmus campaign, captures the report, and this
+// subcommand decides whether it constitutes a passing stage: the report
+// must parse into the full schema, cover at least the required corpus
+// and design breadth, and uphold the differential contract — zero
+// statically-ORDERED claims refuted by a crash, zero disagreements
+// between the lattice fold and the corpus truth tables, zero trial
+// failures. A campaign that stops witnessing any UNORDERED claim has
+// lost its falsification power and also fails.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pmemspec/internal/litmus"
+)
+
+func litmusCheck(args []string) int {
+	fs := flag.NewFlagSet("litmus-check", flag.ExitOnError)
+	var (
+		reportPath  = fs.String("report", "", "pmemspec-litmus -json report to validate")
+		minPatterns = fs.Int("min-patterns", 40, "minimum corpus patterns the campaign must cover")
+		minDesigns  = fs.Int("min-designs", 5, "minimum designs the campaign must cover")
+	)
+	fs.Parse(args)
+	if *reportPath == "" {
+		fmt.Fprintln(os.Stderr, "pmemspec-ci: litmus-check: -report is required")
+		return 2
+	}
+	data, err := os.ReadFile(*reportPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmemspec-ci: litmus-check:", err)
+		return 2
+	}
+	var rep litmus.Report
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		fmt.Fprintf(os.Stderr, "pmemspec-ci: litmus-check: report does not match the schema: %v\n", err)
+		return 1
+	}
+
+	fail := 0
+	if rep.Patterns < *minPatterns {
+		fmt.Fprintf(os.Stderr, "litmus-check: %d patterns covered, want >= %d\n", rep.Patterns, *minPatterns)
+		fail++
+	}
+	if rep.Designs < *minDesigns {
+		fmt.Fprintf(os.Stderr, "litmus-check: %d designs covered, want >= %d\n", rep.Designs, *minDesigns)
+		fail++
+	}
+	if want := rep.Patterns * rep.Designs; len(rep.Cells) != want {
+		fmt.Fprintf(os.Stderr, "litmus-check: %d cells, want %d (patterns × designs)\n", len(rep.Cells), want)
+		fail++
+	}
+	if rep.Trials == 0 {
+		fmt.Fprintln(os.Stderr, "litmus-check: no crash trials ran")
+		fail++
+	}
+	if rep.Refuted > 0 {
+		fmt.Fprintf(os.Stderr, "litmus-check: %d ORDERED cell(s) refuted by a crash:\n", rep.Refuted)
+		for _, c := range rep.Cells {
+			if c.Refuted {
+				fmt.Fprintf(os.Stderr, "  %s/%s: %v\n", c.Pattern, c.Design, c.Failures)
+			}
+		}
+		fail++
+	}
+	if rep.Mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "litmus-check: %d cell(s) where the lattice fold disagrees with the corpus table:\n", rep.Mismatches)
+		for _, c := range rep.Cells {
+			if c.Static != c.Expected {
+				fmt.Fprintf(os.Stderr, "  %s/%s: static=%v expected=%v\n", c.Pattern, c.Design, c.Static, c.Expected)
+			}
+		}
+		fail++
+	}
+	if rep.FailedCells > 0 {
+		fmt.Fprintf(os.Stderr, "litmus-check: %d cell(s) with trial failures:\n", rep.FailedCells)
+		for _, c := range rep.Cells {
+			for _, f := range c.Failures {
+				fmt.Fprintf(os.Stderr, "  %s/%s: %s\n", c.Pattern, c.Design, f)
+			}
+		}
+		fail++
+	}
+	if rep.UnorderedCells > 0 && rep.Witnessed == 0 {
+		fmt.Fprintf(os.Stderr, "litmus-check: none of the %d UNORDERED cells was witnessed — the campaign cannot observe commit-without-data\n",
+			rep.UnorderedCells)
+		fail++
+	}
+	if fail > 0 {
+		fmt.Fprintf(os.Stderr, "litmus-check: %d problem(s)\n", fail)
+		return 1
+	}
+	fmt.Printf("litmus-check: ok (%s)\n", rep.Summary())
+	return 0
+}

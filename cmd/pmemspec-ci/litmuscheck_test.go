@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pmemspec/internal/litmus"
+)
+
+// litmusReport writes a minimal passing report to a temp file and
+// returns its path, after applying mutate.
+func litmusReport(t *testing.T, mutate func(*litmus.Report)) string {
+	t.Helper()
+	rep := litmus.Report{
+		Patterns:       40,
+		Designs:        5,
+		OrderedCells:   120,
+		UnorderedCells: 80,
+		Witnessed:      60,
+		Trials:         2000,
+	}
+	for i := 0; i < 200; i++ {
+		ordered := i < 120
+		rep.Cells = append(rep.Cells, litmus.CellResult{
+			Pattern:   "p",
+			Design:    "d",
+			Static:    ordered,
+			Expected:  ordered,
+			Points:    5,
+			Trials:    10,
+			Witnessed: !ordered && i < 180,
+		})
+	}
+	if mutate != nil {
+		mutate(&rep)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "litmus.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLitmusCheckPasses(t *testing.T) {
+	path := litmusReport(t, nil)
+	if rc := litmusCheck([]string{"-report", path}); rc != 0 {
+		t.Fatalf("litmus-check on a clean report = %d, want 0", rc)
+	}
+}
+
+func TestLitmusCheckFailsOnRefutation(t *testing.T) {
+	path := litmusReport(t, func(r *litmus.Report) {
+		r.Refuted = 1
+		r.Cells[0].Refuted = true
+		r.Cells[0].Failures = []string{"drain@10ns: ORDERED claim refuted"}
+	})
+	if rc := litmusCheck([]string{"-report", path}); rc != 1 {
+		t.Fatalf("litmus-check with a refuted cell = %d, want 1", rc)
+	}
+}
+
+func TestLitmusCheckFailsOnStaticMismatch(t *testing.T) {
+	path := litmusReport(t, func(r *litmus.Report) {
+		r.Mismatches = 1
+		r.Cells[0].Expected = !r.Cells[0].Expected
+	})
+	if rc := litmusCheck([]string{"-report", path}); rc != 1 {
+		t.Fatalf("litmus-check with a static mismatch = %d, want 1", rc)
+	}
+}
+
+func TestLitmusCheckFailsUnderMinimums(t *testing.T) {
+	path := litmusReport(t, nil)
+	if rc := litmusCheck([]string{"-report", path, "-min-patterns", "60"}); rc != 1 {
+		t.Fatalf("litmus-check under -min-patterns = %d, want 1", rc)
+	}
+	if rc := litmusCheck([]string{"-report", path, "-min-designs", "6"}); rc != 1 {
+		t.Fatalf("litmus-check under -min-designs = %d, want 1", rc)
+	}
+}
+
+func TestLitmusCheckFailsWithoutWitnesses(t *testing.T) {
+	path := litmusReport(t, func(r *litmus.Report) {
+		r.Witnessed = 0
+		for i := range r.Cells {
+			r.Cells[i].Witnessed = false
+		}
+	})
+	if rc := litmusCheck([]string{"-report", path}); rc != 1 {
+		t.Fatalf("litmus-check with zero witnesses = %d, want 1", rc)
+	}
+}
+
+func TestLitmusCheckRejectsUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"patterns":40,"bogus":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if rc := litmusCheck([]string{"-report", path}); rc != 1 {
+		t.Fatalf("litmus-check on an off-schema report = %d, want 1", rc)
+	}
+}

@@ -215,6 +215,11 @@ func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
 	for _, a := range analysis.OptAnalyzers() {
 		byName[a.Name] = a
 	}
+	valid := make([]string, 0, len(byName))
+	for name := range byName {
+		valid = append(valid, name)
+	}
+	sort.Strings(valid)
 	var out []*analysis.Analyzer
 	for _, name := range strings.Split(names, ",") {
 		name = strings.TrimSpace(name)
@@ -223,7 +228,7 @@ func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
 		}
 		a, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q", name)
+			return nil, fmt.Errorf("unknown analyzer %q (valid: %s)", name, strings.Join(valid, ", "))
 		}
 		out = append(out, a)
 	}

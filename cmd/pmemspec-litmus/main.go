@@ -1,0 +1,130 @@
+// Command pmemspec-litmus differentially validates the static
+// persist-order lattice against the simulator: it folds every corpus
+// pattern through internal/analysis/dataflow's order lattice to a
+// per-design ORDERED/UNORDERED verdict, then executes the pattern as a
+// real program under the crash harness with crash points aligned to
+// every persist boundary the run crosses. An ORDERED claim that a
+// recovered image contradicts — commit value present, data value
+// missing — refutes the lattice (or finds a simulator bug) and fails
+// the command; UNORDERED claims collect witnesses.
+//
+// Output is deterministic for a fixed configuration, independent of
+// -parallel: cells are keyed by (pattern, design) index and progress
+// goes to stderr.
+//
+// Usage:
+//
+//	pmemspec-litmus                      # full corpus, all boundaries
+//	pmemspec-litmus -quick               # CI push gate: subsampled corpus
+//	pmemspec-litmus -pattern strand -v   # one family, verbose
+//	pmemspec-litmus -json > litmus.json  # machine-readable report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pmemspec/internal/litmus"
+)
+
+func main() {
+	var (
+		designs  = flag.String("designs", "", "comma-separated design names to run (empty = all five)")
+		pattern  = flag.String("pattern", "", "run only patterns whose name contains this substring")
+		quick    = flag.Bool("quick", false, "subsampled quick campaign (10 patterns, 6 boundary instants per cell)")
+		maxPat   = flag.Int("max-patterns", 0, "stride-subsample the corpus to at most N patterns (0 = all)")
+		budget   = flag.Int("points", 0, "max persist-boundary instants per cell (0 = all)")
+		parallel = flag.Int("parallel", 0, "worker pool width (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "write the JSON report to stdout instead of the summary")
+		report   = flag.String("report", "", "write the JSON report to this file")
+		list     = flag.Bool("list", false, "list corpus patterns with their expected verdicts and exit")
+		verbose  = flag.Bool("v", false, "per-cell progress on stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		listCorpus()
+		return
+	}
+
+	opts := litmus.Options{
+		Pattern:     *pattern,
+		MaxPatterns: *maxPat,
+		PointBudget: *budget,
+		Parallel:    *parallel,
+	}
+	if *designs != "" {
+		opts.Designs = strings.Split(*designs, ",")
+	}
+	if *quick {
+		if opts.MaxPatterns == 0 {
+			opts.MaxPatterns = 10
+		}
+		if opts.PointBudget == 0 {
+			opts.PointBudget = 6
+		}
+	}
+	if *verbose {
+		opts.Progress = func(label string) { fmt.Fprintln(os.Stderr, label) }
+	}
+
+	rep := litmus.Run(opts)
+
+	if *report != "" {
+		if err := writeJSON(*report, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "pmemspec-litmus:", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "pmemspec-litmus:", err)
+			os.Exit(1)
+		}
+	} else {
+		printSummary(rep)
+	}
+	if !rep.Ok() {
+		os.Exit(1)
+	}
+}
+
+func listCorpus() {
+	fmt.Printf("%-22s %-6s %s\n", "PATTERN", "OPS", "ORDERED ON")
+	for _, p := range litmus.Corpus() {
+		names := []string{"IntelX86", "DPO", "HOPS", "StrandWeaver", "PMEM-Spec"}
+		var on []string
+		for i, e := range p.Expect {
+			if e {
+				on = append(on, names[i])
+			}
+		}
+		fmt.Printf("%-22s %-6d %s\n", p.Name, len(p.Ops), strings.Join(on, ","))
+	}
+}
+
+func printSummary(rep litmus.Report) {
+	fmt.Println(rep.Summary())
+	for _, c := range rep.Cells {
+		if c.Refuted || c.Static != c.Expected || len(c.Failures) > 0 {
+			fmt.Printf("  FAIL %s/%s: static=%v expected=%v refuted=%v\n",
+				c.Pattern, c.Design, c.Static, c.Expected, c.Refuted)
+			for _, f := range c.Failures {
+				fmt.Printf("       %s\n", f)
+			}
+		}
+	}
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

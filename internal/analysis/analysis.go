@@ -17,6 +17,13 @@
 //	                on the shared dataflow engine: missing flush/fence
 //	                through call layers, wrong-epoch stores, §6 spec
 //	                coverage of lock-protected stores
+//	persistorder    static persist-order graph per function: declared
+//	                data-before-commit-marker invariants
+//	                (//persistorder: directives) are verified on every
+//	                design's barrier lowering, with per-design
+//	                interprocedural order facts; verdicts are
+//	                differentially validated by the internal/litmus
+//	                corpus under the crash campaign
 //	redundantbarrier provably-redundant flushes and fences, with
 //	                machine-applicable deletion fixes (-fix/-diff)
 //	simdeterminism  no wall-clock reads, global RNG, or order-sensitive
@@ -74,7 +81,7 @@ type Analyzer struct {
 // before RedundantBarrier so the optimizer sees fresh pf: summaries
 // within each package.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SpecPair, BarrierPair, PersistFlow, RedundantBarrier, SimDeterminism, PoolCapture}
+	return []*Analyzer{SpecPair, BarrierPair, PersistFlow, PersistOrder, RedundantBarrier, SimDeterminism, PoolCapture}
 }
 
 // OptAnalyzers lists the optimization suite: analyzers whose findings

@@ -198,10 +198,64 @@ func TestLoaderDepCacheShared(t *testing.T) {
 	}
 	for path, p := range l2.pkgs {
 		if p != nil && p.InModule {
-			if cached := depCache.pkgs[path]; cached != nil {
+			if cached := depCache.pkgs[depKey(&l2.ctx, path)]; cached != nil {
 				t.Errorf("module package %s leaked into the dependency cache", path)
 			}
 		}
+	}
+}
+
+// TestLoaderDepCacheContextKeyed is the regression test for the cache
+// key: entries are qualified by the build context, so two loaders with
+// different toolchains (a sandboxed opt run pointing GOROOT elsewhere,
+// a build-tag variant) can never share a type-checked dependency. A
+// path-only key would hand the second loader a stdlib checked under
+// the first loader's GOROOT.
+func TestLoaderDepCacheContextKeyed(t *testing.T) {
+	root := repoRoot(t)
+	l1, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l1.Load("./internal/mem"); err != nil {
+		t.Fatal(err)
+	}
+	var dep string
+	for path, p := range l1.pkgs {
+		if p != nil && !p.InModule {
+			dep = path
+			break
+		}
+	}
+	if dep == "" {
+		t.Fatal("no dependency package loaded")
+	}
+
+	// Same context: hit. Different GOROOT or tags: distinct entries.
+	if depCache.pkgs[depKey(&l1.ctx, dep)] == nil {
+		t.Fatalf("dependency %s not cached under its own context key", dep)
+	}
+	altGoroot := l1.ctx
+	altGoroot.GOROOT = "/nonexistent-toolchain"
+	if depCache.pkgs[depKey(&altGoroot, dep)] != nil {
+		t.Fatal("cache entry shared across GOROOTs")
+	}
+	altTags := l1.ctx
+	altTags.BuildTags = append([]string{"sandboxtag"}, altTags.BuildTags...)
+	if depCache.pkgs[depKey(&altTags, dep)] != nil {
+		t.Fatal("cache entry shared across build-tag sets")
+	}
+
+	// End to end: a loader whose context cannot resolve the stdlib must
+	// fail to load rather than silently reuse the other context's
+	// entries.
+	l2, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.ctx.GOROOT = "/nonexistent-toolchain"
+	if _, err := l2.Load("./internal/mem"); err == nil {
+		t.Fatal("loader with a bogus GOROOT loaded the stdlib — it must have reused another context's cache entries")
 	}
 }
 

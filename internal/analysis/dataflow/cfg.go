@@ -76,6 +76,16 @@ type CFG struct {
 	Exit      *Block
 	Blocks    []*Block
 	BackEdges []BackEdge
+	// Ranges lists every range statement in the body, in source order.
+	// The builder loops the body for any operand kind — including go
+	// 1.23+ range-over-func, where the "body" is really a yield closure
+	// the operand calls — so persist effects inside the body flow into
+	// the loop either way. Clients that summarize functions must check
+	// the operand's type themselves: a func-typed operand can run
+	// arbitrary iterator code between yields that the CFG cannot see,
+	// so summarizing transfers should degrade (unknown call) rather
+	// than pretend the operand is effect-free.
+	Ranges []*ast.RangeStmt
 }
 
 // deferEntry is one recorded defer statement, replayed in reverse
@@ -478,6 +488,7 @@ func (b *builder) forStmt(s *ast.ForStmt, label string) {
 }
 
 func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.cfg.Ranges = append(b.cfg.Ranges, s)
 	b.emit(s.X)
 	if b.cur == nil {
 		return

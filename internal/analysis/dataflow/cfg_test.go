@@ -368,3 +368,62 @@ func TestCFGGotoToSwitchLabel(t *testing.T) {
 		t.Fatal("exit unreachable")
 	}
 }
+
+// TestCFGRangeOverFunc: a go 1.23+ range-over-func statement must (a)
+// loop the yield-closure body like any range body, so persist effects
+// inside it flow into the loop, and (b) surface the range statement via
+// CFG.Ranges so type-aware clients can detect the func-typed operand
+// and degrade their summaries instead of treating the iterator as
+// effect-free.
+func TestCFGRangeOverFunc(t *testing.T) {
+	cfg := buildFunc(t, "seq := iter()\nfor v := range seq {\n\tuse(v)\n}\ndone()")
+	if len(cfg.Ranges) != 1 {
+		t.Fatalf("Ranges = %d, want 1", len(cfg.Ranges))
+	}
+	if id, ok := cfg.Ranges[0].X.(*ast.Ident); !ok || id.Name != "seq" {
+		t.Fatalf("Ranges[0].X = %v, want ident seq", cfg.Ranges[0].X)
+	}
+	if len(cfg.BackEdges) != 1 {
+		t.Fatalf("BackEdges = %d, want 1 (yield body must loop)", len(cfg.BackEdges))
+	}
+	if !cfg.BackEdges[0].To.LoopHead {
+		t.Fatal("back edge target not marked LoopHead")
+	}
+	if !reachable(cfg)[cfg.Exit] {
+		t.Fatal("exit unreachable")
+	}
+	// The body call and the post-loop call must both be present, and
+	// the body block must be the back-edge source (effects in the yield
+	// closure reach the loop head).
+	got := strings.Join(callNames(cfg), " ")
+	for _, want := range []string{"iter", "use", "done"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in %q", want, got)
+		}
+	}
+	var bodyHasUse bool
+	ast.Inspect(&ast.BlockStmt{List: stmtsOf(cfg.BackEdges[0].From)}, func(x ast.Node) bool {
+		if c, ok := x.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "use" {
+				bodyHasUse = true
+			}
+		}
+		return true
+	})
+	if !bodyHasUse {
+		t.Fatal("yield-closure body statements not in the looping block")
+	}
+}
+
+// stmtsOf adapts a block's nodes for ast.Inspect.
+func stmtsOf(b *Block) []ast.Stmt {
+	var out []ast.Stmt
+	for _, n := range b.Nodes {
+		if s, ok := n.(ast.Stmt); ok {
+			out = append(out, s)
+		} else if e, ok := n.(ast.Expr); ok {
+			out = append(out, &ast.ExprStmt{X: e})
+		}
+	}
+	return out
+}

@@ -1,0 +1,628 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the persist-ORDER half of the engine: where persist.go
+// tracks how far a single location has progressed toward durability,
+// the order lattice tracks which *pairs* of stores are guaranteed to
+// persist in program order on a given hardware design. The persistorder
+// analyzer and the internal/litmus corpus both fold programs through
+// OrderState, so a static ORDERED verdict and the litmus truth tables
+// share one lowering table per design — the thing the crash campaign
+// then adjudicates.
+
+// OrderDesign identifies one simulated hardware design for the purpose
+// of persist-order lowering. The String values match
+// machine.Design.String() so analyzer directives, litmus reports and
+// campaign reports key on the same names; the type is local so the
+// analysis engine stays free of simulator imports.
+type OrderDesign uint8
+
+const (
+	DesignX86 OrderDesign = iota
+	DesignDPO
+	DesignHOPS
+	DesignStrand
+	DesignSpec
+	numOrderDesigns
+)
+
+func (d OrderDesign) String() string {
+	switch d {
+	case DesignX86:
+		return "IntelX86"
+	case DesignDPO:
+		return "DPO"
+	case DesignHOPS:
+		return "HOPS"
+	case DesignStrand:
+		return "StrandWeaver"
+	case DesignSpec:
+		return "PMEM-Spec"
+	}
+	return fmt.Sprintf("OrderDesign(%d)", int(d))
+}
+
+// OrderDesigns returns every design in canonical report order.
+func OrderDesigns() []OrderDesign {
+	return []OrderDesign{DesignX86, DesignDPO, DesignHOPS, DesignStrand, DesignSpec}
+}
+
+// OrderDesignByName maps a machine.Design.String() name back to the
+// local enum.
+func OrderDesignByName(name string) (OrderDesign, bool) {
+	for _, d := range OrderDesigns() {
+		if d.String() == name {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// ModelOp is a design-generic persistency operation: the persist.Model
+// interface methods plus the machine lock hooks, which the simulator
+// lowers differently per design. MLock/MUnlock are included because
+// Thread.Lock is a persist-ordering event on some designs (x86 and DPO
+// drain their store queues on acquisition; PMEM-Spec only tags the
+// critical section).
+type ModelOp uint8
+
+const (
+	MFlush ModelOp = iota
+	MOrderBarrier
+	MNextUpdate
+	MDurableBarrier
+	MLock
+	MUnlock
+)
+
+// ISAOp is a concrete machine.Thread persistency instruction. Code that
+// bypasses persist.Model (design-specific workloads, fixtures) issues
+// these directly.
+type ISAOp uint8
+
+const (
+	ICLWB ISAOp = iota
+	ISFence
+	IOFence
+	IDFence
+	IPersistBarrier
+	INewStrand
+	IJoinStrand
+	ISpecBarrier
+)
+
+// OrderEvent is the effect of one operation on the order lattice of one
+// design. Lowering a ModelOp or ISAOp through the tables below yields
+// exactly one event.
+type OrderEvent uint8
+
+const (
+	// OENone: no persist-ordering effect on this design.
+	OENone OrderEvent = iota
+	// OEFlush: schedules tracked stores toward the persistence domain
+	// (x86 CLWB). Which stores are covered is decided per call site.
+	OEFlush
+	// OEFence: orders everything flushed in the current epoch before
+	// all subsequent stores (x86 SFence admits pending CLWBs to the
+	// WPQ; HOPS OFence closes an epoch; StrandWeaver PersistBarrier
+	// orders the current strand).
+	OEFence
+	// OEDurable: everything flushed so far, in any epoch, is durable
+	// before subsequent stores (DPO SFence, HOPS/DPO DFence,
+	// StrandWeaver JoinStrand, PMEM-Spec SpecBarrier, x86/DPO lock
+	// acquisition). Dirty (unflushed) stores are NOT promoted: on x86 an
+	// SFence does not write unflushed cache lines back.
+	OEDurable
+	// OEEpoch: an ordering BREAK — subsequent stores are in a new
+	// ordering domain with no edge from flushed-but-not-durable
+	// predecessors (StrandWeaver NewStrand, which Model.NextUpdate
+	// lowers to on that design).
+	OEEpoch
+	// OEUnknown: an operation with unknowable ordering effect (call
+	// without a summary, flush with indeterminate coverage). Poisons
+	// every tracked store: no ORDERED edge may be claimed across it.
+	OEUnknown
+)
+
+func (e OrderEvent) String() string {
+	switch e {
+	case OENone:
+		return "none"
+	case OEFlush:
+		return "flush"
+	case OEFence:
+		return "fence"
+	case OEDurable:
+		return "durable"
+	case OEEpoch:
+		return "epoch-break"
+	case OEUnknown:
+		return "unknown"
+	}
+	return fmt.Sprintf("OrderEvent(%d)", int(e))
+}
+
+// LowerModelOp gives the order-lattice effect of a persist.Model
+// operation on a design. The table transcribes the simulator's
+// per-design Model implementations (internal/persist, Figure 2) and
+// Thread.Lock/Unlock gating (internal/machine/thread.go):
+//
+//	                IntelX86   DPO        HOPS      StrandWeaver  PMEM-Spec
+//	Flush           flush      none       none      none          none
+//	OrderBarrier    fence      durable    fence     fence         none
+//	NextUpdate      fence      durable    fence     EPOCH BREAK   none
+//	DurableBarrier  durable    durable    durable   durable       durable
+//	Lock            durable    durable    none      none          none
+//	Unlock          none       durable    none      none          none
+//
+// Notes per column: DPO's store buffer drains in program order on its
+// own, so stores are born Ordered and every barrier is trivially
+// durable (SFence/DFence/unlock all drain the persist buffer). On x86,
+// OrderBarrier and NextUpdate are both SFence: pending CLWB writebacks
+// are admitted to the ADR-protected WPQ, which makes flushed stores
+// durable-before-subsequent-stores — but unflushed stores stay in
+// cache, hence OEFence promotes only Flushed nodes. StrandWeaver's
+// NextUpdate is NewStrand: it removes ordering edges rather than adding
+// them. PMEM-Spec has no ordering primitive short of SpecBarrier —
+// that asymmetry is the paper's point, and the persistorder analyzer
+// exists to flag code that assumes otherwise.
+func LowerModelOp(op ModelOp, d OrderDesign) OrderEvent {
+	switch op {
+	case MFlush:
+		if d == DesignX86 {
+			return OEFlush
+		}
+		return OENone
+	case MOrderBarrier:
+		switch d {
+		case DesignX86, DesignHOPS, DesignStrand:
+			return OEFence
+		case DesignDPO:
+			return OEDurable
+		case DesignSpec:
+			return OENone
+		}
+	case MNextUpdate:
+		switch d {
+		case DesignX86, DesignHOPS:
+			return OEFence
+		case DesignDPO:
+			return OEDurable
+		case DesignStrand:
+			return OEEpoch
+		case DesignSpec:
+			return OENone
+		}
+	case MDurableBarrier:
+		return OEDurable
+	case MLock:
+		switch d {
+		case DesignX86, DesignDPO:
+			return OEDurable
+		default:
+			return OENone
+		}
+	case MUnlock:
+		if d == DesignDPO {
+			return OEDurable
+		}
+		return OENone
+	}
+	return OEUnknown
+}
+
+// LowerISAOp gives the order-lattice effect of a raw Thread
+// persistency instruction on a design, transcribed from the simulator
+// (internal/machine/thread.go):
+//
+//	                IntelX86  DPO      HOPS     StrandWeaver  PMEM-Spec
+//	CLWB            flush     none     none     none          none
+//	SFence          fence     durable  none     none          none
+//	OFence          none      none     fence    none          none
+//	DFence          none      durable  durable  none          none
+//	PersistBarrier  none      none     none     fence         none
+//	NewStrand       none      none     none     EPOCH BREAK   none
+//	JoinStrand      none      none     none     durable       none
+//	SpecBarrier     none      none     none     none          durable
+//
+// An instruction foreign to a design is a no-op in the simulator
+// (e.g. DFence on x86 only spends time), so it contributes no edge.
+func LowerISAOp(op ISAOp, d OrderDesign) OrderEvent {
+	switch op {
+	case ICLWB:
+		if d == DesignX86 {
+			return OEFlush
+		}
+	case ISFence:
+		switch d {
+		case DesignX86:
+			return OEFence
+		case DesignDPO:
+			return OEDurable
+		}
+	case IOFence:
+		if d == DesignHOPS {
+			return OEFence
+		}
+	case IDFence:
+		switch d {
+		case DesignDPO, DesignHOPS:
+			return OEDurable
+		}
+	case IPersistBarrier:
+		if d == DesignStrand {
+			return OEFence
+		}
+	case INewStrand:
+		if d == DesignStrand {
+			return OEEpoch
+		}
+	case IJoinStrand:
+		if d == DesignStrand {
+			return OEDurable
+		}
+	case ISpecBarrier:
+		if d == DesignSpec {
+			return OEDurable
+		}
+	}
+	return OENone
+}
+
+// OrderPS is one store's position in the order lattice of one design.
+type OrderPS uint8
+
+const (
+	// ONPoisoned: an unknowable event intervened; no claim survives.
+	ONPoisoned OrderPS = iota
+	// ONDirty: store issued, not scheduled for persistence (x86 cache).
+	ONDirty
+	// ONFlushed: scheduled toward the persistence domain but not yet
+	// ordered before subsequent stores (x86 post-CLWB pre-SFence; the
+	// born state on designs whose datapath persists stores on its own
+	// but out of order: HOPS, StrandWeaver, PMEM-Spec).
+	ONFlushed
+	// ONOrdered: guaranteed durable before any store issued from here
+	// on. ORDERED(A→B) is claimed iff A is ONOrdered when B issues.
+	ONOrdered
+)
+
+func (s OrderPS) String() string {
+	switch s {
+	case ONPoisoned:
+		return "poisoned"
+	case ONDirty:
+		return "dirty"
+	case ONFlushed:
+		return "flushed"
+	case ONOrdered:
+		return "ordered"
+	}
+	return fmt.Sprintf("OrderPS(%d)", int(s))
+}
+
+// BornState is the order state a fresh PM store enters in on a design.
+// x86 stores sit in cache (Dirty) until CLWB'd. DPO's persist buffer
+// drains every store in program order, so a store is durable before any
+// later store the moment it issues (Ordered). HOPS, StrandWeaver and
+// PMEM-Spec persist stores automatically but concurrently/out-of-order
+// within an epoch, which is exactly the Flushed point of the lattice.
+func BornState(d OrderDesign) OrderPS {
+	switch d {
+	case DesignX86:
+		return ONDirty
+	case DesignDPO:
+		return ONOrdered
+	default:
+		return ONFlushed
+	}
+}
+
+// LineCoalesce reports whether two stores to the same 64-byte block are
+// persist-atomic in program order on d without any barrier. True only
+// on IntelX86: its persistence path is block-granular (CLWB snapshots
+// the whole coherent block, and any writeback carries the latest value
+// of every byte in the line), so the second store can never be durable
+// while the first store's slot still holds the initial value. The
+// other designs persist per-store payloads (HOPS/StrandWeaver persist
+// buffers, PMEM-Spec per-store messages), where no such guarantee
+// exists. DPO does not need the rule: born-Ordered already covers
+// same-line pairs. Callers must only apply this to addresses derived
+// from a common block-aligned base (Heap.AllocBlock) at constant
+// offsets within one block.
+func LineCoalesce(d OrderDesign) bool {
+	return d == DesignX86
+}
+
+// OrderBlockSize is the persistence-path granularity LineCoalesce
+// reasons about (the simulator's cache/WPQ block size).
+const OrderBlockSize = 64
+
+// SameOrderBlock reports whether two access paths provably land in the
+// same OrderBlockSize-aligned block: same canonical base, constant
+// offsets, same block index. Requires the shared base to be
+// block-aligned, which holds for Heap.AllocBlock-derived regions.
+func SameOrderBlock(a, b Loc) bool {
+	if a.Base == "" || a.Base != b.Base {
+		return false
+	}
+	ao, aok := OffConst(a.Off)
+	bo, bok := OffConst(b.Off)
+	return aok && bok && ao >= 0 && bo >= 0 && ao/OrderBlockSize == bo/OrderBlockSize
+}
+
+// TailFence classifies the strongest barrier a path ends with — the
+// per-design summary fact a storeless callee exports so callers can
+// credit its barriers.
+type TailFence uint8
+
+const (
+	TFNone TailFence = iota
+	TFOrder
+	TFDurable
+)
+
+// orderEpochCap saturates the epoch counter so the lattice stays
+// finite: loops containing epoch breaks would otherwise grow Epoch
+// forever and the solver would never reach a fixpoint. At the cap a
+// further break poisons instead — sound, and far beyond any real
+// strand nesting.
+const orderEpochCap = 16
+
+// EpochStale marks a node whose epoch can no longer match the current
+// one (demoted by an epoch break, or joined across differing epochs).
+const EpochStale int32 = -1
+
+// NodeOrder is one tracked store's order state. Epoch is the ordering
+// domain the store was last flushed/issued in; a fence only promotes
+// nodes of the current epoch.
+type NodeOrder struct {
+	S     OrderPS
+	Epoch int32
+}
+
+// OrderState is the forward dataflow fact of the persist-order
+// problem for one design: the order position of every tracked store,
+// the current epoch, and the strength of the barrier the path ends
+// with (for interprocedural summaries).
+type OrderState struct {
+	// Nodes maps store-node id → order state. Ids are assigned by the
+	// client (source order); absent means the store has not issued on
+	// this path.
+	Nodes map[int]NodeOrder
+	// Epoch is the current ordering domain (saturating at
+	// orderEpochCap).
+	Epoch int32
+	// Tail is the strongest barrier with no subsequent order-relevant
+	// event on this path.
+	Tail TailFence
+	// Any records whether any order-relevant event occurred.
+	Any bool
+}
+
+// NewOrderState returns the entry state.
+func NewOrderState() OrderState {
+	return OrderState{Nodes: map[int]NodeOrder{}}
+}
+
+func (s OrderState) clone() OrderState {
+	out := s
+	out.Nodes = make(map[int]NodeOrder, len(s.Nodes))
+	for id, n := range s.Nodes {
+		out.Nodes[id] = n
+	}
+	return out
+}
+
+// WithStoreNode records store node id issuing: (re)born in the
+// design's born state, in the current epoch. A re-store demotes — the
+// new write is what must now be ordered.
+func (s OrderState) WithStoreNode(id int, d OrderDesign) OrderState {
+	out := s.clone()
+	out.Nodes[id] = NodeOrder{S: BornState(d), Epoch: s.Epoch}
+	out.Any = true
+	out.Tail = TFNone
+	return out
+}
+
+// OrderCoverage is a flush call's relation to one tracked store.
+type OrderCoverage uint8
+
+const (
+	// OCoverNone: provably does not cover the node.
+	OCoverNone OrderCoverage = iota
+	// OCoverExact: provably covers the node's whole access.
+	OCoverExact
+	// OCoverMaybe: cannot tell — the node must be poisoned, because a
+	// later fence would otherwise claim an edge the flush may not back.
+	OCoverMaybe
+)
+
+// WithFlushEvent applies an OEFlush event. covered classifies each
+// tracked node against the flushed range. Covered nodes move
+// Dirty→Flushed in the current epoch (a re-flush refreshes the epoch:
+// the writeback is rescheduled). Indeterminate coverage poisons.
+func (s OrderState) WithFlushEvent(covered func(id int) OrderCoverage) OrderState {
+	out := s.clone()
+	for id, n := range out.Nodes {
+		if n.S == ONPoisoned {
+			continue
+		}
+		switch covered(id) {
+		case OCoverExact:
+			if n.S == ONDirty || n.S == ONFlushed {
+				out.Nodes[id] = NodeOrder{S: ONFlushed, Epoch: s.Epoch}
+			}
+		case OCoverMaybe:
+			out.Nodes[id] = NodeOrder{S: ONPoisoned, Epoch: EpochStale}
+		}
+	}
+	out.Any = true
+	out.Tail = TFNone
+	return out
+}
+
+// WithOrderEvent applies a non-flush, non-store event.
+func (s OrderState) WithOrderEvent(ev OrderEvent) OrderState {
+	switch ev {
+	case OENone:
+		return s
+	case OEFence:
+		out := s.clone()
+		for id, n := range out.Nodes {
+			if n.S == ONFlushed && n.Epoch == s.Epoch {
+				out.Nodes[id] = NodeOrder{S: ONOrdered, Epoch: n.Epoch}
+			}
+		}
+		out.Any = true
+		if out.Tail != TFDurable {
+			out.Tail = TFOrder
+		}
+		return out
+	case OEDurable:
+		out := s.clone()
+		for id, n := range out.Nodes {
+			if n.S == ONFlushed {
+				out.Nodes[id] = NodeOrder{S: ONOrdered, Epoch: n.Epoch}
+			}
+		}
+		out.Any = true
+		out.Tail = TFDurable
+		return out
+	case OEEpoch:
+		if s.Epoch >= orderEpochCap {
+			return s.WithOrderEvent(OEUnknown)
+		}
+		out := s.clone()
+		out.Epoch = s.Epoch + 1
+		for id, n := range out.Nodes {
+			// A fence-Ordered edge on StrandWeaver is strand-relative
+			// (PersistBarrier orders within one strand), so it does not
+			// survive the switch: demote to Flushed with a stale epoch.
+			// Only a durable barrier (JoinStrand drains every strand)
+			// can re-promote. Flushed nodes keep their tag — it is
+			// already stale relative to the incremented epoch.
+			if n.S == ONOrdered {
+				out.Nodes[id] = NodeOrder{S: ONFlushed, Epoch: EpochStale}
+			}
+		}
+		out.Any = true
+		out.Tail = TFNone
+		return out
+	case OEFlush:
+		// Callers use WithFlushEvent; a bare OEFlush with no coverage
+		// information must be treated as unknowable.
+		return s.WithOrderEvent(OEUnknown)
+	default: // OEUnknown
+		out := s.clone()
+		for id := range out.Nodes {
+			out.Nodes[id] = NodeOrder{S: ONPoisoned, Epoch: EpochStale}
+		}
+		out.Any = true
+		out.Tail = TFNone
+		return out
+	}
+}
+
+// Ordered reports whether store node id is guaranteed durable before
+// any store issued in the current state.
+func (s OrderState) Ordered(id int) bool {
+	n, ok := s.Nodes[id]
+	return ok && n.S == ONOrdered
+}
+
+// Node returns the tracked state of id.
+func (s OrderState) Node(id int) (NodeOrder, bool) {
+	n, ok := s.Nodes[id]
+	return n, ok
+}
+
+// NodeIDs returns the tracked node ids in ascending order.
+func (s OrderState) NodeIDs() []int {
+	ids := make([]int, 0, len(s.Nodes))
+	for id := range s.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// JoinOrder merges two path states. A node present on only one path
+// keeps its state: an ORDERED claim at B is about paths where A's
+// store actually issued, so the vacuous path does not weaken it. For
+// nodes on both paths the weaker position wins (Poisoned absorbing),
+// and differing epochs go stale — a later fence must not promote a
+// node whose epoch is only current on one incoming path.
+func JoinOrder(a, b OrderState) OrderState {
+	out := OrderState{
+		Nodes: make(map[int]NodeOrder, len(a.Nodes)+len(b.Nodes)),
+		Epoch: a.Epoch,
+		Tail:  a.Tail,
+		Any:   a.Any || b.Any,
+	}
+	if b.Epoch > out.Epoch {
+		out.Epoch = b.Epoch
+	}
+	if b.Tail < out.Tail {
+		out.Tail = b.Tail
+	}
+	for id, an := range a.Nodes {
+		bn, ok := b.Nodes[id]
+		if !ok {
+			out.Nodes[id] = an
+			continue
+		}
+		out.Nodes[id] = joinNodeOrder(an, bn)
+	}
+	for id, bn := range b.Nodes {
+		if _, ok := a.Nodes[id]; !ok {
+			out.Nodes[id] = bn
+		}
+	}
+	return out
+}
+
+func joinNodeOrder(a, b NodeOrder) NodeOrder {
+	if a.S == ONPoisoned || b.S == ONPoisoned {
+		return NodeOrder{S: ONPoisoned, Epoch: EpochStale}
+	}
+	s := a.S
+	if b.S < s {
+		s = b.S
+	}
+	ep := a.Epoch
+	if a.Epoch != b.Epoch {
+		ep = EpochStale
+	}
+	return NodeOrder{S: s, Epoch: ep}
+}
+
+// EqualOrder reports semantic equality (for solver convergence).
+func EqualOrder(a, b OrderState) bool {
+	if a.Epoch != b.Epoch || a.Tail != b.Tail || a.Any != b.Any || len(a.Nodes) != len(b.Nodes) {
+		return false
+	}
+	for id, an := range a.Nodes {
+		bn, ok := b.Nodes[id]
+		if !ok || an != bn {
+			return false
+		}
+	}
+	return true
+}
+
+// OrderString renders the state deterministically (tests/debugging).
+func (s OrderState) OrderString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "epoch=%d tail=%d any=%v", s.Epoch, s.Tail, s.Any)
+	for _, id := range s.NodeIDs() {
+		n := s.Nodes[id]
+		fmt.Fprintf(&b, " n%d=%s@%d", id, n.S, n.Epoch)
+	}
+	return b.String()
+}

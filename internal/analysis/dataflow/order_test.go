@@ -1,0 +1,283 @@
+package dataflow
+
+import "testing"
+
+// TestLowerModelOpTable pins the full ModelOp × design lowering against
+// the hand-derived table from the simulator sources. A change here must
+// be deliberate: the litmus corpus expectations encode the same truth.
+func TestLowerModelOpTable(t *testing.T) {
+	type row struct {
+		op   ModelOp
+		want [5]OrderEvent // x86, DPO, HOPS, Strand, Spec
+	}
+	rows := []row{
+		{MFlush, [5]OrderEvent{OEFlush, OENone, OENone, OENone, OENone}},
+		{MOrderBarrier, [5]OrderEvent{OEFence, OEDurable, OEFence, OEFence, OENone}},
+		{MNextUpdate, [5]OrderEvent{OEFence, OEDurable, OEFence, OEEpoch, OENone}},
+		{MDurableBarrier, [5]OrderEvent{OEDurable, OEDurable, OEDurable, OEDurable, OEDurable}},
+		{MLock, [5]OrderEvent{OEDurable, OEDurable, OENone, OENone, OENone}},
+		{MUnlock, [5]OrderEvent{OENone, OEDurable, OENone, OENone, OENone}},
+	}
+	for _, r := range rows {
+		for i, d := range OrderDesigns() {
+			if got := LowerModelOp(r.op, d); got != r.want[i] {
+				t.Errorf("LowerModelOp(%d, %s) = %s, want %s", r.op, d, got, r.want[i])
+			}
+		}
+	}
+}
+
+// TestLowerISAOpTable pins the ISA-level lowering.
+func TestLowerISAOpTable(t *testing.T) {
+	type row struct {
+		op   ISAOp
+		want [5]OrderEvent
+	}
+	rows := []row{
+		{ICLWB, [5]OrderEvent{OEFlush, OENone, OENone, OENone, OENone}},
+		{ISFence, [5]OrderEvent{OEFence, OEDurable, OENone, OENone, OENone}},
+		{IOFence, [5]OrderEvent{OENone, OENone, OEFence, OENone, OENone}},
+		{IDFence, [5]OrderEvent{OENone, OEDurable, OEDurable, OENone, OENone}},
+		{IPersistBarrier, [5]OrderEvent{OENone, OENone, OENone, OEFence, OENone}},
+		{INewStrand, [5]OrderEvent{OENone, OENone, OENone, OEEpoch, OENone}},
+		{IJoinStrand, [5]OrderEvent{OENone, OENone, OENone, OEDurable, OENone}},
+		{ISpecBarrier, [5]OrderEvent{OENone, OENone, OENone, OENone, OEDurable}},
+	}
+	for _, r := range rows {
+		for i, d := range OrderDesigns() {
+			if got := LowerISAOp(r.op, d); got != r.want[i] {
+				t.Errorf("LowerISAOp(%d, %s) = %s, want %s", r.op, d, got, r.want[i])
+			}
+		}
+	}
+}
+
+func TestBornStates(t *testing.T) {
+	want := map[OrderDesign]OrderPS{
+		DesignX86:    ONDirty,
+		DesignDPO:    ONOrdered,
+		DesignHOPS:   ONFlushed,
+		DesignStrand: ONFlushed,
+		DesignSpec:   ONFlushed,
+	}
+	for d, ps := range want {
+		if got := BornState(d); got != ps {
+			t.Errorf("BornState(%s) = %s, want %s", d, got, ps)
+		}
+		if LineCoalesce(d) != (d == DesignX86) {
+			t.Errorf("LineCoalesce(%s) wrong", d)
+		}
+	}
+}
+
+func TestOrderDesignNames(t *testing.T) {
+	for _, d := range OrderDesigns() {
+		got, ok := OrderDesignByName(d.String())
+		if !ok || got != d {
+			t.Errorf("OrderDesignByName(%q) = %v, %v", d.String(), got, ok)
+		}
+	}
+	if _, ok := OrderDesignByName("NotADesign"); ok {
+		t.Error("OrderDesignByName accepted a bogus name")
+	}
+}
+
+func exactCover(ids ...int) func(int) OrderCoverage {
+	set := map[int]bool{}
+	for _, id := range ids {
+		set[id] = true
+	}
+	return func(id int) OrderCoverage {
+		if set[id] {
+			return OCoverExact
+		}
+		return OCoverNone
+	}
+}
+
+// TestOrderX86Discipline walks the canonical x86 store→flush→fence
+// sequence through the state machine.
+func TestOrderX86Discipline(t *testing.T) {
+	s := NewOrderState().WithStoreNode(0, DesignX86)
+	if n, _ := s.Node(0); n.S != ONDirty {
+		t.Fatalf("x86 store born %s, want dirty", n.S)
+	}
+	// A fence before the flush orders nothing: the store is in cache.
+	if s.WithOrderEvent(OEFence).Ordered(0) {
+		t.Fatal("fence promoted an unflushed x86 store")
+	}
+	// A durable barrier does not write back unflushed lines either.
+	if s.WithOrderEvent(OEDurable).Ordered(0) {
+		t.Fatal("durable barrier promoted an unflushed x86 store")
+	}
+	s = s.WithFlushEvent(exactCover(0))
+	if n, _ := s.Node(0); n.S != ONFlushed {
+		t.Fatalf("post-flush state %s, want flushed", n.S)
+	}
+	if s.Ordered(0) {
+		t.Fatal("flush alone must not order")
+	}
+	s = s.WithOrderEvent(OEFence)
+	if !s.Ordered(0) {
+		t.Fatal("flush+fence must order")
+	}
+	// Re-storing demotes: the new write is unordered again.
+	s = s.WithStoreNode(0, DesignX86)
+	if s.Ordered(0) {
+		t.Fatal("re-store kept the ordered state")
+	}
+}
+
+// TestOrderFlushCoverage checks that indeterminate flush coverage
+// poisons rather than promotes.
+func TestOrderFlushCoverage(t *testing.T) {
+	s := NewOrderState().WithStoreNode(0, DesignX86).WithStoreNode(1, DesignX86)
+	s = s.WithFlushEvent(func(id int) OrderCoverage {
+		if id == 0 {
+			return OCoverMaybe
+		}
+		return OCoverNone
+	})
+	if n, _ := s.Node(0); n.S != ONPoisoned {
+		t.Fatalf("maybe-covered node is %s, want poisoned", n.S)
+	}
+	if n, _ := s.Node(1); n.S != ONDirty {
+		t.Fatalf("uncovered node is %s, want dirty", n.S)
+	}
+	// Poison is permanent: no barrier recovers a claim.
+	s = s.WithFlushEvent(exactCover(0, 1)).WithOrderEvent(OEDurable)
+	if s.Ordered(0) {
+		t.Fatal("poisoned node became ordered")
+	}
+	if !s.Ordered(1) {
+		t.Fatal("clean node should be ordered after flush+durable")
+	}
+}
+
+// TestOrderStrandEpochs checks the strand-relative fence semantics:
+// a PersistBarrier edge does not survive NewStrand, and only
+// JoinStrand (durable) re-promotes across strands.
+func TestOrderStrandEpochs(t *testing.T) {
+	d := DesignStrand
+	s := NewOrderState().WithStoreNode(0, d) // born flushed
+	s = s.WithOrderEvent(OEFence)            // PersistBarrier: ordered within strand
+	if !s.Ordered(0) {
+		t.Fatal("PersistBarrier should order a same-strand store")
+	}
+	s = s.WithOrderEvent(OEEpoch) // NewStrand
+	if s.Ordered(0) {
+		t.Fatal("ordered edge survived a strand switch")
+	}
+	// A fence in the new strand must not resurrect the old strand's
+	// store: its epoch is stale.
+	if s.WithOrderEvent(OEFence).Ordered(0) {
+		t.Fatal("new-strand fence promoted an old-strand store")
+	}
+	// JoinStrand drains every strand.
+	if !s.WithOrderEvent(OEDurable).Ordered(0) {
+		t.Fatal("JoinStrand should make the old-strand store durable")
+	}
+	// A store issued after the switch is ordered by the new strand's
+	// fence as usual.
+	s = s.WithStoreNode(1, d).WithOrderEvent(OEFence)
+	if !s.Ordered(1) {
+		t.Fatal("new-strand store not ordered by its own fence")
+	}
+}
+
+// TestOrderEpochSaturation: epoch breaks beyond the cap poison instead
+// of growing the lattice forever.
+func TestOrderEpochSaturation(t *testing.T) {
+	s := NewOrderState().WithStoreNode(0, DesignStrand)
+	for i := 0; i < orderEpochCap; i++ {
+		s = s.WithOrderEvent(OEEpoch)
+	}
+	if n, _ := s.Node(0); n.S == ONPoisoned {
+		t.Fatal("poisoned before the cap")
+	}
+	s = s.WithOrderEvent(OEEpoch)
+	if n, _ := s.Node(0); n.S != ONPoisoned {
+		t.Fatalf("beyond-cap epoch break left node %s, want poisoned", n.S)
+	}
+	if s.Epoch != orderEpochCap {
+		t.Fatalf("epoch grew past cap: %d", s.Epoch)
+	}
+}
+
+func TestOrderUnknownPoisons(t *testing.T) {
+	s := NewOrderState().WithStoreNode(0, DesignDPO)
+	if !s.Ordered(0) {
+		t.Fatal("DPO store should be born ordered")
+	}
+	s = s.WithOrderEvent(OEUnknown)
+	if s.Ordered(0) {
+		t.Fatal("unknown event did not poison")
+	}
+	// A bare OEFlush without coverage info is unknowable too.
+	s2 := NewOrderState().WithStoreNode(0, DesignDPO).WithOrderEvent(OEFlush)
+	if s2.Ordered(0) {
+		t.Fatal("bare flush event did not poison")
+	}
+}
+
+func TestJoinOrder(t *testing.T) {
+	d := DesignX86
+	// One-sided nodes keep their state (vacuous-path semantics).
+	a := NewOrderState().WithStoreNode(0, d).WithFlushEvent(exactCover(0)).WithOrderEvent(OEFence)
+	b := NewOrderState()
+	j := JoinOrder(a, b)
+	if !j.Ordered(0) {
+		t.Fatal("one-sided ordered node lost at join")
+	}
+	if j.Tail != TFNone {
+		t.Fatalf("tail after join = %d, want TFNone (weaker side wins)", j.Tail)
+	}
+	// Two-sided: weaker position wins.
+	c := NewOrderState().WithStoreNode(0, d)
+	j = JoinOrder(a, c)
+	if n, _ := j.Node(0); n.S != ONDirty {
+		t.Fatalf("join(ordered, dirty) = %s, want dirty", n.S)
+	}
+	// Poison absorbs.
+	p := NewOrderState().WithStoreNode(0, d).WithOrderEvent(OEUnknown)
+	j = JoinOrder(a, p)
+	if n, _ := j.Node(0); n.S != ONPoisoned {
+		t.Fatalf("join(ordered, poisoned) = %s, want poisoned", n.S)
+	}
+	// Differing epochs go stale: a later fence must not promote.
+	e1 := NewOrderState().WithStoreNode(0, DesignStrand)
+	e2 := NewOrderState().WithOrderEvent(OEEpoch).WithStoreNode(0, DesignStrand)
+	j = JoinOrder(e1, e2)
+	if n, _ := j.Node(0); n.Epoch != EpochStale {
+		t.Fatalf("join across epochs kept epoch %d, want stale", n.Epoch)
+	}
+	if j.WithOrderEvent(OEFence).Ordered(0) {
+		t.Fatal("fence promoted an epoch-stale node")
+	}
+	if !j.WithOrderEvent(OEDurable).Ordered(0) {
+		t.Fatal("durable barrier should promote a stale flushed node")
+	}
+	if !EqualOrder(j, JoinOrder(e2, e1)) {
+		t.Fatal("join not symmetric")
+	}
+}
+
+func TestSameOrderBlock(t *testing.T) {
+	mk := func(base, off string) Loc { return Loc{Base: base, Off: off} }
+	cases := []struct {
+		a, b Loc
+		want bool
+	}{
+		{mk("p", "0"), mk("p", "8"), true},
+		{mk("p", "0"), mk("p", "63"), true},
+		{mk("p", "0"), mk("p", "64"), false},
+		{mk("p", "0"), mk("q", "8"), false},
+		{mk("p", "0"), mk("p", "i"), false}, // non-constant offset
+		{mk("", "0"), mk("", "8"), false},   // no base
+	}
+	for _, c := range cases {
+		if got := SameOrderBlock(c.a, c.b); got != c.want {
+			t.Errorf("SameOrderBlock(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

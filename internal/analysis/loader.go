@@ -28,6 +28,23 @@ var depCache = struct {
 	pkgs map[string]*Package
 }{fset: token.NewFileSet(), pkgs: map[string]*Package{}}
 
+// depKey is the dependency-cache key: the import path qualified by
+// everything in the build context that changes which sources a
+// dependency resolves to or how they type-check. Keying by import path
+// alone would let two loaders with different toolchains (a sandboxed
+// opt run pointing GOROOT elsewhere, a build-tag variant) silently
+// share entries type-checked under the other context.
+func depKey(ctx *build.Context, path string) string {
+	return strings.Join([]string{
+		ctx.GOROOT,
+		ctx.GOOS,
+		ctx.GOARCH,
+		strings.Join(ctx.BuildTags, ","),
+		strings.Join(ctx.ReleaseTags, ","),
+		path,
+	}, "\x00")
+}
+
 // Package is one type-checked package: the unit analyzers operate on.
 type Package struct {
 	// Path is the import path ("pmemspec/internal/sim").
@@ -236,7 +253,7 @@ func (l *Loader) load(path string) (*Package, error) {
 	}
 	if !inModule {
 		depCache.mu.Lock()
-		cached := depCache.pkgs[path]
+		cached := depCache.pkgs[depKey(&l.ctx, path)]
 		depCache.mu.Unlock()
 		if cached != nil {
 			l.pkgs[path] = cached
@@ -286,7 +303,7 @@ func (l *Loader) load(path string) (*Package, error) {
 	l.order = append(l.order, pkg)
 	if !inModule {
 		depCache.mu.Lock()
-		depCache.pkgs[path] = pkg
+		depCache.pkgs[depKey(&l.ctx, path)] = pkg
 		depCache.mu.Unlock()
 	}
 	return pkg, nil

@@ -273,11 +273,24 @@ func (w *pfWalker) analyze(body *ast.BlockStmt, sig *types.Signature) dataflow.P
 	w.sig = sig
 	w.tryBound = bindPFTryLocks(w.info, body)
 	cfg := dataflow.Build(body)
-	tr := &pfTransfer{w: w}
+	// Range-over-func operands: the CFG loops the yield-closure body
+	// (effects inside it flow into the loop), but the iterator function
+	// itself runs arbitrary code between yields that the CFG cannot
+	// see. Treat evaluating such an operand as an unknown call — the
+	// function degrades to Unstable rather than mis-summarizing.
+	rangeFn := map[ast.Node]bool{}
+	for _, rs := range cfg.Ranges {
+		if tv, ok := w.info.Types[rs.X]; ok && tv.Type != nil {
+			if _, isFn := tv.Type.Underlying().(*types.Signature); isFn {
+				rangeFn[rs.X] = true
+			}
+		}
+	}
+	tr := &pfTransfer{w: w, rangeFn: rangeFn}
 	res := dataflow.Solve[dataflow.PMState](cfg, tr)
 	exit, _ := res.In[cfg.Exit]
 	if w.mode != pfModeSummarize {
-		rep := &pfTransfer{w: w, report: true}
+		rep := &pfTransfer{w: w, report: true, rangeFn: rangeFn}
 		for _, blk := range cfg.Blocks {
 			in, ok := res.In[blk]
 			if !ok {
@@ -371,6 +384,9 @@ type pfTransfer struct {
 	report bool
 	lits   []*ast.FuncLit
 	seen   map[*ast.FuncLit]bool
+	// rangeFn marks func-typed range operands (go 1.23+ iterators);
+	// evaluating one degrades the state like an unknown call.
+	rangeFn map[ast.Node]bool
 }
 
 func (t *pfTransfer) Entry() dataflow.PMState { return dataflow.NewPMState() }
@@ -394,6 +410,10 @@ func (t *pfTransfer) Node(n ast.Node, s dataflow.PMState, _ bool) dataflow.PMSta
 		}
 		return true
 	})
+	if t.rangeFn[n] {
+		t.w.noteUnknown()
+		s = s.WithUnknownCall()
+	}
 	return s
 }
 

@@ -8,6 +8,12 @@ import (
 func TestPersistFlowGolden(t *testing.T)      { runGolden(t, PersistFlow, "persistflowtest") }
 func TestRedundantBarrierGolden(t *testing.T) { runGolden(t, RedundantBarrier, "redundantbarriertest") }
 
+// TestPersistFlowRangeFunc pins the range-over-func contract: effects
+// inside a yield-closure body flow into the loop (the dirty store is
+// reported), and a func-typed operand degrades the function instead of
+// being mis-summarized as effect-free.
+func TestPersistFlowRangeFunc(t *testing.T) { runGolden(t, PersistFlow, "rangefunctest") }
+
 // TestCoarseAnalyzersMissPersistFlowCases is the acceptance check for
 // the per-location engine: every finding in the persistflow fixture —
 // including the store buried two call layers down — is invisible to
@@ -42,6 +48,7 @@ func TestDiagnosticsDeterministic(t *testing.T) {
 		"./internal/analysis/testdata/src/barrierpairtest",
 		"./internal/analysis/testdata/src/persistflowtest",
 		"./internal/analysis/testdata/src/redundantbarriertest",
+		"./internal/analysis/testdata/src/persistordertest",
 	}
 	var prev []byte
 	for run := 0; run < 2; run++ {

@@ -1,0 +1,65 @@
+// Package rangefunctest is the go 1.23+ range-over-func fixture for
+// persistflow: the yield-closure body must flow persist effects into
+// the loop (a dirty store inside the body surfaces at return), while
+// the func-typed range operand itself degrades the function like an
+// unknown call — the iterator may run arbitrary code between yields
+// that the CFG cannot see, so the analysis refuses to build redundancy
+// claims on such functions instead of mis-summarizing them.
+package rangefunctest
+
+import (
+	"pmemspec/internal/machine"
+	"pmemspec/internal/mem"
+	"pmemspec/internal/persist"
+)
+
+// scratch returns an opaque locally-rooted PM address.
+func scratch() mem.Addr { return 4096 }
+
+// addrs is a range-over-func iterator over four slots of a region.
+func addrs(base mem.Addr) func(func(mem.Addr) bool) {
+	return func(yield func(mem.Addr) bool) {
+		for i := 0; i < 4; i++ {
+			if !yield(base + mem.Addr(i*8)) {
+				return
+			}
+		}
+	}
+}
+
+// dirtyYield stores inside the yield body and never flushes those
+// slots: the body's effects must reach the loop's dataflow state and
+// be reported at return. The flush of the unrelated parameter supplies
+// the fence context that arms the discipline check.
+func dirtyYield(t *machine.Thread, m persist.Model, other mem.Addr) {
+	base := scratch()
+	for a := range addrs(base) {
+		t.StoreU64(a, 1) // want "still dirty at return"
+	}
+	m.Flush(t, other, 8)
+	m.OrderBarrier(t)
+}
+
+// flushedYield flushes every store inside the body and orders after
+// the loop: clean, even though the operand is func-typed — the
+// degrade is to Unstable (no optimizer claims), not to a spurious
+// diagnostic.
+func flushedYield(t *machine.Thread, m persist.Model) {
+	base := scratch()
+	for a := range addrs(base) {
+		t.StoreU64(a, 1)
+		m.Flush(t, a, 8)
+	}
+	m.OrderBarrier(t)
+}
+
+// sliceRange keeps the classic range kinds on their precise path: a
+// non-func operand is not an unknown call, so the flush+fence chain
+// below stays claimable and clean.
+func sliceRange(t *machine.Thread, m persist.Model, slots []mem.Addr) {
+	for _, a := range slots {
+		t.StoreU64(a, 1)
+		m.Flush(t, a, 8)
+	}
+	m.OrderBarrier(t)
+}

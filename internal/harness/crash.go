@@ -70,6 +70,14 @@ func RunTrial(spec TrialSpec) (CrashOutcome, error) {
 	return runTrial(spec, w, nil)
 }
 
+// RunTrialWith executes one trial against a caller-constructed
+// workload instance. The litmus corpus (internal/litmus) generates its
+// programs at run time, so they are not in the workload name registry;
+// spec.Workload is ignored in favor of w.Name().
+func RunTrialWith(spec TrialSpec, w workload.Workload) (CrashOutcome, error) {
+	return runTrial(spec, w, nil)
+}
+
 // RunWithCrash executes the workload, injects a power failure at
 // crashAtNS (simulated time), runs the §6 recovery protocol on the
 // surviving persisted image, and verifies the workload's structural
@@ -239,11 +247,17 @@ type Boundaries struct {
 // crossed. The run is deterministic, so a subsequent crash sweep at the
 // returned instants replays the same execution up to each crash.
 func DiscoverBoundaries(spec TrialSpec) (Boundaries, error) {
-	var b Boundaries
 	w, err := workload.ByName(spec.Workload)
 	if err != nil {
-		return b, err
+		return Boundaries{}, err
 	}
+	return DiscoverBoundariesFor(spec, w)
+}
+
+// DiscoverBoundariesFor is DiscoverBoundaries against a
+// caller-constructed workload instance (see RunTrialWith).
+func DiscoverBoundariesFor(spec TrialSpec, w workload.Workload) (Boundaries, error) {
+	var b Boundaries
 	spec.Point = NoCrash
 	out, err := runTrial(spec, w, &b)
 	if err != nil {

@@ -65,9 +65,14 @@ func (w *NaiveScan) Run(e *Env, t *machine.Thread, tid int) {
 	slot := w.slotAddr(tid)
 	total := uint64(0)
 	for op := 0; op < e.P.Ops; op++ {
+		// The slot version must be durable before the round cursor
+		// advances — the recovery invariant Verify leans on; checked
+		// per design by the persistorder analyzer.
+		//persistorder:data publish
 		t.StoreU64(slot, uint64(op+1))
 		m.Flush(t, slot, 8)
 		m.DurableBarrier(t)
+		//persistorder:commit publish
 		t.StoreU64(w.cursor, uint64(op))
 		for k := 0; k < w.threads; k++ {
 			total += t.LoadU64(w.slotAddr(k))
