@@ -9,6 +9,11 @@
 # single-goroutine-at-a-time per kernel but many kernels run concurrently
 # under the pool, so the harness suite doubles as the cross-run
 # shared-state audit.
+#
+# Every stage is timed; the run ends with a per-stage wall-clock table
+# and writes the same data machine-readably to /tmp/pmemspec-ci-times.json
+# (CI uploads it as an artifact, so stage-cost drift is visible across
+# runs without re-reading logs).
 set -eu
 cd "$(dirname "$0")"
 
@@ -17,43 +22,104 @@ if [ "${QUICK:-0}" = "1" ]; then
 	short="-short"
 fi
 
-echo "== gofmt =="
+ci_start=$(date +%s)
+cur_slug=""
+cur_start=$ci_start
+stage_rows=""
+TIMES_FILE=${TIMES_FILE:-/tmp/pmemspec-ci-times.json}
+
+# stage SLUG PRETTY... — closes the previous stage's timer, starts a new
+# one, and prints the banner. SLUG keys the timing table; keep it short
+# and space-free.
+stage() {
+	stage_slug=$1
+	shift
+	stage_now=$(date +%s)
+	if [ -n "$cur_slug" ]; then
+		stage_rows="${stage_rows}${cur_slug} $((stage_now - cur_start))
+"
+	fi
+	cur_slug=$stage_slug
+	cur_start=$stage_now
+	echo "== $* =="
+}
+
+# finish_stages — closes the last stage, prints the timing table, and
+# writes $TIMES_FILE.
+finish_stages() {
+	fin_now=$(date +%s)
+	if [ -n "$cur_slug" ]; then
+		stage_rows="${stage_rows}${cur_slug} $((fin_now - cur_start))
+"
+		cur_slug=""
+	fi
+	total=$((fin_now - ci_start))
+	echo "== stage timing =="
+	printf '%-24s %8s\n' stage seconds
+	printf '%s' "$stage_rows" | while read -r row_name row_secs; do
+		printf '%-24s %8s\n' "$row_name" "$row_secs"
+	done
+	printf '%-24s %8s\n' total "$total"
+	quick_bool=false
+	if [ "${QUICK:-0}" = "1" ]; then
+		quick_bool=true
+	fi
+	{
+		printf '{"quick":%s,"total_seconds":%s,"stages":[' "$quick_bool" "$total"
+		printf '%s' "$stage_rows" |
+			awk '{ printf "%s{\"name\":\"%s\",\"seconds\":%s}", (NR > 1 ? "," : ""), $1, $2 }'
+		printf ']}\n'
+	} >"$TIMES_FILE"
+	echo "stage timings written to $TIMES_FILE"
+}
+
+# run_budgeted NAME BUDGET_S COMMAND — runs COMMAND (a sh -c script, so
+# redirections work) and fails the build if its wall-clock exceeds the
+# budget. Build binaries before calling this: the budget should measure
+# the tool's work, not compilation.
+run_budgeted() {
+	rb_name=$1
+	rb_budget=$2
+	rb_cmd=$3
+	rb_start=$(date +%s)
+	sh -c "$rb_cmd"
+	rb_elapsed=$(($(date +%s) - rb_start))
+	echo "$rb_name: ${rb_elapsed}s (budget ${rb_budget}s)"
+	if [ "$rb_elapsed" -gt "$rb_budget" ]; then
+		echo "$rb_name exceeded its ${rb_budget}s wall-clock budget"
+		exit 1
+	fi
+}
+
+stage gofmt "gofmt"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
 	echo "gofmt needed on:" "$unformatted"
 	exit 1
 fi
 
-echo "== go vet ./... =="
+stage vet "go vet ./..."
 go vet ./...
 
-echo "== pmemspec-lint -fix -diff ./... =="
+stage lint "pmemspec-lint -fix -diff ./... (budgeted)"
 # The repo's own persistency-discipline and determinism analyzers
 # (internal/analysis); any diagnostic fails the build. Check mode
 # (-fix -diff) additionally fails if the redundant-barrier optimizer
 # still has applicable edits — apply them with `pmemspec-lint -fix`
 # before committing. The analysis must also fit the wall-clock budget
 # (the loader is stdlib-only and signatures-only for dependencies, so a
-# lint run costs seconds, not a build). The binary is built outside the
-# timed window so the budget measures analysis, not compilation.
-LINT_BUDGET_S=${LINT_BUDGET_S:-120}
+# lint run costs seconds, not a build).
 go build -o /tmp/pmemspec-lint ./cmd/pmemspec-lint
-lint_start=$(date +%s)
-/tmp/pmemspec-lint -fix -diff ./...
-lint_elapsed=$(( $(date +%s) - lint_start ))
-echo "pmemspec-lint: ${lint_elapsed}s (budget ${LINT_BUDGET_S}s)"
-if [ "$lint_elapsed" -gt "$LINT_BUDGET_S" ]; then
-	echo "pmemspec-lint exceeded its ${LINT_BUDGET_S}s wall-clock budget"
-	exit 1
-fi
+run_budgeted pmemspec-lint "${LINT_BUDGET_S:-120}" \
+	"/tmp/pmemspec-lint -fix -diff ./..."
 
-echo "== go build ./... =="
+stage build "go build ./..."
 go build ./...
 
-echo "== go test $short ./... =="
+stage test "go test $short ./..."
 go test $short ./...
 
-echo "== coverage floor (./internal/...) =="
+stage coverage "coverage floor (./internal/...)"
 # Statement coverage over the simulator packages, gated on the
 # checked-in floor (COVERAGE_FLOOR). -short always: the floor tracks the
 # cheap suite, so quick and full runs gate identically.
@@ -66,7 +132,7 @@ if ! awk -v c="$coverage" -v f="$floor" 'BEGIN { exit !(c+0 >= f+0) }'; then
 	exit 1
 fi
 
-echo "== go test -race $short ./internal/harness/... ./internal/sim/... ./internal/serve/... =="
+stage race "go test -race $short ./internal/harness/... ./internal/sim/... ./internal/serve/..."
 # -timeout raised above the go default: the race detector is ~10x and
 # the harness sweeps are minutes-long even unraced on small hosts.
 # internal/serve joins the race pass because it is the other place
@@ -74,7 +140,7 @@ echo "== go test -race $short ./internal/harness/... ./internal/sim/... ./intern
 # dispatchers and the result cache).
 go test -race -timeout 60m $short ./internal/harness/... ./internal/sim/... ./internal/serve/...
 
-echo "== crash campaign (all designs, boundary-aligned, injection) =="
+stage crash-campaign "crash campaign (all designs, boundary-aligned, injection)"
 # A small end-to-end fault-injection campaign: every design × every
 # workload, persist-boundary-aligned crash points plus a coarse uniform
 # grid, with synthetic misspeculations injected through the OS relay.
@@ -93,7 +159,7 @@ go run ./cmd/pmemspec-crash -workload queue -threads 2 -ops 12 -points 3 -maxus 
 	-parallel 8 -report /tmp/pmemspec-campaign-p8.json >/dev/null
 cmp /tmp/pmemspec-campaign-p1.json /tmp/pmemspec-campaign-p8.json
 
-echo "== metrics grid determinism (step core, pool width 1 vs 8) =="
+stage metrics-determinism "metrics grid determinism (step core, pool width 1 vs 8)"
 # The observability layer's acceptance check: the (design, workload)
 # metrics grid of a small Figure 9 sweep must serialize byte-identically
 # whether the runs share one worker or race across eight. The execution
@@ -109,7 +175,7 @@ PMEMSPEC_EXEC_CORE=step /tmp/pmemspec-bench -experiment fig9 -ops 50 -threads 2 
 	-metrics-out /tmp/pmemspec-metrics-p8.json >/dev/null
 cmp /tmp/pmemspec-metrics-p1.json /tmp/pmemspec-metrics-p8.json
 
-echo "== execution-core identity (step vs handshake, tiny grid) =="
+stage exec-core-identity "execution-core identity (step vs handshake, tiny grid)"
 # Both execution cores must produce byte-identical metrics: the step
 # core's inline dispatch is a pure mechanism change, and this is the
 # cross-check that keeps the legacy handshake core honest as an oracle.
@@ -119,7 +185,7 @@ PMEMSPEC_EXEC_CORE=handshake /tmp/pmemspec-bench -experiment fig9 -ops 12 -threa
 	-metrics-out /tmp/pmemspec-metrics-handshake.json >/dev/null
 cmp /tmp/pmemspec-metrics-step.json /tmp/pmemspec-metrics-handshake.json
 
-echo "== bench-cmp small-grid perf gate =="
+stage bench-cmp "bench-cmp small-grid perf gate"
 # Wall-clock regression gate against the checked-in small-grid baseline.
 # BENCH_TOL is loose by default because hosted runners and laptops differ
 # widely; tighten it (e.g. 0.15) when comparing on the baseline host.
@@ -127,7 +193,7 @@ go run ./cmd/pmemspec-ci bench-cmp -baseline BENCH_baseline_small.json \
 	-current /tmp/pmemspec-bench-small.json -tolerance "${BENCH_TOL:-0.5}"
 
 if [ "${QUICK:-0}" != "1" ]; then
-	echo "== opt-loop (optimize -> simulate -> verify, budgeted) =="
+	stage opt-loop "opt-loop (optimize -> simulate -> verify, budgeted)"
 	# The closed optimization loop on the planted naive workloads: the
 	# optimization analyzers' edits must apply cleanly to a sandboxed
 	# module copy, the copy must re-analyze clean, the edited workloads
@@ -135,49 +201,54 @@ if [ "${QUICK:-0}" != "1" ]; then
 	# the schema with at least one positive simulated saving. The stage
 	# rebuilds the module inside sandboxes (via the shared build cache),
 	# so it runs in the nightly full pass, within a wall-clock budget.
-	OPT_BUDGET_S=${OPT_BUDGET_S:-600}
 	go build -o /tmp/pmemspec-opt ./cmd/pmemspec-opt
-	opt_start=$(date +%s)
-	/tmp/pmemspec-opt -workloads naivelog,naivescan -designs IntelX86,DPO \
-		-json . > /tmp/pmemspec-opt-report.json
-	opt_elapsed=$(( $(date +%s) - opt_start ))
-	echo "pmemspec-opt: ${opt_elapsed}s (budget ${OPT_BUDGET_S}s)"
-	if [ "$opt_elapsed" -gt "$OPT_BUDGET_S" ]; then
-		echo "pmemspec-opt exceeded its ${OPT_BUDGET_S}s wall-clock budget"
-		exit 1
-	fi
+	run_budgeted pmemspec-opt "${OPT_BUDGET_S:-600}" \
+		"/tmp/pmemspec-opt -workloads naivelog,naivescan -designs IntelX86,DPO -json . > /tmp/pmemspec-opt-report.json"
 	go run ./cmd/pmemspec-ci opt-check -report /tmp/pmemspec-opt-report.json
 fi
 
-echo "== litmus campaign (persist-order lattice vs simulator, budgeted) =="
+stage litmus "litmus campaign (persist-order lattice vs simulator, budgeted)"
 # Differential validation of the static persist-order lattice: every
 # corpus pattern is folded to a per-design ORDERED/UNORDERED verdict and
 # executed under boundary-aligned crash points; a recovered image that
 # contradicts an ORDERED claim fails the stage. QUICK runs a
 # deterministic corpus subsample with capped crash points per cell; the
 # full (nightly) pass sweeps all patterns and gates on the full corpus
-# floor. The binary is built outside the timed window so the budget
-# measures simulation, not compilation.
-LITMUS_BUDGET_S=${LITMUS_BUDGET_S:-900}
+# floor.
 go build -o /tmp/pmemspec-litmus ./cmd/pmemspec-litmus
-litmus_start=$(date +%s)
 if [ "${QUICK:-0}" = "1" ]; then
-	/tmp/pmemspec-litmus -quick -report /tmp/pmemspec-litmus.json
+	run_budgeted pmemspec-litmus "${LITMUS_BUDGET_S:-900}" \
+		"/tmp/pmemspec-litmus -quick -report /tmp/pmemspec-litmus.json"
 	litmus_min_patterns=8
 else
-	/tmp/pmemspec-litmus -points 12 -report /tmp/pmemspec-litmus.json
+	run_budgeted pmemspec-litmus "${LITMUS_BUDGET_S:-900}" \
+		"/tmp/pmemspec-litmus -points 12 -report /tmp/pmemspec-litmus.json"
 	litmus_min_patterns=40
-fi
-litmus_elapsed=$(( $(date +%s) - litmus_start ))
-echo "pmemspec-litmus: ${litmus_elapsed}s (budget ${LITMUS_BUDGET_S}s)"
-if [ "$litmus_elapsed" -gt "$LITMUS_BUDGET_S" ]; then
-	echo "pmemspec-litmus exceeded its ${LITMUS_BUDGET_S}s wall-clock budget"
-	exit 1
 fi
 go run ./cmd/pmemspec-ci litmus-check -report /tmp/pmemspec-litmus.json \
 	-min-patterns "$litmus_min_patterns"
 
-echo "== serve smoke (daemon over HTTP vs direct harness) =="
+stage mc "model checker (exhaustive MT litmus schedules, DPOR, budgeted)"
+# The exhaustive small-scope model checker: every multi-threaded litmus
+# pattern × design, every non-equivalent thread interleaving (sleep-set
+# partial-order reduction), every reachable crash image per schedule.
+# QUICK runs a deterministic corpus subsample with capped schedules per
+# cell; the full (nightly) pass enumerates exhaustively and refuses
+# capped cells. Either way the gate demands zero refutations and a
+# schedule count strictly below the unreduced interleaving bound.
+go build -o /tmp/pmemspec-mc ./cmd/pmemspec-mc
+if [ "${QUICK:-0}" = "1" ]; then
+	run_budgeted pmemspec-mc "${MC_BUDGET_S:-600}" \
+		"/tmp/pmemspec-mc -quick -report /tmp/pmemspec-mc.json"
+	go run ./cmd/pmemspec-ci mc-check -report /tmp/pmemspec-mc.json \
+		-min-patterns 8 -allow-capped
+else
+	run_budgeted pmemspec-mc "${MC_BUDGET_S:-600}" \
+		"/tmp/pmemspec-mc -report /tmp/pmemspec-mc.json"
+	go run ./cmd/pmemspec-ci mc-check -report /tmp/pmemspec-mc.json
+fi
+
+stage serve-smoke "serve smoke (daemon over HTTP vs direct harness)"
 # End-to-end exercise of the service layer: boot pmemspec-serve on an
 # ephemeral port, run a small grid twice over HTTP (the second pass must
 # be all cache hits with byte-identical results), cross-check one cell
@@ -187,4 +258,5 @@ echo "== serve smoke (daemon over HTTP vs direct harness) =="
 go build -o /tmp/pmemspec-serve ./cmd/pmemspec-serve
 go run ./cmd/pmemspec-ci serve-smoke -daemon /tmp/pmemspec-serve -ops 30
 
+finish_stages
 echo "ci.sh: all checks passed"

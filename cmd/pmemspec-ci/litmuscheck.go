@@ -10,8 +10,6 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,16 +29,9 @@ func litmusCheck(args []string) int {
 		fmt.Fprintln(os.Stderr, "pmemspec-ci: litmus-check: -report is required")
 		return 2
 	}
-	data, err := os.ReadFile(*reportPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pmemspec-ci: litmus-check:", err)
-		return 2
-	}
 	var rep litmus.Report
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&rep); err != nil {
-		fmt.Fprintf(os.Stderr, "pmemspec-ci: litmus-check: report does not match the schema: %v\n", err)
+	if err := loadReport(*reportPath, &rep); err != nil {
+		fmt.Fprintln(os.Stderr, "pmemspec-ci: litmus-check:", err)
 		return 1
 	}
 

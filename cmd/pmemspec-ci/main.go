@@ -18,7 +18,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -111,12 +110,8 @@ func configMismatch(base, cur benchRecord) string {
 
 func readRecord(path string) (benchRecord, error) {
 	var r benchRecord
-	data, err := os.ReadFile(path)
-	if err != nil {
+	if err := loadReport(path, &r); err != nil {
 		return r, err
-	}
-	if err := json.Unmarshal(data, &r); err != nil {
-		return r, fmt.Errorf("%s: %w", path, err)
 	}
 	if len(r.Experiments) == 0 {
 		return r, fmt.Errorf("%s: no experiments_seconds", path)
@@ -185,7 +180,7 @@ func benchCmp(args []string) int {
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: pmemspec-ci bench-cmp|serve-smoke|opt-check|litmus-check [flags]")
+		fmt.Fprintln(os.Stderr, "usage: pmemspec-ci bench-cmp|serve-smoke|opt-check|litmus-check|mc-check [flags]")
 		os.Exit(2)
 	}
 	switch os.Args[1] {
@@ -197,8 +192,10 @@ func main() {
 		os.Exit(optCheck(os.Args[2:]))
 	case "litmus-check":
 		os.Exit(litmusCheck(os.Args[2:]))
+	case "mc-check":
+		os.Exit(mcCheck(os.Args[2:]))
 	default:
-		fmt.Fprintf(os.Stderr, "pmemspec-ci: unknown subcommand %q (want bench-cmp, serve-smoke, opt-check or litmus-check)\n", os.Args[1])
+		fmt.Fprintf(os.Stderr, "pmemspec-ci: unknown subcommand %q (want bench-cmp, serve-smoke, opt-check, litmus-check or mc-check)\n", os.Args[1])
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pmemspec/internal/mc"
+)
+
+// mcReport writes a minimal passing model-checking report to a temp
+// file and returns its path, after applying mutate.
+func mcReport(t *testing.T, mutate func(*mc.Report)) string {
+	t.Helper()
+	rep := mc.Report{
+		Patterns:       12,
+		Designs:        5,
+		OrderedCells:   25,
+		UnorderedCells: 35,
+		Witnessed:      20,
+		Schedules:      300,
+		Bound:          5000,
+		Images:         1200,
+		UniqueImages:   300,
+	}
+	for i := 0; i < 60; i++ {
+		ordered := i < 25
+		rep.Cells = append(rep.Cells, mc.CellResult{
+			Pattern:      "p",
+			Design:       "d",
+			Static:       ordered,
+			Expected:     ordered,
+			Schedules:    5,
+			Bound:        80,
+			Images:       20,
+			UniqueImages: 8,
+			Witnessed:    !ordered && i < 45,
+		})
+	}
+	if mutate != nil {
+		mutate(&rep)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "mc.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMCCheckPasses(t *testing.T) {
+	path := mcReport(t, nil)
+	if rc := mcCheck([]string{"-report", path}); rc != 0 {
+		t.Fatalf("mc-check on a clean report = %d, want 0", rc)
+	}
+}
+
+func TestMCCheckFailsOnRefutation(t *testing.T) {
+	path := mcReport(t, func(r *mc.Report) {
+		r.Refuted = 1
+		r.Cells[0].Refuted = true
+	})
+	if rc := mcCheck([]string{"-report", path}); rc != 1 {
+		t.Fatal("mc-check must fail a report with a refuted ORDERED cell")
+	}
+}
+
+func TestMCCheckFailsWithoutPruning(t *testing.T) {
+	path := mcReport(t, func(r *mc.Report) { r.Schedules = r.Bound })
+	if rc := mcCheck([]string{"-report", path}); rc != 1 {
+		t.Fatal("mc-check must fail when explored schedules reach the unreduced bound")
+	}
+}
+
+func TestMCCheckFailsOnEmptyCell(t *testing.T) {
+	path := mcReport(t, func(r *mc.Report) { r.Cells[3].Schedules = 0 })
+	if rc := mcCheck([]string{"-report", path}); rc != 1 {
+		t.Fatal("mc-check must fail when a cell explored no schedules")
+	}
+}
+
+func TestMCCheckCappedPolicy(t *testing.T) {
+	path := mcReport(t, func(r *mc.Report) {
+		r.CappedCells = 2
+		r.Cells[0].Capped = true
+		r.Cells[1].Capped = true
+	})
+	if rc := mcCheck([]string{"-report", path}); rc != 1 {
+		t.Fatal("mc-check must fail capped cells in an exhaustive sweep")
+	}
+	if rc := mcCheck([]string{"-report", path, "-allow-capped"}); rc != 0 {
+		t.Fatal("mc-check -allow-capped must accept capped cells (quick mode)")
+	}
+}
+
+func TestMCCheckWitnessFloor(t *testing.T) {
+	path := mcReport(t, func(r *mc.Report) { r.Witnessed = 0 })
+	if rc := mcCheck([]string{"-report", path}); rc != 1 {
+		t.Fatal("mc-check must fail when no UNORDERED cell is witnessed")
+	}
+}
+
+func TestMCCheckFailsOnMismatch(t *testing.T) {
+	path := mcReport(t, func(r *mc.Report) {
+		r.Mismatches = 1
+		r.Cells[0].Expected = !r.Cells[0].Expected
+	})
+	if rc := mcCheck([]string{"-report", path}); rc != 1 {
+		t.Fatal("mc-check must fail a fold/table mismatch")
+	}
+}

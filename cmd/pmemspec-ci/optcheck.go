@@ -9,8 +9,6 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,16 +24,9 @@ func optCheck(args []string) int {
 		fmt.Fprintln(os.Stderr, "pmemspec-ci: opt-check: -report is required")
 		return 2
 	}
-	data, err := os.ReadFile(*reportPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pmemspec-ci: opt-check:", err)
-		return 2
-	}
 	var rep opt.Report
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&rep); err != nil {
-		fmt.Fprintf(os.Stderr, "pmemspec-ci: opt-check: report does not match the schema: %v\n", err)
+	if err := loadReport(*reportPath, &rep); err != nil {
+		fmt.Fprintln(os.Stderr, "pmemspec-ci: opt-check:", err)
 		return 1
 	}
 

@@ -1,0 +1,32 @@
+// Shared strict report loading for every pmemspec-ci gate. The gates
+// exist to catch drift between what a tool emits and what CI believes
+// it validated, so every report is decoded with DisallowUnknownFields
+// (an unknown field means the schema moved under the gate) and
+// trailing content after the report object is rejected (a truncated or
+// concatenated capture must not half-parse into a passing report).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// loadReport reads path and strictly decodes it into v.
+func loadReport(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%s: report does not match the schema: %w", path, err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("%s: trailing data after the report object", path)
+	}
+	return nil
+}

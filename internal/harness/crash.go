@@ -54,6 +54,12 @@ type TrialSpec struct {
 	Mode     fatomic.Mode
 	Inject   InjectionPlan
 	Opts     []Option
+
+	// Instrument, when non-nil, runs on the constructed machine before
+	// any thread is spawned. The model checker uses it to install its
+	// controlled scheduler and persist observer; anything a bounds
+	// discovery run can observe, an Instrument hook can too.
+	Instrument func(*machine.Machine)
 }
 
 // RunTrial executes one trial: run the workload (with synthetic
@@ -128,6 +134,9 @@ func runTrial(spec TrialSpec, w workload.Workload, bounds *Boundaries) (CrashOut
 		m.SetAdmitObserver(func(admit sim.Time, blk mem.Addr) {
 			bounds.AdmitNS = append(bounds.AdmitNS, admit.Nanoseconds())
 		})
+	}
+	if spec.Instrument != nil {
+		spec.Instrument(m)
 	}
 
 	barrier := sim.NewBarrier(p.Threads)

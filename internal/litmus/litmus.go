@@ -93,6 +93,14 @@ type Pattern struct {
 	// commit variable is durable strictly before the data variable,
 	// giving UNORDERED claims a reachable witness window.
 	Ops []Op
+	// Threads, when non-nil, makes the pattern multi-threaded: thread i
+	// interprets Threads[i] and Ops must be nil. The claim is unchanged
+	// ("Data's final value persists before Commit's final value"), but
+	// its verdict now quantifies over every feasible interleaving — the
+	// model checker (internal/mc) enumerates them, the single-schedule
+	// harness samples one. Each variable must be stored by at most one
+	// thread so the final value is schedule-independent.
+	Threads [][]Op
 	// SameLine lays Data and Commit in one 64-byte block (offsets 0 and
 	// 8) instead of separate blocks: the IntelX86 line-coalescing rule.
 	SameLine bool
@@ -102,32 +110,84 @@ type Pattern struct {
 	Expect [5]bool
 }
 
+// MT reports whether the pattern is multi-threaded.
+func (p Pattern) MT() bool { return len(p.Threads) > 0 }
+
+// NThreads returns the number of interpreter threads the pattern needs.
+func (p Pattern) NThreads() int {
+	if !p.MT() {
+		return 1
+	}
+	return len(p.Threads)
+}
+
+// ThreadOps returns thread tid's program.
+func (p Pattern) ThreadOps(tid int) []Op {
+	if !p.MT() {
+		if tid == 0 {
+			return p.Ops
+		}
+		return nil
+	}
+	return p.Threads[tid]
+}
+
+// forEachOp visits every op of every thread (single-threaded patterns:
+// just Ops).
+func (p Pattern) forEachOp(f func(tid int, op Op)) {
+	for tid := 0; tid < p.NThreads(); tid++ {
+		for _, op := range p.ThreadOps(tid) {
+			f(tid, op)
+		}
+	}
+}
+
 // NumVars returns how many variables the pattern touches (≥ 2: the
 // claim pair always exists).
 func (p Pattern) NumVars() int {
 	n := 2
-	for _, op := range p.Ops {
+	p.forEachOp(func(_ int, op Op) {
 		if op.Var >= n {
 			n = op.Var + 1
 		}
-	}
+	})
 	return n
 }
 
 // storeCounts returns, per variable, how many OpStore ops target it.
 func (p Pattern) storeCounts() []int {
 	counts := make([]int, p.NumVars())
-	for _, op := range p.Ops {
+	p.forEachOp(func(_ int, op Op) {
 		if op.Kind == OpStore {
 			counts[op.Var]++
 		}
-	}
+	})
 	return counts
+}
+
+// storeOwner returns the single thread that stores variable v, or -1 if
+// no thread does. Multi-threaded corpus patterns keep one owner per
+// variable (asserted in tests) so FinalValue is schedule-independent.
+func (p Pattern) storeOwner(v int) int {
+	owner := -1
+	p.forEachOp(func(tid int, op Op) {
+		if op.Kind == OpStore && op.Var == v {
+			owner = tid
+		}
+	})
+	return owner
 }
 
 // storeValue is the value the k-th (0-based) store to variable v
 // writes: distinct, nonzero, deterministic.
 func storeValue(v, k int) uint64 { return uint64(v*8+k) + 1 }
+
+// StoreValue exposes storeValue so the model checker can recognize
+// every legitimately written value when classifying crash images.
+func StoreValue(v, k int) uint64 { return storeValue(v, k) }
+
+// StoreCounts returns, per variable, how many stores target it.
+func (p Pattern) StoreCounts() []int { return p.storeCounts() }
 
 // FinalValue is the value variable v holds after a complete run.
 func (p Pattern) FinalValue(v int) uint64 {
@@ -171,6 +231,16 @@ func lowerOp(k OpKind, d dataflow.OrderDesign) dataflow.OrderEvent {
 	return dataflow.OEUnknown
 }
 
+// SameBlock reports whether two variables share a cache block under
+// the pattern's layout; the model checker's independence relation uses
+// it (two ops on the same block never commute).
+func (p Pattern) SameBlock(a, b int) bool { return p.sameBlock(a, b) }
+
+// LowerKind exposes the shared barrier-lowering table for one op kind
+// on one design. OpStore/OpFlush/OpCLWB are lowered by their callers
+// (they need the variable); everything else goes through here.
+func LowerKind(k OpKind, d dataflow.OrderDesign) dataflow.OrderEvent { return lowerOp(k, d) }
+
 // sameBlock reports whether two variables share a cache block under
 // the pattern's layout.
 func (p Pattern) sameBlock(a, b int) bool {
@@ -189,6 +259,9 @@ func (p Pattern) sameBlock(a, b int) bool {
 // Commit" — the same rule the persistorder analyzer applies at a
 // commit-marker store.
 func StaticOrdered(p Pattern, d dataflow.OrderDesign) bool {
+	if p.MT() {
+		return staticOrderedMT(p, d)
+	}
 	lastCommit := -1
 	for i, op := range p.Ops {
 		if op.Kind == OpStore && op.Var == Commit {
@@ -250,8 +323,17 @@ type Program struct {
 	// fails the trial); when false it is a recorded witness.
 	StaticClaim bool
 
+	// Hook, when non-nil, runs on the interpreting thread before each
+	// pattern op — opIdx counts through ThreadOps(tid), and one final
+	// call with opIdx == len(ThreadOps(tid)) marks the stream done. The
+	// model checker parks threads here (mark + Yield) to turn every op
+	// boundary into a scheduling choice point. The verification tail is
+	// not hooked: it is harness machinery, not a scheduling subject.
+	Hook func(t *machine.Thread, tid, opIdx int)
+
 	base mem.Addr
 	lock sim.Mutex
+	join *sim.Barrier // multi-threaded rendezvous before the tail
 	// Witnessed is set by Verify when a recovered image held the
 	// commit final value without the data final value.
 	Witnessed bool
@@ -288,6 +370,9 @@ func (pr *Program) addr(v int) mem.Addr {
 func (pr *Program) Setup(e *workload.Env, t *machine.Thread) {
 	n := pr.P.NumVars()
 	pr.base = e.Heap.AllocBlock(uint64(n) * mem.BlockSize)
+	if pr.P.MT() {
+		pr.join = sim.NewBarrier(e.P.Threads)
+	}
 	m := e.RT.Model()
 	for v := 0; v < n; v++ {
 		t.StoreU64(pr.addr(v), 0)
@@ -296,14 +381,29 @@ func (pr *Program) Setup(e *workload.Env, t *machine.Thread) {
 	m.DurableBarrier(t)
 }
 
-// Run implements workload.Workload: interpret the ops, then flush
-// every variable in reverse order and drain — the tail persists the
-// commit variable first, so UNORDERED claims get their witness window.
+// VarAddr returns variable v's persistent slot (valid after Setup).
+// The model checker reads these from persisted-image snapshots.
+func (pr *Program) VarAddr(v int) mem.Addr { return pr.addr(v) }
+
+// Mutex returns the program's lock, so a controlled scheduler can
+// consult its holder before releasing a thread whose next op is OpLock.
+func (pr *Program) Mutex() *sim.Mutex { return &pr.lock }
+
+// Run implements workload.Workload: interpret this thread's ops, then
+// flush every variable in reverse order and drain — the tail persists
+// the commit variable first, so UNORDERED claims get their witness
+// window. Multi-threaded patterns rendezvous on the join barrier first
+// and leave the tail to thread 0; per-variable store counters stay
+// correct because each variable has a single storing thread.
 func (pr *Program) Run(e *workload.Env, t *machine.Thread, tid int) {
 	m := e.RT.Model()
 	k := make([]int, pr.P.NumVars())
 	locked := 0
-	for _, op := range pr.P.Ops {
+	ops := pr.P.ThreadOps(tid)
+	for i, op := range ops {
+		if pr.Hook != nil {
+			pr.Hook(t, tid, i)
+		}
 		switch op.Kind {
 		case OpStore:
 			t.StoreU64(pr.addr(op.Var), storeValue(op.Var, k[op.Var]))
@@ -342,6 +442,15 @@ func (pr *Program) Run(e *workload.Env, t *machine.Thread, tid int) {
 	}
 	for ; locked > 0; locked-- {
 		t.Unlock(&pr.lock)
+	}
+	if pr.Hook != nil {
+		pr.Hook(t, tid, len(ops))
+	}
+	if pr.P.MT() {
+		pr.join.Wait(t.Sim())
+		if tid != 0 {
+			return
+		}
 	}
 	// Adversarial tail: persist the commit variable first and drain —
 	// the drain completion is a crash boundary at which commit is

@@ -199,7 +199,7 @@ func runCell(p Pattern, od dataflow.OrderDesign, md machine.Design, budget int) 
 	}
 	spec := harness.TrialSpec{
 		Design: md,
-		Params: workload.Params{Threads: 1, Ops: 1, Seed: 1},
+		Params: workload.Params{Threads: p.NThreads(), Ops: 1, Seed: 1},
 	}
 	bounds, err := harness.DiscoverBoundariesFor(spec, NewProgram(p, od))
 	if err != nil {

@@ -111,6 +111,13 @@ type Machine struct {
 	// to these boundaries.
 	drainObserver func(core int, at sim.Time)
 
+	// persistObserver, when set, runs after every mutation of the
+	// persisted image — the instants at which the set of states a crash
+	// could leave behind changes. The model checker snapshots the
+	// durable variables at each notification to enumerate the crash
+	// images of a schedule without ever scheduling a crash.
+	persistObserver func()
+
 	stats Stats
 
 	// Observability: the metrics registry holds the machine's live
@@ -193,6 +200,7 @@ func New(cfg Config) (*Machine, error) {
 	case Strand:
 		onDrain := func(a mem.Addr, d []byte, at sim.Time) {
 			m.space.PersistBytes(a, d)
+			m.notifyPersist()
 		}
 		transfer := cfg.WritebackLatency + cfg.PBufDrainLag
 		for i := 0; i < cfg.Cores; i++ {
@@ -216,6 +224,7 @@ func New(cfg Config) (*Machine, error) {
 			if m.bloom != nil {
 				m.bloom.Remove(a)
 			}
+			m.notifyPersist()
 		}
 		transfer := cfg.WritebackLatency + cfg.PBufDrainLag
 		for i := 0; i < cfg.Cores; i++ {
@@ -349,6 +358,7 @@ func (m *Machine) persistArrived(msg ppath.Message) {
 // owning controller's speculation buffer observe it.
 func (m *Machine) applyPersist(admit, mediaDone sim.Time, msg *ppath.Message) {
 	m.space.PersistBytes(msg.Addr, msg.Payload())
+	m.notifyPersist()
 	m.specBufs[m.ctrlIndex(msg.Addr)].OnPersist(admit, msg.Addr, msg.SpecID, mediaDone)
 }
 
@@ -425,6 +435,21 @@ func (m *Machine) notifyDrain(core int, at sim.Time) {
 	}
 }
 
+// SetPersistObserver registers f to run immediately after every write to
+// the persisted image (persist-buffer drains, persist-path applies,
+// eviction writebacks, CLWB flushes, and the harness's setup sync).
+// Between notifications the persisted image is unchanged, so the
+// sequence of snapshots taken inside f enumerates every crash image the
+// run can produce under ADR semantics. nil disables.
+func (m *Machine) SetPersistObserver(f func()) { m.persistObserver = f }
+
+// notifyPersist reports a persisted-image mutation to the observer.
+func (m *Machine) notifyPersist() {
+	if m.persistObserver != nil {
+		m.persistObserver()
+	}
+}
+
 // SetAdmitObserver registers f on every PM controller's WPQ to observe
 // write admissions — the ADR durability instants. Crash points placed
 // just before/at/after an admission toggle whether that write survives,
@@ -477,6 +502,7 @@ func (m *Machine) ScheduleCrash(at sim.Time) {
 // setup stores. It takes no simulated time.
 func (m *Machine) SyncPersistedToArch() {
 	m.space.PM = m.space.Arch.Clone()
+	m.notifyPersist()
 }
 
 // MaxThreadClock returns the largest thread clock — the makespan used
@@ -587,6 +613,7 @@ func (q *wbArrivalQueue) OnEvent(at sim.Time, arg uint64) {
 				m.kernel.ScheduleHandler(admit, &m.pmWrites, uint64(admit))
 			} else {
 				m.space.PM.WriteBlock(e.addr, e.snap)
+				m.notifyPersist()
 			}
 			return
 		}
@@ -609,6 +636,7 @@ func (q *pmWriteQueue) OnEvent(at sim.Time, arg uint64) {
 			e := q.entries[i]
 			q.entries = append(q.entries[:i], q.entries[i+1:]...)
 			q.m.space.PM.WriteBlock(e.addr, e.snap)
+			q.m.notifyPersist()
 			return
 		}
 	}

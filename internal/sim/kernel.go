@@ -26,6 +26,9 @@ type Kernel struct {
 	running   bool
 	stopped   bool // a stop reason has been recorded; later ones are ignored
 	stopErr   error
+
+	sched        SchedulerFunc // controlled-scheduler mode; nil = (clock, id) dispatch
+	readyScratch []*Thread     // reused view passed to sched
 }
 
 // NewKernel returns an empty kernel at time zero using DefaultExecCore.
@@ -141,6 +144,44 @@ func (k *Kernel) newThread(name string, startAt Time) *Thread {
 // Threads returns the threads spawned on the kernel, in creation order.
 func (k *Kernel) Threads() []*Thread { return k.threads }
 
+// SchedulerFunc is a controlled scheduler: given the runnable threads (in
+// creation order), it returns the one to step next, or nil to decline —
+// in which case the kernel fires the earliest pending event instead (and
+// reports a deadlock if there is none). The returned thread must be one
+// of the runnable threads passed in.
+type SchedulerFunc func(ready []*Thread) *Thread
+
+// SetScheduler switches the kernel into controlled-scheduler mode: where
+// the default dispatch would step the earliest-(clock, id) runnable
+// thread, the kernel instead asks pick which thread to step. The choice
+// is a scheduling decision, not a time machine: a picked thread whose
+// clock lags the kernel's current time is warped forward to it (delaying
+// a thread costs it wall-clock), so simulated time stays monotone and
+// every controlled execution is a legitimate timed schedule. Events are
+// never a choice — hardware machinery due at or before the next step
+// always fires first. Passing nil restores the default dispatch.
+//
+// The model checker (internal/mc) uses this to enumerate thread
+// interleavings; the hook is not intended for performance work.
+func (k *Kernel) SetScheduler(pick SchedulerFunc) { k.sched = pick }
+
+// EventsPending reports whether any live event is queued. Controlled
+// schedulers use it to decide between declining (drain hardware events)
+// and declaring themselves stuck.
+func (k *Kernel) EventsPending() bool { return k.nextEvent() != nil }
+
+// readyView rebuilds the scratch slice of runnable threads in creation
+// order for a SchedulerFunc call.
+func (k *Kernel) readyView() []*Thread {
+	k.readyScratch = k.readyScratch[:0]
+	for _, t := range k.threads {
+		if t.readyIndex >= 0 {
+			k.readyScratch = append(k.readyScratch, t)
+		}
+	}
+	return k.readyScratch
+}
+
 // Stop aborts the run: after the currently dispatched entity yields, Run
 // returns err (which may be nil). The first stop reason wins — later
 // Stop calls and thread panics cannot overwrite it. Remaining threads are
@@ -167,21 +208,18 @@ func (k *Kernel) Run() error {
 	k.stopErr = nil
 	for k.running {
 		// Fire the earliest event if it is not after the earliest
-		// runnable thread; otherwise step that thread.
+		// runnable thread; otherwise step that thread (or, in
+		// controlled-scheduler mode, the thread the scheduler picks).
 		t := k.ready.peek()
 		e := k.nextEvent()
 		switch {
 		case e != nil && (t == nil || e.At <= t.clock):
-			k.events.pop()
-			k.now = e.At
-			if e.h != nil {
-				h, arg := e.h, e.arg
-				k.recycleEvent(e)
-				h.OnEvent(k.now, arg)
-			} else {
-				e.fn()
-			}
+			k.fire(e)
 		case t != nil:
+			if k.sched != nil {
+				k.stepControlled(t, e)
+				break
+			}
 			k.now = t.clock
 			if eff := t.coro.Step(t); eff.Kind == EffectDone {
 				t.state = threadDone
@@ -201,6 +239,68 @@ func (k *Kernel) Run() error {
 	}
 	k.releaseAbandoned()
 	return k.stopErr
+}
+
+// fire pops and runs the event at the head of the queue (e must be the
+// live head returned by nextEvent).
+func (k *Kernel) fire(e *Event) {
+	k.events.pop()
+	k.now = e.At
+	if e.h != nil {
+		h, arg := e.h, e.arg
+		k.recycleEvent(e)
+		h.OnEvent(k.now, arg)
+	} else {
+		e.fn()
+	}
+}
+
+// stepControlled runs one controlled-mode dispatch: t is the earliest
+// runnable thread and e the earliest event (nil if none), with e.At >
+// t.clock already established by the caller.
+func (k *Kernel) stepControlled(t *Thread, e *Event) {
+	c := k.sched(k.readyView())
+	if c == nil {
+		if e != nil {
+			k.fire(e)
+			return
+		}
+		// The scheduler declined with no events pending: nothing can
+		// make progress. Report it like any other deadlock so the
+		// blocked-thread inventory reaches the caller.
+		k.running = false
+		if !k.stopped {
+			k.stopped = true
+			k.stopErr = k.deadlockError()
+		}
+		return
+	}
+	if c.state != threadReady || c.readyIndex < 0 {
+		panic("sim: scheduler picked a non-runnable thread")
+	}
+	// Delaying a thread costs it wall-clock: warp a lagging pick forward
+	// to the kernel's current time so simulated time stays monotone.
+	if c.clock < k.now {
+		c.clock = k.now
+		k.readyFix(c)
+	}
+	// Events due at or before the pick's (possibly warped) clock would
+	// precede its step under timestamp dispatch; fire them first.
+	for k.running {
+		ev := k.nextEvent()
+		if ev == nil || ev.At > c.clock {
+			break
+		}
+		k.fire(ev)
+	}
+	if !k.running || c.state != threadReady {
+		return
+	}
+	k.now = c.clock
+	if eff := c.coro.Step(c); eff.Kind == EffectDone {
+		c.state = threadDone
+		k.readyRemove(c)
+	}
 }
 
 // recycleEvent returns a fired ScheduleHandler event to the pool.

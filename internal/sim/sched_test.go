@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// minPick replicates the default (clock, id) dispatch as a SchedulerFunc.
+func minPick(ready []*Thread) *Thread {
+	var best *Thread
+	for _, t := range ready {
+		if best == nil || t.Clock() < best.Clock() {
+			best = t
+		}
+	}
+	return best
+}
+
+// traceRun runs two interleaving threads plus a timed event under the
+// given scheduler (nil = default dispatch) and returns the step trace.
+func traceRun(t *testing.T, pick SchedulerFunc) string {
+	t.Helper()
+	k := NewKernel()
+	if pick != nil {
+		k.SetScheduler(pick)
+	}
+	var trace []string
+	k.Schedule(25, func() { trace = append(trace, fmt.Sprintf("e@%d", k.Now())) })
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("t%d", i), 0, func(th *Thread) {
+			for j := 0; j < 3; j++ {
+				trace = append(trace, fmt.Sprintf("%d:%d@%d", i, j, th.Clock()))
+				th.Advance(10)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return strings.Join(trace, " ")
+}
+
+// TestSchedulerDefaultEquivalence: a controlled scheduler that replicates
+// the (clock, id) policy produces exactly the default trace — the
+// controlled loop changes who chooses, not what a choice means.
+func TestSchedulerDefaultEquivalence(t *testing.T) {
+	def := traceRun(t, nil)
+	ctl := traceRun(t, minPick)
+	if def != ctl {
+		t.Errorf("controlled (clock,id) trace differs from default:\n  default:    %s\n  controlled: %s", def, ctl)
+	}
+}
+
+// TestSchedulerSerializesChosenThread: a scheduler that always picks
+// thread 1 runs it to completion before thread 0 moves, and the pending
+// event still fires at its own timestamp along the chosen timeline.
+func TestSchedulerSerializesChosenThread(t *testing.T) {
+	pick := func(ready []*Thread) *Thread {
+		var best *Thread
+		for _, th := range ready {
+			if best == nil || th.ID() > best.ID() {
+				best = th
+			}
+		}
+		return best
+	}
+	got := traceRun(t, pick)
+	// t1 runs all three steps first; the event at 25 fires before t1's
+	// step at 30 would commit (events are never a scheduling choice).
+	// t0, delayed at clock 0, is then warped to the kernel's time (30).
+	want := "1:0@0 1:1@10 1:2@20 e@25 0:0@30 0:1@40 0:2@50"
+	if got != want {
+		t.Errorf("trace = %q, want %q", got, want)
+	}
+}
+
+// TestSchedulerWarpMonotone: under an adversarial alternating scheduler
+// the kernel's dispatch time never decreases — a delayed pick is warped
+// forward, not stepped in the past.
+func TestSchedulerWarpMonotone(t *testing.T) {
+	k := NewKernel()
+	flip := 0
+	k.SetScheduler(func(ready []*Thread) *Thread {
+		flip++
+		return ready[flip%len(ready)]
+	})
+	var times []Time
+	for i := 0; i < 3; i++ {
+		k.Spawn(fmt.Sprintf("t%d", i), 0, func(th *Thread) {
+			for j := 0; j < 5; j++ {
+				times = append(times, k.Now())
+				th.Advance(Time(3 + th.ID()))
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("kernel time went backwards: %v", times)
+		}
+	}
+}
+
+// TestSchedulerDecline: returning nil fires the earliest pending event;
+// declining with no events is a deadlock, reported like any other.
+func TestSchedulerDecline(t *testing.T) {
+	t.Run("drains-events", func(t *testing.T) {
+		k := NewKernel()
+		released := false
+		k.SetScheduler(func(ready []*Thread) *Thread {
+			if !released {
+				return nil // force the event to fire first
+			}
+			return minPick(ready)
+		})
+		k.Schedule(100, func() { released = true })
+		var at Time
+		k.Spawn("w", 0, func(th *Thread) { at = th.Clock() })
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !released {
+			t.Error("declining scheduler did not let the event fire")
+		}
+		if at != 100 {
+			t.Errorf("thread stepped at clock %d, want 100 (warped past the drained event)", at)
+		}
+	})
+	t.Run("deadlocks-without-events", func(t *testing.T) {
+		k := NewKernel()
+		k.SetScheduler(func(ready []*Thread) *Thread { return nil })
+		k.Spawn("w", 0, func(th *Thread) { th.Advance(1) })
+		err := k.Run()
+		if err == nil || !strings.Contains(err.Error(), "deadlock") {
+			t.Fatalf("Run() = %v, want deadlock error", err)
+		}
+	})
+}
+
+// TestSchedulerMutexHandoff: controlled scheduling composes with the
+// blocking primitives — a scheduler that starves the lock holder until
+// nothing else is runnable still reaches the FIFO handoff.
+func TestSchedulerMutexHandoff(t *testing.T) {
+	k := NewKernel()
+	var m Mutex
+	var order []string
+	k.SetScheduler(func(ready []*Thread) *Thread {
+		// Highest id first: the waiter is preferred until it blocks.
+		var best *Thread
+		for _, th := range ready {
+			if best == nil || th.ID() > best.ID() {
+				best = th
+			}
+		}
+		return best
+	})
+	body := func(name string) func(*Thread) {
+		return func(th *Thread) {
+			m.Lock(th)
+			order = append(order, name)
+			th.Advance(50)
+			m.Unlock(th)
+		}
+	}
+	k.Spawn("a", 0, body("a"))
+	k.Spawn("b", 0, body("b"))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ""); got != "ba" {
+		t.Errorf("critical-section order = %q, want ba (scheduler ran b first)", got)
+	}
+	if m.Holder() != nil {
+		t.Error("mutex still held after run")
+	}
+}
+
+// TestEventsPending reflects the live (non-cancelled) queue contents.
+func TestEventsPending(t *testing.T) {
+	k := NewKernel()
+	if k.EventsPending() {
+		t.Error("EventsPending() = true on empty kernel")
+	}
+	e := k.Schedule(10, func() {})
+	if !k.EventsPending() {
+		t.Error("EventsPending() = false with a queued event")
+	}
+	e.Cancel()
+	if k.EventsPending() {
+		t.Error("EventsPending() = true with only a cancelled event")
+	}
+}
